@@ -1,0 +1,52 @@
+//! E7 — §2.3.3: elevator vs. round-robin disk-head scheduling.
+//!
+//! "Using a simple program that simulated 24 concurrent users reading
+//! random 256 KByte disk blocks, we found that an elevator scheduling
+//! algorithm improves throughput by only about 6% for our disks."
+
+use calliope_bench::banner;
+use calliope_sim::diskpolicy::compare;
+use calliope_sim::machine::DiskParams;
+
+fn main() {
+    banner("E7", "Elevator vs. round-robin disk scheduling", "§2.3.3");
+    let disk = DiskParams::default();
+    let secs = if calliope_bench::quick() { 30 } else { 120 };
+
+    println!(
+        "{:>6} {:>10} | {:>8} {:>10} {:>10} | {:>8} {:>10} {:>10} | {:>7}",
+        "users", "block", "rr MB/s", "rr seek", "rr svc ms", "el MB/s", "el seek", "el svc ms", "gain"
+    );
+    println!("{}", "-".repeat(104));
+    for users in [2usize, 8, 24, 64] {
+        let (rr, el, gain) = compare(disk, users, 256 * 1024, secs, 7);
+        println!(
+            "{:>6} {:>10} | {:>8.2} {:>10.0} {:>10.1} | {:>8.2} {:>10.0} {:>10.1} | {:>6.1}%",
+            users,
+            "256 KB",
+            rr.mb_s,
+            rr.mean_seek_distance,
+            rr.mean_service_ms,
+            el.mb_s,
+            el.mean_seek_distance,
+            el.mean_service_ms,
+            gain * 100.0
+        );
+    }
+    println!();
+    println!("The paper's configuration — 24 users, 256 KB blocks — and its flip side:");
+    let (_, _, gain_paper) = compare(disk, 24, 256 * 1024, secs, 7);
+    println!(
+        "  24 users, 256 KB: elevator gains {:.1}%   (paper: ~6%)",
+        gain_paper * 100.0
+    );
+    for block in [8 * 1024u64, 64 * 1024] {
+        let (_, _, gain) = compare(disk, 24, block, secs, 7);
+        println!(
+            "  24 users, {:>3} KB: elevator gains {:>5.1}%   (small blocks make scheduling matter —",
+            block / 1024,
+            gain * 100.0
+        );
+    }
+    println!("   the 256 KB design choice is what makes head scheduling unnecessary)");
+}

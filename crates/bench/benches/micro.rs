@@ -1,0 +1,162 @@
+//! Criterion micro-benchmarks of the hot data-path components: the
+//! wire codec, the packet-record codec, the IB-tree writer, the CBR
+//! packetizer, and the file-system page path.
+
+use calliope_proto::record::PacketRecord;
+use calliope_proto::schedule::CbrSchedule;
+use calliope_storage::block::MemDisk;
+use calliope_storage::catalog::FileKind;
+use calliope_storage::ibtree::IbTreeWriter;
+use calliope_storage::page::Geometry;
+use calliope_storage::MsuFs;
+use calliope_types::time::{BitRate, MediaTime};
+use calliope_types::wire::data::{DataHeader, PacketKind};
+use calliope_types::wire::messages::{ClientRequest, CoordReply};
+use calliope_types::wire::Wire;
+use calliope_types::StreamId;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_wire_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire-codec");
+    let req = ClientRequest::Play {
+        content: "a-two-hour-feature-film".into(),
+        port: "living-room-set-top".into(),
+    };
+    let bytes = req.to_bytes();
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("encode-play-request", |b| {
+        b.iter(|| std::hint::black_box(&req).to_bytes())
+    });
+    g.bench_function("decode-play-request", |b| {
+        b.iter(|| ClientRequest::from_bytes(std::hint::black_box(&bytes)).expect("decode"))
+    });
+    let reply = CoordReply::ContentList {
+        entries: (0..50)
+            .map(|i| calliope_types::content::ContentEntry {
+                name: format!("movie-{i}"),
+                type_name: "mpeg1".into(),
+                bytes: 1_350_000_000,
+                duration_us: 7_200_000_000,
+            })
+            .collect(),
+    };
+    let reply_bytes = reply.to_bytes();
+    g.throughput(Throughput::Bytes(reply_bytes.len() as u64));
+    g.bench_function("decode-50-entry-catalog", |b| {
+        b.iter(|| CoordReply::from_bytes(std::hint::black_box(&reply_bytes)).expect("decode"))
+    });
+    g.finish();
+}
+
+fn bench_data_header(c: &mut Criterion) {
+    let mut g = c.benchmark_group("data-header");
+    let header = DataHeader {
+        stream: StreamId(42),
+        seq: 1000,
+        offset: MediaTime::from_millis(21),
+        kind: PacketKind::Media,
+    };
+    let payload = vec![0u8; 4096];
+    let datagram = header.encode_packet(&payload);
+    g.throughput(Throughput::Bytes(datagram.len() as u64));
+    g.bench_function("encode-4k-packet", |b| {
+        b.iter(|| std::hint::black_box(&header).encode_packet(std::hint::black_box(&payload)))
+    });
+    g.bench_function("decode-4k-packet", |b| {
+        b.iter(|| DataHeader::decode_packet(std::hint::black_box(&datagram)).expect("decode"))
+    });
+    g.finish();
+}
+
+fn bench_ibtree_writer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ibtree");
+    let geo = Geometry::paper();
+    // Push 1 KB records through the writer; measure per-record cost
+    // including page assembly.
+    g.throughput(Throughput::Bytes(1000));
+    g.bench_function("push-1k-record", |b| {
+        b.iter_batched(
+            || IbTreeWriter::new(geo).expect("writer"),
+            |mut w| {
+                for i in 0..512u64 {
+                    let rec = PacketRecord::media(MediaTime(i * 12_000), vec![0u8; 1000]);
+                    std::hint::black_box(w.push(&rec).expect("push"));
+                }
+                w
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_cbr_packetizer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("packetizer");
+    let page = vec![0u8; 256 * 1024];
+    g.throughput(Throughput::Bytes(page.len() as u64));
+    g.bench_function("feed-256k-page", |b| {
+        b.iter_batched(
+            || {
+                calliope_msu::packetize::CbrPacketizer::new(CbrSchedule::new(
+                    BitRate::from_kbps(1500),
+                    4096,
+                ))
+            },
+            |mut p| std::hint::black_box(p.feed(std::hint::black_box(&page))),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_spsc_ring(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spsc");
+    // Single-threaded push/pop cost of the paper's shared-memory queue.
+    g.bench_function("push-pop-page-handle", |b| {
+        let (mut p, mut consumer) = calliope_msu::spsc::ring::<Box<[u8; 64]>>(2);
+        b.iter(|| {
+            p.push(Box::new([7u8; 64])).ok();
+            std::hint::black_box(consumer.pop().ok());
+        })
+    });
+    g.finish();
+}
+
+fn bench_fs_page_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("msufs");
+    g.sample_size(20);
+    let block = 64 * 1024; // smaller blocks keep the in-memory disk cheap
+    g.throughput(Throughput::Bytes(block as u64));
+    g.bench_function("append-and-read-page", |b| {
+        b.iter_batched(
+            || {
+                let mut fs =
+                    MsuFs::format_with(Box::new(MemDisk::new(block, 256)), 4).expect("format");
+                fs.create("f", FileKind::Raw, 128 * block as u64).expect("create");
+                fs
+            },
+            |mut fs| {
+                let page = vec![7u8; block];
+                let mut buf = vec![0u8; block];
+                for _ in 0..64 {
+                    let idx = fs.append_page("f", &page, block as u64).expect("append");
+                    fs.read_page("f", idx, &mut buf).expect("read");
+                }
+                fs
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_wire_codec,
+    bench_data_header,
+    bench_ibtree_writer,
+    bench_cbr_packetizer,
+    bench_spsc_ring,
+    bench_fs_page_path
+);
+criterion_main!(benches);

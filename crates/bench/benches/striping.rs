@@ -1,0 +1,84 @@
+//! E9 — §2.3.3: the striping trade-off the paper weighed and declined.
+//!
+//! "If an MSU has N items of content striped across N identical disks,
+//! all of the system's customers can access any of the items. …
+//! One disadvantage of striping is that the client must delay every
+//! time it issues a VCR command while a disk slot becomes available. …
+//! this delay is N times as long as it is in the non-striped case."
+
+use calliope_bench::banner;
+use calliope_sim::machine::DiskParams;
+use calliope_storage::block::MemDisk;
+use calliope_storage::catalog::FileKind;
+use calliope_storage::striped::StripedStore;
+use calliope_storage::MsuFs;
+
+fn main() {
+    banner("E9", "Striped vs. per-disk file layout", "§2.3.3");
+    let disk = DiskParams::default();
+    let block = 256 * 1024u64;
+    let stream_bw = 187_500.0; // 1.5 Mbit/s in bytes/s
+    let io_ms = disk.expected_service_ms(block);
+    // Slots per duty cycle: transfers that fit while one stream drains
+    // one block (the paper's cycle definition).
+    let drain_ms = block as f64 / stream_bw * 1000.0;
+    let slots = (drain_ms / io_ms).floor() as u64;
+
+    println!("per-disk duty cycle: {io_ms:.0} ms per 256 KB transfer, {drain_ms:.0} ms to");
+    println!("drain one block at 1.5 Mbit/s ⇒ {slots} slots per disk cycle");
+    println!();
+    println!(
+        "{:>7} | {:>16} {:>22} | {:>20}",
+        "disks D", "cycle slots N·D", "max streams per title", "worst VCR wait (ms)"
+    );
+    println!("{}", "-".repeat(76));
+    for d in [1u64, 2, 4, 8] {
+        // Non-striped: a title lives on one disk → its ceiling is one
+        // disk's slots. Striped: every title can use all D disks, but
+        // the duty cycle covers all disks: N·D slots, and a VCR command
+        // waits up to the whole cycle.
+        let per_title = slots * d;
+        let wait_ms = (slots * d) as f64 * io_ms;
+        println!(
+            "{:>7} | {:>16} {:>22} | {:>20.0}",
+            d,
+            slots * d,
+            per_title,
+            wait_ms
+        );
+    }
+    println!();
+    println!("non-striped comparison at D disks: any ONE title serves at most");
+    println!(
+        "{slots} streams (1/D of customers), VCR waits ≤ {:.0} ms; replicas of",
+        slots as f64 * io_ms
+    );
+    println!("popular titles buy bandwidth with space and forecasting (§2.3.3).");
+    println!();
+    println!("paper's verdict: they shipped non-striped, anticipating VCR-delay");
+    println!("complaints — \"in retrospect, we were probably wrong.\"");
+    println!();
+
+    // Functional demonstration on the real storage layer: a striped
+    // store spreads a file's pages evenly.
+    let disks: Vec<MsuFs> = (0..4)
+        .map(|_| MsuFs::format_with(Box::new(MemDisk::new(4096, 64)), 2).expect("format"))
+        .collect();
+    let mut store = StripedStore::new(disks).expect("striped store");
+    store
+        .create("movie", FileKind::Raw, 16 * 4096)
+        .expect("create");
+    for i in 0..16u8 {
+        store
+            .append_page("movie", &vec![i; 4096], 4096)
+            .expect("append");
+    }
+    store.finalize("movie", 0, Vec::new()).expect("finalize");
+    println!("functional check: 16 pages striped over 4 in-memory disks:");
+    let spread: Vec<usize> = (0..16).map(|i| store.disk_of(i)).collect();
+    println!("  page→disk map: {spread:?}");
+    let mut buf = vec![0u8; 4096];
+    store.read_page("movie", 9, &mut buf).expect("read");
+    assert_eq!(buf[0], 9, "round-robin readback intact");
+    println!("  readback across the stripe verified");
+}

@@ -1,0 +1,81 @@
+//! E1 — Table 1: baseline throughput of disks, FDDI, and both at once.
+
+use calliope_bench::{banner, mb};
+use calliope_sim::baseline::{paper_table1, table1};
+use calliope_sim::machine::MachineParams;
+
+fn main() {
+    banner(
+        "E1",
+        "Baseline performance measurements (MB/s)",
+        "Table 1, §3.1",
+    );
+    let secs = if calliope_bench::quick() { 10 } else { 30 };
+    let rows = table1(MachineParams::default(), secs, 42);
+    let paper = paper_table1();
+
+    println!(
+        "{:<20} | {:>11} | {:^23} | {:^29}",
+        "", "FDDI only", "Disks only", "Disks and FDDI"
+    );
+    println!(
+        "{:<20} | {:>5} {:>5} | {:>5} {:>5} {:>5} {:>5} | {:>5} {:>5} {:>5} {:>5} {:>5}",
+        "configuration", "sim", "paper", "d1", "d2", "d3", "paper", "fddi", "d1", "d2", "d3", "p-fddi"
+    );
+    println!("{}", "-".repeat(104));
+    for (row, p) in rows.iter().zip(&paper) {
+        let sim_disks: Vec<String> = (0..3)
+            .map(|i| mb(row.disks_only.get(i).copied()))
+            .collect();
+        let sim_both: Vec<String> = (0..3)
+            .map(|i| mb(row.both_disks.get(i).copied()))
+            .collect();
+        let paper_disks = if p.2.is_empty() {
+            "-".to_string()
+        } else {
+            p.2.iter().map(|v| format!("{v:.1}")).collect::<Vec<_>>().join("/")
+        };
+        println!(
+            "{:<20} | {} {} | {} {} {} {:>5} | {} {} {} {} {:>6}",
+            row.label,
+            mb(row.fddi_only),
+            mb(p.1),
+            sim_disks[0],
+            sim_disks[1],
+            sim_disks[2],
+            paper_disks,
+            mb((row.both_fddi > 0.0).then_some(row.both_fddi)),
+            sim_both[0],
+            sim_both[1],
+            sim_both[2],
+            mb(p.3),
+        );
+    }
+    println!();
+    println!("Shape checks (paper's qualitative findings):");
+    let fddi_only = rows[0].fddi_only.unwrap_or(0.0);
+    let one_hba = rows[2].both_fddi;
+    let two_hba = rows[3].both_fddi;
+    println!(
+        "  FDDI alone ≈ 8.5 MB/s:                 {:.1} MB/s  [{}]",
+        fddi_only,
+        if (7.5..9.5).contains(&fddi_only) { "ok" } else { "OFF" }
+    );
+    println!(
+        "  one disk alone ≈ 3.6 MB/s:             {:.1} MB/s  [{}]",
+        rows[1].disks_only[0],
+        if (3.0..4.2).contains(&rows[1].disks_only[0]) { "ok" } else { "OFF" }
+    );
+    println!(
+        "  2 disks/2 HBAs crater FDDI vs 1 HBA:   {:.1} vs {:.1} MB/s (paper: 2.3 vs 4.7)  [{}]",
+        two_hba,
+        one_hba,
+        if two_hba < one_hba * 0.75 { "ok" } else { "OFF" }
+    );
+    let r3 = &rows[4];
+    println!(
+        "  3 disks/2 HBAs: FDDI worst of all:     {:.1} MB/s (paper: 1.4)  [{}]",
+        r3.both_fddi,
+        if r3.both_fddi < two_hba { "ok" } else { "OFF" }
+    );
+}

@@ -1,0 +1,49 @@
+//! Shared helpers for the experiment benches.
+//!
+//! Every bench target regenerates one table or figure from the paper's
+//! evaluation and prints the paper's published values next to the
+//! reproduced ones. `BENCH_QUICK=1` shortens the simulated horizons for
+//! smoke runs.
+
+/// One experiment's standard header.
+pub fn banner(id: &str, title: &str, paper_ref: &str) {
+    println!();
+    println!("================================================================");
+    println!("{id}: {title}");
+    println!("  (paper {paper_ref})");
+    println!("================================================================");
+}
+
+/// True if the quick (CI) mode is requested.
+pub fn quick() -> bool {
+    std::env::var("BENCH_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Simulated horizon in seconds: the paper's six minutes, or 60 s in
+/// quick mode.
+pub fn horizon_secs() -> u64 {
+    if quick() {
+        60
+    } else {
+        360
+    }
+}
+
+/// Formats an `Option<f64>` MB/s cell.
+pub fn mb(v: Option<f64>) -> String {
+    match v {
+        Some(v) => format!("{v:5.1}"),
+        None => "    -".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn quick_mode_defaults_off() {
+        // The env var is absent in tests; the full horizon applies.
+        if std::env::var("BENCH_QUICK").is_err() {
+            assert_eq!(super::horizon_secs(), 360);
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Client library for Calliope.
+//!
+//! "To begin using Calliope, a client establishes a session with the
+//! Calliope coordinator. The client can then request a listing of
+//! available content, play existing content, or record new content."
+//! (paper §2.1)
+//!
+//! * [`session::CalliopeClient`] — the Coordinator session: table of
+//!   contents, type table, display-port registration, play/record
+//!   requests, administration.
+//! * [`port::DisplayPort`] — a display port: "display ports associate a
+//!   string name, a content type, and the socket's IP address and port
+//!   number". Each port owns a UDP data socket (with a receiver thread
+//!   measuring arrival statistics) and the TCP listener the MSU dials
+//!   for VCR control.
+//! * [`play::PlaySession`] — a playing stream group: VCR commands and
+//!   end-of-stream tracking.
+//! * [`record::RecordSession`] — a recording stream group: packet
+//!   submission and termination.
+
+pub mod play;
+pub mod port;
+pub mod record;
+pub mod session;
+
+pub use play::PlaySession;
+pub use port::{DisplayPort, PortStats};
+pub use record::RecordSession;
+pub use session::CalliopeClient;

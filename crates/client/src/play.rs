@@ -1,0 +1,159 @@
+//! A playing stream group.
+//!
+//! After `PlayStarted`, the MSU dials the first component port's
+//! control listener, sends `GroupReady`, and playback begins; the
+//! client then drives the group with VCR commands (§2.1: pause, play,
+//! seek, quit, plus fast forward/backward where trick files are
+//! loaded).
+
+use calliope_types::error::{Error, Result};
+use calliope_types::wire::messages::{
+    ClientToMsu, DoneReason, MsuToClient, StreamStart,
+};
+use calliope_types::wire::{read_frame, write_frame};
+use calliope_types::{GroupId, StreamId, VcrCommand};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// A live playback group.
+pub struct PlaySession {
+    /// The stream group id.
+    pub group: GroupId,
+    /// Member streams, in component-port order.
+    pub streams: Vec<StreamId>,
+    ctrl: TcpStream,
+    ended: Option<DoneReason>,
+}
+
+impl PlaySession {
+    /// Accepts the MSU's control connection and waits for
+    /// `GroupReady`.
+    pub(crate) fn establish(
+        group: GroupId,
+        starts: Vec<StreamStart>,
+        ports: &[&crate::port::DisplayPort],
+        timeout: Duration,
+    ) -> Result<PlaySession> {
+        let ctrl = ports[0]
+            .accept_ctrl(timeout)
+            .ok_or_else(|| Error::internal("MSU never opened the control connection"))?;
+        ctrl.set_read_timeout(Some(Duration::from_millis(200))).ok();
+        let mut session = PlaySession {
+            group,
+            streams: starts.iter().map(|s| s.stream).collect(),
+            ctrl,
+            ended: None,
+        };
+        // Wait for the group to be released ("the MSU waits … and starts
+        // delivering", §2.3.1).
+        let deadline = Instant::now() + timeout;
+        loop {
+            match session.read_msg(deadline)? {
+                MsuToClient::GroupReady { group: g, .. } if g == group => return Ok(session),
+                MsuToClient::GroupEnded { reason, .. } => {
+                    return Err(Error::Protocol {
+                        msg: format!("group ended before ready: {reason:?}"),
+                    })
+                }
+                _ => continue,
+            }
+        }
+    }
+
+    fn read_msg(&mut self, deadline: Instant) -> Result<MsuToClient> {
+        loop {
+            if Instant::now() > deadline {
+                return Err(Error::internal("timed out waiting for the MSU"));
+            }
+            match read_frame(&mut self.ctrl) {
+                Ok(Some(msg)) => return Ok(msg),
+                Ok(None) => return Err(Error::SessionClosed),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    continue
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Sends one VCR command and waits for the acknowledgement.
+    /// `Quit` expects `GroupEnded` instead of an ack.
+    pub fn vcr(&mut self, cmd: VcrCommand) -> Result<()> {
+        if self.ended.is_some() {
+            return Err(Error::SessionClosed);
+        }
+        write_frame(
+            &mut self.ctrl,
+            &ClientToMsu::Vcr {
+                group: self.group,
+                cmd,
+            },
+        )?;
+        let deadline = Instant::now() + Duration::from_secs(20);
+        loop {
+            match self.read_msg(deadline)? {
+                MsuToClient::VcrAck { error: None, .. } if !cmd.is_terminal() => return Ok(()),
+                MsuToClient::VcrAck {
+                    error: Some(msg), ..
+                } => return Err(Error::Protocol { msg }),
+                MsuToClient::GroupEnded { reason, .. } => {
+                    self.ended = Some(reason.clone());
+                    return if cmd.is_terminal() {
+                        Ok(())
+                    } else {
+                        Err(Error::Protocol {
+                            msg: format!("group ended: {reason:?}"),
+                        })
+                    };
+                }
+                _ => continue,
+            }
+        }
+    }
+
+    /// Convenience: pause playback.
+    pub fn pause(&mut self) -> Result<()> {
+        self.vcr(VcrCommand::Pause)
+    }
+
+    /// Convenience: resume playback.
+    pub fn resume(&mut self) -> Result<()> {
+        self.vcr(VcrCommand::Play)
+    }
+
+    /// Convenience: seek to an offset.
+    pub fn seek(&mut self, to: calliope_types::MediaTime) -> Result<()> {
+        self.vcr(VcrCommand::Seek(to))
+    }
+
+    /// Convenience: terminate the group.
+    pub fn quit(&mut self) -> Result<()> {
+        self.vcr(VcrCommand::Quit)
+    }
+
+    /// Why the group ended, if it has.
+    pub fn ended(&self) -> Option<&DoneReason> {
+        self.ended.as_ref()
+    }
+
+    /// Blocks until the MSU reports the group ended (end of content or
+    /// error), up to `timeout`.
+    pub fn wait_end(&mut self, timeout: Duration) -> Result<DoneReason> {
+        if let Some(r) = &self.ended {
+            return Ok(r.clone());
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.read_msg(deadline)? {
+                MsuToClient::GroupEnded { reason, .. } => {
+                    self.ended = Some(reason.clone());
+                    return Ok(reason);
+                }
+                _ => continue,
+            }
+        }
+    }
+}

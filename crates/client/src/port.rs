@@ -1,0 +1,381 @@
+//! Display ports.
+//!
+//! "Before sending or receiving multimedia content, the client must
+//! create a UDP socket and register that socket with Calliope as a
+//! display port." (paper §2.1)
+//!
+//! A [`DisplayPort`] owns:
+//!
+//! * the UDP data socket, drained by a receiver thread that keeps
+//!   per-stream arrival statistics (packets, bytes, loss by sequence
+//!   gap, lateness against the delivery schedule — the client-side view
+//!   of the paper's Graphs 1 and 2);
+//! * a TCP listener for the control connection the MSU establishes
+//!   once a stream is scheduled (§2.2).
+
+use calliope_types::wire::data::{DataHeader, PacketKind};
+use calliope_types::StreamId;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Arrival statistics for one stream at one port.
+#[derive(Clone, Debug, Default)]
+pub struct PortStats {
+    /// Media + control packets received.
+    pub packets: u64,
+    /// Interleaved protocol control packets among them (e.g. RTCP).
+    pub control_packets: u64,
+    /// Payload bytes received.
+    pub bytes: u64,
+    /// Packets missing by sequence-number gap.
+    pub lost: u64,
+    /// Packets that arrived out of order (sequence went backwards).
+    pub reordered: u64,
+    /// Worst arrival lateness vs. the delivery schedule, µs.
+    pub max_late_us: u64,
+    /// Sum of arrival lateness, µs (divide by `packets` for the mean).
+    pub sum_late_us: u64,
+    /// Packets arriving more than 50 ms late (the paper's headline
+    /// quality threshold).
+    pub late_over_50ms: u64,
+    /// End-of-stream marker seen.
+    pub eos: bool,
+}
+
+impl PortStats {
+    /// Mean arrival lateness in milliseconds.
+    pub fn mean_late_ms(&self) -> f64 {
+        if self.packets == 0 {
+            0.0
+        } else {
+            self.sum_late_us as f64 / self.packets as f64 / 1_000.0
+        }
+    }
+
+    /// Fraction of packets within 50 ms of their deadline.
+    pub fn pct_within_50ms(&self) -> f64 {
+        if self.packets == 0 {
+            100.0
+        } else {
+            (self.packets - self.late_over_50ms) as f64 * 100.0 / self.packets as f64
+        }
+    }
+}
+
+struct RecvState {
+    stats: PortStats,
+    /// Wall instant corresponding to media offset zero (set from the
+    /// first packet).
+    base: Option<(Instant, u64)>,
+    last_seq: Option<u32>,
+}
+
+/// A registered display port: data socket + control listener.
+pub struct DisplayPort {
+    /// Port name (unique within the session).
+    pub name: String,
+    /// Its atomic content type.
+    pub type_name: String,
+    data_addr: SocketAddr,
+    ctrl_addr: SocketAddr,
+    streams: Arc<Mutex<HashMap<StreamId, RecvState>>>,
+    ctrl_conns: crossbeam::channel::Receiver<TcpStream>,
+    stop: Arc<AtomicBool>,
+}
+
+impl DisplayPort {
+    /// Creates a port: binds a UDP data socket and a TCP control
+    /// listener on `bind_ip`, and starts the receiver thread.
+    pub fn open(bind_ip: IpAddr, name: &str, type_name: &str) -> std::io::Result<DisplayPort> {
+        let data = UdpSocket::bind((bind_ip, 0))?;
+        let data_addr = data.local_addr()?;
+        let ctrl = TcpListener::bind((bind_ip, 0))?;
+        let ctrl_addr = ctrl.local_addr()?;
+        let streams: Arc<Mutex<HashMap<StreamId, RecvState>>> = Arc::new(Mutex::new(HashMap::new()));
+        let stop = Arc::new(AtomicBool::new(false));
+
+        // Receiver thread: demultiplex by stream id, account arrivals.
+        {
+            let streams = Arc::clone(&streams);
+            let stop = Arc::clone(&stop);
+            data.set_read_timeout(Some(Duration::from_millis(100)))?;
+            std::thread::spawn(move || {
+                let mut buf = vec![0u8; 65_536];
+                while !stop.load(Ordering::Acquire) {
+                    let n = match data.recv(&mut buf) {
+                        Ok(n) => n,
+                        Err(e)
+                            if e.kind() == std::io::ErrorKind::WouldBlock
+                                || e.kind() == std::io::ErrorKind::TimedOut =>
+                        {
+                            continue
+                        }
+                        Err(_) => return,
+                    };
+                    let now = Instant::now();
+                    let Ok((header, payload)) = DataHeader::decode_packet(&buf[..n]) else {
+                        continue;
+                    };
+                    let mut map = streams.lock();
+                    let st = map.entry(header.stream).or_insert_with(|| RecvState {
+                        stats: PortStats::default(),
+                        base: None,
+                        last_seq: None,
+                    });
+                    if header.kind == PacketKind::EndOfStream {
+                        st.stats.eos = true;
+                        continue;
+                    }
+                    st.stats.packets += 1;
+                    if header.kind == PacketKind::Control {
+                        st.stats.control_packets += 1;
+                    }
+                    st.stats.bytes += payload.len() as u64;
+                    if let Some(last) = st.last_seq {
+                        let expect = last.wrapping_add(1);
+                        if header.seq != expect {
+                            if header.seq > expect {
+                                st.stats.lost += (header.seq - expect) as u64;
+                            } else {
+                                st.stats.reordered += 1;
+                            }
+                        }
+                    }
+                    st.last_seq = Some(header.seq);
+                    // Lateness vs. the stream's own schedule: the first
+                    // packet defines offset-zero's wall time.
+                    let (base_at, base_off) = *st
+                        .base
+                        .get_or_insert((now, header.offset.as_micros()));
+                    let expected =
+                        base_at + Duration::from_micros(header.offset.as_micros().saturating_sub(base_off));
+                    let late_us = now.saturating_duration_since(expected).as_micros() as u64;
+                    st.stats.max_late_us = st.stats.max_late_us.max(late_us);
+                    st.stats.sum_late_us += late_us;
+                    if late_us > 50_000 {
+                        st.stats.late_over_50ms += 1;
+                    }
+                }
+            });
+        }
+
+        // Control acceptor thread.
+        let (tx, rx) = crossbeam::channel::unbounded();
+        {
+            let stop = Arc::clone(&stop);
+            ctrl.set_nonblocking(true)?;
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    match ctrl.accept() {
+                        Ok((conn, _)) => {
+                            if tx.send(conn).is_err() {
+                                return;
+                            }
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                        Err(_) => return,
+                    }
+                }
+            });
+        }
+
+        Ok(DisplayPort {
+            name: name.to_owned(),
+            type_name: type_name.to_owned(),
+            data_addr,
+            ctrl_addr,
+            streams,
+            ctrl_conns: rx,
+            stop,
+        })
+    }
+
+    /// The UDP data address to register with the Coordinator.
+    pub fn data_addr(&self) -> SocketAddr {
+        self.data_addr
+    }
+
+    /// The TCP control address the MSU will dial.
+    pub fn ctrl_addr(&self) -> SocketAddr {
+        self.ctrl_addr
+    }
+
+    /// Waits for the MSU's control connection (one per stream group).
+    pub fn accept_ctrl(&self, timeout: Duration) -> Option<TcpStream> {
+        self.ctrl_conns.recv_timeout(timeout).ok()
+    }
+
+    /// Arrival statistics for one stream.
+    pub fn stats(&self, stream: StreamId) -> PortStats {
+        self.streams
+            .lock()
+            .get(&stream)
+            .map(|s| s.stats.clone())
+            .unwrap_or_default()
+    }
+
+    /// True once the stream's end-of-stream marker arrived.
+    pub fn saw_eos(&self, stream: StreamId) -> bool {
+        self.stats(stream).eos
+    }
+
+    /// Streams seen on this port.
+    pub fn streams(&self) -> Vec<StreamId> {
+        self.streams.lock().keys().copied().collect()
+    }
+}
+
+impl Drop for DisplayPort {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calliope_types::MediaTime;
+    use std::net::Ipv4Addr;
+
+    fn localhost() -> IpAddr {
+        IpAddr::V4(Ipv4Addr::LOCALHOST)
+    }
+
+    fn send(to: SocketAddr, stream: u64, seq: u32, offset_us: u64, kind: PacketKind, len: usize) {
+        let sock = UdpSocket::bind((localhost(), 0)).unwrap();
+        let header = DataHeader {
+            stream: StreamId(stream),
+            seq,
+            offset: MediaTime(offset_us),
+            kind,
+        };
+        sock.send_to(&header.encode_packet(&vec![0u8; len]), to).unwrap();
+    }
+
+    fn wait_packets(port: &DisplayPort, stream: u64, n: u64) {
+        for _ in 0..200 {
+            if port.stats(StreamId(stream)).packets >= n {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        panic!("timed out waiting for {n} packets");
+    }
+
+    #[test]
+    fn receiver_counts_packets_and_bytes() {
+        let port = DisplayPort::open(localhost(), "p", "mpeg1").unwrap();
+        for seq in 0..5u32 {
+            send(port.data_addr(), 1, seq, seq as u64 * 1000, PacketKind::Media, 100);
+        }
+        wait_packets(&port, 1, 5);
+        let s = port.stats(StreamId(1));
+        assert_eq!(s.packets, 5);
+        assert_eq!(s.bytes, 500);
+        assert_eq!(s.lost, 0);
+        assert!(!s.eos);
+        assert_eq!(port.streams(), vec![StreamId(1)]);
+    }
+
+    #[test]
+    fn sequence_gaps_count_as_loss() {
+        let port = DisplayPort::open(localhost(), "p", "mpeg1").unwrap();
+        send(port.data_addr(), 2, 0, 0, PacketKind::Media, 10);
+        send(port.data_addr(), 2, 3, 3000, PacketKind::Media, 10);
+        wait_packets(&port, 2, 2);
+        assert_eq!(port.stats(StreamId(2)).lost, 2);
+    }
+
+    #[test]
+    fn eos_is_flagged() {
+        let port = DisplayPort::open(localhost(), "p", "mpeg1").unwrap();
+        send(port.data_addr(), 3, 0, 0, PacketKind::Media, 10);
+        wait_packets(&port, 3, 1);
+        assert!(!port.saw_eos(StreamId(3)));
+        send(port.data_addr(), 3, 1, 1000, PacketKind::EndOfStream, 0);
+        for _ in 0..200 {
+            if port.saw_eos(StreamId(3)) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(port.saw_eos(StreamId(3)));
+        // EOS does not count as a media packet.
+        assert_eq!(port.stats(StreamId(3)).packets, 1);
+    }
+
+    #[test]
+    fn lateness_measured_against_schedule() {
+        let port = DisplayPort::open(localhost(), "p", "mpeg1").unwrap();
+        // Packet 0 at offset 0 establishes the base; packet 1 claims an
+        // offset 200 ms in the future but arrives immediately → 0 late.
+        send(port.data_addr(), 4, 0, 0, PacketKind::Media, 10);
+        send(port.data_addr(), 4, 1, 200_000, PacketKind::Media, 10);
+        wait_packets(&port, 4, 2);
+        let early = port.stats(StreamId(4));
+        assert_eq!(early.late_over_50ms, 0);
+        // Packet 2 was due at 100 ms but arrives ~at the same time as
+        // the others plus our sleep: make it late by sleeping past it.
+        std::thread::sleep(Duration::from_millis(200));
+        send(port.data_addr(), 4, 2, 100_000, PacketKind::Media, 10);
+        wait_packets(&port, 4, 3);
+        let s = port.stats(StreamId(4));
+        assert!(s.max_late_us >= 90_000, "{}", s.max_late_us);
+        assert_eq!(s.late_over_50ms, 1);
+        assert!(s.pct_within_50ms() < 100.0);
+        // And the reorder counter fired (seq went 1 → 2 fine, so no).
+        assert_eq!(s.reordered, 0);
+    }
+
+    #[test]
+    fn multiple_streams_are_demultiplexed() {
+        let port = DisplayPort::open(localhost(), "p", "seminar").unwrap();
+        send(port.data_addr(), 10, 0, 0, PacketKind::Media, 10);
+        send(port.data_addr(), 11, 0, 0, PacketKind::Media, 20);
+        wait_packets(&port, 10, 1);
+        wait_packets(&port, 11, 1);
+        assert_eq!(port.stats(StreamId(10)).bytes, 10);
+        assert_eq!(port.stats(StreamId(11)).bytes, 20);
+        let mut streams = port.streams();
+        streams.sort();
+        assert_eq!(streams, vec![StreamId(10), StreamId(11)]);
+    }
+
+    #[test]
+    fn ctrl_listener_accepts_connections() {
+        let port = DisplayPort::open(localhost(), "p", "mpeg1").unwrap();
+        assert!(port.accept_ctrl(Duration::from_millis(50)).is_none());
+        let _conn = TcpStream::connect(port.ctrl_addr()).unwrap();
+        let accepted = port.accept_ctrl(Duration::from_secs(2));
+        assert!(accepted.is_some());
+    }
+
+    #[test]
+    fn garbage_datagrams_are_ignored() {
+        let port = DisplayPort::open(localhost(), "p", "mpeg1").unwrap();
+        let sock = UdpSocket::bind((localhost(), 0)).unwrap();
+        sock.send_to(b"noise", port.data_addr()).unwrap();
+        send(port.data_addr(), 5, 0, 0, PacketKind::Media, 10);
+        wait_packets(&port, 5, 1);
+        assert_eq!(port.stats(StreamId(5)).packets, 1);
+    }
+
+    #[test]
+    fn stats_helpers() {
+        let s = PortStats {
+            packets: 10,
+            sum_late_us: 100_000,
+            late_over_50ms: 2,
+            ..Default::default()
+        };
+        assert!((s.mean_late_ms() - 10.0).abs() < 1e-9);
+        assert!((s.pct_within_50ms() - 80.0).abs() < 1e-9);
+        assert_eq!(PortStats::default().pct_within_50ms(), 100.0);
+    }
+}

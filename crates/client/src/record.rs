@@ -1,0 +1,181 @@
+//! A recording stream group.
+//!
+//! After `RecordStarted` the client sends Calliope data packets to the
+//! MSU's UDP sinks. Each packet carries the protocol payload (RTP, VAT,
+//! or raw constant-rate bytes); the MSU's protocol module derives the
+//! stored delivery schedule from protocol timestamps or arrival times
+//! (§2.3.2). The recording ends with an end-of-stream marker or a VCR
+//! `quit`.
+
+use calliope_types::error::{Error, Result};
+use calliope_types::wire::data::{DataHeader, PacketKind};
+use calliope_types::wire::messages::{ClientToMsu, DoneReason, MsuToClient, RecordStart};
+use calliope_types::wire::{read_frame, write_frame};
+use calliope_types::{GroupId, MediaTime, StreamId, VcrCommand};
+use std::net::{SocketAddr, TcpStream, UdpSocket};
+use std::time::{Duration, Instant};
+
+/// A live recording group.
+pub struct RecordSession {
+    /// The stream group id.
+    pub group: GroupId,
+    /// Per-component stream ids and their MSU sinks, in port order.
+    pub sinks: Vec<(StreamId, SocketAddr)>,
+    socket: UdpSocket,
+    ctrl: TcpStream,
+    seq: Vec<u32>,
+    ended: Option<DoneReason>,
+}
+
+impl RecordSession {
+    pub(crate) fn establish(
+        group: GroupId,
+        starts: Vec<RecordStart>,
+        ports: &[&crate::port::DisplayPort],
+        timeout: Duration,
+    ) -> Result<RecordSession> {
+        let ctrl = ports[0]
+            .accept_ctrl(timeout)
+            .ok_or_else(|| Error::internal("MSU never opened the control connection"))?;
+        ctrl.set_read_timeout(Some(Duration::from_millis(200))).ok();
+        let socket = UdpSocket::bind((
+            match starts[0].udp_sink {
+                SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::UNSPECIFIED),
+                SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::UNSPECIFIED),
+            },
+            0,
+        ))?;
+        let mut session = RecordSession {
+            group,
+            seq: vec![0; starts.len()],
+            sinks: starts.iter().map(|s| (s.stream, s.udp_sink)).collect(),
+            socket,
+            ctrl,
+            ended: None,
+        };
+        let deadline = Instant::now() + timeout;
+        loop {
+            match session.read_msg(deadline)? {
+                MsuToClient::GroupReady { group: g, .. } if g == group => return Ok(session),
+                MsuToClient::GroupEnded { reason, .. } => {
+                    return Err(Error::Protocol {
+                        msg: format!("group ended before ready: {reason:?}"),
+                    })
+                }
+                _ => continue,
+            }
+        }
+    }
+
+    fn read_msg(&mut self, deadline: Instant) -> Result<MsuToClient> {
+        loop {
+            if Instant::now() > deadline {
+                return Err(Error::internal("timed out waiting for the MSU"));
+            }
+            match read_frame(&mut self.ctrl) {
+                Ok(Some(msg)) => return Ok(msg),
+                Ok(None) => return Err(Error::SessionClosed),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    continue
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Number of component streams.
+    pub fn components(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// Sends one packet for component `idx`. `offset` is informational
+    /// for the MSU (recording time derives from protocol timestamps or
+    /// arrival).
+    pub fn send(&mut self, idx: usize, kind: PacketKind, payload: &[u8]) -> Result<()> {
+        let (stream, sink) = *self
+            .sinks
+            .get(idx)
+            .ok_or_else(|| Error::internal(format!("no component {idx}")))?;
+        let header = DataHeader {
+            stream,
+            seq: self.seq[idx],
+            offset: MediaTime::ZERO,
+            kind,
+        };
+        self.seq[idx] = self.seq[idx].wrapping_add(1);
+        self.socket.send_to(&header.encode_packet(payload), sink)?;
+        Ok(())
+    }
+
+    /// Sends a media packet for component `idx`.
+    pub fn send_media(&mut self, idx: usize, payload: &[u8]) -> Result<()> {
+        self.send(idx, PacketKind::Media, payload)
+    }
+
+    /// Streams a timed trace into component `idx`, paced in real time
+    /// scaled by `speedup` (e.g. 10.0 sends ten times faster — useful
+    /// in tests with timestamped protocols whose schedules come from
+    /// the headers, not arrival times).
+    pub fn send_trace(
+        &mut self,
+        idx: usize,
+        packets: &[(u64, Vec<u8>)],
+        speedup: f64,
+    ) -> Result<()> {
+        let start = Instant::now();
+        for (time_us, payload) in packets {
+            let due = Duration::from_micros((*time_us as f64 / speedup) as u64);
+            let elapsed = start.elapsed();
+            if due > elapsed {
+                std::thread::sleep(due - elapsed);
+            }
+            self.send_media(idx, payload)?;
+        }
+        Ok(())
+    }
+
+    /// Ends component `idx`'s stream with the end-of-stream marker.
+    pub fn finish_component(&mut self, idx: usize) -> Result<()> {
+        self.send(idx, PacketKind::EndOfStream, &[])
+    }
+
+    /// Ends every component and waits for the MSU to confirm the group
+    /// finished (recordings finalize on disk before the confirmation).
+    pub fn finish(mut self, timeout: Duration) -> Result<DoneReason> {
+        for idx in 0..self.sinks.len() {
+            self.finish_component(idx)?;
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.read_msg(deadline)? {
+                MsuToClient::GroupEnded { reason, .. } => return Ok(reason),
+                _ => continue,
+            }
+        }
+    }
+
+    /// Aborts the recording with a VCR `quit` (whatever arrived so far
+    /// is finalized as the content).
+    pub fn quit(mut self, timeout: Duration) -> Result<DoneReason> {
+        write_frame(
+            &mut self.ctrl,
+            &ClientToMsu::Vcr {
+                group: self.group,
+                cmd: VcrCommand::Quit,
+            },
+        )?;
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.read_msg(deadline)? {
+                MsuToClient::GroupEnded { reason, .. } => {
+                    self.ended = Some(reason.clone());
+                    return Ok(reason);
+                }
+                _ => continue,
+            }
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! The Coordinator session.
+//!
+//! A thin, synchronous request/reply wrapper over the client wire
+//! protocol (§2.1): list content, register ports, play, record, and —
+//! with administrative rights — delete content, add types, and attach
+//! trick-play files.
+
+use crate::play::PlaySession;
+use crate::port::DisplayPort;
+use crate::record::RecordSession;
+use calliope_types::content::{ContentEntry, ContentTypeSpec};
+use calliope_types::error::{Error, Result};
+use calliope_types::wire::messages::{ClientRequest, CoordReply, TrickFiles};
+use calliope_types::wire::{read_frame, write_frame};
+use calliope_types::SessionId;
+use std::net::{IpAddr, SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A live session with the Coordinator.
+pub struct CalliopeClient {
+    conn: TcpStream,
+    session: SessionId,
+    bind_ip: IpAddr,
+}
+
+impl CalliopeClient {
+    /// Connects and opens a session. `bind_ip` is where this client's
+    /// display ports will live (loopback in tests).
+    pub fn connect(
+        coordinator: SocketAddr,
+        bind_ip: IpAddr,
+        client_name: &str,
+        admin: bool,
+    ) -> Result<CalliopeClient> {
+        let conn = TcpStream::connect(coordinator)?;
+        conn.set_nodelay(true).ok();
+        let mut client = CalliopeClient {
+            conn,
+            session: SessionId(0),
+            bind_ip,
+        };
+        match client.request(ClientRequest::Hello {
+            client_name: client_name.to_owned(),
+            admin,
+        })? {
+            CoordReply::Welcome { session } => {
+                client.session = session;
+                Ok(client)
+            }
+            other => Err(Error::internal(format!("expected Welcome, got {other:?}"))),
+        }
+    }
+
+    /// The session id assigned by the Coordinator.
+    pub fn session(&self) -> SessionId {
+        self.session
+    }
+
+    /// Sends a request without waiting for any reply (test and
+    /// fire-and-forget use; the session must not be reused afterwards
+    /// unless the reply is drained).
+    pub fn request_no_reply(&mut self, req: ClientRequest) -> Result<()> {
+        write_frame(&mut self.conn, &req)?;
+        Ok(())
+    }
+
+    /// Sends one request and reads the final reply (skipping the
+    /// interim `Queued` notice — the request completes when resources
+    /// free, paper §2.2).
+    pub fn request(&mut self, req: ClientRequest) -> Result<CoordReply> {
+        write_frame(&mut self.conn, &req)?;
+        loop {
+            let reply: Option<CoordReply> = read_frame(&mut self.conn)?;
+            match reply {
+                None => return Err(Error::SessionClosed),
+                Some(CoordReply::Queued) => continue,
+                Some(CoordReply::Error { code, msg }) => {
+                    return Err(Error::Protocol {
+                        msg: format!("coordinator error {code}: {msg}"),
+                    })
+                }
+                Some(other) => return Ok(other),
+            }
+        }
+    }
+
+    /// The table of contents.
+    pub fn list_content(&mut self) -> Result<Vec<ContentEntry>> {
+        match self.request(ClientRequest::ListContent)? {
+            CoordReply::ContentList { entries } => Ok(entries),
+            other => Err(Error::internal(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// The content-type table.
+    pub fn list_types(&mut self) -> Result<Vec<ContentTypeSpec>> {
+        match self.request(ClientRequest::ListTypes)? {
+            CoordReply::TypeList { types } => Ok(types),
+            other => Err(Error::internal(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Creates and registers an atomic display port.
+    pub fn open_port(&mut self, name: &str, type_name: &str) -> Result<DisplayPort> {
+        let port = DisplayPort::open(self.bind_ip, name, type_name)?;
+        match self.request(ClientRequest::RegisterPort {
+            name: name.to_owned(),
+            type_name: type_name.to_owned(),
+            data_addr: port.data_addr(),
+            ctrl_addr: port.ctrl_addr(),
+        })? {
+            CoordReply::Ok => Ok(port),
+            other => Err(Error::internal(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Registers a composite display port over already-opened component
+    /// ports (paper §2.1: a Seminar port from an RTP port and a VAT
+    /// port).
+    pub fn register_composite(
+        &mut self,
+        name: &str,
+        type_name: &str,
+        components: &[&DisplayPort],
+    ) -> Result<()> {
+        match self.request(ClientRequest::RegisterCompositePort {
+            name: name.to_owned(),
+            type_name: type_name.to_owned(),
+            components: components.iter().map(|p| p.name.clone()).collect(),
+        })? {
+            CoordReply::Ok => Ok(()),
+            other => Err(Error::internal(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Plays content to a port (atomic) or composite port, returning
+    /// the stream-group handle once the MSU's control connection and
+    /// `GroupReady` arrive.
+    ///
+    /// `ports` are the *component* ports in order (one for atomic
+    /// content); the first port's control listener receives the group
+    /// control connection.
+    pub fn play(
+        &mut self,
+        content: &str,
+        port_name: &str,
+        ports: &[&DisplayPort],
+    ) -> Result<PlaySession> {
+        if ports.is_empty() {
+            return Err(Error::internal("play needs at least one component port"));
+        }
+        match self.request(ClientRequest::Play {
+            content: content.to_owned(),
+            port: port_name.to_owned(),
+        })? {
+            CoordReply::PlayStarted { group, streams } => {
+                PlaySession::establish(group, streams, ports, Duration::from_secs(20))
+            }
+            other => Err(Error::internal(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Records new content from a port, returning the recording handle
+    /// with the MSU's UDP sinks.
+    pub fn record(
+        &mut self,
+        content: &str,
+        port_name: &str,
+        type_name: &str,
+        est_secs: u32,
+        ports: &[&DisplayPort],
+    ) -> Result<RecordSession> {
+        if ports.is_empty() {
+            return Err(Error::internal("record needs at least one component port"));
+        }
+        match self.request(ClientRequest::Record {
+            content: content.to_owned(),
+            port: port_name.to_owned(),
+            type_name: type_name.to_owned(),
+            est_secs,
+        })? {
+            CoordReply::RecordStarted { group, streams } => {
+                RecordSession::establish(group, streams, ports, Duration::from_secs(20))
+            }
+            other => Err(Error::internal(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Deletes content (admin).
+    pub fn delete(&mut self, content: &str) -> Result<()> {
+        match self.request(ClientRequest::Delete {
+            content: content.to_owned(),
+        })? {
+            CoordReply::Ok => Ok(()),
+            other => Err(Error::internal(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Adds a content type (admin).
+    pub fn add_type(&mut self, spec: ContentTypeSpec) -> Result<()> {
+        match self.request(ClientRequest::AddType { spec })? {
+            CoordReply::Ok => Ok(()),
+            other => Err(Error::internal(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Attaches offline-filtered trick-play content to an item (admin,
+    /// paper §2.3.1: "an administrative interface is used to load the
+    /// fast forward and fast backward files into the server").
+    pub fn attach_trick(&mut self, content: &str, ff_content: &str, fb_content: &str) -> Result<()> {
+        match self.request(ClientRequest::AttachTrick {
+            content: content.to_owned(),
+            files: TrickFiles {
+                fast_forward: ff_content.to_owned(),
+                fast_backward: fb_content.to_owned(),
+            },
+        })? {
+            CoordReply::Ok => Ok(()),
+            other => Err(Error::internal(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Fetches the Coordinator's resource view: per-MSU and per-disk
+    /// load, plus the live stream count.
+    pub fn server_status(
+        &mut self,
+    ) -> Result<(Vec<calliope_types::wire::messages::MsuStatus>, u32)> {
+        match self.request(ClientRequest::ServerStatus)? {
+            CoordReply::Status {
+                msus,
+                active_streams,
+            } => Ok((msus, active_streams)),
+            other => Err(Error::internal(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Replicates content onto another disk (admin, paper §2.3.3):
+    /// buys per-title bandwidth with disk space.
+    pub fn replicate(&mut self, content: &str) -> Result<()> {
+        match self.request(ClientRequest::Replicate {
+            content: content.to_owned(),
+        })? {
+            CoordReply::Ok => Ok(()),
+            other => Err(Error::internal(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Ends the session politely.
+    pub fn bye(mut self) -> Result<()> {
+        write_frame(&mut self.conn, &ClientRequest::Bye)?;
+        let _: Option<CoordReply> = read_frame(&mut self.conn)?;
+        Ok(())
+    }
+}

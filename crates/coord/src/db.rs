@@ -1,0 +1,353 @@
+//! The administrative database.
+//!
+//! "The database contains information about customers, content stored
+//! on Calliope, and resources owned by the system. … each item of
+//! content has a type. The content type entry contains a bandwidth
+//! consumption rate which gives the expected rate at which content of
+//! this type is to be played and recorded." (paper §2.2)
+//!
+//! Content may be *composite*; a composite item is recorded as one
+//! component file per atomic subtype, all placed on the same MSU so a
+//! stream group can play them in sync.
+
+use calliope_types::content::{ContentEntry, ContentTypeSpec, TypeBody};
+use calliope_types::error::{Error, Result};
+use calliope_types::wire::messages::TrickFiles;
+use calliope_types::{DiskId, MsuId};
+use std::collections::BTreeMap;
+
+/// Where one replica of a component file lives.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Location {
+    /// The MSU.
+    pub msu: MsuId,
+    /// The disk (global id).
+    pub disk: DiskId,
+    /// File name on that MSU's file system.
+    pub file: String,
+}
+
+/// One atomic component of a content item.
+#[derive(Clone, Debug)]
+pub struct Component {
+    /// The component's atomic type name.
+    pub type_name: String,
+    /// Replicas ("we can make copies of popular content on several
+    /// disks", §2.3.3).
+    pub locations: Vec<Location>,
+    /// Recorded size in bytes (0 while recording).
+    pub bytes: u64,
+    /// Recorded duration in µs (0 while recording).
+    pub duration_us: u64,
+}
+
+/// Lifecycle of a content item.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ContentStatus {
+    /// Being recorded; not yet playable.
+    Recording,
+    /// Complete and playable.
+    Ready,
+}
+
+/// One item in the table of contents.
+#[derive(Clone, Debug)]
+pub struct ContentRecord {
+    /// Content name.
+    pub name: String,
+    /// Its (possibly composite) type.
+    pub type_name: String,
+    /// One component per atomic subtype (exactly one for atomic types).
+    pub components: Vec<Component>,
+    /// Recording or ready.
+    pub status: ContentStatus,
+    /// Pre-filtered trick-play files, once an administrator attaches
+    /// them (§2.3.1).
+    pub trick: Option<TrickFiles>,
+}
+
+impl ContentRecord {
+    /// Total bytes across components.
+    pub fn bytes(&self) -> u64 {
+        self.components.iter().map(|c| c.bytes).sum()
+    }
+
+    /// Duration (maximum across components).
+    pub fn duration_us(&self) -> u64 {
+        self.components.iter().map(|c| c.duration_us).max().unwrap_or(0)
+    }
+
+    /// The catalog entry shown to clients.
+    pub fn entry(&self) -> ContentEntry {
+        ContentEntry {
+            name: self.name.clone(),
+            type_name: self.type_name.clone(),
+            bytes: self.bytes(),
+            duration_us: self.duration_us(),
+        }
+    }
+}
+
+/// A known customer.
+#[derive(Clone, Debug)]
+pub struct Customer {
+    /// Self-reported name.
+    pub name: String,
+    /// Administrative rights (gates delete / add-type / attach-trick).
+    pub admin: bool,
+    /// Sessions opened so far.
+    pub sessions: u64,
+}
+
+/// The in-memory administrative database.
+#[derive(Debug, Default)]
+pub struct AdminDb {
+    types: BTreeMap<String, ContentTypeSpec>,
+    content: BTreeMap<String, ContentRecord>,
+    customers: BTreeMap<String, Customer>,
+}
+
+impl AdminDb {
+    /// Creates a database pre-loaded with the built-in content types.
+    pub fn with_builtin_types() -> AdminDb {
+        let mut db = AdminDb::default();
+        for t in calliope_types::content::builtin_types() {
+            db.types.insert(t.name.clone(), t);
+        }
+        db
+    }
+
+    /// Looks up a type.
+    pub fn content_type(&self, name: &str) -> Result<&ContentTypeSpec> {
+        self.types.get(name).ok_or_else(|| Error::NoSuchType {
+            name: name.to_owned(),
+        })
+    }
+
+    /// All types, for `ListTypes`.
+    pub fn types(&self) -> Vec<ContentTypeSpec> {
+        self.types.values().cloned().collect()
+    }
+
+    /// Adds a type (admin operation). Composite components must name
+    /// existing atomic types.
+    pub fn add_type(&mut self, spec: ContentTypeSpec) -> Result<()> {
+        if self.types.contains_key(&spec.name) {
+            return Err(Error::AlreadyExists {
+                kind: "type",
+                name: spec.name,
+            });
+        }
+        if let TypeBody::Composite { components } = &spec.body {
+            if components.is_empty() {
+                return Err(Error::Protocol {
+                    msg: "composite type with no components".into(),
+                });
+            }
+            for c in components {
+                let t = self.content_type(c)?;
+                if t.is_composite() {
+                    return Err(Error::Protocol {
+                        msg: format!("composite types cannot nest ({c:?})"),
+                    });
+                }
+            }
+        }
+        self.types.insert(spec.name.clone(), spec);
+        Ok(())
+    }
+
+    /// Resolves a type to its atomic component types (itself if
+    /// atomic), in component order.
+    pub fn atomic_components(&self, type_name: &str) -> Result<Vec<ContentTypeSpec>> {
+        let spec = self.content_type(type_name)?;
+        match &spec.body {
+            TypeBody::Atomic { .. } => Ok(vec![spec.clone()]),
+            TypeBody::Composite { components } => components
+                .iter()
+                .map(|c| self.content_type(c).cloned())
+                .collect(),
+        }
+    }
+
+    /// Looks up content.
+    pub fn content(&self, name: &str) -> Result<&ContentRecord> {
+        self.content.get(name).ok_or_else(|| Error::NoSuchContent {
+            name: name.to_owned(),
+        })
+    }
+
+    /// Looks up content mutably.
+    pub fn content_mut(&mut self, name: &str) -> Result<&mut ContentRecord> {
+        self.content.get_mut(name).ok_or_else(|| Error::NoSuchContent {
+            name: name.to_owned(),
+        })
+    }
+
+    /// Inserts a new content record.
+    pub fn insert_content(&mut self, rec: ContentRecord) -> Result<()> {
+        if self.content.contains_key(&rec.name) {
+            return Err(Error::AlreadyExists {
+                kind: "content",
+                name: rec.name,
+            });
+        }
+        self.content.insert(rec.name.clone(), rec);
+        Ok(())
+    }
+
+    /// Removes a content record, returning it so the caller can free
+    /// disk space.
+    pub fn remove_content(&mut self, name: &str) -> Result<ContentRecord> {
+        self.content.remove(name).ok_or_else(|| Error::NoSuchContent {
+            name: name.to_owned(),
+        })
+    }
+
+    /// The table of contents (ready items only; recordings in progress
+    /// are not playable).
+    pub fn toc(&self) -> Vec<ContentEntry> {
+        self.content
+            .values()
+            .filter(|r| r.status == ContentStatus::Ready)
+            .map(ContentRecord::entry)
+            .collect()
+    }
+
+    /// Registers (or revisits) a customer.
+    pub fn touch_customer(&mut self, name: &str, admin: bool) {
+        let c = self.customers.entry(name.to_owned()).or_insert(Customer {
+            name: name.to_owned(),
+            admin,
+            sessions: 0,
+        });
+        c.admin |= admin;
+        c.sessions += 1;
+    }
+
+    /// Number of known customers.
+    pub fn customer_count(&self) -> usize {
+        self.customers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calliope_types::content::ProtocolId;
+    use calliope_types::time::BitRate;
+
+    fn db() -> AdminDb {
+        AdminDb::with_builtin_types()
+    }
+
+    fn record(name: &str, ty: &str, ready: bool) -> ContentRecord {
+        ContentRecord {
+            name: name.into(),
+            type_name: ty.into(),
+            components: vec![Component {
+                type_name: ty.into(),
+                locations: vec![Location {
+                    msu: MsuId(1),
+                    disk: DiskId(1),
+                    file: name.into(),
+                }],
+                bytes: 1000,
+                duration_us: 5_000_000,
+            }],
+            status: if ready {
+                ContentStatus::Ready
+            } else {
+                ContentStatus::Recording
+            },
+            trick: None,
+        }
+    }
+
+    #[test]
+    fn builtin_types_are_loaded() {
+        let db = db();
+        assert!(db.content_type("mpeg1").is_ok());
+        assert!(db.content_type("seminar").is_ok());
+        assert!(db.content_type("nope").is_err());
+        assert_eq!(db.types().len(), 4);
+    }
+
+    #[test]
+    fn composite_resolution_orders_components() {
+        let db = db();
+        let comps = db.atomic_components("seminar").unwrap();
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0].name, "nv-video");
+        assert_eq!(comps[1].name, "vat-audio");
+        // Atomic resolves to itself.
+        let single = db.atomic_components("mpeg1").unwrap();
+        assert_eq!(single.len(), 1);
+        assert_eq!(single[0].name, "mpeg1");
+    }
+
+    #[test]
+    fn add_type_validates() {
+        let mut db = db();
+        // Duplicate.
+        assert!(db
+            .add_type(ContentTypeSpec::constant("mpeg1", ProtocolId::ConstantRate, BitRate(1)))
+            .is_err());
+        // Unknown component.
+        assert!(db
+            .add_type(ContentTypeSpec::composite("bad", &["ghost"]))
+            .is_err());
+        // Nested composite.
+        assert!(db
+            .add_type(ContentTypeSpec::composite("nest", &["seminar"]))
+            .is_err());
+        // Empty composite.
+        assert!(db.add_type(ContentTypeSpec::composite("empty", &[])).is_err());
+        // A fine new type.
+        db.add_type(ContentTypeSpec::constant(
+            "mpeg2",
+            ProtocolId::ConstantRate,
+            BitRate::from_mbps(4),
+        ))
+        .unwrap();
+        assert!(db.content_type("mpeg2").is_ok());
+    }
+
+    #[test]
+    fn toc_hides_in_progress_recordings() {
+        let mut db = db();
+        db.insert_content(record("done", "mpeg1", true)).unwrap();
+        db.insert_content(record("rec", "mpeg1", false)).unwrap();
+        let toc = db.toc();
+        assert_eq!(toc.len(), 1);
+        assert_eq!(toc[0].name, "done");
+        assert_eq!(toc[0].bytes, 1000);
+        assert_eq!(toc[0].duration_us, 5_000_000);
+    }
+
+    #[test]
+    fn content_crud() {
+        let mut db = db();
+        db.insert_content(record("a", "mpeg1", true)).unwrap();
+        assert!(db.insert_content(record("a", "mpeg1", true)).is_err());
+        assert!(db.content("a").is_ok());
+        db.content_mut("a").unwrap().status = ContentStatus::Recording;
+        let removed = db.remove_content("a").unwrap();
+        assert_eq!(removed.name, "a");
+        assert!(db.content("a").is_err());
+        assert!(db.remove_content("a").is_err());
+    }
+
+    #[test]
+    fn customers_accumulate_sessions_and_admin() {
+        let mut db = db();
+        db.touch_customer("alice", false);
+        db.touch_customer("alice", true);
+        db.touch_customer("bob", false);
+        assert_eq!(db.customer_count(), 2);
+        // Once admin, always admin within this run.
+        db.touch_customer("alice", false);
+        assert!(db.customers.get("alice").unwrap().admin);
+        assert_eq!(db.customers.get("alice").unwrap().sessions, 3);
+    }
+}

@@ -1,0 +1,224 @@
+//! The §3.3 fake MSU.
+//!
+//! "To measure the effect of scheduling requests on shared resource
+//! loads, we have created a fake MSU which, when scheduled, delays for
+//! 50 ms and then reports that the user has terminated the stream."
+//!
+//! [`FakeMsu`] registers like a real MSU, accepts `ScheduleRead` /
+//! `ScheduleWrite`, sleeps the configured delay, acknowledges, and
+//! immediately posts `StreamDone` — so the Coordinator experiences the
+//! full per-request control-plane load without any data movement.
+
+use calliope_types::error::{Error, Result};
+use calliope_types::time::ByteRate;
+use calliope_types::wire::messages::{
+    CoordEnvelope, CoordToMsu, DiskReport, DoneReason, MsuEnvelope, MsuToCoord,
+};
+use calliope_types::wire::{read_frame, write_frame};
+use calliope_types::MsuId;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A running fake MSU.
+pub struct FakeMsu {
+    /// Identity assigned by the Coordinator.
+    pub id: MsuId,
+    stop: Arc<AtomicBool>,
+    served: Arc<AtomicU64>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl FakeMsu {
+    /// Registers with the Coordinator and serves until stopped.
+    ///
+    /// `delay` is the paper's 50 ms; `disks` controls how much fake
+    /// capacity is advertised.
+    pub fn start(coordinator: SocketAddr, disks: usize, delay: Duration) -> Result<FakeMsu> {
+        let mut conn = TcpStream::connect(coordinator)?;
+        conn.set_nodelay(true).ok();
+        let reports: Vec<DiskReport> = (0..disks)
+            .map(|_| DiskReport {
+                capacity_bytes: 2_000_000_000,
+                free_bytes: 2_000_000_000,
+                bandwidth: ByteRate::from_bytes_per_sec(2_400_000),
+            })
+            .collect();
+        let ctrl_addr = conn.local_addr()?;
+        write_frame(
+            &mut conn,
+            &MsuEnvelope {
+                req_id: 0,
+                body: MsuToCoord::Register {
+                    ctrl_addr,
+                    disks: reports,
+                    previous: None,
+                },
+            },
+        )?;
+        let ack: Option<CoordEnvelope> = read_frame(&mut conn)?;
+        let id = match ack {
+            Some(CoordEnvelope {
+                body: CoordToMsu::RegisterAck { msu, .. },
+                ..
+            }) => msu,
+            other => return Err(Error::internal(format!("expected RegisterAck, got {other:?}"))),
+        };
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let served = Arc::new(AtomicU64::new(0));
+        let stop2 = Arc::clone(&stop);
+        let served2 = Arc::clone(&served);
+        conn.set_read_timeout(Some(Duration::from_millis(100))).ok();
+        // Requests are served concurrently, like a real MSU's scheduling
+        // path: the 50 ms delay models per-request work, not a serial
+        // bottleneck. The writer is shared under a mutex.
+        let writer = Arc::new(parking_lot::Mutex::new(conn.try_clone()?));
+        let handle = std::thread::spawn(move || {
+            let mut conn = conn;
+            loop {
+                if stop2.load(Ordering::Acquire) {
+                    return;
+                }
+                let env: Option<CoordEnvelope> = match read_frame(&mut conn) {
+                    Ok(env) => env,
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        continue;
+                    }
+                    Err(_) => return,
+                };
+                let Some(env) = env else { return };
+                match env.body {
+                    CoordToMsu::ScheduleRead { stream, .. } => {
+                        let writer = Arc::clone(&writer);
+                        let served = Arc::clone(&served2);
+                        std::thread::spawn(move || {
+                            std::thread::sleep(delay);
+                            let mut w = writer.lock();
+                            let _ = write_frame(
+                                &mut *w,
+                                &MsuEnvelope {
+                                    req_id: env.req_id,
+                                    body: MsuToCoord::ReadScheduled { error: None },
+                                },
+                            );
+                            // "…and then reports that the user has
+                            // terminated the stream."
+                            let _ = write_frame(
+                                &mut *w,
+                                &MsuEnvelope {
+                                    req_id: 0,
+                                    body: MsuToCoord::StreamDone {
+                                        stream,
+                                        reason: DoneReason::ClientQuit,
+                                        bytes: 0,
+                                        duration_us: 0,
+                                    },
+                                },
+                            );
+                            served.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                    CoordToMsu::ScheduleWrite { stream, .. } => {
+                        let writer = Arc::clone(&writer);
+                        let served = Arc::clone(&served2);
+                        std::thread::spawn(move || {
+                            std::thread::sleep(delay);
+                            let mut w = writer.lock();
+                            let _ = write_frame(
+                                &mut *w,
+                                &MsuEnvelope {
+                                    req_id: env.req_id,
+                                    body: MsuToCoord::WriteScheduled {
+                                        udp_sink: Some(
+                                            "127.0.0.1:9".parse().expect("static addr"),
+                                        ),
+                                        error: None,
+                                    },
+                                },
+                            );
+                            let _ = write_frame(
+                                &mut *w,
+                                &MsuEnvelope {
+                                    req_id: 0,
+                                    body: MsuToCoord::StreamDone {
+                                        stream,
+                                        reason: DoneReason::ClientQuit,
+                                        bytes: 0,
+                                        duration_us: 0,
+                                    },
+                                },
+                            );
+                            served.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                    CoordToMsu::Ping => {
+                        let mut w = writer.lock();
+                        let _ = write_frame(
+                            &mut *w,
+                            &MsuEnvelope {
+                                req_id: env.req_id,
+                                body: MsuToCoord::Pong,
+                            },
+                        );
+                    }
+                    CoordToMsu::DeleteFile { .. } => {
+                        let mut w = writer.lock();
+                        let _ = write_frame(
+                            &mut *w,
+                            &MsuEnvelope {
+                                req_id: env.req_id,
+                                body: MsuToCoord::FileDeleted { error: None },
+                            },
+                        );
+                    }
+                    CoordToMsu::CopyFile { .. } => {
+                        let mut w = writer.lock();
+                        let _ = write_frame(
+                            &mut *w,
+                            &MsuEnvelope {
+                                req_id: env.req_id,
+                                body: MsuToCoord::FileCopied { error: None },
+                            },
+                        );
+                    }
+                    CoordToMsu::Cancel { .. } | CoordToMsu::RegisterAck { .. } => {}
+                    CoordToMsu::Shutdown => return,
+                }
+            }
+        });
+        Ok(FakeMsu {
+            id,
+            stop,
+            served,
+            handle: Some(handle),
+        })
+    }
+
+    /// Streams scheduled-and-terminated so far.
+    pub fn served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    /// Stops the fake MSU (the Coordinator will mark it down).
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for FakeMsu {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! The Calliope Coordinator.
+//!
+//! "The Coordinator is the global resource manager for Calliope. It
+//! maintains a small administrative database and a set of scheduling
+//! queues. The database contains information about customers, content
+//! stored on Calliope, and resources owned by the system." (paper §2.2)
+//!
+//! * [`db`] — the administrative database: the content-type table
+//!   (with separate bandwidth and storage consumption rates), the table
+//!   of contents, and customer records.
+//! * [`sched`] — resource accounting: per-disk bandwidth and space,
+//!   per-MSU network bandwidth, admission control, and the pending
+//!   queue for requests that must wait for resources.
+//! * [`rpc`] — the intra-server protocol: one TCP connection per MSU,
+//!   request/reply correlation, and failure detection by connection
+//!   break (§2.2's fault tolerance).
+//! * [`server`] — the Coordinator proper: the client listener (session
+//!   threads handling the §2.1 client interface) and the MSU listener.
+//! * [`fake_msu`] — the §3.3 scalability experiment's fake MSU, which
+//!   "delays for 50 ms and then reports that the user has terminated
+//!   the stream".
+//! * [`stats`] — CPU-busy and network-byte accounting used to
+//!   regenerate the §3.3 utilization measurements.
+
+pub mod db;
+pub mod fake_msu;
+pub mod rpc;
+pub mod sched;
+pub mod server;
+pub mod stats;
+
+pub use server::{CoordConfig, CoordServer};

@@ -1,0 +1,610 @@
+//! Resource accounting and admission control.
+//!
+//! "When Calliope receives a read request, the Coordinator finds an
+//! MSU with a disk that both contains the requested content and has
+//! enough bandwidth available to satisfy the request. As the
+//! Coordinator assigns resources to clients, it keeps track of load by
+//! processor and disk. If a client's request cannot be satisfied, the
+//! Coordinator queues the request until an MSU with the necessary
+//! resources becomes available." (paper §2.2)
+//!
+//! The scheduler tracks, per disk: free space and bandwidth; per MSU:
+//! aggregate network bandwidth. Reservations are tied to stream ids so
+//! `StreamDone` releases exactly what was granted. A generation counter
+//! wakes queued requests whenever capacity frees.
+
+use calliope_types::error::{Error, Result};
+use calliope_types::time::ByteRate;
+use calliope_types::{DiskId, MsuId, StreamId};
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::time::Duration;
+
+/// Aggregate network bandwidth one MSU can sustain (the paper's
+/// measured 4.7 MB/s combined figure, slightly conservatively — the
+/// MSU reaches ~90% of baseline).
+pub const MSU_NET_BANDWIDTH: u64 = 4_200_000;
+
+/// State of one disk.
+#[derive(Clone, Debug)]
+pub struct DiskState {
+    /// Owning MSU.
+    pub msu: MsuId,
+    /// Total capacity, bytes.
+    pub capacity: u64,
+    /// Free space, bytes.
+    pub free_bytes: u64,
+    /// Bandwidth capacity, bytes/s.
+    pub bw_capacity: u64,
+    /// Bandwidth currently reserved, bytes/s.
+    pub bw_used: u64,
+}
+
+impl DiskState {
+    /// Bandwidth still available.
+    pub fn bw_free(&self) -> u64 {
+        self.bw_capacity.saturating_sub(self.bw_used)
+    }
+}
+
+/// State of one MSU.
+#[derive(Clone, Debug)]
+pub struct MsuState {
+    /// Control address it registered with.
+    pub ctrl_addr: SocketAddr,
+    /// Global ids of its disks, in registration order.
+    pub disks: Vec<DiskId>,
+    /// False while the MSU is down ("when an MSU is down, the
+    /// Coordinator marks it as unavailable in the scheduling database").
+    pub available: bool,
+    /// Network bandwidth capacity, bytes/s.
+    pub net_capacity: u64,
+    /// Network bandwidth reserved, bytes/s.
+    pub net_used: u64,
+}
+
+/// A play-admission request: one entry per component stream with its
+/// candidate `(msu, disk)` replicas and bandwidth demand in bytes/s.
+pub type PlayWant = (StreamId, Vec<(MsuId, DiskId)>, u64);
+
+/// One `snapshot` row: an MSU, its state, and its disks' states.
+pub type MsuSnapshot = (MsuId, MsuState, Vec<(DiskId, DiskState)>);
+
+/// One granted reservation (released on `StreamDone`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Reservation {
+    /// Which MSU's network bandwidth is charged.
+    pub msu: MsuId,
+    /// Which disk's bandwidth is charged.
+    pub disk: DiskId,
+    /// Bytes/s reserved on both.
+    pub bw: u64,
+    /// Disk space reserved (recordings only), bytes.
+    pub space: u64,
+}
+
+#[derive(Default)]
+struct Tables {
+    msus: HashMap<MsuId, MsuState>,
+    disks: HashMap<DiskId, DiskState>,
+    grants: HashMap<StreamId, Reservation>,
+}
+
+/// The resource scheduler.
+pub struct Scheduler {
+    tables: Mutex<Tables>,
+    /// Bumped on every release / registration; queued requests retry.
+    wakeups: Mutex<u64>,
+    condvar: Condvar,
+}
+
+impl Default for Scheduler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Scheduler {
+    /// Creates an empty scheduler.
+    pub fn new() -> Scheduler {
+        Scheduler {
+            tables: Mutex::new(Tables::default()),
+            wakeups: Mutex::new(0),
+            condvar: Condvar::new(),
+        }
+    }
+
+    /// Registers (or restores) an MSU and its disks, returning the disk
+    /// ids in report order.
+    pub fn register_msu(
+        &self,
+        msu: MsuId,
+        ctrl_addr: SocketAddr,
+        reports: &[(DiskId, u64, u64, ByteRate)],
+    ) -> Vec<DiskId> {
+        let mut t = self.tables.lock();
+        let disks: Vec<DiskId> = reports.iter().map(|(id, ..)| *id).collect();
+        for (id, capacity, free, bw) in reports {
+            let entry = t.disks.entry(*id).or_insert(DiskState {
+                msu,
+                capacity: *capacity,
+                free_bytes: *free,
+                bw_capacity: bw.bytes_per_sec(),
+                bw_used: 0,
+            });
+            entry.msu = msu;
+            if *capacity > 0 {
+                entry.capacity = *capacity;
+            }
+            // On re-registration keep our bw accounting (streams survive
+            // a Coordinator blip) but trust the MSU's free-space figure.
+            entry.free_bytes = *free;
+        }
+        t.msus
+            .entry(msu)
+            .and_modify(|m| {
+                m.ctrl_addr = ctrl_addr;
+                m.available = true;
+                m.disks = disks.clone();
+            })
+            .or_insert(MsuState {
+                ctrl_addr,
+                disks: disks.clone(),
+                available: true,
+                net_capacity: MSU_NET_BANDWIDTH,
+                net_used: 0,
+            });
+        drop(t);
+        self.wake();
+        disks
+    }
+
+    /// Marks an MSU unavailable (its TCP connection broke).
+    pub fn mark_down(&self, msu: MsuId) {
+        let mut t = self.tables.lock();
+        if let Some(m) = t.msus.get_mut(&msu) {
+            m.available = false;
+        }
+    }
+
+    /// True if the MSU is currently registered and reachable.
+    pub fn is_available(&self, msu: MsuId) -> bool {
+        self.tables
+            .lock()
+            .msus
+            .get(&msu)
+            .is_some_and(|m| m.available)
+    }
+
+    /// Snapshot of one MSU.
+    pub fn msu(&self, msu: MsuId) -> Option<MsuState> {
+        self.tables.lock().msus.get(&msu).cloned()
+    }
+
+    /// Snapshot of one disk.
+    pub fn disk(&self, disk: DiskId) -> Option<DiskState> {
+        self.tables.lock().disks.get(&disk).cloned()
+    }
+
+    /// Number of live reservations.
+    pub fn grant_count(&self) -> usize {
+        self.tables.lock().grants.len()
+    }
+
+    /// Snapshot of every MSU and its disks (for status reports), in
+    /// MSU-id order.
+    pub fn snapshot(&self) -> Vec<MsuSnapshot> {
+        let t = self.tables.lock();
+        let mut msus: Vec<MsuId> = t.msus.keys().copied().collect();
+        msus.sort();
+        msus.into_iter()
+            .map(|id| {
+                let m = t.msus.get(&id).expect("listed").clone();
+                let disks = m
+                    .disks
+                    .iter()
+                    .filter_map(|d| t.disks.get(d).map(|ds| (*d, ds.clone())))
+                    .collect();
+                (id, m, disks)
+            })
+            .collect()
+    }
+
+    fn wake(&self) {
+        let mut gen = self.wakeups.lock();
+        *gen += 1;
+        self.condvar.notify_all();
+    }
+
+    /// Blocks until the scheduler state changes (a release or a
+    /// registration), or the timeout passes. Returns the new
+    /// generation. Queued requests loop on this.
+    pub fn wait_for_change(&self, seen: u64, timeout: Duration) -> u64 {
+        let mut gen = self.wakeups.lock();
+        if *gen == seen {
+            self.condvar.wait_for(&mut gen, timeout);
+        }
+        *gen
+    }
+
+    /// Current wakeup generation (pass to [`Scheduler::wait_for_change`]).
+    pub fn generation(&self) -> u64 {
+        *self.wakeups.lock()
+    }
+
+    /// Admits a group of play streams on one MSU.
+    ///
+    /// `wants` lists, per component stream, the candidate `(msu, disk)`
+    /// replicas and the bandwidth demand. All components must land on
+    /// the *same* MSU ("synchronizing the streams would be difficult if
+    /// streams from the same group were assigned to different
+    /// machines"). On success every reservation is recorded against its
+    /// stream id.
+    pub fn admit_play(
+        &self,
+        wants: &[PlayWant],
+    ) -> Result<Vec<(StreamId, MsuId, DiskId)>> {
+        if wants.is_empty() {
+            return Err(Error::internal("empty admission request"));
+        }
+        let mut t = self.tables.lock();
+        // Candidate MSUs = those having a replica of every component.
+        let mut candidates: Vec<MsuId> = wants[0].1.iter().map(|(m, _)| *m).collect();
+        candidates.dedup();
+        candidates.retain(|m| {
+            t.msus.get(m).is_some_and(|s| s.available)
+                && wants.iter().all(|(_, locs, _)| locs.iter().any(|(lm, _)| lm == m))
+        });
+
+        for msu in candidates {
+            // Tentatively reserve; roll back if any component fails.
+            let total_bw: u64 = wants.iter().map(|(_, _, bw)| *bw).sum();
+            let net_ok = t
+                .msus
+                .get(&msu)
+                .is_some_and(|m| m.net_used + total_bw <= m.net_capacity);
+            if !net_ok {
+                continue;
+            }
+            let mut picks: Vec<(StreamId, MsuId, DiskId)> = Vec::new();
+            let mut charged: Vec<(DiskId, u64)> = Vec::new();
+            let mut ok = true;
+            for (stream, locs, bw) in wants {
+                let pick = locs.iter().find(|(lm, ld)| {
+                    *lm == msu
+                        && t.disks
+                            .get(ld)
+                            .is_some_and(|d| d.bw_free() >= *bw)
+                });
+                match pick {
+                    Some((_, disk)) => {
+                        t.disks.get_mut(disk).expect("picked disk exists").bw_used += bw;
+                        charged.push((*disk, *bw));
+                        picks.push((*stream, msu, *disk));
+                    }
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if !ok {
+                for (disk, bw) in charged {
+                    t.disks.get_mut(&disk).expect("charged disk exists").bw_used -= bw;
+                }
+                continue;
+            }
+            let total: u64 = wants.iter().map(|(_, _, bw)| *bw).sum();
+            t.msus.get_mut(&msu).expect("candidate exists").net_used += total;
+            for ((stream, _, bw), (_, _, disk)) in wants.iter().zip(&picks) {
+                t.grants.insert(
+                    *stream,
+                    Reservation {
+                        msu,
+                        disk: *disk,
+                        bw: *bw,
+                        space: 0,
+                    },
+                );
+            }
+            return Ok(picks);
+        }
+        Err(Error::ResourcesExhausted {
+            what: "no MSU holds every component with bandwidth to spare".into(),
+        })
+    }
+
+    /// Admits a group of recording streams on one MSU: each component
+    /// needs `bw` bytes/s of disk + network bandwidth and `space` bytes
+    /// of disk.
+    pub fn admit_record(
+        &self,
+        wants: &[(StreamId, u64, u64)],
+    ) -> Result<Vec<(StreamId, MsuId, DiskId)>> {
+        if wants.is_empty() {
+            return Err(Error::internal("empty admission request"));
+        }
+        let mut t = self.tables.lock();
+        let msus: Vec<MsuId> = t
+            .msus
+            .iter()
+            .filter(|(_, m)| m.available)
+            .map(|(id, _)| *id)
+            .collect();
+        for msu in msus {
+            let total_bw: u64 = wants.iter().map(|(_, bw, _)| *bw).sum();
+            if t
+                .msus
+                .get(&msu).is_none_or(|m| m.net_used + total_bw > m.net_capacity)
+            {
+                continue;
+            }
+            let disk_ids = t.msus.get(&msu).expect("listed").disks.clone();
+            let mut picks = Vec::new();
+            let mut charged: Vec<(DiskId, u64, u64)> = Vec::new();
+            let mut ok = true;
+            for (stream, bw, space) in wants {
+                let pick = disk_ids.iter().find(|d| {
+                    t.disks
+                        .get(d)
+                        .is_some_and(|ds| ds.bw_free() >= *bw && ds.free_bytes >= *space)
+                });
+                match pick {
+                    Some(disk) => {
+                        let ds = t.disks.get_mut(disk).expect("picked disk exists");
+                        ds.bw_used += bw;
+                        ds.free_bytes -= space;
+                        charged.push((*disk, *bw, *space));
+                        picks.push((*stream, msu, *disk));
+                    }
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if !ok {
+                for (disk, bw, space) in charged {
+                    let ds = t.disks.get_mut(&disk).expect("charged disk exists");
+                    ds.bw_used -= bw;
+                    ds.free_bytes += space;
+                }
+                continue;
+            }
+            t.msus.get_mut(&msu).expect("candidate exists").net_used += total_bw;
+            for ((stream, bw, space), (_, _, disk)) in wants.iter().zip(&picks) {
+                t.grants.insert(
+                    *stream,
+                    Reservation {
+                        msu,
+                        disk: *disk,
+                        bw: *bw,
+                        space: *space,
+                    },
+                );
+            }
+            return Ok(picks);
+        }
+        Err(Error::ResourcesExhausted {
+            what: "no MSU has the disk space and bandwidth".into(),
+        })
+    }
+
+    /// Releases a stream's reservation. `actual_bytes` (recordings)
+    /// returns over-reserved space: "if the client overestimates the
+    /// length of the recording, the unused space will be returned to
+    /// the system once the recording session has completed" (§2.2).
+    pub fn release(&self, stream: StreamId, actual_bytes: u64) {
+        let mut t = self.tables.lock();
+        let Some(grant) = t.grants.remove(&stream) else {
+            return;
+        };
+        if let Some(m) = t.msus.get_mut(&grant.msu) {
+            m.net_used = m.net_used.saturating_sub(grant.bw);
+        }
+        if let Some(d) = t.disks.get_mut(&grant.disk) {
+            d.bw_used = d.bw_used.saturating_sub(grant.bw);
+            if grant.space > 0 {
+                let returned = grant.space.saturating_sub(actual_bytes);
+                d.free_bytes += returned;
+            }
+        }
+        drop(t);
+        self.wake();
+    }
+
+    /// Charges `space` bytes against a disk (replication).
+    pub fn consume_space(&self, disk: DiskId, space: u64) {
+        let mut t = self.tables.lock();
+        if let Some(d) = t.disks.get_mut(&disk) {
+            d.free_bytes = d.free_bytes.saturating_sub(space);
+        }
+    }
+
+    /// Returns `space` bytes to a disk (content deletion).
+    pub fn return_space(&self, disk: DiskId, space: u64) {
+        let mut t = self.tables.lock();
+        if let Some(d) = t.disks.get_mut(&disk) {
+            d.free_bytes = (d.free_bytes + space).min(d.capacity);
+        }
+        drop(t);
+        self.wake();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr() -> SocketAddr {
+        "127.0.0.1:1".parse().unwrap()
+    }
+
+    fn scheduler_with_one_msu() -> Scheduler {
+        let s = Scheduler::new();
+        s.register_msu(
+            MsuId(1),
+            addr(),
+            &[
+                (DiskId(10), 2_000_000_000, 2_000_000_000, ByteRate(2_400_000)),
+                (DiskId(11), 2_000_000_000, 2_000_000_000, ByteRate(2_400_000)),
+            ],
+        );
+        s
+    }
+
+    const MPEG_BW: u64 = 187_500; // 1.5 Mbit/s in bytes/s
+
+    #[test]
+    fn play_admission_reserves_and_releases() {
+        let s = scheduler_with_one_msu();
+        let locs = vec![(MsuId(1), DiskId(10))];
+        let picks = s
+            .admit_play(&[(StreamId(1), locs.clone(), MPEG_BW)])
+            .unwrap();
+        assert_eq!(picks, vec![(StreamId(1), MsuId(1), DiskId(10))]);
+        assert_eq!(s.disk(DiskId(10)).unwrap().bw_used, MPEG_BW);
+        assert_eq!(s.msu(MsuId(1)).unwrap().net_used, MPEG_BW);
+        assert_eq!(s.grant_count(), 1);
+        s.release(StreamId(1), 0);
+        assert_eq!(s.disk(DiskId(10)).unwrap().bw_used, 0);
+        assert_eq!(s.msu(MsuId(1)).unwrap().net_used, 0);
+        assert_eq!(s.grant_count(), 0);
+        // Double release is harmless.
+        s.release(StreamId(1), 0);
+    }
+
+    #[test]
+    fn disk_bandwidth_limits_streams_per_disk() {
+        let s = scheduler_with_one_msu();
+        // 2.4 MB/s / 187.5 KB/s = 12.8 ⇒ 12 streams per disk.
+        let locs = vec![(MsuId(1), DiskId(10))];
+        let mut admitted = 0;
+        for i in 0..20 {
+            if s.admit_play(&[(StreamId(i), locs.clone(), MPEG_BW)]).is_ok() {
+                admitted += 1;
+            }
+        }
+        assert_eq!(admitted, 12, "the paper's per-disk stream ceiling");
+    }
+
+    #[test]
+    fn msu_network_limits_total_streams() {
+        let s = scheduler_with_one_msu();
+        // Replicas on both disks: disk bandwidth would admit 24, but the
+        // MSU network cap (4.2 MB/s) stops at 22 — the paper's number.
+        let mut admitted = 0;
+        for i in 0..30 {
+            let disk = if i % 2 == 0 { DiskId(10) } else { DiskId(11) };
+            if s
+                .admit_play(&[(StreamId(i), vec![(MsuId(1), disk)], MPEG_BW)])
+                .is_ok()
+            {
+                admitted += 1;
+            }
+        }
+        assert_eq!(admitted, 22, "22 × 1.5 Mbit/s per MSU, as measured");
+    }
+
+    #[test]
+    fn group_lands_on_one_msu_or_fails() {
+        let s = scheduler_with_one_msu();
+        s.register_msu(
+            MsuId(2),
+            addr(),
+            &[(DiskId(20), 1_000_000, 1_000_000, ByteRate(2_400_000))],
+        );
+        // Video replica only on MSU 1, audio replica only on MSU 2: no
+        // single MSU has both ⇒ reject.
+        let wants = vec![
+            (StreamId(1), vec![(MsuId(1), DiskId(10))], 250_000),
+            (StreamId(2), vec![(MsuId(2), DiskId(20))], 8_000),
+        ];
+        assert!(matches!(
+            s.admit_play(&wants),
+            Err(Error::ResourcesExhausted { .. })
+        ));
+        assert_eq!(s.grant_count(), 0, "failed admission reserves nothing");
+
+        // Both components on MSU 1 works.
+        let wants = vec![
+            (StreamId(1), vec![(MsuId(1), DiskId(10))], 250_000),
+            (StreamId(2), vec![(MsuId(1), DiskId(11))], 8_000),
+        ];
+        let picks = s.admit_play(&wants).unwrap();
+        assert!(picks.iter().all(|(_, m, _)| *m == MsuId(1)));
+    }
+
+    #[test]
+    fn record_admission_charges_space_and_returns_overestimate() {
+        let s = scheduler_with_one_msu();
+        let free0 = s.disk(DiskId(10)).unwrap().free_bytes;
+        let picks = s
+            .admit_record(&[(StreamId(5), MPEG_BW, 100_000_000)])
+            .unwrap();
+        let disk = picks[0].2;
+        assert_eq!(s.disk(disk).unwrap().free_bytes, free0 - 100_000_000);
+        // The recording actually used 30 MB; 70 MB comes back.
+        s.release(StreamId(5), 30_000_000);
+        assert_eq!(s.disk(disk).unwrap().free_bytes, free0 - 30_000_000);
+    }
+
+    #[test]
+    fn record_rejected_when_space_exhausted() {
+        let s = Scheduler::new();
+        s.register_msu(
+            MsuId(1),
+            addr(),
+            &[(DiskId(10), 1_000_000, 1_000_000, ByteRate(2_400_000))],
+        );
+        assert!(s.admit_record(&[(StreamId(1), 1000, 2_000_000)]).is_err());
+        assert!(s.admit_record(&[(StreamId(1), 1000, 500_000)]).is_ok());
+    }
+
+    #[test]
+    fn down_msu_is_skipped_until_reregistration() {
+        let s = scheduler_with_one_msu();
+        s.mark_down(MsuId(1));
+        assert!(!s.is_available(MsuId(1)));
+        let locs = vec![(MsuId(1), DiskId(10))];
+        assert!(s.admit_play(&[(StreamId(1), locs.clone(), MPEG_BW)]).is_err());
+        // Re-registration restores it (paper: "when the MSU becomes
+        // available again, it contacts the Coordinator and is restored").
+        s.register_msu(
+            MsuId(1),
+            addr(),
+            &[(DiskId(10), 2_000_000_000, 2_000_000_000, ByteRate(2_400_000))],
+        );
+        assert!(s.is_available(MsuId(1)));
+        assert!(s.admit_play(&[(StreamId(1), locs, MPEG_BW)]).is_ok());
+    }
+
+    #[test]
+    fn waiters_wake_on_release() {
+        let s = std::sync::Arc::new(scheduler_with_one_msu());
+        let locs = vec![(MsuId(1), DiskId(10))];
+        for i in 0..12 {
+            s.admit_play(&[(StreamId(i), locs.clone(), MPEG_BW)]).unwrap();
+        }
+        assert!(s.admit_play(&[(StreamId(99), locs.clone(), MPEG_BW)]).is_err());
+        let gen = s.generation();
+        let s2 = std::sync::Arc::clone(&s);
+        let waiter = std::thread::spawn(move || {
+            let new_gen = s2.wait_for_change(gen, Duration::from_secs(5));
+            assert_ne!(new_gen, gen, "release must bump the generation");
+            s2.admit_play(&[(StreamId(99), vec![(MsuId(1), DiskId(10))], MPEG_BW)])
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        s.release(StreamId(0), 0);
+        assert!(waiter.join().unwrap().is_ok());
+    }
+
+    #[test]
+    fn wait_for_change_times_out() {
+        let s = scheduler_with_one_msu();
+        let gen = s.generation();
+        let new = s.wait_for_change(gen, Duration::from_millis(50));
+        assert_eq!(new, gen);
+    }
+}

@@ -1,0 +1,1400 @@
+//! The Coordinator server.
+//!
+//! Two listeners: one for clients (sessions implementing the §2.1
+//! interface) and one for MSUs (registration + scheduling RPCs).
+//! "For very small installations, the Coordinator and MSU software may
+//! run on the same machine" — both listeners bind loopback-friendly
+//! ephemeral ports by default, so tests and examples run everything in
+//! one process.
+
+use crate::db::{AdminDb, Component, ContentRecord, ContentStatus, Location};
+use crate::rpc::MsuConns;
+use crate::sched::Scheduler;
+use crate::stats::CoordStats;
+use calliope_types::content::{ContentKind, ContentTypeSpec, TypeBody};
+use calliope_types::error::{Error, Result};
+use calliope_types::ids::IdAllocator;
+use calliope_types::wire::messages::{
+    ClientRequest, CoordReply, CoordToMsu, DiskStatus, MsuEnvelope, MsuStatus, MsuToCoord,
+    PacingSpec, RecordStart, StreamStart, TrickFiles,
+};
+use calliope_types::wire::{read_frame, write_frame, Wire};
+use calliope_types::{DiskId, GroupId, MsuId, SessionId, StreamId};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::net::{IpAddr, Ipv4Addr, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Coordinator configuration.
+#[derive(Clone, Debug)]
+pub struct CoordConfig {
+    /// IP to bind both listeners on.
+    pub bind_ip: IpAddr,
+    /// Client port (0 = ephemeral).
+    pub client_port: u16,
+    /// MSU (intra-server) port (0 = ephemeral).
+    pub msu_port: u16,
+}
+
+impl Default for CoordConfig {
+    fn default() -> Self {
+        CoordConfig {
+            bind_ip: IpAddr::V4(Ipv4Addr::LOCALHOST),
+            client_port: 0,
+            msu_port: 0,
+        }
+    }
+}
+
+/// A display port registered in a session.
+#[derive(Clone, Debug)]
+enum Port {
+    Atomic {
+        type_name: String,
+        data_addr: SocketAddr,
+        ctrl_addr: SocketAddr,
+    },
+    Composite {
+        type_name: String,
+        components: Vec<String>,
+    },
+}
+
+/// Tracks an in-progress recording component.
+struct RecordTrack {
+    content: String,
+    component: usize,
+}
+
+struct Inner {
+    db: Mutex<AdminDb>,
+    sched: Scheduler,
+    conns: MsuConns,
+    stats: CoordStats,
+    ids: IdAllocator,
+    recordings: Mutex<HashMap<StreamId, RecordTrack>>,
+    /// Remaining components per recording content.
+    record_remaining: Mutex<HashMap<String, usize>>,
+    stop: AtomicBool,
+}
+
+/// A running Coordinator.
+pub struct CoordServer {
+    inner: Arc<Inner>,
+    /// Where clients connect.
+    pub client_addr: SocketAddr,
+    /// Where MSUs register.
+    pub msu_addr: SocketAddr,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl CoordServer {
+    /// Starts the Coordinator and both listeners.
+    pub fn start(cfg: CoordConfig) -> Result<CoordServer> {
+        let client_listener = TcpListener::bind((cfg.bind_ip, cfg.client_port))?;
+        let msu_listener = TcpListener::bind((cfg.bind_ip, cfg.msu_port))?;
+        let client_addr = client_listener.local_addr()?;
+        let msu_addr = msu_listener.local_addr()?;
+
+        let inner = Arc::new(Inner {
+            db: Mutex::new(AdminDb::with_builtin_types()),
+            sched: Scheduler::new(),
+            conns: MsuConns::new(),
+            stats: CoordStats::new(),
+            ids: IdAllocator::new(),
+            recordings: Mutex::new(HashMap::new()),
+            record_remaining: Mutex::new(HashMap::new()),
+            stop: AtomicBool::new(false),
+        });
+
+        let mut handles = Vec::new();
+        {
+            let inner = Arc::clone(&inner);
+            handles.push(std::thread::spawn(move || accept_msus(inner, msu_listener)));
+        }
+        {
+            let inner = Arc::clone(&inner);
+            handles.push(std::thread::spawn(move || {
+                accept_clients(inner, client_listener)
+            }));
+        }
+
+        Ok(CoordServer {
+            inner,
+            client_addr,
+            msu_addr,
+            handles,
+        })
+    }
+
+    /// Load statistics (for the §3.3 experiment).
+    pub fn stats(&self) -> &CoordStats {
+        &self.inner.stats
+    }
+
+    /// Number of registered-and-reachable MSUs.
+    pub fn msu_count(&self) -> usize {
+        self.inner.conns.len()
+    }
+
+    /// Number of live resource grants (≈ active streams).
+    pub fn active_streams(&self) -> usize {
+        self.inner.sched.grant_count()
+    }
+
+    /// Stops the listeners (existing sessions drain on their own).
+    pub fn shutdown(mut self) {
+        self.inner.stop.store(true, Ordering::Release);
+        // Poke the listeners so `accept` returns.
+        let _ = TcpStream::connect(self.client_addr);
+        let _ = TcpStream::connect(self.msu_addr);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// MSU side
+// ---------------------------------------------------------------------
+
+fn accept_msus(inner: Arc<Inner>, listener: TcpListener) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            return;
+        };
+        if inner.stop.load(Ordering::Acquire) {
+            return;
+        }
+        let inner = Arc::clone(&inner);
+        std::thread::spawn(move || msu_connection(inner, stream));
+    }
+}
+
+fn msu_connection(inner: Arc<Inner>, mut stream: TcpStream) {
+    stream.set_nodelay(true).ok();
+    // First frame must be Register.
+    let env: Option<MsuEnvelope> = match read_frame(&mut stream) {
+        Ok(e) => e,
+        Err(_) => return,
+    };
+    let Some(MsuEnvelope {
+        body:
+            MsuToCoord::Register {
+                ctrl_addr,
+                disks,
+                previous,
+            },
+        ..
+    }) = env
+    else {
+        return;
+    };
+    let started = Instant::now();
+
+    // Identity: restore the previous one after a crash, else allocate.
+    let msu: MsuId = match previous {
+        Some(prev) if inner.sched.msu(prev).is_some() => prev,
+        Some(_) | None => inner.ids.next(),
+    };
+    // Disk ids: reuse the prior assignment when the disk count matches.
+    let prior = inner.sched.msu(msu).map(|m| m.disks).unwrap_or_default();
+    let disk_ids: Vec<DiskId> = if prior.len() == disks.len() {
+        prior
+    } else {
+        disks.iter().map(|_| inner.ids.next()).collect()
+    };
+    let reports: Vec<(DiskId, u64, u64, calliope_types::time::ByteRate)> = disk_ids
+        .iter()
+        .zip(&disks)
+        .map(|(id, r)| (*id, r.capacity_bytes, r.free_bytes, r.bandwidth))
+        .collect();
+    inner.sched.register_msu(msu, ctrl_addr, &reports);
+
+    let conn = match stream.try_clone() {
+        Ok(w) => inner.conns.install(msu, w),
+        Err(_) => return,
+    };
+    {
+        let mut w = conn.writer.lock();
+        if write_frame(
+            &mut *w,
+            &calliope_types::wire::messages::CoordEnvelope {
+                req_id: 0,
+                body: CoordToMsu::RegisterAck {
+                    msu,
+                    disk_ids: disk_ids.clone(),
+                },
+            },
+        )
+        .is_err()
+        {
+            inner.conns.remove(msu);
+            inner.sched.mark_down(msu);
+            return;
+        }
+    }
+    inner.stats.note_busy(started.elapsed());
+
+    // Read loop.
+    stream
+        .set_read_timeout(Some(Duration::from_millis(200)))
+        .ok();
+    loop {
+        if inner.stop.load(Ordering::Acquire) {
+            return;
+        }
+        let env: Option<MsuEnvelope> = match read_frame(&mut stream) {
+            Ok(e) => e,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => None,
+        };
+        let Some(env) = env else {
+            // "The Coordinator detects when one of the MSUs fails by a
+            // break in the TCP connection." (§2.2)
+            inner.conns.remove(msu);
+            inner.sched.mark_down(msu);
+            return;
+        };
+        inner.stats.note_bytes(env.to_bytes().len() + 4);
+        if let Some(unsolicited) = inner.conns.route(msu, env.req_id, env.body) {
+            let t = Instant::now();
+            handle_msu_notification(&inner, unsolicited);
+            inner.stats.note_busy(t.elapsed());
+        }
+    }
+}
+
+fn handle_msu_notification(inner: &Inner, msg: MsuToCoord) {
+    if let MsuToCoord::StreamDone {
+        stream,
+        reason: _,
+        bytes,
+        duration_us,
+    } = msg
+    {
+        inner.stats.note_stream_done();
+        // Recording? Finalize the catalog entry.
+        let track = inner.recordings.lock().remove(&stream);
+        if let Some(track) = track {
+            let mut db = inner.db.lock();
+            if let Ok(rec) = db.content_mut(&track.content) {
+                if let Some(c) = rec.components.get_mut(track.component) {
+                    c.bytes = bytes;
+                    c.duration_us = duration_us;
+                }
+            }
+            drop(db);
+            let mut remaining = inner.record_remaining.lock();
+            if let Some(n) = remaining.get_mut(&track.content) {
+                *n -= 1;
+                if *n == 0 {
+                    remaining.remove(&track.content);
+                    if let Ok(rec) = inner.db.lock().content_mut(&track.content) {
+                        rec.status = ContentStatus::Ready;
+                    }
+                }
+            }
+            inner.sched.release(stream, bytes);
+        } else {
+            inner.sched.release(stream, 0);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Client side
+// ---------------------------------------------------------------------
+
+fn accept_clients(inner: Arc<Inner>, listener: TcpListener) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            return;
+        };
+        if inner.stop.load(Ordering::Acquire) {
+            return;
+        }
+        let inner = Arc::clone(&inner);
+        std::thread::spawn(move || client_session(inner, stream));
+    }
+}
+
+struct Session {
+    id: SessionId,
+    client_name: String,
+    admin: bool,
+    ports: HashMap<String, Port>,
+}
+
+fn client_session(inner: Arc<Inner>, mut stream: TcpStream) {
+    stream.set_nodelay(true).ok();
+    stream
+        .set_read_timeout(Some(Duration::from_millis(200)))
+        .ok();
+    let mut session: Option<Session> = None;
+    loop {
+        if inner.stop.load(Ordering::Acquire) {
+            return;
+        }
+        let req: Option<ClientRequest> = match read_frame(&mut stream) {
+            Ok(r) => r,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => None,
+        };
+        let Some(req) = req else {
+            // Session drop: "when this session is dropped, the
+            // Coordinator deallocates its local representation of the
+            // ports" — ports die with `session`.
+            return;
+        };
+        inner.stats.note_bytes(req.to_bytes().len() + 4);
+        if matches!(req, ClientRequest::Bye) {
+            let _ = write_frame(&mut stream, &CoordReply::Ok);
+            return;
+        }
+        let t = Instant::now();
+        let mut waits = Duration::ZERO;
+        let reply = dispatch(&inner, &mut session, &mut stream, req, &mut waits);
+        // Waiting on MSU RPCs or in the admission queue is not CPU.
+        inner.stats.note_request(t.elapsed().saturating_sub(waits));
+        inner.stats.note_bytes(reply.to_bytes().len() + 4);
+        if write_frame(&mut stream, &reply).is_err() {
+            return;
+        }
+    }
+}
+
+fn err_reply(e: Error) -> CoordReply {
+    CoordReply::Error {
+        code: e.wire_code(),
+        msg: e.to_string(),
+    }
+}
+
+fn dispatch(
+    inner: &Arc<Inner>,
+    session: &mut Option<Session>,
+    stream: &mut TcpStream,
+    req: ClientRequest,
+    waits: &mut Duration,
+) -> CoordReply {
+    // Hello establishes the session; everything else requires one.
+    if let ClientRequest::Hello { client_name, admin } = &req {
+        let id: SessionId = inner.ids.next();
+        inner.db.lock().touch_customer(client_name, *admin);
+        *session = Some(Session {
+            id,
+            client_name: client_name.clone(),
+            admin: *admin,
+            ports: HashMap::new(),
+        });
+        return CoordReply::Welcome { session: id };
+    }
+    let Some(sess) = session.as_mut() else {
+        return err_reply(Error::SessionClosed);
+    };
+    match handle_request(inner, sess, stream, req, waits) {
+        Ok(reply) => reply,
+        Err(e) => err_reply(e),
+    }
+}
+
+/// Runs an MSU RPC, charging the time to `waits` (the Coordinator's CPU
+/// is idle while the MSU works).
+fn timed_rpc(
+    inner: &Inner,
+    waits: &mut Duration,
+    msu: MsuId,
+    body: CoordToMsu,
+) -> Result<MsuToCoord> {
+    let t = Instant::now();
+    let r = inner.conns.rpc(msu, body);
+    *waits += t.elapsed();
+    r
+}
+
+fn handle_request(
+    inner: &Arc<Inner>,
+    sess: &mut Session,
+    stream: &mut TcpStream,
+    req: ClientRequest,
+    waits: &mut Duration,
+) -> Result<CoordReply> {
+    match req {
+        ClientRequest::Hello { .. } | ClientRequest::Bye => unreachable!("handled by caller"),
+        ClientRequest::ListContent => Ok(CoordReply::ContentList {
+            entries: inner.db.lock().toc(),
+        }),
+        ClientRequest::ListTypes => Ok(CoordReply::TypeList {
+            types: inner.db.lock().types(),
+        }),
+        ClientRequest::RegisterPort {
+            name,
+            type_name,
+            data_addr,
+            ctrl_addr,
+        } => {
+            let db = inner.db.lock();
+            let spec = db.content_type(&type_name)?;
+            if spec.is_composite() {
+                return Err(Error::Protocol {
+                    msg: format!("port {name:?} must use an atomic type"),
+                });
+            }
+            drop(db);
+            if sess.ports.contains_key(&name) {
+                return Err(Error::AlreadyExists { kind: "port", name });
+            }
+            sess.ports.insert(
+                name,
+                Port::Atomic {
+                    type_name,
+                    data_addr,
+                    ctrl_addr,
+                },
+            );
+            Ok(CoordReply::Ok)
+        }
+        ClientRequest::RegisterCompositePort {
+            name,
+            type_name,
+            components,
+        } => {
+            let db = inner.db.lock();
+            let spec = db.content_type(&type_name)?.clone();
+            let TypeBody::Composite {
+                components: expect_types,
+            } = &spec.body
+            else {
+                return Err(Error::Protocol {
+                    msg: format!("{type_name:?} is not composite"),
+                });
+            };
+            if expect_types.len() != components.len() {
+                return Err(Error::Protocol {
+                    msg: format!(
+                        "{type_name:?} has {} components, {} given",
+                        expect_types.len(),
+                        components.len()
+                    ),
+                });
+            }
+            drop(db);
+            // Each named port must exist, be atomic, and match the
+            // composite's component type in order (§2.1).
+            for (port_name, expect) in components.iter().zip(expect_types) {
+                match sess.ports.get(port_name) {
+                    Some(Port::Atomic { type_name, .. }) if type_name == expect => {}
+                    Some(Port::Atomic { type_name, .. }) => {
+                        return Err(Error::TypeMismatch {
+                            content_type: expect.clone(),
+                            port_type: type_name.clone(),
+                        })
+                    }
+                    Some(Port::Composite { .. }) => {
+                        return Err(Error::Protocol {
+                            msg: format!("component port {port_name:?} is itself composite"),
+                        })
+                    }
+                    None => {
+                        return Err(Error::NoSuchPort {
+                            name: port_name.clone(),
+                        })
+                    }
+                }
+            }
+            if sess.ports.contains_key(&name) {
+                return Err(Error::AlreadyExists { kind: "port", name });
+            }
+            sess.ports.insert(
+                name,
+                Port::Composite {
+                    type_name,
+                    components,
+                },
+            );
+            Ok(CoordReply::Ok)
+        }
+        ClientRequest::UnregisterPort { name } => {
+            sess.ports
+                .remove(&name)
+                .ok_or(Error::NoSuchPort { name })?;
+            Ok(CoordReply::Ok)
+        }
+        ClientRequest::Play { content, port } => {
+            handle_play(inner, sess, stream, content, port, waits)
+        }
+        ClientRequest::Record {
+            content,
+            port,
+            type_name,
+            est_secs,
+        } => handle_record(inner, sess, stream, content, port, type_name, est_secs, waits),
+        ClientRequest::Delete { content } => {
+            if !sess.admin {
+                return Err(Error::PermissionDenied { op: "delete" });
+            }
+            let rec = inner.db.lock().remove_content(&content)?;
+            for comp in &rec.components {
+                for loc in &comp.locations {
+                    // Best effort: a down MSU keeps the blocks until it
+                    // returns; the catalog entry is gone regardless.
+                    let _ = timed_rpc(
+                        inner,
+                        waits,
+                        loc.msu,
+                        CoordToMsu::DeleteFile {
+                            disk: loc.disk,
+                            file: loc.file.clone(),
+                        },
+                    );
+                    inner.sched.return_space(loc.disk, comp.bytes);
+                }
+            }
+            Ok(CoordReply::Ok)
+        }
+        ClientRequest::AddType { spec } => {
+            if !sess.admin {
+                return Err(Error::PermissionDenied { op: "add-type" });
+            }
+            inner.db.lock().add_type(spec)?;
+            Ok(CoordReply::Ok)
+        }
+        ClientRequest::ServerStatus => {
+            let msus = inner
+                .sched
+                .snapshot()
+                .into_iter()
+                .map(|(id, m, disks)| MsuStatus {
+                    msu: id,
+                    available: m.available,
+                    net_used: m.net_used,
+                    net_capacity: m.net_capacity,
+                    disks: disks
+                        .into_iter()
+                        .map(|(d, ds)| DiskStatus {
+                            disk: d,
+                            free_bytes: ds.free_bytes,
+                            capacity_bytes: ds.capacity,
+                            bw_used: ds.bw_used,
+                            bw_capacity: ds.bw_capacity,
+                        })
+                        .collect(),
+                })
+                .collect();
+            Ok(CoordReply::Status {
+                msus,
+                active_streams: inner.sched.grant_count() as u32,
+            })
+        }
+        ClientRequest::Replicate { content } => {
+            if !sess.admin {
+                return Err(Error::PermissionDenied { op: "replicate" });
+            }
+            handle_replicate(inner, &content, waits)
+        }
+        ClientRequest::AttachTrick { content, files } => {
+            if !sess.admin {
+                return Err(Error::PermissionDenied { op: "attach-trick" });
+            }
+            let mut db = inner.db.lock();
+            // Both filtered versions must be recorded content with a
+            // single raw component.
+            let ff = db.content(&files.fast_forward)?;
+            let fb = db.content(&files.fast_backward)?;
+            for t in [ff, fb] {
+                if t.components.len() != 1 {
+                    return Err(Error::Protocol {
+                        msg: "trick files must be atomic content".into(),
+                    });
+                }
+            }
+            let ff_file = ff.components[0].locations[0].file.clone();
+            let fb_file = fb.components[0].locations[0].file.clone();
+            let rec = db.content_mut(&content)?;
+            rec.trick = Some(TrickFiles {
+                fast_forward: ff_file,
+                fast_backward: fb_file,
+            });
+            Ok(CoordReply::Ok)
+        }
+    }
+}
+
+/// Replicates every component of a content item onto another disk of
+/// its MSU — "we can make copies of popular content on several disks"
+/// (paper §2.3.3). Play admission can then use either replica, doubling
+/// the title's bandwidth ceiling at the cost of disk space.
+fn handle_replicate(inner: &Arc<Inner>, content: &str, waits: &mut Duration) -> Result<CoordReply> {
+    let rec = inner.db.lock().content(content)?.clone();
+    if rec.status != ContentStatus::Ready {
+        return Err(Error::NoSuchContent {
+            name: content.to_owned(),
+        });
+    }
+    let mut new_locations: Vec<(usize, Location)> = Vec::new();
+    for (ci, comp) in rec.components.iter().enumerate() {
+        let src = comp
+            .locations
+            .first()
+            .ok_or_else(|| Error::internal("component without a location"))?;
+        let msu_state = inner
+            .sched
+            .msu(src.msu)
+            .ok_or(Error::MsuUnavailable { msu: src.msu })?;
+        // Pick a different disk on the same MSU with room for the copy,
+        // not already holding a replica.
+        let taken: Vec<DiskId> = comp.locations.iter().map(|l| l.disk).collect();
+        let dst = msu_state
+            .disks
+            .iter()
+            .copied()
+            .find(|d| {
+                !taken.contains(d)
+                    && inner
+                        .sched
+                        .disk(*d)
+                        .is_some_and(|ds| ds.free_bytes >= comp.bytes)
+            })
+            .ok_or(Error::ResourcesExhausted {
+                what: format!("no spare disk on {} for a replica", src.msu),
+            })?;
+        let reply = timed_rpc(
+            inner,
+            waits,
+            src.msu,
+            CoordToMsu::CopyFile {
+                src_disk: src.disk,
+                dst_disk: dst,
+                file: src.file.clone(),
+            },
+        )?;
+        match reply {
+            MsuToCoord::FileCopied { error: None } => {}
+            MsuToCoord::FileCopied { error: Some(e) } => return Err(Error::Protocol { msg: e }),
+            other => return Err(Error::internal(format!("unexpected reply {other:?}"))),
+        }
+        inner.sched.consume_space(dst, comp.bytes);
+        new_locations.push((
+            ci,
+            Location {
+                msu: src.msu,
+                disk: dst,
+                file: src.file.clone(),
+            },
+        ));
+    }
+    let mut db = inner.db.lock();
+    let rec = db.content_mut(content)?;
+    for (ci, loc) in new_locations {
+        rec.components[ci].locations.push(loc);
+    }
+    Ok(CoordReply::Ok)
+}
+
+/// A resolved atomic component of a display port: its type name, data
+/// address, and control address.
+type PortAtom = (String, SocketAddr, SocketAddr);
+
+/// Resolves a port into its atomic parts: `(type, data, ctrl)` per
+/// component stream.
+fn resolve_port(sess: &Session, port: &str) -> Result<(String, Vec<PortAtom>)> {
+    match sess.ports.get(port) {
+        None => Err(Error::NoSuchPort {
+            name: port.to_owned(),
+        }),
+        Some(Port::Atomic {
+            type_name,
+            data_addr,
+            ctrl_addr,
+        }) => Ok((
+            type_name.clone(),
+            vec![(type_name.clone(), *data_addr, *ctrl_addr)],
+        )),
+        Some(Port::Composite {
+            type_name,
+            components,
+        }) => {
+            let mut out = Vec::new();
+            for c in components {
+                let Some(Port::Atomic {
+                    type_name: t,
+                    data_addr,
+                    ctrl_addr,
+                }) = sess.ports.get(c)
+                else {
+                    return Err(Error::NoSuchPort { name: c.clone() });
+                };
+                out.push((t.clone(), *data_addr, *ctrl_addr));
+            }
+            Ok((type_name.clone(), out))
+        }
+    }
+}
+
+/// Bandwidth (bytes/s) to reserve for one atomic type.
+fn bandwidth_of(spec: &ContentTypeSpec) -> Result<u64> {
+    Ok(spec.bandwidth()?.as_byte_rate().bytes_per_sec())
+}
+
+/// The pacing spec the MSU should use for one atomic type.
+fn pacing_of(spec: &ContentTypeSpec) -> Result<PacingSpec> {
+    match &spec.body {
+        TypeBody::Atomic {
+            kind: ContentKind::Constant { rate },
+            ..
+        } => Ok(PacingSpec::Constant {
+            rate: *rate,
+            packet_bytes: 4096,
+        }),
+        TypeBody::Atomic {
+            kind: ContentKind::Variable { .. },
+            ..
+        } => Ok(PacingSpec::Stored),
+        TypeBody::Composite { .. } => Err(Error::CompositeHasNoRate {
+            type_name: spec.name.clone(),
+        }),
+    }
+}
+
+/// True if the session's peer has closed its connection. Clients are
+/// strictly request/reply, so pending inbound bytes also mean the
+/// session is out of sync and should end.
+fn peer_closed(stream: &TcpStream) -> bool {
+    let mut probe = [0u8; 1];
+    stream.set_nonblocking(true).ok();
+    let closed = !matches!(
+        stream.peek(&mut probe),
+        Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock
+    );
+    stream.set_nonblocking(false).ok();
+    stream
+        .set_read_timeout(Some(Duration::from_millis(200)))
+        .ok();
+    closed
+}
+
+/// Admission with queueing: retries until granted, sending one interim
+/// `Queued` to the client while waiting (§2.2: "the Coordinator queues
+/// the request until an MSU with the necessary resources becomes
+/// available"). A queued request whose client disconnects is abandoned
+/// so the session thread does not wait forever.
+fn admit_with_queue<T>(
+    inner: &Inner,
+    stream: &mut TcpStream,
+    waits: &mut Duration,
+    mut admit: impl FnMut() -> Result<T>,
+) -> Result<T> {
+    let mut queued_sent = false;
+    loop {
+        match admit() {
+            Ok(v) => return Ok(v),
+            Err(Error::ResourcesExhausted { .. }) if !inner.stop.load(Ordering::Acquire) => {
+                if !queued_sent {
+                    queued_sent = true;
+                    write_frame(stream, &CoordReply::Queued)?;
+                }
+                if peer_closed(stream) {
+                    return Err(Error::SessionClosed);
+                }
+                let gen = inner.sched.generation();
+                let t = Instant::now();
+                inner.sched.wait_for_change(gen, Duration::from_millis(500));
+                *waits += t.elapsed();
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn handle_play(
+    inner: &Arc<Inner>,
+    sess: &mut Session,
+    stream: &mut TcpStream,
+    content_name: String,
+    port_name: String,
+    waits: &mut Duration,
+) -> Result<CoordReply> {
+    let (port_type, atoms) = resolve_port(sess, &port_name)?;
+    // Load everything we need from the catalog up front.
+    let (components, specs, trick, content_type) = {
+        let db = inner.db.lock();
+        let rec = db.content(&content_name)?;
+        if rec.status != ContentStatus::Ready {
+            return Err(Error::NoSuchContent { name: content_name });
+        }
+        if rec.type_name != port_type {
+            return Err(Error::TypeMismatch {
+                content_type: rec.type_name.clone(),
+                port_type,
+            });
+        }
+        let specs: Vec<ContentTypeSpec> = rec
+            .components
+            .iter()
+            .map(|c| db.content_type(&c.type_name).cloned())
+            .collect::<Result<_>>()?;
+        (
+            rec.components.clone(),
+            specs,
+            rec.trick.clone(),
+            rec.type_name.clone(),
+        )
+    };
+    if components.len() != atoms.len() {
+        return Err(Error::Protocol {
+            msg: format!(
+                "content {content_name:?} ({content_type}) has {} components, port {port_name:?} offers {}",
+                components.len(),
+                atoms.len()
+            ),
+        });
+    }
+
+    // Allocate ids and build the admission request.
+    let group: GroupId = inner.ids.next();
+    let streams: Vec<StreamId> = components.iter().map(|_| inner.ids.next()).collect();
+    let wants: Vec<crate::sched::PlayWant> = components
+        .iter()
+        .zip(&streams)
+        .zip(&specs)
+        .map(|((c, s), spec)| {
+            let locs = c.locations.iter().map(|l| (l.msu, l.disk)).collect();
+            Ok((*s, locs, bandwidth_of(spec)?))
+        })
+        .collect::<Result<_>>()?;
+
+    let picks = admit_with_queue(inner, stream, waits, || inner.sched.admit_play(&wants))?;
+    // The whole group shares one control connection: the first
+    // component port's control listener.
+    let group_ctrl = atoms[0].2;
+
+    // Schedule each component on its MSU; roll back everything on any
+    // failure.
+    let mut scheduled: Vec<StreamStart> = Vec::new();
+    for (i, (stream_id, msu, disk)) in picks.iter().enumerate() {
+        let comp = &components[i];
+        let loc = comp
+            .locations
+            .iter()
+            .find(|l| l.msu == *msu && l.disk == *disk)
+            .ok_or_else(|| Error::internal("admitted replica vanished"))?;
+        let pacing = pacing_of(&specs[i])?;
+        let send_trick = if components.len() == 1 { trick.clone() } else { None };
+        let result = timed_rpc(
+            inner,
+            waits,
+            *msu,
+            CoordToMsu::ScheduleRead {
+                stream: *stream_id,
+                group,
+                group_size: picks.len() as u32,
+                disk: *disk,
+                file: loc.file.clone(),
+                protocol: specs[i].protocol()?,
+                pacing,
+                client_data: atoms[i].1,
+                client_ctrl: group_ctrl,
+                trick: send_trick,
+            },
+        );
+        let err = match result {
+            Ok(MsuToCoord::ReadScheduled { error: None }) => None,
+            Ok(MsuToCoord::ReadScheduled { error: Some(e) }) => Some(Error::Protocol { msg: e }),
+            Ok(other) => Some(Error::internal(format!("unexpected reply {other:?}"))),
+            Err(e) => Some(e),
+        };
+        if let Some(e) = err {
+            for s in &streams {
+                inner.sched.release(*s, 0);
+            }
+            for done in &scheduled {
+                let _ = inner
+                    .conns
+                    .notify(*msu, CoordToMsu::Cancel { stream: done.stream });
+            }
+            return Err(e);
+        }
+        inner.stats.note_stream_started();
+        scheduled.push(StreamStart {
+            stream: *stream_id,
+            port_name: port_name.clone(),
+            msu: *msu,
+        });
+    }
+    let _ = sess.id; // sessions own ports; streams outlive the check
+    Ok(CoordReply::PlayStarted {
+        group,
+        streams: scheduled,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn handle_record(
+    inner: &Arc<Inner>,
+    sess: &mut Session,
+    stream: &mut TcpStream,
+    content_name: String,
+    port_name: String,
+    type_name: String,
+    est_secs: u32,
+    waits: &mut Duration,
+) -> Result<CoordReply> {
+    let (port_type, atoms) = resolve_port(sess, &port_name)?;
+    if port_type != type_name {
+        return Err(Error::TypeMismatch {
+            content_type: type_name,
+            port_type,
+        });
+    }
+    let specs = inner.db.lock().atomic_components(&type_name)?;
+    if inner.db.lock().content(&content_name).is_ok() {
+        return Err(Error::AlreadyExists {
+            kind: "content",
+            name: content_name,
+        });
+    }
+    if specs.len() != atoms.len() {
+        return Err(Error::Protocol {
+            msg: "port does not match the type's component count".into(),
+        });
+    }
+
+    let group: GroupId = inner.ids.next();
+    let streams: Vec<StreamId> = specs.iter().map(|_| inner.ids.next()).collect();
+    let wants: Vec<(StreamId, u64, u64)> = specs
+        .iter()
+        .zip(&streams)
+        .map(|(spec, s)| {
+            let bw = bandwidth_of(spec)?;
+            let space = spec.storage_rate()?.bytes_for_secs(est_secs as u64);
+            Ok((*s, bw, space))
+        })
+        .collect::<Result<_>>()?;
+
+    let picks = admit_with_queue(inner, stream, waits, || inner.sched.admit_record(&wants))?;
+    let group_ctrl = atoms[0].2;
+
+    let mut starts: Vec<RecordStart> = Vec::new();
+    let mut components: Vec<Component> = Vec::new();
+    for (i, (stream_id, msu, disk)) in picks.iter().enumerate() {
+        let spec = &specs[i];
+        let file = if specs.len() == 1 {
+            content_name.clone()
+        } else {
+            format!("{content_name}.{}", spec.name)
+        };
+        let cbr_rate = match &spec.body {
+            TypeBody::Atomic {
+                kind: ContentKind::Constant { rate },
+                ..
+            } => Some(*rate),
+            _ => None,
+        };
+        let result = timed_rpc(
+            inner,
+            waits,
+            *msu,
+            CoordToMsu::ScheduleWrite {
+                stream: *stream_id,
+                group,
+                group_size: picks.len() as u32,
+                disk: *disk,
+                file: file.clone(),
+                protocol: spec.protocol()?,
+                est_bytes: wants[i].2,
+                stores_schedule: spec.stores_schedule(),
+                cbr_rate,
+                client_ctrl: group_ctrl,
+            },
+        );
+        let (sink, err) = match result {
+            Ok(MsuToCoord::WriteScheduled {
+                udp_sink: Some(sink),
+                error: None,
+            }) => (Some(sink), None),
+            Ok(MsuToCoord::WriteScheduled { error: Some(e), .. }) => {
+                (None, Some(Error::Protocol { msg: e }))
+            }
+            Ok(other) => (None, Some(Error::internal(format!("unexpected reply {other:?}")))),
+            Err(e) => (None, Some(e)),
+        };
+        if let Some(e) = err {
+            for s in &streams {
+                inner.sched.release(*s, 0);
+                inner.recordings.lock().remove(s);
+            }
+            for done in &starts {
+                let _ = inner
+                    .conns
+                    .notify(*msu, CoordToMsu::Cancel { stream: done.stream });
+            }
+            return Err(e);
+        }
+        inner.stats.note_stream_started();
+        inner.recordings.lock().insert(
+            *stream_id,
+            RecordTrack {
+                content: content_name.clone(),
+                component: i,
+            },
+        );
+        components.push(Component {
+            type_name: spec.name.clone(),
+            locations: vec![Location {
+                msu: *msu,
+                disk: *disk,
+                file,
+            }],
+            bytes: 0,
+            duration_us: 0,
+        });
+        starts.push(RecordStart {
+            stream: *stream_id,
+            port_name: port_name.clone(),
+            msu: *msu,
+            udp_sink: sink.expect("error handled above"),
+        });
+    }
+
+    inner
+        .record_remaining
+        .lock()
+        .insert(content_name.clone(), picks.len());
+    inner.db.lock().insert_content(ContentRecord {
+        name: content_name.clone(),
+        type_name,
+        components,
+        status: ContentStatus::Recording,
+        trick: None,
+    })?;
+    let _ = &sess.client_name;
+    Ok(CoordReply::RecordStarted {
+        group,
+        streams: starts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fake_msu::FakeMsu;
+
+    fn start_coord() -> CoordServer {
+        CoordServer::start(CoordConfig::default()).unwrap()
+    }
+
+    struct TestClient {
+        conn: TcpStream,
+    }
+
+    impl TestClient {
+        fn connect(addr: SocketAddr, name: &str, admin: bool) -> TestClient {
+            let conn = TcpStream::connect(addr).unwrap();
+            let mut c = TestClient { conn };
+            let reply = c.request(ClientRequest::Hello {
+                client_name: name.into(),
+                admin,
+            });
+            assert!(matches!(reply, CoordReply::Welcome { .. }));
+            c
+        }
+
+        fn request(&mut self, req: ClientRequest) -> CoordReply {
+            write_frame(&mut self.conn, &req).unwrap();
+            loop {
+                let r: Option<CoordReply> = read_frame(&mut self.conn).unwrap();
+                match r.unwrap() {
+                    CoordReply::Queued => continue, // interim
+                    other => return other,
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn msu_registration_and_failure_detection() {
+        let coord = start_coord();
+        let fake = FakeMsu::start(coord.msu_addr, 2, Duration::from_millis(1)).unwrap();
+        // Wait for registration to settle.
+        for _ in 0..100 {
+            if coord.msu_count() == 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(coord.msu_count(), 1);
+        let id = fake.id;
+        assert!(coord.inner.sched.is_available(id));
+        fake.stop();
+        for _ in 0..100 {
+            if !coord.inner.sched.is_available(id) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(!coord.inner.sched.is_available(id), "TCP break marks it down");
+        coord.shutdown();
+    }
+
+    #[test]
+    fn session_lists_types_and_content() {
+        let coord = start_coord();
+        let mut client = TestClient::connect(coord.client_addr, "alice", false);
+        match client.request(ClientRequest::ListTypes) {
+            CoordReply::TypeList { types } => {
+                assert!(types.iter().any(|t| t.name == "mpeg1"));
+            }
+            other => panic!("{other:?}"),
+        }
+        match client.request(ClientRequest::ListContent) {
+            CoordReply::ContentList { entries } => assert!(entries.is_empty()),
+            other => panic!("{other:?}"),
+        }
+        coord.shutdown();
+    }
+
+    #[test]
+    fn requests_before_hello_are_rejected() {
+        let coord = start_coord();
+        let mut conn = TcpStream::connect(coord.client_addr).unwrap();
+        write_frame(&mut conn, &ClientRequest::ListTypes).unwrap();
+        let r: Option<CoordReply> = read_frame(&mut conn).unwrap();
+        assert!(matches!(r.unwrap(), CoordReply::Error { .. }));
+        coord.shutdown();
+    }
+
+    #[test]
+    fn port_registration_validates_types() {
+        let coord = start_coord();
+        let mut client = TestClient::connect(coord.client_addr, "bob", false);
+        let data: SocketAddr = "127.0.0.1:5000".parse().unwrap();
+        let ctrl: SocketAddr = "127.0.0.1:5001".parse().unwrap();
+        // Unknown type.
+        assert!(matches!(
+            client.request(ClientRequest::RegisterPort {
+                name: "p".into(),
+                type_name: "ghost".into(),
+                data_addr: data,
+                ctrl_addr: ctrl,
+            }),
+            CoordReply::Error { .. }
+        ));
+        // Composite type on an atomic port.
+        assert!(matches!(
+            client.request(ClientRequest::RegisterPort {
+                name: "p".into(),
+                type_name: "seminar".into(),
+                data_addr: data,
+                ctrl_addr: ctrl,
+            }),
+            CoordReply::Error { .. }
+        ));
+        // Good atomic ports.
+        for (name, ty) in [("v", "nv-video"), ("a", "vat-audio")] {
+            assert!(matches!(
+                client.request(ClientRequest::RegisterPort {
+                    name: name.into(),
+                    type_name: ty.into(),
+                    data_addr: data,
+                    ctrl_addr: ctrl,
+                }),
+                CoordReply::Ok
+            ));
+        }
+        // Duplicate name.
+        assert!(matches!(
+            client.request(ClientRequest::RegisterPort {
+                name: "v".into(),
+                type_name: "nv-video".into(),
+                data_addr: data,
+                ctrl_addr: ctrl,
+            }),
+            CoordReply::Error { .. }
+        ));
+        // Composite port out of them, wrong order first.
+        assert!(matches!(
+            client.request(ClientRequest::RegisterCompositePort {
+                name: "sem".into(),
+                type_name: "seminar".into(),
+                components: vec!["a".into(), "v".into()],
+            }),
+            CoordReply::Error { .. }
+        ));
+        assert!(matches!(
+            client.request(ClientRequest::RegisterCompositePort {
+                name: "sem".into(),
+                type_name: "seminar".into(),
+                components: vec!["v".into(), "a".into()],
+            }),
+            CoordReply::Ok
+        ));
+        // Unregister.
+        assert!(matches!(
+            client.request(ClientRequest::UnregisterPort { name: "sem".into() }),
+            CoordReply::Ok
+        ));
+        assert!(matches!(
+            client.request(ClientRequest::UnregisterPort { name: "sem".into() }),
+            CoordReply::Error { .. }
+        ));
+        coord.shutdown();
+    }
+
+    #[test]
+    fn admin_operations_require_admin() {
+        let coord = start_coord();
+        let mut user = TestClient::connect(coord.client_addr, "mallory", false);
+        assert!(matches!(
+            user.request(ClientRequest::Delete {
+                content: "x".into()
+            }),
+            CoordReply::Error { code, .. } if code == Error::PermissionDenied { op: "" }.wire_code()
+        ));
+        assert!(matches!(
+            user.request(ClientRequest::AddType {
+                spec: ContentTypeSpec::constant(
+                    "new",
+                    calliope_types::content::ProtocolId::ConstantRate,
+                    calliope_types::time::BitRate::from_mbps(1)
+                )
+            }),
+            CoordReply::Error { .. }
+        ));
+        let mut admin = TestClient::connect(coord.client_addr, "root", true);
+        assert!(matches!(
+            admin.request(ClientRequest::AddType {
+                spec: ContentTypeSpec::constant(
+                    "new",
+                    calliope_types::content::ProtocolId::ConstantRate,
+                    calliope_types::time::BitRate::from_mbps(1)
+                )
+            }),
+            CoordReply::Ok
+        ));
+        coord.shutdown();
+    }
+
+    #[test]
+    fn play_without_content_errors() {
+        let coord = start_coord();
+        let mut client = TestClient::connect(coord.client_addr, "alice", false);
+        let data: SocketAddr = "127.0.0.1:5000".parse().unwrap();
+        client.request(ClientRequest::RegisterPort {
+            name: "p".into(),
+            type_name: "mpeg1".into(),
+            data_addr: data,
+            ctrl_addr: data,
+        });
+        assert!(matches!(
+            client.request(ClientRequest::Play {
+                content: "ghost".into(),
+                port: "p".into()
+            }),
+            CoordReply::Error { .. }
+        ));
+        coord.shutdown();
+    }
+
+    #[test]
+    fn record_via_fake_msu_reserves_and_releases() {
+        let coord = start_coord();
+        let _fake = FakeMsu::start(coord.msu_addr, 1, Duration::from_millis(5)).unwrap();
+        for _ in 0..100 {
+            if coord.msu_count() == 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let mut client = TestClient::connect(coord.client_addr, "alice", false);
+        let data: SocketAddr = "127.0.0.1:5000".parse().unwrap();
+        client.request(ClientRequest::RegisterPort {
+            name: "p".into(),
+            type_name: "mpeg1".into(),
+            data_addr: data,
+            ctrl_addr: data,
+        });
+        let reply = client.request(ClientRequest::Record {
+            content: "talk".into(),
+            port: "p".into(),
+            type_name: "mpeg1".into(),
+            est_secs: 60,
+        });
+        match reply {
+            CoordReply::RecordStarted { streams, .. } => {
+                assert_eq!(streams.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+        // The fake MSU reports immediate termination: the grant clears
+        // and the content finalizes (zero-length, but Ready).
+        for _ in 0..100 {
+            if coord.active_streams() == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(coord.active_streams(), 0);
+        // Duplicate content name is rejected.
+        assert!(matches!(
+            client.request(ClientRequest::Record {
+                content: "talk".into(),
+                port: "p".into(),
+                type_name: "mpeg1".into(),
+                est_secs: 60,
+            }),
+            CoordReply::Error { .. }
+        ));
+        coord.shutdown();
+    }
+
+    #[test]
+    fn queued_request_completes_when_capacity_frees() {
+        let coord = start_coord();
+        let _fake = FakeMsu::start(coord.msu_addr, 1, Duration::from_millis(5)).unwrap();
+        for _ in 0..100 {
+            if coord.msu_count() == 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // Exhaust the single disk's space with one huge reservation...
+        // actually exhaust *bandwidth*: 12 recordings of mpeg1 fill a
+        // 2.4 MB/s disk. The 13th parks in the queue; the fake MSU's
+        // instant terminations then free capacity and it completes.
+        let mut client = TestClient::connect(coord.client_addr, "alice", false);
+        let data: SocketAddr = "127.0.0.1:5000".parse().unwrap();
+        client.request(ClientRequest::RegisterPort {
+            name: "p".into(),
+            type_name: "mpeg1".into(),
+            data_addr: data,
+            ctrl_addr: data,
+        });
+        for i in 0..14 {
+            let reply = client.request(ClientRequest::Record {
+                content: format!("c{i}"),
+                port: "p".into(),
+                type_name: "mpeg1".into(),
+                est_secs: 1,
+            });
+            assert!(
+                matches!(reply, CoordReply::RecordStarted { .. }),
+                "request {i}: {reply:?}"
+            );
+        }
+        coord.shutdown();
+    }
+}

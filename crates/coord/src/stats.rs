@@ -1,0 +1,169 @@
+//! Coordinator load accounting — the instrumentation behind §3.3.
+//!
+//! "We measured the Coordinator's CPU utilization at 14% and the
+//! network utilization at 6%." The Coordinator tallies the CPU time it
+//! spends processing requests and the intra-server bytes it moves;
+//! utilization is busy time (or bytes) over wall-clock elapsed.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// The intra-server network modeled for utilization reporting:
+/// 10 Mbit/s Ethernet, as in the paper.
+pub const INTRA_SERVER_BYTES_PER_SEC: f64 = 1.25e6;
+
+/// Accumulates Coordinator load figures.
+pub struct CoordStats {
+    started: Mutex<Instant>,
+    busy_ns: AtomicU64,
+    bytes: AtomicU64,
+    requests: AtomicU64,
+    streams_started: AtomicU64,
+    streams_done: AtomicU64,
+}
+
+impl Default for CoordStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CoordStats {
+    /// Creates zeroed statistics starting now.
+    pub fn new() -> CoordStats {
+        CoordStats {
+            started: Mutex::new(Instant::now()),
+            busy_ns: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            streams_started: AtomicU64::new(0),
+            streams_done: AtomicU64::new(0),
+        }
+    }
+
+    /// Resets every counter and restarts the clock (benchmarks call
+    /// this after warmup).
+    pub fn reset(&self) {
+        *self.started.lock() = Instant::now();
+        self.busy_ns.store(0, Ordering::Relaxed);
+        self.bytes.store(0, Ordering::Relaxed);
+        self.requests.store(0, Ordering::Relaxed);
+        self.streams_started.store(0, Ordering::Relaxed);
+        self.streams_done.store(0, Ordering::Relaxed);
+    }
+
+    /// Records one processed request and the CPU time it took.
+    pub fn note_request(&self, busy: Duration) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.busy_ns
+            .fetch_add(busy.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Records CPU time outside the request path (e.g. notification
+    /// handling).
+    pub fn note_busy(&self, busy: Duration) {
+        self.busy_ns
+            .fetch_add(busy.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Records intra-server bytes moved (both directions).
+    pub fn note_bytes(&self, n: usize) {
+        self.bytes.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    /// Records a stream admission.
+    pub fn note_stream_started(&self) {
+        self.streams_started.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a stream termination.
+    pub fn note_stream_done(&self) {
+        self.streams_done.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total requests processed.
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Streams started.
+    pub fn streams_started(&self) -> u64 {
+        self.streams_started.load(Ordering::Relaxed)
+    }
+
+    /// Streams terminated.
+    pub fn streams_done(&self) -> u64 {
+        self.streams_done.load(Ordering::Relaxed)
+    }
+
+    /// Wall-clock time since the last reset.
+    pub fn elapsed(&self) -> Duration {
+        self.started.lock().elapsed()
+    }
+
+    /// CPU utilization: busy time / elapsed time.
+    pub fn cpu_utilization(&self) -> f64 {
+        let e = self.elapsed().as_secs_f64();
+        if e == 0.0 {
+            return 0.0;
+        }
+        self.busy_ns.load(Ordering::Relaxed) as f64 / 1e9 / e
+    }
+
+    /// Network utilization against the modeled 10 Mbit/s intra-server
+    /// Ethernet.
+    pub fn network_utilization(&self) -> f64 {
+        let e = self.elapsed().as_secs_f64();
+        if e == 0.0 {
+            return 0.0;
+        }
+        self.bytes.load(Ordering::Relaxed) as f64 / INTRA_SERVER_BYTES_PER_SEC / e
+    }
+
+    /// Offered request rate, requests/second.
+    pub fn request_rate(&self) -> f64 {
+        let e = self.elapsed().as_secs_f64();
+        if e == 0.0 {
+            return 0.0;
+        }
+        self.requests.load(Ordering::Relaxed) as f64 / e
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_math() {
+        let s = CoordStats::new();
+        s.note_request(Duration::from_millis(10));
+        s.note_request(Duration::from_millis(30));
+        s.note_bytes(125_000);
+        std::thread::sleep(Duration::from_millis(100));
+        let cpu = s.cpu_utilization();
+        assert!(cpu > 0.0 && cpu < 1.0, "{cpu}");
+        // 40 ms busy over ≥100 ms elapsed: ≤ 40%.
+        assert!(cpu <= 0.45, "{cpu}");
+        let net = s.network_utilization();
+        // 125 kB over ≥0.1 s on a 1.25 MB/s link ⇒ ≤ 100%.
+        assert!(net > 0.0 && net <= 1.0, "{net}");
+        assert_eq!(s.requests(), 2);
+        assert!(s.request_rate() > 0.0);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let s = CoordStats::new();
+        s.note_request(Duration::from_millis(5));
+        s.note_bytes(100);
+        s.note_stream_started();
+        s.note_stream_done();
+        s.reset();
+        assert_eq!(s.requests(), 0);
+        assert_eq!(s.streams_started(), 0);
+        assert_eq!(s.streams_done(), 0);
+        assert!(s.cpu_utilization() < 0.01);
+    }
+}

@@ -1,0 +1,248 @@
+//! A command-line Calliope client.
+//!
+//! ```sh
+//! calliope-cli --coordinator HOST:PORT [--admin] <command> [args…]
+//!
+//! commands:
+//!   list                      table of contents
+//!   types                     content-type table
+//!   upload <name> <secs>      record <secs> s of synthetic MPEG-1
+//!   upload-trick <name> <secs> also produce + attach FF/FB files (admin)
+//!   play <name>               play to a local port, report quality
+//!   delete <name>             delete content (admin)
+//!   replicate <name>          copy content onto another disk (admin)
+//!   status                    scheduler resource view
+//! ```
+//!
+//! `play` accepts VCR commands on stdin while the stream runs:
+//! `pause`, `play`, `seek <secs>`, `ff`, `fb`, `quit`.
+
+use calliope::content;
+use calliope_client::CalliopeClient;
+use calliope_types::{MediaTime, VcrCommand};
+use std::io::BufRead;
+use std::net::{IpAddr, Ipv4Addr, SocketAddr};
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: calliope-cli --coordinator HOST:PORT [--admin] \
+         <list|types|upload|upload-trick|play|delete|replicate|status> [args…]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut coordinator: Option<SocketAddr> = None;
+    let mut admin = false;
+    let mut rest: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--coordinator" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                coordinator = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
+            "--admin" => admin = true,
+            _ => {
+                rest.push(arg);
+                rest.extend(args.by_ref());
+            }
+        }
+    }
+    let Some(coordinator) = coordinator else { usage() };
+    if rest.is_empty() {
+        usage()
+    }
+
+    let bind = IpAddr::V4(Ipv4Addr::LOCALHOST);
+    let mut client = match CalliopeClient::connect(coordinator, bind, "calliope-cli", admin) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("calliope-cli: connect: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let result = match rest[0].as_str() {
+        "list" => cmd_list(&mut client),
+        "types" => cmd_types(&mut client),
+        "upload" => {
+            if rest.len() != 3 {
+                usage()
+            }
+            let secs: u32 = rest[2].parse().unwrap_or_else(|_| usage());
+            content::upload_mpeg(&mut client, &rest[1], secs, 42).map(|s| {
+                println!("uploaded {} bytes as {:?}", s.len(), rest[1]);
+            })
+        }
+        "upload-trick" => {
+            if rest.len() != 3 {
+                usage()
+            }
+            let secs: u32 = rest[2].parse().unwrap_or_else(|_| usage());
+            content::upload_movie_with_trick(&mut client, &rest[1], secs, 42).map(|s| {
+                println!(
+                    "uploaded {} bytes as {:?} with FF/FB files attached",
+                    s.len(),
+                    rest[1]
+                );
+            })
+        }
+        "play" => {
+            if rest.len() != 2 {
+                usage()
+            }
+            cmd_play(&mut client, &rest[1])
+        }
+        "delete" => {
+            if rest.len() != 2 {
+                usage()
+            }
+            client.delete(&rest[1]).map(|()| println!("deleted {:?}", rest[1]))
+        }
+        "replicate" => {
+            if rest.len() != 2 {
+                usage()
+            }
+            client
+                .replicate(&rest[1])
+                .map(|()| println!("replicated {:?}", rest[1]))
+        }
+        "status" => client.server_status().map(|(msus, streams)| {
+            println!("active streams: {streams}");
+            for m in msus {
+                println!(
+                    "{}  {}  net {}/{} kB/s",
+                    m.msu,
+                    if m.available { "up  " } else { "DOWN" },
+                    m.net_used / 1000,
+                    m.net_capacity / 1000
+                );
+                for d in m.disks {
+                    println!(
+                        "  {}  free {}/{} MB   bw {}/{} kB/s",
+                        d.disk,
+                        d.free_bytes / 1_000_000,
+                        d.capacity_bytes / 1_000_000,
+                        d.bw_used / 1000,
+                        d.bw_capacity / 1000
+                    );
+                }
+            }
+        }),
+        _ => usage(),
+    };
+    if let Err(e) = result {
+        eprintln!("calliope-cli: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn cmd_list(client: &mut CalliopeClient) -> calliope_types::Result<()> {
+    let toc = client.list_content()?;
+    if toc.is_empty() {
+        println!("(no content)");
+    }
+    for e in toc {
+        println!(
+            "{:24} {:12} {:>12} bytes {:>8.1}s",
+            e.name,
+            e.type_name,
+            e.bytes,
+            e.duration_us as f64 / 1e6
+        );
+    }
+    Ok(())
+}
+
+fn cmd_types(client: &mut CalliopeClient) -> calliope_types::Result<()> {
+    for t in client.list_types()? {
+        println!("{t:?}");
+    }
+    Ok(())
+}
+
+fn cmd_play(client: &mut CalliopeClient, name: &str) -> calliope_types::Result<()> {
+    // Look the type up so the port matches the content.
+    let toc = client.list_content()?;
+    let entry = toc
+        .iter()
+        .find(|e| e.name == name)
+        .ok_or_else(|| calliope_types::Error::NoSuchContent { name: name.into() })?;
+    if entry.type_name != "mpeg1" {
+        return Err(calliope_types::Error::Protocol {
+            msg: format!(
+                "calliope-cli play only supports atomic mpeg1 content (got {})",
+                entry.type_name
+            ),
+        });
+    }
+    let port = client.open_port("cli", &entry.type_name)?;
+    let mut play = client.play(name, "cli", &[&port])?;
+    let stream = play.streams[0];
+    println!("playing {name:?} ({:.1}s); VCR commands on stdin: pause/play/seek <s>/ff/fb/quit", entry.duration_us as f64 / 1e6);
+
+    // Stdin VCR loop on a side thread.
+    let (tx, rx) = std::sync::mpsc::channel::<VcrCommand>();
+    std::thread::spawn(move || {
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            let Ok(line) = line else { break };
+            let parts: Vec<&str> = line.split_whitespace().collect();
+            let cmd = match parts.as_slice() {
+                ["pause"] => VcrCommand::Pause,
+                ["play"] => VcrCommand::Play,
+                ["ff"] => VcrCommand::FastForward,
+                ["fb"] => VcrCommand::FastBackward,
+                ["quit"] => VcrCommand::Quit,
+                ["seek", s] => match s.parse::<f64>() {
+                    Ok(v) => VcrCommand::Seek(MediaTime((v * 1e6) as u64)),
+                    Err(_) => continue,
+                },
+                _ => continue,
+            };
+            let terminal = cmd.is_terminal();
+            if tx.send(cmd).is_err() || terminal {
+                break;
+            }
+        }
+    });
+
+    loop {
+        match rx.recv_timeout(Duration::from_millis(200)) {
+            Ok(cmd) => {
+                let terminal = cmd.is_terminal();
+                match play.vcr(cmd) {
+                    Ok(()) => println!("ok"),
+                    Err(e) => println!("vcr error: {e}"),
+                }
+                if terminal {
+                    break;
+                }
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                if play.ended().is_some() {
+                    break;
+                }
+                // Poll for natural end without blocking stdin.
+                if let Ok(reason) = play.wait_end(Duration::from_millis(10)) {
+                    println!("stream ended: {reason:?}");
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    std::thread::sleep(Duration::from_millis(200));
+    let s = port.stats(stream);
+    println!(
+        "{} packets, {} bytes, {} lost, worst lateness {:.1} ms, {:.2}% within 50 ms",
+        s.packets,
+        s.bytes,
+        s.lost,
+        s.max_late_us as f64 / 1000.0,
+        s.pct_within_50ms()
+    );
+    Ok(())
+}

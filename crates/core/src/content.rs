@@ -1,0 +1,186 @@
+//! Content helpers: generating and uploading synthetic media.
+//!
+//! The paper's content came from MPEG-1 encoders, NV captures, and VAT
+//! sessions; here the `calliope-media` generators stand in. These
+//! helpers wrap the record flow — open a port, schedule a recording,
+//! stream the packets, finalize — so examples and tests stay short.
+
+use calliope_client::CalliopeClient;
+use calliope_media::{filter, mpeg, nv, vat, TimedPacket};
+use calliope_types::error::{Error, Result};
+use calliope_types::time::BitRate;
+use calliope_types::wire::messages::DoneReason;
+use std::time::{Duration, Instant};
+
+/// How much faster than real time uploads run. Timestamped protocols
+/// (RTP, VAT) carry their schedule in the headers, so arrival pacing
+/// only has to be fast enough to keep packets ordered.
+pub const UPLOAD_SPEEDUP: f64 = 40.0;
+
+/// Waits until the Coordinator's catalog shows `name` as ready: the
+/// client's `GroupEnded` can arrive slightly before the MSU's
+/// `StreamDone` finalizes the catalog entry.
+fn wait_cataloged(client: &mut CalliopeClient, name: &str) -> Result<()> {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if client.list_content()?.iter().any(|e| e.name == name) {
+            return Ok(());
+        }
+        if Instant::now() > deadline {
+            return Err(Error::internal(format!(
+                "recording {name:?} never appeared in the catalog"
+            )));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn upload_packets(
+    client: &mut CalliopeClient,
+    name: &str,
+    type_name: &str,
+    est_secs: u32,
+    packets: &[(u64, Vec<u8>)],
+) -> Result<()> {
+    let port_name = format!("upload-{name}");
+    let port = client.open_port(&port_name, type_name)?;
+    let mut rec = client.record(name, &port_name, type_name, est_secs, &[&port])?;
+    rec.send_trace(0, packets, UPLOAD_SPEEDUP)?;
+    match rec.finish(Duration::from_secs(30))? {
+        DoneReason::Completed | DoneReason::ClientQuit => {}
+        other => {
+            return Err(Error::Protocol {
+                msg: format!("recording ended abnormally: {other:?}"),
+            })
+        }
+    }
+    client.request(calliope_types::wire::messages::ClientRequest::UnregisterPort {
+        name: port_name,
+    })?;
+    wait_cataloged(client, name)
+}
+
+/// Records `secs` seconds of synthetic 1.5 Mbit/s MPEG-1 as `name`.
+/// Returns the generated stream so callers can verify playback
+/// byte-for-byte.
+pub fn upload_mpeg(client: &mut CalliopeClient, name: &str, secs: u32, seed: u64) -> Result<Vec<u8>> {
+    let stream = mpeg::generate(BitRate::from_kbps(1500), secs, seed);
+    upload_mpeg_bytes(client, name, &stream)?;
+    Ok(stream)
+}
+
+/// Records an existing MPEG byte stream (e.g. a filtered trick-play
+/// file) as `name`.
+pub fn upload_mpeg_bytes(client: &mut CalliopeClient, name: &str, stream: &[u8]) -> Result<()> {
+    // Chop the opaque stream into 1400-byte packets, paced at the
+    // nominal rate (scaled by the upload speedup).
+    let rate = BitRate::from_kbps(1500);
+    let packets: Vec<(u64, Vec<u8>)> = stream
+        .chunks(1400)
+        .enumerate()
+        .map(|(i, c)| {
+            let t = rate.transmit_time(i as u64 * 1400).as_micros();
+            (t, c.to_vec())
+        })
+        .collect();
+    let est_secs = (rate.transmit_time(stream.len() as u64).as_micros() / 1_000_000 + 1) as u32;
+    upload_packets(client, name, "mpeg1", est_secs, &packets)
+}
+
+/// Records a movie plus its offline-filtered fast-forward and
+/// fast-backward versions, and attaches them (requires an admin
+/// session). Returns the normal-rate stream bytes.
+pub fn upload_movie_with_trick(
+    client: &mut CalliopeClient,
+    name: &str,
+    secs: u32,
+    seed: u64,
+) -> Result<Vec<u8>> {
+    let stream = mpeg::generate(BitRate::from_kbps(1500), secs, seed);
+    let ff = filter::fast_forward(&stream, filter::SKIP)?;
+    let fb = filter::fast_backward(&stream, filter::SKIP)?;
+    upload_mpeg_bytes(client, name, &stream)?;
+    upload_mpeg_bytes(client, &format!("{name}.ff"), &ff)?;
+    upload_mpeg_bytes(client, &format!("{name}.fb"), &fb)?;
+    client.attach_trick(name, &format!("{name}.ff"), &format!("{name}.fb"))?;
+    Ok(stream)
+}
+
+/// Records `secs` seconds of NV-like variable-rate video as `name`.
+/// Returns the trace for verification.
+pub fn upload_nv(
+    client: &mut CalliopeClient,
+    name: &str,
+    params: &nv::NvParams,
+    secs: u32,
+    seed: u64,
+) -> Result<Vec<TimedPacket>> {
+    let trace = nv::generate(params, secs, seed);
+    let packets: Vec<(u64, Vec<u8>)> = trace
+        .iter()
+        .map(|p| (p.time_us, p.payload.clone()))
+        .collect();
+    upload_packets(client, name, "nv-video", secs + 1, &packets)?;
+    Ok(trace)
+}
+
+/// Records a composite seminar: NV video plus VAT audio under one
+/// content name, as one stream group.
+pub fn upload_seminar(
+    client: &mut CalliopeClient,
+    name: &str,
+    secs: u32,
+    seed: u64,
+) -> Result<(Vec<TimedPacket>, Vec<TimedPacket>)> {
+    let video = nv::generate(&nv::paper_files()[0], secs, seed);
+    let audio = vat::generate(secs, seed ^ 1);
+
+    let vport_name = format!("upload-{name}-v");
+    let aport_name = format!("upload-{name}-a");
+    let vport = client.open_port(&vport_name, "nv-video")?;
+    let aport = client.open_port(&aport_name, "vat-audio")?;
+    let comp_name = format!("upload-{name}-sem");
+    client.register_composite(&comp_name, "seminar", &[&vport, &aport])?;
+
+    let mut rec = client.record(name, &comp_name, "seminar", secs + 1, &[&vport, &aport])?;
+    // Interleave the two components in time order, scaled.
+    let mut vi = 0;
+    let mut ai = 0;
+    let start = std::time::Instant::now();
+    while vi < video.len() || ai < audio.len() {
+        let (idx, pkt) = match (video.get(vi), audio.get(ai)) {
+            (Some(v), Some(a)) if v.time_us <= a.time_us => {
+                vi += 1;
+                (0, v)
+            }
+            (Some(_), Some(a)) => {
+                ai += 1;
+                (1, a)
+            }
+            (Some(v), None) => {
+                vi += 1;
+                (0, v)
+            }
+            (None, Some(a)) => {
+                ai += 1;
+                (1, a)
+            }
+            (None, None) => break,
+        };
+        let due = Duration::from_micros((pkt.time_us as f64 / UPLOAD_SPEEDUP) as u64);
+        let elapsed = start.elapsed();
+        if due > elapsed {
+            std::thread::sleep(due - elapsed);
+        }
+        rec.send_media(idx, &pkt.payload)?;
+    }
+    match rec.finish(Duration::from_secs(30))? {
+        DoneReason::Completed | DoneReason::ClientQuit => {
+            wait_cataloged(client, name)?;
+            Ok((video, audio))
+        }
+        other => Err(Error::Protocol {
+            msg: format!("seminar recording ended abnormally: {other:?}"),
+        }),
+    }
+}

@@ -1,0 +1,42 @@
+//! Calliope: a distributed, scalable multimedia server.
+//!
+//! A from-scratch Rust reproduction of *"Calliope: A Distributed,
+//! Scalable Multimedia Server"* (Heybey, Sullivan, England — USENIX
+//! 1996). One Coordinator machine handles the non-real-time work
+//! (catalog, admission control, scheduling); one or more Multimedia
+//! Storage Units (MSUs) record and play real-time streams; clients
+//! speak TCP for control and UDP for data.
+//!
+//! This crate is the facade: it re-exports the subsystem crates and
+//! provides [`Cluster`], which brings up a whole installation —
+//! Coordinator plus N MSUs on loopback — in one process, exactly the
+//! "very small installation" deployment the paper describes
+//! (Coordinator and MSU software on the same machine).
+//!
+//! ```no_run
+//! use calliope::cluster::Cluster;
+//! use calliope::content;
+//!
+//! let cluster = Cluster::builder().msus(1).build().unwrap();
+//! let mut client = cluster.client("quickstart", false).unwrap();
+//! // Record 2 seconds of synthetic MPEG-1, then play it back.
+//! content::upload_mpeg(&mut client, "movie", 2, 42).unwrap();
+//! let port = client.open_port("tv", "mpeg1").unwrap();
+//! let mut play = client.play("movie", "tv", &[&port]).unwrap();
+//! play.wait_end(std::time::Duration::from_secs(30)).unwrap();
+//! cluster.shutdown();
+//! ```
+
+pub mod cluster;
+pub mod content;
+
+pub use calliope_client as client;
+pub use calliope_coord as coord;
+pub use calliope_media as media;
+pub use calliope_msu as msu;
+pub use calliope_proto as proto;
+pub use calliope_sim as sim;
+pub use calliope_storage as storage;
+pub use calliope_types as types;
+
+pub use cluster::Cluster;

@@ -1,0 +1,146 @@
+//! The offline fast-forward / fast-backward filter.
+//!
+//! "To implement fast forward and fast backward scans, we used an
+//! offline filtering program. … The filtering program reads the
+//! recorded stream, selects every fifteenth video frame, recompresses
+//! the filtered stream, and loads it into the server. For the
+//! fast-backward version, the frames are stored in the filtered stream
+//! in reverse order. This filtering procedure is not automatic in the
+//! current implementation; an administrator has to produce the fast
+//! forward and fast backward versions of the content." (paper §2.3.1)
+//!
+//! With the synthetic GOP (an I frame every 15th frame), selecting
+//! every 15th frame keeps exactly the intra-coded frames — the only
+//! ones decodable in isolation — just as a real MPEG filter would.
+
+use crate::mpeg;
+use calliope_types::error::{Error, Result};
+
+/// The paper's skip factor: keep every 15th frame.
+pub const SKIP: usize = 15;
+
+/// Produces the fast-forward stream: every `skip`-th frame, forward
+/// order.
+pub fn fast_forward(stream: &[u8], skip: usize) -> Result<Vec<u8>> {
+    if skip == 0 {
+        return Err(Error::Protocol {
+            msg: "skip factor must be positive".into(),
+        });
+    }
+    let frames = mpeg::parse(stream)?;
+    let selected: Vec<_> = frames.iter().step_by(skip).copied().collect();
+    Ok(mpeg::serialize(selected.iter()))
+}
+
+/// Produces the fast-backward stream: every `skip`-th frame, reverse
+/// order.
+pub fn fast_backward(stream: &[u8], skip: usize) -> Result<Vec<u8>> {
+    if skip == 0 {
+        return Err(Error::Protocol {
+            msg: "skip factor must be positive".into(),
+        });
+    }
+    let frames = mpeg::parse(stream)?;
+    let mut selected: Vec<_> = frames.iter().step_by(skip).copied().collect();
+    selected.reverse();
+    Ok(mpeg::serialize(selected.iter()))
+}
+
+/// Maps a position in the normal-rate stream to the corresponding
+/// position in a filtered stream, as a fraction of total length.
+///
+/// "The MSU seeks to the frame in the fast forward file corresponding
+/// to the current frame of the normal rate file" — with every `skip`-th
+/// frame kept, normal-rate frame `n` corresponds to filtered frame
+/// `n / skip`.
+pub fn filtered_frame_of(normal_frame: u64, skip: usize) -> u64 {
+    normal_frame / skip as u64
+}
+
+/// The inverse mapping: filtered frame `f` corresponds to normal frame
+/// `f · skip`.
+pub fn normal_frame_of(filtered_frame: u64, skip: usize) -> u64 {
+    filtered_frame * skip as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mpeg::{generate, parse, FrameType};
+    use calliope_types::time::BitRate;
+
+    fn stream() -> Vec<u8> {
+        generate(BitRate::from_kbps(1500), 4, 11)
+    }
+
+    #[test]
+    fn fast_forward_keeps_only_i_frames() {
+        let s = stream();
+        let ff = fast_forward(&s, SKIP).unwrap();
+        let frames = parse(&ff).unwrap();
+        assert_eq!(frames.len(), 4 * 30 / SKIP); // 8 frames
+        for f in &frames {
+            assert_eq!(f.frame_type, FrameType::I, "every kept frame is intra-coded");
+        }
+    }
+
+    #[test]
+    fn fast_forward_preserves_order_and_content() {
+        let s = stream();
+        let original = parse(&s).unwrap();
+        let ff = fast_forward(&s, SKIP).unwrap();
+        let kept = parse(&ff).unwrap();
+        for (i, f) in kept.iter().enumerate() {
+            assert_eq!(f.payload, original[i * SKIP].payload);
+        }
+    }
+
+    #[test]
+    fn fast_backward_reverses() {
+        let s = stream();
+        let ff = fast_forward(&s, SKIP).unwrap();
+        let fb = fast_backward(&s, SKIP).unwrap();
+        let fwd = parse(&ff).unwrap();
+        let bwd = parse(&fb).unwrap();
+        assert_eq!(fwd.len(), bwd.len());
+        for (a, b) in fwd.iter().zip(bwd.iter().rev()) {
+            assert_eq!(a.payload, b.payload);
+        }
+    }
+
+    #[test]
+    fn filtered_stream_is_much_smaller() {
+        let s = stream();
+        let ff = fast_forward(&s, SKIP).unwrap();
+        // I frames are ~3× average size, so the FF file is ~3/15 = 20%
+        // of the original.
+        let ratio = ff.len() as f64 / s.len() as f64;
+        assert!((0.1..0.3).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn frame_mapping_round_trips() {
+        for n in [0u64, 1, 14, 15, 29, 30, 449] {
+            let f = filtered_frame_of(n, SKIP);
+            let back = normal_frame_of(f, SKIP);
+            assert!(back <= n && n - back < SKIP as u64);
+        }
+    }
+
+    #[test]
+    fn zero_skip_is_rejected() {
+        assert!(fast_forward(&stream(), 0).is_err());
+        assert!(fast_backward(&stream(), 0).is_err());
+    }
+
+    #[test]
+    fn garbage_input_is_rejected() {
+        assert!(fast_forward(&[1, 2, 3], SKIP).is_err());
+    }
+
+    #[test]
+    fn empty_stream_filters_to_empty() {
+        assert!(fast_forward(&[], SKIP).unwrap().is_empty());
+        assert!(fast_backward(&[], SKIP).unwrap().is_empty());
+    }
+}

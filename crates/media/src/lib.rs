@@ -1,0 +1,45 @@
+//! Synthetic media for the Calliope reproduction.
+//!
+//! The paper's evaluation used real MPEG-1 movies, NV (network video)
+//! captures of MBone seminars, and VAT audio. None of those encoders or
+//! traces are available here, so this crate generates synthetic streams
+//! that preserve the properties the system actually depends on:
+//!
+//! * [`mpeg`] — an MPEG-1-*like* elementary stream: GOP structure with
+//!   an intra-coded frame every 15th frame, constant 1.5 Mbit/s, and a
+//!   byte stream the MSU treats as opaque (the paper stresses the MSU
+//!   never parses MPEG in real time). Frame boundaries are parseable
+//!   *offline*, which is exactly what the trick-play filter needs.
+//! * [`nv`] — NV-like variable-rate video traces: frames emitted as
+//!   bursts of back-to-back ~1 KB RTP packets, with average rates and
+//!   50 ms-window peaks matching the three files in the paper's Graph 2
+//!   (averages 635–877 Kbit/s, peaks 2.0–5.4 Mbit/s).
+//! * [`vat`] — VAT-like audio: 160-byte packets every 20 ms (8 kHz PCM,
+//!   64 Kbit/s).
+//! * [`filter`] — the *offline* fast-forward / fast-backward filter of
+//!   paper §2.3.1: select every 15th frame, reverse for FB.
+//! * [`measure`] — average and sliding-window-peak bitrate measurement,
+//!   used by tests and by the Graph 2 bench to report workload rates.
+
+pub mod filter;
+pub mod measure;
+pub mod mpeg;
+pub mod nv;
+pub mod vat;
+
+/// A packet with the (sender-side) time it should enter the network,
+/// relative to the start of the stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TimedPacket {
+    /// Send time in microseconds from stream start.
+    pub time_us: u64,
+    /// Packet bytes, protocol header included.
+    pub payload: Vec<u8>,
+}
+
+impl TimedPacket {
+    /// Convenience constructor.
+    pub fn new(time_us: u64, payload: Vec<u8>) -> Self {
+        TimedPacket { time_us, payload }
+    }
+}

@@ -1,0 +1,307 @@
+//! A synthetic MPEG-1-like elementary stream.
+//!
+//! The MSU treats MPEG content as an opaque constant-rate byte stream
+//! (paper §2.3.1: "the MPEG encoders that we have produce an opaque
+//! stream with no framing information. … Parsing the MPEG stream is too
+//! expensive to do in real time"). The *offline* filter, however, must
+//! find frame boundaries to select every 15th frame. This synthetic
+//! format keeps both properties: the MSU never looks inside, while the
+//! filter can parse it cheaply.
+//!
+//! Stream = concatenated frames; each frame is a 16-byte header plus a
+//! pseudo-random payload. GOP structure follows the paper: every
+//! `GOP_SIZE`-th frame is intra-coded (I), with P and B frames between
+//! (pattern `I B B P B B P B B P B B P B B`). Frame sizes are fixed per
+//! type and scaled so the stream runs at the requested constant rate.
+
+use calliope_types::error::{Error, Result};
+use calliope_types::time::BitRate;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Frames per group of pictures; every `GOP_SIZE`-th frame is an
+/// I-frame ("intra-encoding is used for every N-th frame … typically,
+/// fifteen to thirty", paper §2.3.1).
+pub const GOP_SIZE: usize = 15;
+
+/// Frames per second of the synthetic encoding.
+pub const FRAME_RATE: u32 = 30;
+
+/// Byte length of a frame header.
+pub const FRAME_HEADER_LEN: usize = 16;
+
+/// Frame-header sync word (`"MPEG"` little-endian).
+pub const FRAME_SYNC: u32 = 0x4745_504D;
+
+/// Frame types in the synthetic GOP.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameType {
+    /// Intra-coded: decodable alone; the only frames trick-play keeps.
+    I,
+    /// Predicted from the previous I/P frame.
+    P,
+    /// Bidirectionally predicted.
+    B,
+}
+
+impl FrameType {
+    /// The type of frame `n` within the fixed GOP pattern.
+    pub fn of_frame(n: u64) -> FrameType {
+        match n as usize % GOP_SIZE {
+            0 => FrameType::I,
+            i if i % 3 == 0 => FrameType::P,
+            _ => FrameType::B,
+        }
+    }
+
+    /// Relative size weight of this frame type (I frames are largest).
+    fn weight(self) -> f64 {
+        match self {
+            FrameType::I => 3.0,
+            FrameType::P => 1.2,
+            FrameType::B => 0.6,
+        }
+    }
+
+    const fn tag(self) -> u8 {
+        match self {
+            FrameType::I => 0,
+            FrameType::P => 1,
+            FrameType::B => 2,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Option<FrameType> {
+        match tag {
+            0 => Some(FrameType::I),
+            1 => Some(FrameType::P),
+            2 => Some(FrameType::B),
+            _ => None,
+        }
+    }
+}
+
+/// A parsed frame (borrowing the stream buffer).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Frame<'a> {
+    /// Sequential frame number from the start of the stream.
+    pub number: u64,
+    /// I, P, or B.
+    pub frame_type: FrameType,
+    /// Payload bytes (header excluded).
+    pub payload: &'a [u8],
+}
+
+impl Frame<'_> {
+    /// Total encoded length, header included.
+    pub fn encoded_len(&self) -> usize {
+        FRAME_HEADER_LEN + self.payload.len()
+    }
+}
+
+fn payload_bytes_per_frame(rate: BitRate, frame_type: FrameType) -> usize {
+    // Scale weights so one GOP totals rate · GOP_duration bytes.
+    let gop_weight: f64 = (0..GOP_SIZE as u64)
+        .map(|n| FrameType::of_frame(n).weight())
+        .sum();
+    let gop_bytes = rate.bps() as f64 / 8.0 * GOP_SIZE as f64 / FRAME_RATE as f64;
+    let unit = gop_bytes / gop_weight;
+    ((unit * frame_type.weight()) as usize).saturating_sub(FRAME_HEADER_LEN)
+}
+
+/// Generates `seconds` of synthetic MPEG at the given constant rate.
+///
+/// Deterministic in `seed`, so tests and benches can reproduce content
+/// byte-for-byte.
+pub fn generate(rate: BitRate, seconds: u32, seed: u64) -> Vec<u8> {
+    let frames = seconds as u64 * FRAME_RATE as u64;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(rate.as_byte_rate().bytes_per_sec() as usize * seconds as usize);
+    for n in 0..frames {
+        let ty = FrameType::of_frame(n);
+        let len = payload_bytes_per_frame(rate, ty);
+        out.extend_from_slice(&FRAME_SYNC.to_le_bytes());
+        out.push(ty.tag());
+        out.push(0);
+        out.extend_from_slice(&(n as u32).to_le_bytes());
+        out.extend_from_slice(&(len as u32).to_le_bytes());
+        out.extend_from_slice(&[0u8; 2]);
+        let mut payload = vec![0u8; len];
+        rng.fill(payload.as_mut_slice());
+        out.extend_from_slice(&payload);
+    }
+    out
+}
+
+/// Parses a synthetic MPEG stream into frames.
+///
+/// This is the *offline* path (the filter, tests); the MSU never calls
+/// it.
+pub fn parse(stream: &[u8]) -> Result<Vec<Frame<'_>>> {
+    let mut frames = Vec::new();
+    let mut at = 0usize;
+    while at < stream.len() {
+        if stream.len() - at < FRAME_HEADER_LEN {
+            return Err(Error::Protocol {
+                msg: format!("truncated frame header at byte {at}"),
+            });
+        }
+        let sync = u32::from_le_bytes(stream[at..at + 4].try_into().expect("4 bytes"));
+        if sync != FRAME_SYNC {
+            return Err(Error::Protocol {
+                msg: format!("bad frame sync at byte {at}"),
+            });
+        }
+        let ty = FrameType::from_tag(stream[at + 4]).ok_or_else(|| Error::Protocol {
+            msg: format!("bad frame type at byte {at}"),
+        })?;
+        let number =
+            u32::from_le_bytes(stream[at + 6..at + 10].try_into().expect("4 bytes")) as u64;
+        let len =
+            u32::from_le_bytes(stream[at + 10..at + 14].try_into().expect("4 bytes")) as usize;
+        if stream.len() - at - FRAME_HEADER_LEN < len {
+            return Err(Error::Protocol {
+                msg: format!("truncated frame payload at byte {at}"),
+            });
+        }
+        frames.push(Frame {
+            number,
+            frame_type: ty,
+            payload: &stream[at + FRAME_HEADER_LEN..at + FRAME_HEADER_LEN + len],
+        });
+        at += FRAME_HEADER_LEN + len;
+    }
+    Ok(frames)
+}
+
+/// Re-serializes frames into a stream buffer (used by the filter).
+pub fn serialize<'a>(frames: impl IntoIterator<Item = &'a Frame<'a>>) -> Vec<u8> {
+    let mut out = Vec::new();
+    for (i, f) in frames.into_iter().enumerate() {
+        out.extend_from_slice(&FRAME_SYNC.to_le_bytes());
+        out.push(f.frame_type.tag());
+        out.push(0);
+        // Renumber densely so the output is itself a valid stream.
+        out.extend_from_slice(&(i as u32).to_le_bytes());
+        out.extend_from_slice(&(f.payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&[0u8; 2]);
+        out.extend_from_slice(f.payload);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gop_pattern_matches_the_paper() {
+        // I B B P B B P B B P B B P B B, repeating.
+        let expect = [
+            FrameType::I,
+            FrameType::B,
+            FrameType::B,
+            FrameType::P,
+            FrameType::B,
+            FrameType::B,
+            FrameType::P,
+            FrameType::B,
+            FrameType::B,
+            FrameType::P,
+            FrameType::B,
+            FrameType::B,
+            FrameType::P,
+            FrameType::B,
+            FrameType::B,
+        ];
+        for (i, e) in expect.iter().enumerate() {
+            assert_eq!(FrameType::of_frame(i as u64), *e, "frame {i}");
+            assert_eq!(FrameType::of_frame((i + GOP_SIZE) as u64), *e);
+        }
+        // Exactly one I frame per GOP — the frames trick-play keeps.
+        let i_frames = (0..GOP_SIZE as u64)
+            .filter(|&n| FrameType::of_frame(n) == FrameType::I)
+            .count();
+        assert_eq!(i_frames, 1);
+    }
+
+    #[test]
+    fn generate_parse_round_trip() {
+        let stream = generate(BitRate::from_kbps(1500), 2, 42);
+        let frames = parse(&stream).unwrap();
+        assert_eq!(frames.len(), 60);
+        for (i, f) in frames.iter().enumerate() {
+            assert_eq!(f.number, i as u64);
+            assert_eq!(f.frame_type, FrameType::of_frame(i as u64));
+        }
+    }
+
+    #[test]
+    fn stream_rate_is_constant_within_two_percent() {
+        let rate = BitRate::from_kbps(1500);
+        let stream = generate(rate, 10, 7);
+        let actual_bps = stream.len() as f64 * 8.0 / 10.0;
+        let err = (actual_bps - 1_500_000.0).abs() / 1_500_000.0;
+        assert!(err < 0.02, "rate off by {:.1}%", err * 100.0);
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_seed() {
+        let a = generate(BitRate::from_kbps(1500), 1, 9);
+        let b = generate(BitRate::from_kbps(1500), 1, 9);
+        let c = generate(BitRate::from_kbps(1500), 1, 10);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn i_frames_are_largest() {
+        let stream = generate(BitRate::from_kbps(1500), 1, 1);
+        let frames = parse(&stream).unwrap();
+        let i_len = frames
+            .iter()
+            .find(|f| f.frame_type == FrameType::I)
+            .unwrap()
+            .payload
+            .len();
+        let b_len = frames
+            .iter()
+            .find(|f| f.frame_type == FrameType::B)
+            .unwrap()
+            .payload
+            .len();
+        assert!(i_len > 3 * b_len, "I={i_len} B={b_len}");
+    }
+
+    #[test]
+    fn parse_rejects_corruption() {
+        let mut stream = generate(BitRate::from_kbps(500), 1, 3);
+        assert!(parse(&stream[..10]).is_err(), "truncated header");
+        stream[0] ^= 0xFF;
+        assert!(parse(&stream).is_err(), "bad sync");
+        let mut stream2 = generate(BitRate::from_kbps(500), 1, 3);
+        stream2[4] = 99;
+        assert!(parse(&stream2).is_err(), "bad frame type");
+        let stream3 = generate(BitRate::from_kbps(500), 1, 3);
+        assert!(parse(&stream3[..stream3.len() - 5]).is_err(), "truncated payload");
+    }
+
+    #[test]
+    fn serialize_renumbers_densely() {
+        let stream = generate(BitRate::from_kbps(500), 1, 3);
+        let frames = parse(&stream).unwrap();
+        let subset: Vec<_> = frames.iter().step_by(5).copied().collect();
+        let out = serialize(subset.iter());
+        let back = parse(&out).unwrap();
+        assert_eq!(back.len(), subset.len());
+        for (i, f) in back.iter().enumerate() {
+            assert_eq!(f.number, i as u64);
+            assert_eq!(f.payload, subset[i].payload);
+        }
+    }
+
+    #[test]
+    fn empty_stream_parses_to_nothing() {
+        assert!(parse(&[]).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,228 @@
+//! NV-like variable-rate video traces.
+//!
+//! The paper's Graph 2 used three files captured with NV, Ron
+//! Frederick's network video tool: "the three different files used in
+//! the test had average rates of 650, 635, and 877 KBit/sec", "most of
+//! the packets in the streams are about one KByte long", and "NV
+//! encodes a frame and then sends it out as quickly as possible,
+//! resulting in bursts of back-to-back packets. Measured using a 50
+//! millisecond sliding window, the peak rates of the files ranged from
+//! 2.0 to 5.4 MBit/sec." (§3.2.2)
+//!
+//! [`generate`] reproduces those statistics: frames arrive at a steady
+//! interval, each frame is a burst of back-to-back ~1 KB RTP packets,
+//! frame sizes fluctuate around the target mean, and periodic
+//! scene-change frames produce the 50 ms peaks.
+
+use crate::TimedPacket;
+use calliope_proto::rtp::{RtpHeader, VIDEO_CLOCK_HZ};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Payload bytes per NV packet (most packets "about one KByte").
+pub const NV_PACKET_BYTES: usize = 1000;
+
+/// Parameters describing one NV capture.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NvParams {
+    /// Human-readable file name for reports.
+    pub name: &'static str,
+    /// Target average rate in bits/second.
+    pub avg_bps: u64,
+    /// Frames per second.
+    pub fps: u32,
+    /// Scene-change frame size in bytes (sets the 50 ms-window peak:
+    /// `peak ≈ burst_bytes · 8 / 0.05`).
+    pub burst_bytes: usize,
+    /// How often a scene change occurs, in frames.
+    pub burst_every: u32,
+}
+
+/// The three files of the paper's Graph 2 experiment.
+///
+/// Burst sizes are chosen so the 50 ms-window peaks land in the paper's
+/// 2.0–5.4 Mbit/s range: 13 KB → ~2.1 Mbit/s, 18 KB → ~2.9 Mbit/s,
+/// 33 KB → ~5.3 Mbit/s.
+pub fn paper_files() -> [NvParams; 3] {
+    [
+        NvParams {
+            name: "nv-650",
+            avg_bps: 650_000,
+            fps: 10,
+            burst_bytes: 13_000,
+            burst_every: 40,
+        },
+        NvParams {
+            name: "nv-635",
+            avg_bps: 635_000,
+            fps: 8,
+            burst_bytes: 18_000,
+            burst_every: 50,
+        },
+        NvParams {
+            name: "nv-877",
+            avg_bps: 877_000,
+            fps: 12,
+            burst_bytes: 33_000,
+            burst_every: 60,
+        },
+    ]
+}
+
+/// Generates `seconds` of NV-like video as timed RTP packets.
+///
+/// Deterministic in `seed`. Packet times are the *sender's* times: all
+/// packets of one frame share the frame's timestamp and leave
+/// back-to-back (1 µs apart), reproducing NV's burstiness.
+pub fn generate(params: &NvParams, seconds: u32, seed: u64) -> Vec<TimedPacket> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let frames = (seconds * params.fps) as u64;
+    let frame_interval_us = 1_000_000 / params.fps as u64;
+
+    // Mean ordinary-frame size such that the long-run average hits
+    // avg_bps given the periodic bursts.
+    let bytes_per_frame_target = params.avg_bps as f64 / 8.0 / params.fps as f64;
+    let burst_share = params.burst_bytes as f64 / params.burst_every as f64;
+    let ordinary_mean = (bytes_per_frame_target - burst_share).max(200.0);
+
+    let mut out = Vec::new();
+    let mut seq: u16 = 0;
+    let ssrc = rng.gen::<u32>();
+    for n in 0..frames {
+        let t_us = n * frame_interval_us;
+        let is_burst = params.burst_every > 0 && n % params.burst_every as u64 == params.burst_every as u64 - 1;
+        let frame_bytes = if is_burst {
+            params.burst_bytes
+        } else {
+            // Uniform in [0.4, 1.6] × mean keeps the average on target
+            // while looking like real frame-to-frame variation.
+            (ordinary_mean * rng.gen_range(0.4..1.6)) as usize
+        };
+        let timestamp = (t_us as u128 * VIDEO_CLOCK_HZ as u128 / 1_000_000) as u32;
+        let mut remaining = frame_bytes.max(1);
+        let mut burst_offset = 0u64;
+        while remaining > 0 {
+            let take = remaining.min(NV_PACKET_BYTES);
+            remaining -= take;
+            let header = RtpHeader {
+                payload_type: 28, // NV's registered RTP payload type
+                marker: remaining == 0,
+                seq,
+                timestamp,
+                ssrc,
+            };
+            seq = seq.wrapping_add(1);
+            let mut payload = header.to_bytes().to_vec();
+            let mut body = vec![0u8; take];
+            rng.fill(body.as_mut_slice());
+            payload.extend_from_slice(&body);
+            // Back-to-back: 1 µs apart within the frame burst.
+            out.push(TimedPacket::new(t_us + burst_offset, payload));
+            burst_offset += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure;
+
+    #[test]
+    fn average_rates_match_paper_files() {
+        for p in paper_files() {
+            let pkts = generate(&p, 30, 1);
+            let avg = measure::avg_bps(&pkts);
+            let err = (avg as f64 - p.avg_bps as f64).abs() / p.avg_bps as f64;
+            assert!(
+                err < 0.15,
+                "{}: avg {avg} vs target {} ({:.1}% off)",
+                p.name,
+                p.avg_bps,
+                err * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn peak_rates_land_in_paper_range() {
+        let mut peaks = Vec::new();
+        for p in paper_files() {
+            let pkts = generate(&p, 30, 2);
+            let peak = measure::peak_bps(&pkts, 50_000);
+            peaks.push(peak);
+            assert!(
+                (1_800_000..6_500_000).contains(&peak),
+                "{}: 50ms peak {peak}",
+                p.name
+            );
+        }
+        // The spread must cover roughly 2.0–5.4 Mbit/s as in the paper.
+        let min = *peaks.iter().min().unwrap();
+        let max = *peaks.iter().max().unwrap();
+        assert!(min < 3_000_000, "least bursty file peaks at {min}");
+        assert!(max > 4_500_000, "most bursty file peaks at {max}");
+    }
+
+    #[test]
+    fn packets_are_about_one_kilobyte() {
+        let p = paper_files()[0];
+        let pkts = generate(&p, 5, 3);
+        let full = pkts
+            .iter()
+            .filter(|pk| pk.payload.len() == NV_PACKET_BYTES + 12)
+            .count();
+        assert!(
+            full * 2 > pkts.len(),
+            "most packets should be full-size: {full}/{}",
+            pkts.len()
+        );
+    }
+
+    #[test]
+    fn frames_are_bursts_of_back_to_back_packets() {
+        let p = paper_files()[2];
+        let pkts = generate(&p, 2, 4);
+        // Find a burst: consecutive packets 1 µs apart.
+        let bursty = pkts.windows(2).filter(|w| w[1].time_us == w[0].time_us + 1).count();
+        assert!(bursty > pkts.len() / 2, "{bursty} of {}", pkts.len());
+    }
+
+    #[test]
+    fn rtp_headers_are_valid_and_sequenced() {
+        let p = paper_files()[1];
+        let pkts = generate(&p, 1, 5);
+        let mut prev_seq: Option<u16> = None;
+        for pk in &pkts {
+            let h = RtpHeader::parse(&pk.payload).unwrap();
+            if let Some(prev) = prev_seq {
+                assert_eq!(h.seq, prev.wrapping_add(1));
+            }
+            prev_seq = Some(h.seq);
+        }
+        // Last packet of each frame carries the marker bit.
+        let markers = pkts
+            .iter()
+            .filter(|pk| RtpHeader::parse(&pk.payload).unwrap().marker)
+            .count();
+        assert_eq!(markers as u32, p.fps, "one marker per frame");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let p = paper_files()[0];
+        assert_eq!(generate(&p, 2, 7), generate(&p, 2, 7));
+        assert_ne!(generate(&p, 2, 7), generate(&p, 2, 8));
+    }
+
+    #[test]
+    fn times_are_monotone() {
+        for p in paper_files() {
+            let pkts = generate(&p, 3, 9);
+            for w in pkts.windows(2) {
+                assert!(w[1].time_us >= w[0].time_us);
+            }
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! MSU configuration.
+
+use std::net::{IpAddr, Ipv4Addr, SocketAddr};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Geometry of one local disk (a file-backed raw device).
+#[derive(Clone, Debug)]
+pub struct DiskSpec {
+    /// Number of 256 KB blocks. A 1995 Seagate Barracuda held 2 GB ≈
+    /// 8192 blocks; tests use far fewer (the backing file is sparse).
+    pub blocks: u64,
+}
+
+/// Configuration for one MSU.
+#[derive(Clone, Debug)]
+pub struct MsuConfig {
+    /// The Coordinator's intra-server (MSU registration) address.
+    pub coordinator: SocketAddr,
+    /// Directory for the disk image files (`disk0.img`, `disk1.img`, …).
+    pub data_dir: PathBuf,
+    /// Local disks to create or open.
+    pub disks: Vec<DiskSpec>,
+    /// IP to bind the MSU's sockets on.
+    pub bind_ip: IpAddr,
+    /// Network-process wakeup granularity. The paper's FreeBSD timers
+    /// tick every 10 ms; smaller values trade CPU for jitter.
+    pub net_tick: Duration,
+    /// Previous identity when re-registering after a crash (paper §2.2
+    /// fault tolerance).
+    pub previous_id: Option<calliope_types::MsuId>,
+}
+
+impl MsuConfig {
+    /// A small configuration suitable for tests and examples: two
+    /// 16 MB disks, loopback networking, the paper's 10 ms timer.
+    pub fn small(coordinator: SocketAddr, data_dir: PathBuf) -> MsuConfig {
+        MsuConfig {
+            coordinator,
+            data_dir,
+            disks: vec![DiskSpec { blocks: 64 }, DiskSpec { blocks: 64 }],
+            bind_ip: IpAddr::V4(Ipv4Addr::LOCALHOST),
+            net_tick: Duration::from_millis(10),
+            previous_id: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_config_matches_paper_timer() {
+        let cfg = MsuConfig::small("127.0.0.1:9000".parse().unwrap(), "/tmp/x".into());
+        assert_eq!(cfg.net_tick, Duration::from_millis(10));
+        assert_eq!(cfg.disks.len(), 2);
+        assert!(cfg.previous_id.is_none());
+    }
+}

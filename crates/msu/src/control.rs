@@ -1,0 +1,369 @@
+//! The MSU's central control plane.
+//!
+//! "A central process handles RPCs from the Coordinator and from
+//! clients." (paper §2.3) Three kinds of activity live here:
+//!
+//! * the **Coordinator connection**: the MSU dials the Coordinator,
+//!   registers its disks, then executes `ScheduleRead`/`ScheduleWrite`
+//!   requests and posts `StreamDone` notifications;
+//! * the **client control connections**: "as soon as it is ready to
+//!   deliver the content stream, the MSU establishes a control stream
+//!   (TCP connection) with the client" (§2.2) — one per stream group,
+//!   carrying VCR commands in and group status out;
+//! * the **event loop**: reacts to disk/net events (group released,
+//!   playback finished, recording finalized) by notifying the client
+//!   and the Coordinator.
+
+use crate::disk::DiskCmd;
+use crate::net::NetCmd;
+use crate::stream::{GroupShared, StreamShared};
+use crate::trick::TrickMode;
+use calliope_types::error::{Error, Result};
+use calliope_types::wire::messages::{ClientToMsu, DoneReason, MsuEnvelope, MsuToClient, MsuToCoord};
+use calliope_types::wire::{read_frame, write_frame};
+use calliope_types::{GroupId, StreamId, VcrCommand};
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How long control-plane RPCs to the disk threads may take. Seeks
+/// traverse the IB-tree on disk, so this is generous.
+pub const DISK_RPC_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Everything a stream needs at teardown time.
+pub struct StreamInfo {
+    /// Shared runtime state.
+    pub shared: Arc<StreamShared>,
+    /// Its group.
+    pub group: Arc<GroupShared>,
+    /// Local disk index.
+    pub disk: usize,
+    /// True for recordings.
+    pub is_record: bool,
+    /// Stop flag for the recording receiver thread.
+    pub record_stop: Option<Arc<AtomicBool>>,
+    /// Reason recorded when the control plane initiated a stop (used to
+    /// label the eventual `StreamDone`).
+    pub quit_reason: Mutex<Option<DoneReason>>,
+    /// Set once `StreamDone` has been sent, so duplicate events are
+    /// harmless.
+    pub done_sent: AtomicBool,
+}
+
+/// Per-group control-plane state.
+pub struct GroupInfo {
+    /// Shared release state.
+    pub shared: Arc<GroupShared>,
+    /// The client's control listener (the MSU dials it).
+    pub client_ctrl: SocketAddr,
+    /// The established control connection, if any.
+    pub conn: Mutex<Option<TcpStream>>,
+}
+
+/// Control-plane state shared by every MSU thread.
+pub struct ServerShared {
+    /// All live streams.
+    pub registry: Mutex<HashMap<StreamId, Arc<StreamInfo>>>,
+    /// All live groups.
+    pub groups: Mutex<HashMap<GroupId, Arc<GroupInfo>>>,
+    /// One command channel per disk thread.
+    pub disk_txs: Vec<Sender<DiskCmd>>,
+    /// The network thread's command channel.
+    pub net_tx: Sender<NetCmd>,
+    /// Write half of the Coordinator connection.
+    pub coord_conn: Mutex<Option<TcpStream>>,
+    /// Set when the server is shutting down.
+    pub stop: Arc<AtomicBool>,
+}
+
+impl ServerShared {
+    /// Sends one envelope to the Coordinator (no-op if disconnected —
+    /// the Coordinator detects MSU failure by the broken TCP connection
+    /// anyway, paper §2.2).
+    pub fn send_to_coord(&self, env: &MsuEnvelope) {
+        let mut guard = self.coord_conn.lock();
+        if let Some(conn) = guard.as_mut() {
+            if write_frame(conn, env).is_err() {
+                *guard = None;
+            }
+        }
+    }
+
+    /// Issues a disk RPC and waits for the reply.
+    pub fn disk_rpc<T: Send + 'static>(
+        &self,
+        disk: usize,
+        make: impl FnOnce(Sender<T>) -> DiskCmd,
+    ) -> Result<T> {
+        let tx = self
+            .disk_txs
+            .get(disk)
+            .ok_or_else(|| Error::internal(format!("no local disk {disk}")))?;
+        let (rtx, rrx) = unbounded();
+        tx.send(make(rtx))
+            .map_err(|_| Error::internal("disk thread gone"))?;
+        rrx.recv_timeout(DISK_RPC_TIMEOUT)
+            .map_err(|_| Error::internal("disk thread did not reply"))
+    }
+
+    /// Sends a message on a group's client control connection.
+    pub fn send_to_client(&self, group: &GroupInfo, msg: &MsuToClient) {
+        let mut guard = group.conn.lock();
+        if let Some(conn) = guard.as_mut() {
+            if write_frame(conn, msg).is_err() {
+                *guard = None;
+            }
+        }
+    }
+
+    /// Tears one stream down and reports `StreamDone` with the given
+    /// reason. Idempotent per stream.
+    pub fn finish_stream(&self, info: &StreamInfo, reason: DoneReason, bytes: u64, duration_us: u64) {
+        if info.done_sent.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        info.shared.ctl.lock().phase = crate::stream::StreamPhase::Done;
+        if let Some(stop) = &info.record_stop {
+            stop.store(true, Ordering::Release);
+        }
+        if let Some(tx) = self.disk_txs.get(info.disk) {
+            let _ = tx.send(DiskCmd::Remove {
+                stream: info.shared.id,
+            });
+        }
+        let _ = self.net_tx.send(NetCmd::Remove {
+            stream: info.shared.id,
+        });
+        self.registry.lock().remove(&info.shared.id);
+        self.send_to_coord(&MsuEnvelope {
+            req_id: 0,
+            body: MsuToCoord::StreamDone {
+                stream: info.shared.id,
+                reason,
+                bytes,
+                duration_us,
+            },
+        });
+    }
+
+    /// Ends a whole group: finishes every member and notifies the
+    /// client.
+    ///
+    /// Recordings are *not* torn down synchronously: setting their stop
+    /// flag makes the receiver exit, the ring close, and the disk
+    /// process finalize the file; the eventual `RecordFinished` event
+    /// sends the accurate `StreamDone`.
+    pub fn finish_group(&self, group_id: GroupId, reason: DoneReason) {
+        let members: Vec<Arc<StreamInfo>> = {
+            let reg = self.registry.lock();
+            reg.values()
+                .filter(|i| i.shared.group == group_id)
+                .cloned()
+                .collect()
+        };
+        for info in &members {
+            if info.is_record {
+                *info.quit_reason.lock() = Some(reason.clone());
+                if let Some(stop) = &info.record_stop {
+                    stop.store(true, Ordering::Release);
+                }
+                continue;
+            }
+            let bytes = info.shared.stats.bytes.load(Ordering::Relaxed);
+            self.finish_stream(info, reason.clone(), bytes, 0);
+        }
+        if let Some(group) = self.groups.lock().remove(&group_id) {
+            self.send_to_client(
+                &group,
+                &MsuToClient::GroupEnded {
+                    group: group_id,
+                    reason,
+                },
+            );
+        }
+    }
+
+    /// Applies one VCR command to every stream of a group — "all
+    /// streams in a group are controlled by the same VCR commands"
+    /// (paper §2.2).
+    pub fn apply_vcr(&self, group_id: GroupId, cmd: VcrCommand) -> Result<()> {
+        let members: Vec<Arc<StreamInfo>> = {
+            let reg = self.registry.lock();
+            reg.values()
+                .filter(|i| i.shared.group == group_id)
+                .cloned()
+                .collect()
+        };
+        if members.is_empty() {
+            return Err(Error::Internal {
+                msg: format!("group {group_id} has no streams"),
+            });
+        }
+        let now = std::time::Instant::now();
+        match cmd {
+            VcrCommand::Pause => {
+                for m in &members {
+                    m.shared.ctl.lock().pacer.pause(now);
+                }
+                Ok(())
+            }
+            VcrCommand::Play => {
+                for m in &members {
+                    m.shared.ctl.lock().pacer.resume(now);
+                }
+                Ok(())
+            }
+            VcrCommand::Seek(target) => {
+                for m in &members {
+                    let res: Result<()> = self.disk_rpc(m.disk, |reply| DiskCmd::Seek {
+                        stream: m.shared.id,
+                        target,
+                        reply,
+                    })?;
+                    res?;
+                }
+                Ok(())
+            }
+            VcrCommand::FastForward | VcrCommand::FastBackward => {
+                let mode = if cmd == VcrCommand::FastForward {
+                    TrickMode::FastForward
+                } else {
+                    TrickMode::FastBackward
+                };
+                for m in &members {
+                    let res: Result<()> = self.disk_rpc(m.disk, |reply| DiskCmd::Trick {
+                        stream: m.shared.id,
+                        mode,
+                        reply,
+                    })?;
+                    res?;
+                }
+                Ok(())
+            }
+            VcrCommand::Quit => {
+                self.finish_group(group_id, DoneReason::ClientQuit);
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Dials the client's control listener for a group and runs the VCR
+/// loop until the connection drops or the group ends.
+pub fn run_group_ctrl(shared: Arc<ServerShared>, group: Arc<GroupInfo>, group_id: GroupId) {
+    let conn = match TcpStream::connect(group.client_ctrl) {
+        Ok(c) => c,
+        Err(_) => {
+            shared.finish_group(group_id, DoneReason::Error("client unreachable".into()));
+            return;
+        }
+    };
+    let mut read_half = match conn.try_clone() {
+        Ok(c) => c,
+        Err(_) => {
+            shared.finish_group(group_id, DoneReason::Error("socket clone failed".into()));
+            return;
+        }
+    };
+    read_half
+        .set_read_timeout(Some(Duration::from_millis(200)))
+        .ok();
+    *group.conn.lock() = Some(conn);
+
+    loop {
+        if shared.stop.load(Ordering::Acquire) {
+            return;
+        }
+        // The group may have ended (playback completed) while we waited.
+        if !shared.groups.lock().contains_key(&group_id) {
+            return;
+        }
+        let msg: Option<ClientToMsu> = match read_frame(&mut read_half) {
+            Ok(m) => m,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => None,
+        };
+        let Some(ClientToMsu::Vcr { group: g, cmd }) = msg else {
+            // Client closed the control connection: treat as quit.
+            shared.finish_group(group_id, DoneReason::ClientQuit);
+            return;
+        };
+        if g != group_id {
+            shared.send_to_client(
+                &group,
+                &MsuToClient::VcrAck {
+                    group: group_id,
+                    error: Some(format!("connection controls {group_id}, not {g}")),
+                },
+            );
+            continue;
+        }
+        let is_quit = cmd.is_terminal();
+        let error = shared.apply_vcr(group_id, cmd).err().map(|e| e.to_string());
+        if !is_quit {
+            shared.send_to_client(&group, &MsuToClient::VcrAck { group: group_id, error });
+        } else {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disk_rpc_to_missing_disk_errors() {
+        let (net_tx, _net_rx) = unbounded();
+        let shared = ServerShared {
+            registry: Mutex::new(HashMap::new()),
+            groups: Mutex::new(HashMap::new()),
+            disk_txs: Vec::new(),
+            net_tx,
+            coord_conn: Mutex::new(None),
+            stop: Arc::new(AtomicBool::new(false)),
+        };
+        let r: Result<u64> = shared.disk_rpc(0, |reply| DiskCmd::FreeBytes { reply });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn vcr_on_unknown_group_errors() {
+        let (net_tx, _net_rx) = unbounded();
+        let shared = ServerShared {
+            registry: Mutex::new(HashMap::new()),
+            groups: Mutex::new(HashMap::new()),
+            disk_txs: Vec::new(),
+            net_tx,
+            coord_conn: Mutex::new(None),
+            stop: Arc::new(AtomicBool::new(false)),
+        };
+        assert!(shared.apply_vcr(GroupId(9), VcrCommand::Pause).is_err());
+    }
+
+    #[test]
+    fn send_to_coord_without_connection_is_noop() {
+        let (net_tx, _net_rx) = unbounded();
+        let shared = ServerShared {
+            registry: Mutex::new(HashMap::new()),
+            groups: Mutex::new(HashMap::new()),
+            disk_txs: Vec::new(),
+            net_tx,
+            coord_conn: Mutex::new(None),
+            stop: Arc::new(AtomicBool::new(false)),
+        };
+        shared.send_to_coord(&MsuEnvelope {
+            req_id: 0,
+            body: MsuToCoord::Pong,
+        });
+    }
+}

@@ -1,0 +1,47 @@
+//! The Multimedia Storage Unit (MSU).
+//!
+//! "Each MSU is a PC with a set of disks, an interface to Calliope's
+//! intra-server network and an interface to the external high-speed
+//! network. The MSU runs a simple multi-process control program that
+//! assigns a process to each network device and disk while a central
+//! process handles RPCs from the Coordinator and from clients." (paper
+//! §2.3)
+//!
+//! This crate is that control program, with OS threads standing in for
+//! the original's processes:
+//!
+//! * a **disk thread per disk** ([`disk`]) runs the duty cycle: it
+//!   services its streams round-robin, reading 256 KB pages into memory
+//!   and writing recorded pages out;
+//! * a **network thread** ([`net`]) paces packet delivery against each
+//!   stream's (stored or calculated) schedule and transmits over UDP;
+//!   per-recording receiver threads feed incoming packets through their
+//!   protocol modules;
+//! * the **central control thread** ([`control`]) talks to the
+//!   Coordinator and opens the VCR control connection to each client;
+//! * threads exchange data through [`spsc`], a lock-free single-
+//!   producer/single-consumer ring that "relies on the atomicity of
+//!   memory read and write instructions to produce atomic enqueue and
+//!   dequeue operations" — the paper's semaphore-free shared-memory
+//!   queue;
+//! * double buffering (§2.2.1) falls out of the ring capacity: a play
+//!   stream's ring holds two 256 KB pages, so the disk thread fills one
+//!   while the network thread drains the other.
+//!
+//! Pure logic — pacing ([`pacer`]), packetization ([`packetize`]), and
+//! trick-play position mapping ([`trick`]) — is separated from the
+//! threads so it can be tested exhaustively without sockets or disks.
+
+pub mod config;
+pub mod control;
+pub mod disk;
+pub mod net;
+pub mod pacer;
+pub mod packetize;
+pub mod server;
+pub mod spsc;
+pub mod stream;
+pub mod trick;
+
+pub use config::MsuConfig;
+pub use server::MsuServer;

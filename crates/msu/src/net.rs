@@ -1,0 +1,755 @@
+//! The network process: paced delivery and recording receivers.
+//!
+//! "The network process then packetizes the buffer and sends it out
+//! through the high speed interface. The network process ensures that
+//! packet delivery proceeds on schedule." (paper §2.3)
+//!
+//! One thread paces every play stream: each wakeup (default every
+//! 10 ms, the paper's FreeBSD timer granularity) it tops up its packet
+//! queue from the page ring and transmits every packet whose deadline
+//! has arrived. Packet lateness is therefore bounded by the timer
+//! granularity plus transmission time under light load — the §2.2.1
+//! jitter argument.
+//!
+//! Recordings run one receiver thread per stream: it owns the UDP sink
+//! socket, feeds packets through the stream's protocol module (which
+//! derives delivery times, §2.3.2), and pushes the records into the
+//! ring the disk process drains.
+
+use crate::pacer::Pacer;
+use crate::spsc::{Consumer, PopError, Producer, PushError};
+use crate::stream::{GroupShared, PageBuf, StreamPhase, StreamShared};
+use calliope_proto::module::ProtocolModule;
+use calliope_proto::record::PacketRecord;
+use calliope_proto::schedule::CbrSchedule;
+use calliope_storage::catalog::FileKind;
+use calliope_storage::page::Geometry;
+use calliope_types::wire::data::{DataHeader, PacketKind};
+use calliope_types::wire::messages::PacingSpec;
+use calliope_types::{MediaTime, StreamId};
+use crossbeam::channel::{Receiver, Sender};
+use std::collections::{HashMap, VecDeque};
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Events the network thread reports to the control plane.
+#[derive(Debug)]
+pub enum NetEvent {
+    /// A play stream delivered its last packet and the end-of-stream
+    /// marker.
+    PlayFinished {
+        /// Which stream.
+        stream: StreamId,
+    },
+}
+
+/// Commands accepted by the network thread.
+pub enum NetCmd {
+    /// Registers a play stream.
+    AddPlay {
+        /// Shared stream state.
+        shared: Arc<StreamShared>,
+        /// Group (pacing starts only after release).
+        group: Arc<GroupShared>,
+        /// Page ring from the disk thread.
+        consumer: Consumer<PageBuf>,
+        /// Client display-port address.
+        dest: SocketAddr,
+        /// Calculated (CBR) or stored (IB-tree) schedule.
+        pacing: PacingSpec,
+        /// Page geometry (for parsing IB-tree pages).
+        geometry: Geometry,
+    },
+    /// Drops a play stream.
+    Remove {
+        /// Which stream.
+        stream: StreamId,
+    },
+    /// Stops the thread.
+    Shutdown,
+}
+
+struct QueuedPkt {
+    offset: MediaTime,
+    kind: PacketKind,
+    payload: Vec<u8>,
+}
+
+struct PlayIo {
+    shared: Arc<StreamShared>,
+    group: Arc<GroupShared>,
+    consumer: Consumer<PageBuf>,
+    dest: SocketAddr,
+    geometry: Geometry,
+    packetizer: Option<crate::packetize::CbrPacketizer>,
+    queue: VecDeque<QueuedPkt>,
+    local_gen: u64,
+    skip_until: MediaTime,
+    wire_seq: u32,
+    flushed: bool,
+    finished: bool,
+}
+
+/// The network thread main loop.
+pub fn run(socket: UdpSocket, tick: Duration, rx: Receiver<NetCmd>, events: Sender<NetEvent>) {
+    let mut plays: HashMap<StreamId, PlayIo> = HashMap::new();
+    loop {
+        loop {
+            match rx.try_recv() {
+                Ok(NetCmd::Shutdown) => return,
+                Ok(NetCmd::AddPlay {
+                    shared,
+                    group,
+                    consumer,
+                    dest,
+                    pacing,
+                    geometry,
+                }) => {
+                    let packetizer = match pacing {
+                        PacingSpec::Constant { rate, packet_bytes } => Some(
+                            crate::packetize::CbrPacketizer::new(CbrSchedule::new(rate, packet_bytes)),
+                        ),
+                        PacingSpec::Stored => None,
+                    };
+                    plays.insert(
+                        shared.id,
+                        PlayIo {
+                            shared,
+                            group,
+                            consumer,
+                            dest,
+                            geometry,
+                            packetizer,
+                            queue: VecDeque::new(),
+                            local_gen: 0,
+                            skip_until: MediaTime::ZERO,
+                            wire_seq: 0,
+                            flushed: false,
+                            finished: false,
+                        },
+                    );
+                }
+                Ok(NetCmd::Remove { stream }) => {
+                    plays.remove(&stream);
+                }
+                Err(crossbeam::channel::TryRecvError::Empty) => break,
+                Err(crossbeam::channel::TryRecvError::Disconnected) => return,
+            }
+        }
+
+        let now = Instant::now();
+        let mut done: Vec<StreamId> = Vec::new();
+        for (id, io) in plays.iter_mut() {
+            if service_play(&socket, io, now, &events) {
+                done.push(*id);
+            }
+        }
+        for id in done {
+            plays.remove(&id);
+        }
+
+        // The paper's 10 ms timer: the process sleeps and re-scans. A
+        // command can arrive mid-sleep; waking for it keeps VCR latency
+        // low without changing the pacing granularity.
+        match rx.recv_timeout(tick) {
+            Ok(NetCmd::Shutdown) => return,
+            Ok(cmd) => {
+                // Re-queue by handling inline on the next iteration: the
+                // simplest is to process it here.
+                handle_inline(cmd, &mut plays);
+            }
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+fn handle_inline(cmd: NetCmd, plays: &mut HashMap<StreamId, PlayIo>) {
+    match cmd {
+        NetCmd::AddPlay {
+            shared,
+            group,
+            consumer,
+            dest,
+            pacing,
+            geometry,
+        } => {
+            let packetizer = match pacing {
+                PacingSpec::Constant { rate, packet_bytes } => Some(
+                    crate::packetize::CbrPacketizer::new(CbrSchedule::new(rate, packet_bytes)),
+                ),
+                PacingSpec::Stored => None,
+            };
+            plays.insert(
+                shared.id,
+                PlayIo {
+                    shared,
+                    group,
+                    consumer,
+                    dest,
+                    geometry,
+                    packetizer,
+                    queue: VecDeque::new(),
+                    local_gen: 0,
+                    skip_until: MediaTime::ZERO,
+                    wire_seq: 0,
+                    flushed: false,
+                    finished: false,
+                },
+            );
+        }
+        NetCmd::Remove { stream } => {
+            plays.remove(&stream);
+        }
+        NetCmd::Shutdown => {}
+    }
+}
+
+/// Services one play stream; returns true when it should be dropped.
+fn service_play(
+    socket: &UdpSocket,
+    io: &mut PlayIo,
+    now: Instant,
+    events: &Sender<NetEvent>,
+) -> bool {
+    // Snapshot the control block.
+    let (phase, gen, start_seq, skip_until_us, eof, pacer, kind): (
+        StreamPhase,
+        u64,
+        u64,
+        u64,
+        bool,
+        Pacer,
+        FileKind,
+    ) = {
+        let mut ctl = io.shared.ctl.lock();
+        // Pacing starts once the group is released and the stream has
+        // data to send: all group members start simultaneously.
+        if io.group.is_released() && !ctl.pacer.is_started() {
+            ctl.pacer.start(now);
+            ctl.phase = StreamPhase::Running;
+        }
+        (
+            ctl.phase,
+            ctl.gen,
+            ctl.start_seq,
+            ctl.skip_until_us,
+            ctl.eof,
+            ctl.pacer.clone(),
+            ctl.file.kind,
+        )
+    };
+    if phase == StreamPhase::Done && !io.finished {
+        return true;
+    }
+
+    // Generation change (seek / trick switch): discard buffered packets.
+    if io.local_gen != gen {
+        io.local_gen = gen;
+        io.queue.clear();
+        io.skip_until = MediaTime(skip_until_us);
+        io.flushed = false;
+        if let Some(pk) = io.packetizer.as_mut() {
+            pk.reset(start_seq);
+        }
+    }
+
+    // Top up the packet queue from the page ring.
+    while io.queue.len() < 512 {
+        match io.consumer.pop() {
+            Ok(buf) => {
+                if buf.gen != gen {
+                    continue; // stale page from before a seek
+                }
+                match kind {
+                    FileKind::Raw => {
+                        let pk = io.packetizer.as_mut().expect("raw files have a packetizer");
+                        let start = buf.skip.min(buf.valid);
+                        for (offset, payload) in pk.feed(&buf.data[start..buf.valid]) {
+                            io.queue.push_back(QueuedPkt {
+                                offset,
+                                kind: PacketKind::Media,
+                                payload,
+                            });
+                        }
+                    }
+                    FileKind::IbTree => {
+                        match crate::packetize::unpack_ib_page(&io.geometry, &buf.data) {
+                            Ok(records) => {
+                                for r in records {
+                                    if r.offset >= io.skip_until {
+                                        io.queue.push_back(QueuedPkt {
+                                            offset: r.offset,
+                                            kind: r.kind,
+                                            payload: r.payload,
+                                        });
+                                    }
+                                }
+                            }
+                            Err(_) => {
+                                // A corrupt page loses its packets but must
+                                // not kill the stream.
+                                continue;
+                            }
+                        }
+                    }
+                }
+            }
+            Err(PopError::Empty) | Err(PopError::Closed) => break,
+        }
+    }
+
+    // Transmit everything due.
+    while let Some(front) = io.queue.front() {
+        if !pacer.is_due(front.offset, now) {
+            break;
+        }
+        let pkt = io.queue.pop_front().expect("front exists");
+        let late_us = pacer
+            .deadline(pkt.offset)
+            .map(|d| now.saturating_duration_since(d).as_micros() as u64)
+            .unwrap_or(0);
+        let header = DataHeader {
+            stream: io.shared.id,
+            seq: io.wire_seq,
+            offset: pkt.offset,
+            kind: pkt.kind,
+        };
+        io.wire_seq = io.wire_seq.wrapping_add(1);
+        let datagram = header.encode_packet(&pkt.payload);
+        // A transient send failure drops the packet (UDP semantics); the
+        // client's sequence numbers expose the loss.
+        let _ = socket.send_to(&datagram, io.dest);
+        io.shared.stats.note_packet(pkt.payload.len(), late_us);
+    }
+
+    // End of stream: flush the final short packet, then the marker.
+    if eof && io.queue.is_empty() && io.consumer.is_empty() && pacer.is_playing() {
+        if !io.flushed {
+            io.flushed = true;
+            if let Some(pk) = io.packetizer.as_mut() {
+                if let Some((offset, payload)) = pk.flush() {
+                    io.queue.push_back(QueuedPkt {
+                        offset,
+                        kind: PacketKind::Media,
+                        payload,
+                    });
+                    return false;
+                }
+            }
+        }
+        if !io.finished {
+            io.finished = true;
+            let header = DataHeader {
+                stream: io.shared.id,
+                seq: io.wire_seq,
+                offset: pacer.position(now),
+                kind: PacketKind::EndOfStream,
+            };
+            let _ = socket.send_to(&header.encode_packet(&[]), io.dest);
+            io.shared.ctl.lock().phase = StreamPhase::Done;
+            let _ = events.send(NetEvent::PlayFinished {
+                stream: io.shared.id,
+            });
+            return true;
+        }
+    }
+    false
+}
+
+/// Spawns the receiver thread for one recording stream.
+///
+/// The receiver owns the UDP sink socket; each datagram is decoded,
+/// passed through the protocol module (which derives the delivery
+/// time), and pushed into the ring toward the disk process. The thread
+/// exits on the client's end-of-stream marker or when `stop` is set;
+/// dropping the producer closes the ring, which tells the disk process
+/// to finalize the file.
+pub fn spawn_record_receiver(
+    socket: UdpSocket,
+    shared: Arc<StreamShared>,
+    mut module: Box<dyn ProtocolModule>,
+    mut producer: Producer<PacketRecord>,
+    stop: Arc<AtomicBool>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        socket
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .expect("socket read timeout");
+        let start = Instant::now();
+        let mut buf = vec![0u8; 65_536];
+        while !stop.load(Ordering::Acquire) {
+            let n = match socket.recv(&mut buf) {
+                Ok(n) => n,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    continue;
+                }
+                Err(_) => break,
+            };
+            let Ok((header, payload)) = DataHeader::decode_packet(&buf[..n]) else {
+                continue; // not a Calliope packet; ignore
+            };
+            if header.stream != shared.id {
+                continue;
+            }
+            if header.kind == PacketKind::EndOfStream {
+                break;
+            }
+            let arrival_us = start.elapsed().as_micros() as u64;
+            let record = match module.on_record(header.kind, payload, arrival_us) {
+                Ok(Some(r)) => r.record,
+                Ok(None) => continue,
+                Err(_) => continue,
+            };
+            shared.stats.note_packet(record.payload.len(), 0);
+            let mut rec = record;
+            loop {
+                match producer.push(rec) {
+                    Ok(()) => break,
+                    Err(PushError::Full(back)) => {
+                        rec = back;
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                    Err(PushError::Closed(_)) => return,
+                }
+            }
+        }
+        // Producer drops here: the disk process finalizes the file.
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spsc;
+    use crate::stream::{ActiveFile, StreamCtl};
+    use calliope_types::time::BitRate;
+    use calliope_types::{GroupId, StreamId};
+    use crossbeam::channel::unbounded;
+    use parking_lot::Mutex;
+
+    fn mk_stream(id: u64, kind: FileKind, pages: u64, len: u64) -> Arc<StreamShared> {
+        Arc::new(StreamShared {
+            id: StreamId(id),
+            group: GroupId(id),
+            disk: 0,
+            ctl: Mutex::new(StreamCtl {
+                phase: StreamPhase::Priming,
+                gen: 0,
+                mode: crate::trick::TrickMode::Normal,
+                file: ActiveFile {
+                    name: "x".into(),
+                    kind,
+                    pages,
+                    len_bytes: len,
+                    root: vec![],
+                    duration_us: 0,
+                },
+                next_page: 0,
+                pending_skip: 0,
+                eof: false,
+                skip_until_us: 0,
+                start_seq: 0,
+                pacer: Pacer::new(),
+            }),
+            stats: Default::default(),
+        })
+    }
+
+    fn recv_all(socket: &UdpSocket, until_eos: bool, timeout: Duration) -> Vec<(DataHeader, Vec<u8>)> {
+        socket.set_read_timeout(Some(Duration::from_millis(100))).unwrap();
+        let mut out = Vec::new();
+        let deadline = Instant::now() + timeout;
+        let mut buf = vec![0u8; 65536];
+        while Instant::now() < deadline {
+            if let Ok(n) = socket.recv(&mut buf) {
+                let (h, p) = DataHeader::decode_packet(&buf[..n]).unwrap();
+                let eos = h.kind == PacketKind::EndOfStream;
+                out.push((h, p.to_vec()));
+                if eos && until_eos {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn plays_a_raw_stream_to_completion() {
+        let send_sock = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let client = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let dest = client.local_addr().unwrap();
+        let (tx, rx) = unbounded();
+        let (etx, erx) = unbounded();
+        let tick = Duration::from_millis(2);
+        let net = std::thread::spawn(move || run(send_sock, tick, rx, etx));
+
+        // 2.5 pages of content at a fast rate.
+        let page = 4096usize;
+        let len = page as u64 * 2 + 1000;
+        let shared = mk_stream(7, FileKind::Raw, 3, len);
+        let group = GroupShared::new(GroupId(7), 1);
+        let (mut p, c) = spsc::ring(2);
+        let geometry = Geometry {
+            page_size: page,
+            internal_size: 512,
+            max_keys: 8,
+        };
+        tx.send(NetCmd::AddPlay {
+            shared: Arc::clone(&shared),
+            group: Arc::clone(&group),
+            consumer: c,
+            dest,
+            // 8 Mbit/s, 1000-byte packets: ~5 ms per packet.
+            pacing: PacingSpec::Constant {
+                rate: BitRate::from_mbps(8),
+                packet_bytes: 1000,
+            },
+            geometry,
+        })
+        .unwrap();
+
+        // Feed pages like the disk thread would, then mark EOF.
+        for i in 0..3u64 {
+            let valid = if i == 2 { 1000 } else { page };
+            let buf = PageBuf {
+                gen: 0,
+                index: i,
+                skip: 0,
+                valid,
+                data: vec![i as u8 + 1; page],
+            };
+            let mut b = buf;
+            loop {
+                match p.push(b) {
+                    Ok(()) => break,
+                    Err(PushError::Full(back)) => {
+                        b = back;
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    Err(PushError::Closed(_)) => panic!("closed"),
+                }
+            }
+        }
+        group.prime(StreamId(7));
+        shared.ctl.lock().eof = true;
+
+        let pkts = recv_all(&client, true, Duration::from_secs(10));
+        let eos = pkts.last().unwrap();
+        assert_eq!(eos.0.kind, PacketKind::EndOfStream);
+        let media: Vec<_> = pkts.iter().filter(|(h, _)| h.kind == PacketKind::Media).collect();
+        let total: usize = media.iter().map(|(_, p)| p.len()).sum();
+        assert_eq!(total as u64, len, "every byte delivered");
+        // Sequence numbers are dense.
+        for (i, (h, _)) in pkts.iter().enumerate() {
+            assert_eq!(h.seq, i as u32);
+        }
+        // Offsets are monotone and paced (~5 ms apart at 8 Mbit/s).
+        for w in media.windows(2) {
+            assert!(w[1].0.offset >= w[0].0.offset);
+        }
+        match erx.recv_timeout(Duration::from_secs(2)).unwrap() {
+            NetEvent::PlayFinished { stream } => assert_eq!(stream, StreamId(7)),
+        }
+        tx.send(NetCmd::Shutdown).unwrap();
+        net.join().unwrap();
+    }
+
+    #[test]
+    fn pacing_waits_for_group_release() {
+        let send_sock = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let client = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let dest = client.local_addr().unwrap();
+        let (tx, rx) = unbounded();
+        let (etx, _erx) = unbounded();
+        let net = std::thread::spawn(move || run(send_sock, Duration::from_millis(2), rx, etx));
+
+        let shared = mk_stream(9, FileKind::Raw, 1, 1000);
+        let group = GroupShared::new(GroupId(9), 2); // expects TWO members
+        let (mut p, c) = spsc::ring(2);
+        tx.send(NetCmd::AddPlay {
+            shared: Arc::clone(&shared),
+            group: Arc::clone(&group),
+            consumer: c,
+            dest,
+            pacing: PacingSpec::Constant {
+                rate: BitRate::from_mbps(8),
+                packet_bytes: 1000,
+            },
+            geometry: Geometry {
+                page_size: 4096,
+                internal_size: 512,
+                max_keys: 8,
+            },
+        })
+        .unwrap();
+        p.push(PageBuf {
+            gen: 0,
+            index: 0,
+            skip: 0,
+            valid: 1000,
+            data: vec![5; 4096],
+        })
+        .unwrap();
+        group.prime(StreamId(9)); // only one of two members primed
+
+        // Nothing may be sent while the group is unreleased.
+        let pkts = recv_all(&client, false, Duration::from_millis(300));
+        assert!(pkts.is_empty(), "unreleased group must stay silent");
+
+        // Release and observe delivery.
+        group.prime(StreamId(10));
+        shared.ctl.lock().eof = true;
+        let pkts = recv_all(&client, true, Duration::from_secs(5));
+        assert!(!pkts.is_empty());
+        tx.send(NetCmd::Shutdown).unwrap();
+        net.join().unwrap();
+    }
+
+    #[test]
+    fn stale_generation_pages_are_discarded() {
+        let send_sock = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let client = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let dest = client.local_addr().unwrap();
+        let (tx, rx) = unbounded();
+        let (etx, _erx) = unbounded();
+        let net = std::thread::spawn(move || run(send_sock, Duration::from_millis(2), rx, etx));
+
+        let shared = mk_stream(11, FileKind::Raw, 2, 2000);
+        // Pretend a seek already happened: current gen is 1.
+        {
+            let mut ctl = shared.ctl.lock();
+            ctl.gen = 1;
+            ctl.start_seq = 0;
+        }
+        let group = GroupShared::new(GroupId(11), 1);
+        let (mut p, c) = spsc::ring(4);
+        tx.send(NetCmd::AddPlay {
+            shared: Arc::clone(&shared),
+            group: Arc::clone(&group),
+            consumer: c,
+            dest,
+            pacing: PacingSpec::Constant {
+                rate: BitRate::from_mbps(8),
+                packet_bytes: 1000,
+            },
+            geometry: Geometry {
+                page_size: 4096,
+                internal_size: 512,
+                max_keys: 8,
+            },
+        })
+        .unwrap();
+        // A stale page (gen 0) followed by a current one (gen 1).
+        p.push(PageBuf {
+            gen: 0,
+            index: 0,
+            skip: 0,
+            valid: 1000,
+            data: vec![0xAA; 4096],
+        })
+        .unwrap();
+        p.push(PageBuf {
+            gen: 1,
+            index: 1,
+            skip: 0,
+            valid: 1000,
+            data: vec![0xBB; 4096],
+        })
+        .unwrap();
+        group.prime(StreamId(11));
+        shared.ctl.lock().eof = true;
+
+        let pkts = recv_all(&client, true, Duration::from_secs(5));
+        let media: Vec<_> = pkts.iter().filter(|(h, _)| h.kind == PacketKind::Media).collect();
+        assert_eq!(media.len(), 1);
+        assert!(media[0].1.iter().all(|&b| b == 0xBB), "only the gen-1 page plays");
+        tx.send(NetCmd::Shutdown).unwrap();
+        net.join().unwrap();
+    }
+
+    #[test]
+    fn record_receiver_builds_records_and_closes_ring() {
+        let sink = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let sink_addr = sink.local_addr().unwrap();
+        let shared = mk_stream(21, FileKind::IbTree, 0, 0);
+        let (producer, mut consumer) = spsc::ring(64);
+        let stop = Arc::new(AtomicBool::new(false));
+        let module = calliope_proto::module::registry(
+            calliope_types::content::ProtocolId::ConstantRate,
+            Some(BitRate::from_kbps(64)),
+        );
+        let h = spawn_record_receiver(sink, Arc::clone(&shared), module, producer, Arc::clone(&stop));
+
+        let client = UdpSocket::bind("127.0.0.1:0").unwrap();
+        for seq in 0..5u32 {
+            let header = DataHeader {
+                stream: StreamId(21),
+                seq,
+                offset: MediaTime::ZERO,
+                kind: PacketKind::Media,
+            };
+            client
+                .send_to(&header.encode_packet(&[seq as u8; 100]), sink_addr)
+                .unwrap();
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // End-of-stream marker terminates the receiver.
+        let eos = DataHeader {
+            stream: StreamId(21),
+            seq: 5,
+            offset: MediaTime::ZERO,
+            kind: PacketKind::EndOfStream,
+        };
+        client.send_to(&eos.encode_packet(&[]), sink_addr).unwrap();
+        h.join().unwrap();
+
+        let mut records = Vec::new();
+        loop {
+            match consumer.pop() {
+                Ok(r) => records.push(r),
+                Err(PopError::Empty) => std::thread::sleep(Duration::from_millis(1)),
+                Err(PopError::Closed) => break,
+            }
+        }
+        assert_eq!(records.len(), 5);
+        assert_eq!(records[0].offset, MediaTime::ZERO, "first packet is time zero");
+        for w in records.windows(2) {
+            assert!(w[1].offset >= w[0].offset, "arrival-derived schedule is monotone");
+        }
+        assert_eq!(shared.stats.packets.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn record_receiver_ignores_foreign_and_garbage_datagrams() {
+        let sink = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let sink_addr = sink.local_addr().unwrap();
+        let shared = mk_stream(31, FileKind::IbTree, 0, 0);
+        let (producer, mut consumer) = spsc::ring(16);
+        let stop = Arc::new(AtomicBool::new(false));
+        let module = calliope_proto::module::registry(
+            calliope_types::content::ProtocolId::ConstantRate,
+            None,
+        );
+        let h = spawn_record_receiver(sink, shared, module, producer, Arc::clone(&stop));
+        let client = UdpSocket::bind("127.0.0.1:0").unwrap();
+        client.send_to(b"not a calliope packet", sink_addr).unwrap();
+        // A packet for a different stream id.
+        let foreign = DataHeader {
+            stream: StreamId(999),
+            seq: 0,
+            offset: MediaTime::ZERO,
+            kind: PacketKind::Media,
+        };
+        client.send_to(&foreign.encode_packet(&[1; 10]), sink_addr).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        stop.store(true, Ordering::Release);
+        h.join().unwrap();
+        assert_eq!(consumer.pop(), Err(PopError::Closed), "nothing recorded");
+    }
+}

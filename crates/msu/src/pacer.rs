@@ -1,0 +1,225 @@
+//! Playback pacing: mapping media offsets to wall-clock deadlines.
+//!
+//! A stream's delivery schedule stores offsets from the beginning of
+//! the recording (paper §2.2.1). The network process must turn those
+//! into wall-clock send times, surviving pauses, seeks, and trick-mode
+//! switches. [`Pacer`] owns that mapping: a *base* instant at which a
+//! known media position played, updated on every VCR action.
+//!
+//! All methods take `now` explicitly so tests can drive time by hand.
+
+use calliope_types::time::MediaTime;
+use std::time::{Duration, Instant};
+
+/// Maps media offsets to wall-clock deadlines for one stream.
+#[derive(Clone, Debug)]
+pub struct Pacer {
+    /// Wall instant at which media position `origin` plays (None until
+    /// started).
+    base: Option<Instant>,
+    /// Media position corresponding to `base`.
+    origin: MediaTime,
+    /// Frozen position while paused.
+    paused_at: Option<MediaTime>,
+}
+
+impl Pacer {
+    /// Creates a pacer that has not started.
+    pub fn new() -> Pacer {
+        Pacer {
+            base: None,
+            origin: MediaTime::ZERO,
+            paused_at: None,
+        }
+    }
+
+    /// True once `start` (or a rebase) has run and playback is not
+    /// paused.
+    pub fn is_playing(&self) -> bool {
+        self.base.is_some() && self.paused_at.is_none()
+    }
+
+    /// True while paused.
+    pub fn is_paused(&self) -> bool {
+        self.paused_at.is_some()
+    }
+
+    /// True once playback has begun at all (playing or paused).
+    pub fn is_started(&self) -> bool {
+        self.base.is_some() || self.paused_at.is_some()
+    }
+
+    /// Begins playback at media position zero.
+    pub fn start(&mut self, now: Instant) {
+        self.base = Some(now);
+        self.origin = MediaTime::ZERO;
+        self.paused_at = None;
+    }
+
+    /// Rebases so that media position `pos` plays at `now` — used by
+    /// seeks and trick-mode file switches. Clears any pause.
+    pub fn rebase(&mut self, now: Instant, pos: MediaTime) {
+        self.base = Some(now);
+        self.origin = pos;
+        self.paused_at = None;
+    }
+
+    /// The media position playing at `now` (the frozen position while
+    /// paused; zero before start).
+    pub fn position(&self, now: Instant) -> MediaTime {
+        if let Some(p) = self.paused_at {
+            return p;
+        }
+        match self.base {
+            None => MediaTime::ZERO,
+            Some(base) => {
+                let elapsed = now.saturating_duration_since(base);
+                self.origin + MediaTime(elapsed.as_micros() as u64)
+            }
+        }
+    }
+
+    /// Freezes playback at the current position.
+    pub fn pause(&mut self, now: Instant) {
+        if self.paused_at.is_none() {
+            self.paused_at = Some(self.position(now));
+        }
+    }
+
+    /// Resumes from a pause; positions after `resume` continue where
+    /// `pause` froze them.
+    pub fn resume(&mut self, now: Instant) {
+        if let Some(p) = self.paused_at.take() {
+            self.base = Some(now);
+            self.origin = p;
+        }
+    }
+
+    /// Wall-clock deadline for the packet at media offset `offset`.
+    ///
+    /// Returns `None` while paused or before start (no packet is due).
+    /// Offsets before the base position are due immediately (`base`).
+    pub fn deadline(&self, offset: MediaTime) -> Option<Instant> {
+        if self.paused_at.is_some() {
+            return None;
+        }
+        let base = self.base?;
+        let ahead = offset.saturating_sub(self.origin);
+        Some(base + Duration::from_micros(ahead.as_micros()))
+    }
+
+    /// Whether the packet at `offset` is due at `now`.
+    pub fn is_due(&self, offset: MediaTime, now: Instant) -> bool {
+        matches!(self.deadline(offset), Some(d) if d <= now)
+    }
+}
+
+impl Default for Pacer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t0() -> Instant {
+        Instant::now()
+    }
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    #[test]
+    fn not_started_nothing_is_due() {
+        let p = Pacer::new();
+        assert!(!p.is_playing());
+        assert_eq!(p.deadline(MediaTime::ZERO), None);
+        assert_eq!(p.position(t0()), MediaTime::ZERO);
+    }
+
+    #[test]
+    fn position_advances_with_wall_clock() {
+        let base = t0();
+        let mut p = Pacer::new();
+        p.start(base);
+        assert!(p.is_playing());
+        assert_eq!(p.position(base), MediaTime::ZERO);
+        assert_eq!(p.position(base + ms(1500)), MediaTime::from_millis(1500));
+    }
+
+    #[test]
+    fn deadlines_track_offsets() {
+        let base = t0();
+        let mut p = Pacer::new();
+        p.start(base);
+        let d = p.deadline(MediaTime::from_millis(40)).unwrap();
+        assert_eq!(d, base + ms(40));
+        assert!(!p.is_due(MediaTime::from_millis(40), base + ms(39)));
+        assert!(p.is_due(MediaTime::from_millis(40), base + ms(40)));
+        assert!(p.is_due(MediaTime::from_millis(40), base + ms(41)));
+    }
+
+    #[test]
+    fn pause_freezes_and_resume_shifts_deadlines() {
+        let base = t0();
+        let mut p = Pacer::new();
+        p.start(base);
+        p.pause(base + ms(100));
+        assert!(p.is_paused());
+        assert_eq!(p.position(base + ms(500)), MediaTime::from_millis(100));
+        assert_eq!(p.deadline(MediaTime::from_millis(120)), None);
+        // Resume 400 ms later: the 120 ms packet is now due 20 ms after
+        // resume.
+        p.resume(base + ms(500));
+        assert!(p.is_playing());
+        let d = p.deadline(MediaTime::from_millis(120)).unwrap();
+        assert_eq!(d, base + ms(520));
+        // Double pause/resume are idempotent.
+        p.resume(base + ms(600));
+        assert_eq!(p.deadline(MediaTime::from_millis(120)).unwrap(), base + ms(520));
+    }
+
+    #[test]
+    fn seek_rebases_position_and_deadlines() {
+        let base = t0();
+        let mut p = Pacer::new();
+        p.start(base);
+        // Seek to 60 s at wall time +5 s.
+        p.rebase(base + ms(5_000), MediaTime::from_secs(60));
+        assert_eq!(p.position(base + ms(5_000)), MediaTime::from_secs(60));
+        assert_eq!(
+            p.position(base + ms(6_000)),
+            MediaTime::from_secs(60) + MediaTime::from_secs(1)
+        );
+        // A packet before the seek point is due immediately.
+        let d = p.deadline(MediaTime::from_secs(30)).unwrap();
+        assert_eq!(d, base + ms(5_000));
+        // A packet after it keeps its relative spacing.
+        let d = p.deadline(MediaTime::from_secs(61)).unwrap();
+        assert_eq!(d, base + ms(6_000));
+    }
+
+    #[test]
+    fn rebase_clears_pause() {
+        let base = t0();
+        let mut p = Pacer::new();
+        p.start(base);
+        p.pause(base + ms(10));
+        p.rebase(base + ms(20), MediaTime::from_secs(9));
+        assert!(p.is_playing());
+        assert_eq!(p.position(base + ms(20)), MediaTime::from_secs(9));
+    }
+
+    #[test]
+    fn pause_twice_keeps_first_freeze_point() {
+        let base = t0();
+        let mut p = Pacer::new();
+        p.start(base);
+        p.pause(base + ms(100));
+        p.pause(base + ms(300));
+        assert_eq!(p.position(base + ms(300)), MediaTime::from_millis(100));
+    }
+}

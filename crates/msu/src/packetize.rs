@@ -1,0 +1,202 @@
+//! Turning disk pages back into timed packets.
+//!
+//! Two file shapes exist (paper §2.2.1):
+//!
+//! * **Raw constant-rate files** are opaque byte streams; the network
+//!   process chops them into fixed-size packets whose delivery times
+//!   are *calculated* from the stream rate ([`CbrPacketizer`]). Pages
+//!   need not be multiples of the packet size — a carry buffer stitches
+//!   packets across page boundaries.
+//! * **IB-tree files** store [`PacketRecord`]s with their delivery
+//!   times; unpacking a page is just parsing it ([`unpack_ib_page`])
+//!   and ignoring any embedded internal page, exactly as the paper's
+//!   sequential reads do.
+
+use calliope_proto::record::PacketRecord;
+use calliope_proto::schedule::CbrSchedule;
+use calliope_storage::page::{DataPage, Geometry};
+use calliope_types::error::Result;
+use calliope_types::time::MediaTime;
+
+/// Chops a raw byte stream into fixed-size packets with calculated
+/// delivery offsets.
+#[derive(Debug)]
+pub struct CbrPacketizer {
+    schedule: CbrSchedule,
+    carry: Vec<u8>,
+    next_seq: u64,
+}
+
+impl CbrPacketizer {
+    /// Creates a packetizer starting at packet 0.
+    pub fn new(schedule: CbrSchedule) -> CbrPacketizer {
+        CbrPacketizer {
+            schedule,
+            carry: Vec::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// The calculated schedule in use.
+    pub fn schedule(&self) -> CbrSchedule {
+        self.schedule
+    }
+
+    /// The sequence number of the next packet to be produced.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Resets after a seek: subsequent bytes belong to packet `seq`
+    /// onward. Any carried partial packet is discarded.
+    pub fn reset(&mut self, seq: u64) {
+        self.carry.clear();
+        self.next_seq = seq;
+    }
+
+    /// Feeds the valid bytes of one page, returning completed packets
+    /// as `(delivery offset, payload)` pairs.
+    pub fn feed(&mut self, bytes: &[u8]) -> Vec<(MediaTime, Vec<u8>)> {
+        self.carry.extend_from_slice(bytes);
+        let pkt = self.schedule.packet_bytes as usize;
+        let mut out = Vec::with_capacity(self.carry.len() / pkt);
+        let mut at = 0;
+        while self.carry.len() - at >= pkt {
+            let payload = self.carry[at..at + pkt].to_vec();
+            out.push((self.schedule.offset_of(self.next_seq), payload));
+            self.next_seq += 1;
+            at += pkt;
+        }
+        self.carry.drain(..at);
+        out
+    }
+
+    /// Flushes the final short packet at end of stream, if any.
+    pub fn flush(&mut self) -> Option<(MediaTime, Vec<u8>)> {
+        if self.carry.is_empty() {
+            return None;
+        }
+        let payload = std::mem::take(&mut self.carry);
+        let offset = self.schedule.offset_of(self.next_seq);
+        self.next_seq += 1;
+        Some((offset, payload))
+    }
+}
+
+/// Parses one IB-tree data page into its packet records (the embedded
+/// internal page, if present, rides along and is ignored).
+pub fn unpack_ib_page(geo: &Geometry, page: &[u8]) -> Result<Vec<PacketRecord>> {
+    Ok(DataPage::decode(geo, page)?.records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calliope_storage::page::DataPageBuilder;
+    use calliope_types::time::BitRate;
+    use proptest::prelude::*;
+
+    fn sched() -> CbrSchedule {
+        CbrSchedule::new(BitRate::from_kbps(1500), 4096)
+    }
+
+    #[test]
+    fn exact_multiple_pages_packetize_cleanly() {
+        let mut p = CbrPacketizer::new(sched());
+        let page = vec![7u8; 4096 * 3];
+        let pkts = p.feed(&page);
+        assert_eq!(pkts.len(), 3);
+        assert_eq!(pkts[0].0, MediaTime::ZERO);
+        assert_eq!(pkts[1].0, sched().offset_of(1));
+        assert!(pkts.iter().all(|(_, b)| b.len() == 4096));
+        assert!(p.flush().is_none());
+    }
+
+    #[test]
+    fn carry_stitches_across_pages() {
+        let mut p = CbrPacketizer::new(sched());
+        // 6000 bytes: one full packet + 1904 carried.
+        assert_eq!(p.feed(&vec![1u8; 6000]).len(), 1);
+        // 2192 more completes the second packet exactly.
+        let pkts = p.feed(&vec![2u8; 2192]);
+        assert_eq!(pkts.len(), 1);
+        let (_, payload) = &pkts[0];
+        assert_eq!(payload.len(), 4096);
+        assert!(payload[..1904].iter().all(|&b| b == 1));
+        assert!(payload[1904..].iter().all(|&b| b == 2));
+    }
+
+    #[test]
+    fn flush_emits_trailing_short_packet() {
+        let mut p = CbrPacketizer::new(sched());
+        p.feed(&vec![0u8; 4096 + 100]);
+        let (off, payload) = p.flush().unwrap();
+        assert_eq!(payload.len(), 100);
+        assert_eq!(off, sched().offset_of(1));
+        assert!(p.flush().is_none(), "flush is one-shot");
+    }
+
+    #[test]
+    fn reset_restarts_sequence_after_seek() {
+        let mut p = CbrPacketizer::new(sched());
+        p.feed(&vec![0u8; 5000]);
+        p.reset(100);
+        assert_eq!(p.next_seq(), 100);
+        let pkts = p.feed(&vec![0u8; 4096]);
+        assert_eq!(pkts[0].0, sched().offset_of(100));
+    }
+
+    #[test]
+    fn unpack_ignores_embedded_internal_page() {
+        let geo = Geometry::tiny();
+        let mut b = DataPageBuilder::new(geo, true);
+        let rec = PacketRecord::media(MediaTime(5), vec![1, 2, 3]);
+        b.push(&rec).unwrap();
+        let internal = calliope_storage::page::InternalPage {
+            entries: vec![(0, 0)],
+        };
+        let page = b.finish(Some(&internal)).unwrap();
+        let records = unpack_ib_page(&geo, &page).unwrap();
+        assert_eq!(records, vec![rec]);
+    }
+
+    #[test]
+    fn unpack_rejects_garbage() {
+        let geo = Geometry::tiny();
+        assert!(unpack_ib_page(&geo, &vec![0u8; geo.page_size]).is_err());
+        assert!(unpack_ib_page(&geo, &[1, 2, 3]).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_no_bytes_lost_or_duplicated(chunks in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..10_000), 1..20)) {
+            let mut p = CbrPacketizer::new(sched());
+            let mut all_in = Vec::new();
+            let mut all_out = Vec::new();
+            for c in &chunks {
+                all_in.extend_from_slice(c);
+                for (_, payload) in p.feed(c) {
+                    all_out.extend_from_slice(&payload);
+                }
+            }
+            if let Some((_, tail)) = p.flush() {
+                all_out.extend_from_slice(&tail);
+            }
+            prop_assert_eq!(all_out, all_in);
+        }
+
+        #[test]
+        fn prop_offsets_are_monotone(chunks in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..5_000), 1..10)) {
+            let mut p = CbrPacketizer::new(sched());
+            let mut last = None;
+            for c in &chunks {
+                for (off, _) in p.feed(c) {
+                    if let Some(prev) = last {
+                        prop_assert!(off > prev);
+                    }
+                    last = Some(off);
+                }
+            }
+        }
+    }
+}

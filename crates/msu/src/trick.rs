@@ -1,0 +1,163 @@
+//! Trick-play position mapping.
+//!
+//! Fast forward and fast backward play pre-filtered files (paper
+//! §2.3.1): the FF file holds every 15th frame in forward order, the FB
+//! file the same frames reversed. "If a client issues a command to
+//! switch from normal rate to fast forward, the MSU seeks to the frame
+//! in the fast forward file corresponding to the current frame of the
+//! normal rate file. … Switching back to normal rate follows the same
+//! procedure."
+//!
+//! Positions here are media times within each file. With a skip factor
+//! of `k`, the filtered file is `k×` shorter, so content at normal-file
+//! time `t` sits at `t/k` in the FF file and at `(D−t)/k` in the FB
+//! file (which runs backwards from the end, `D` being the normal
+//! duration).
+
+use calliope_types::time::MediaTime;
+
+/// The paper's skip factor (every 15th frame).
+pub const SKIP: u64 = 15;
+
+/// Which file a stream is currently playing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrickMode {
+    /// The normal-rate file.
+    Normal,
+    /// The fast-forward filtered file.
+    FastForward,
+    /// The fast-backward filtered file.
+    FastBackward,
+}
+
+/// Converts a position in the file for `mode` into the *virtual*
+/// position within the normal-rate content.
+pub fn to_normal(mode: TrickMode, pos: MediaTime, normal_duration: MediaTime, skip: u64) -> MediaTime {
+    match mode {
+        TrickMode::Normal => pos,
+        TrickMode::FastForward => MediaTime(pos.as_micros().saturating_mul(skip)),
+        TrickMode::FastBackward => {
+            normal_duration.saturating_sub(MediaTime(pos.as_micros().saturating_mul(skip)))
+        }
+    }
+}
+
+/// Converts a virtual normal-content position into the position within
+/// the file for `mode`.
+pub fn from_normal(mode: TrickMode, normal_pos: MediaTime, normal_duration: MediaTime, skip: u64) -> MediaTime {
+    let clamped = normal_pos.min(normal_duration);
+    match mode {
+        TrickMode::Normal => clamped,
+        TrickMode::FastForward => MediaTime(clamped.as_micros() / skip),
+        TrickMode::FastBackward => {
+            MediaTime(normal_duration.saturating_sub(clamped).as_micros() / skip)
+        }
+    }
+}
+
+/// Computes the position to seek to in the destination file when
+/// switching modes at `pos_in_current` within the current file.
+pub fn switch_position(
+    from: TrickMode,
+    to: TrickMode,
+    pos_in_current: MediaTime,
+    normal_duration: MediaTime,
+    skip: u64,
+) -> MediaTime {
+    let virtual_pos = to_normal(from, pos_in_current, normal_duration, skip);
+    from_normal(to, virtual_pos, normal_duration, skip)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const D: MediaTime = MediaTime(90 * 60 * 1_000_000); // a 90-minute movie
+
+    #[test]
+    fn normal_to_ff_divides_by_skip() {
+        let t = MediaTime::from_secs(150);
+        let ff = switch_position(TrickMode::Normal, TrickMode::FastForward, t, D, SKIP);
+        assert_eq!(ff, MediaTime::from_secs(10));
+    }
+
+    #[test]
+    fn ff_back_to_normal_multiplies() {
+        // Watch FF for 10 s of FF-file time = 150 s of content.
+        let ff_pos = MediaTime::from_secs(10);
+        let normal = switch_position(TrickMode::FastForward, TrickMode::Normal, ff_pos, D, SKIP);
+        assert_eq!(normal, MediaTime::from_secs(150));
+    }
+
+    #[test]
+    fn fb_runs_from_the_end() {
+        // At content position D−30 s, the FB file position is 2 s.
+        let t = D.saturating_sub(MediaTime::from_secs(30));
+        let fb = switch_position(TrickMode::Normal, TrickMode::FastBackward, t, D, SKIP);
+        assert_eq!(fb, MediaTime::from_secs(2));
+        // Rewinding for 2 more FB-seconds lands 60 s from the end.
+        let back = switch_position(
+            TrickMode::FastBackward,
+            TrickMode::Normal,
+            fb + MediaTime::from_secs(2),
+            D,
+            SKIP,
+        );
+        assert_eq!(back, D.saturating_sub(MediaTime::from_secs(60)));
+    }
+
+    #[test]
+    fn ff_to_fb_reverses_direction_at_the_same_content_point() {
+        let ff_pos = MediaTime::from_secs(20); // content 300 s
+        let fb = switch_position(TrickMode::FastForward, TrickMode::FastBackward, ff_pos, D, SKIP);
+        let content_from_fb = to_normal(TrickMode::FastBackward, fb, D, SKIP);
+        assert_eq!(content_from_fb, MediaTime::from_secs(300));
+    }
+
+    #[test]
+    fn positions_beyond_duration_clamp() {
+        let over = D + MediaTime::from_secs(100);
+        let ff = from_normal(TrickMode::FastForward, over, D, SKIP);
+        assert_eq!(ff, MediaTime(D.as_micros() / SKIP));
+        let fb = from_normal(TrickMode::FastBackward, over, D, SKIP);
+        assert_eq!(fb, MediaTime::ZERO);
+    }
+
+    #[test]
+    fn rewinding_past_the_start_clamps_to_zero() {
+        // FB position beyond D/skip maps to content 0, not negative.
+        let fb_pos = MediaTime(D.as_micros() / SKIP + 1_000_000);
+        let content = to_normal(TrickMode::FastBackward, fb_pos, D, SKIP);
+        assert_eq!(content, MediaTime::ZERO);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trips_lose_at_most_skip_microseconds(pos_us in 0u64..5_400_000_000, mode_tag in 0u8..3) {
+            let mode = match mode_tag {
+                0 => TrickMode::Normal,
+                1 => TrickMode::FastForward,
+                _ => TrickMode::FastBackward,
+            };
+            let pos = MediaTime(pos_us);
+            let there = switch_position(TrickMode::Normal, mode, pos, D, SKIP);
+            let back = switch_position(mode, TrickMode::Normal, there, D, SKIP);
+            // Rounding to the filtered file's granularity loses < skip µs.
+            let diff = back.saturating_sub(pos).as_micros().max(pos.saturating_sub(back).as_micros());
+            prop_assert!(diff < SKIP, "{pos:?} -> {there:?} -> {back:?}");
+        }
+
+        #[test]
+        fn prop_ff_position_monotone_in_content(a in 0u64..5_400_000_000, b in 0u64..5_400_000_000) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            let f_lo = from_normal(TrickMode::FastForward, MediaTime(lo), D, SKIP);
+            let f_hi = from_normal(TrickMode::FastForward, MediaTime(hi), D, SKIP);
+            prop_assert!(f_lo <= f_hi);
+            // FB is anti-monotone.
+            let b_lo = from_normal(TrickMode::FastBackward, MediaTime(lo), D, SKIP);
+            let b_hi = from_normal(TrickMode::FastBackward, MediaTime(hi), D, SKIP);
+            prop_assert!(b_lo >= b_hi);
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! The constant-rate protocol module.
+//!
+//! Calliope supports "any protocol and/or encoding which can be handled
+//! by transmitting fixed sized packets at a constant rate" (paper
+//! §2.3.2) — the mode used for raw MPEG-1 delivered to a dumb set-top
+//! decoder. The stream is opaque: the MSU never parses MPEG (the paper
+//! stresses that real-time MPEG parsing is too expensive). Delivery
+//! schedules are calculated, not stored, so on recording this module
+//! simply stamps packets with their arrival time; the storage layer
+//! concatenates the payloads into a raw file.
+
+use crate::module::{ProtocolModule, RecordedPacket};
+use crate::record::PacketRecord;
+use crate::schedule::ScheduleBuilder;
+use calliope_types::content::ProtocolId;
+use calliope_types::error::Result;
+use calliope_types::time::BitRate;
+use calliope_types::wire::data::PacketKind;
+
+/// The constant-rate module.
+pub struct CbrModule {
+    /// Nominal stream rate, used only for diagnostics (actual pacing is
+    /// the sender's business; the computed schedule governs playback).
+    rate: Option<BitRate>,
+    schedule: ScheduleBuilder,
+    bytes: u64,
+}
+
+impl CbrModule {
+    /// Creates a module; the rate is optional and informational.
+    pub fn new(rate: Option<BitRate>) -> Self {
+        CbrModule {
+            rate,
+            schedule: ScheduleBuilder::new(),
+            bytes: 0,
+        }
+    }
+
+    /// The nominal rate, if one was configured.
+    pub fn rate(&self) -> Option<BitRate> {
+        self.rate
+    }
+
+    /// Total media bytes recorded through this module.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+impl ProtocolModule for CbrModule {
+    fn id(&self) -> ProtocolId {
+        ProtocolId::ConstantRate
+    }
+
+    fn on_record(
+        &mut self,
+        kind: PacketKind,
+        payload: &[u8],
+        arrival_us: u64,
+    ) -> Result<Option<RecordedPacket>> {
+        match kind {
+            PacketKind::Media => {
+                // No protocol timestamp exists; arrival time is the best
+                // available delivery time (paper §2.3.2's default).
+                let offset = self.schedule.push(arrival_us);
+                self.bytes += payload.len() as u64;
+                Ok(Some(RecordedPacket {
+                    record: PacketRecord::media(offset, payload.to_vec()),
+                }))
+            }
+            // A constant-rate stream has no control messages; drop them.
+            PacketKind::Control | PacketKind::EndOfStream => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrival_times_become_offsets() {
+        let mut m = CbrModule::new(Some(BitRate::from_kbps(1500)));
+        let a = m
+            .on_record(PacketKind::Media, &[0u8; 4096], 50_000)
+            .unwrap()
+            .unwrap();
+        let b = m
+            .on_record(PacketKind::Media, &[0u8; 4096], 71_845)
+            .unwrap()
+            .unwrap();
+        assert_eq!(a.record.offset.as_micros(), 0);
+        assert_eq!(b.record.offset.as_micros(), 21_845);
+        assert_eq!(m.bytes(), 8192);
+    }
+
+    #[test]
+    fn control_packets_are_ignored() {
+        let mut m = CbrModule::new(None);
+        assert!(m
+            .on_record(PacketKind::Control, b"noise", 0)
+            .unwrap()
+            .is_none());
+        assert!(m
+            .on_record(PacketKind::EndOfStream, &[], 0)
+            .unwrap()
+            .is_none());
+        assert_eq!(m.bytes(), 0);
+    }
+
+    #[test]
+    fn rate_is_reported() {
+        assert_eq!(
+            CbrModule::new(Some(BitRate::from_mbps(2))).rate(),
+            Some(BitRate::from_mbps(2))
+        );
+        assert_eq!(CbrModule::new(None).rate(), None);
+    }
+}

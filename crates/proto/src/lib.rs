@@ -1,0 +1,32 @@
+//! Protocol extension modules and delivery schedules.
+//!
+//! Calliope's MSU is extensible: support for a new network protocol is a
+//! small module — "essentially a header definition and a few control
+//! messages" (paper §2.3.2). A module does two things:
+//!
+//! 1. it performs whatever per-packet work the protocol needs beyond
+//!    plain data transfer (e.g. the RTP module interleaves RTCP control
+//!    messages with the data stream while recording and separates them
+//!    again on playback), and
+//! 2. it derives a *delivery time* for each packet recorded. By default
+//!    that is the packet's arrival time; a protocol with sender
+//!    timestamps in its header (RTP, VAT) derives delivery time from the
+//!    timestamp instead, which excludes network-induced jitter from the
+//!    stored schedule.
+//!
+//! Delivery times are offsets from the beginning of the recording
+//! session (paper §2.2.1). For variable-rate streams the schedule is
+//! stored interleaved with the data (see `calliope-storage`'s IB-tree);
+//! for constant-rate streams it is calculated at playback time
+//! ([`schedule::CbrSchedule`]).
+
+pub mod cbr;
+pub mod module;
+pub mod record;
+pub mod rtp;
+pub mod schedule;
+pub mod vat;
+
+pub use module::{registry, PlaybackClass, ProtocolModule, RecordedPacket};
+pub use record::PacketRecord;
+pub use schedule::{CbrSchedule, ScheduleBuilder};

@@ -1,0 +1,143 @@
+//! The protocol-module interface.
+//!
+//! "An MSU protocol extension module is comprised of two functions. The
+//! first performs any operations required by the protocol beyond the
+//! normal sending or receiving of data packets. … The MSU calls the
+//! second extension function during recording to construct a delivery
+//! schedule." (paper §2.3.2)
+//!
+//! We express the pair as the [`ProtocolModule`] trait:
+//! [`ProtocolModule::on_record`] is called per incoming packet while
+//! recording and yields the [`PacketRecord`] to store (with a normalized
+//! delivery offset); [`ProtocolModule::on_play`] is called per stored
+//! record during playback and classifies it for output. Modules are
+//! stateful — the RTP module, for example, unwraps 32-bit timestamps and
+//! tracks its control stream.
+
+use crate::record::PacketRecord;
+use calliope_types::content::ProtocolId;
+use calliope_types::error::Result;
+use calliope_types::time::BitRate;
+use calliope_types::wire::data::PacketKind;
+
+/// Where a played-back record should go.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlaybackClass {
+    /// Send on the data path with its scheduled delivery time.
+    Media,
+    /// Send as an interleaved control message (e.g. RTCP). Control
+    /// packets piggyback on the schedule of the surrounding media.
+    Control,
+    /// Do not send (module consumed the record internally).
+    Drop,
+}
+
+/// A packet accepted for recording, ready for the disk process.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecordedPacket {
+    /// The record to append to the file (offset already normalized).
+    pub record: PacketRecord,
+}
+
+/// A protocol extension module (paper §2.3.2).
+///
+/// One instance exists per active stream; modules may keep per-stream
+/// state and must be `Send` so they can live on the MSU's network
+/// process (thread).
+pub trait ProtocolModule: Send {
+    /// Which protocol this module implements.
+    fn id(&self) -> ProtocolId;
+
+    /// Processes one incoming packet during recording.
+    ///
+    /// * `kind` — media or control, as marked by the sender.
+    /// * `payload` — protocol bytes (header included).
+    /// * `arrival_us` — receive time on the MSU's monotonic clock, in
+    ///   microseconds.
+    ///
+    /// Returns the record to store, or `Ok(None)` to drop the packet
+    /// (e.g. malformed but non-fatal). By default the delivery time is
+    /// derived from the arrival time; modules whose protocol carries a
+    /// sender timestamp derive it from the header instead, which keeps
+    /// network-induced jitter out of the stored schedule.
+    fn on_record(
+        &mut self,
+        kind: PacketKind,
+        payload: &[u8],
+        arrival_us: u64,
+    ) -> Result<Option<RecordedPacket>>;
+
+    /// Classifies one stored record during playback.
+    ///
+    /// The default sends media records on the data path and control
+    /// records on the control path, unchanged.
+    fn on_play(&mut self, record: &PacketRecord) -> Result<PlaybackClass> {
+        Ok(match record.kind {
+            PacketKind::Media => PlaybackClass::Media,
+            PacketKind::Control => PlaybackClass::Control,
+            PacketKind::EndOfStream => PlaybackClass::Drop,
+        })
+    }
+}
+
+/// Instantiates the module registered for `id`.
+///
+/// `cbr_rate` parameterizes the constant-rate module's sanity checks; it
+/// is ignored by the timestamped protocols.
+pub fn registry(id: ProtocolId, cbr_rate: Option<BitRate>) -> Box<dyn ProtocolModule> {
+    match id {
+        ProtocolId::ConstantRate => Box::new(crate::cbr::CbrModule::new(cbr_rate)),
+        ProtocolId::Rtp => Box::new(crate::rtp::RtpModule::new(crate::rtp::VIDEO_CLOCK_HZ)),
+        ProtocolId::Vat => Box::new(crate::vat::VatModule::new()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calliope_types::time::MediaTime;
+
+    struct DefaultModule;
+    impl ProtocolModule for DefaultModule {
+        fn id(&self) -> ProtocolId {
+            ProtocolId::ConstantRate
+        }
+        fn on_record(
+            &mut self,
+            kind: PacketKind,
+            payload: &[u8],
+            arrival_us: u64,
+        ) -> Result<Option<RecordedPacket>> {
+            Ok(Some(RecordedPacket {
+                record: PacketRecord {
+                    offset: MediaTime(arrival_us),
+                    kind,
+                    payload: payload.to_vec(),
+                },
+            }))
+        }
+    }
+
+    #[test]
+    fn default_on_play_routes_by_kind() {
+        let mut m = DefaultModule;
+        let media = PacketRecord::media(MediaTime::ZERO, vec![1]);
+        let ctrl = PacketRecord::control(MediaTime::ZERO, vec![2]);
+        let eos = PacketRecord {
+            offset: MediaTime::ZERO,
+            kind: PacketKind::EndOfStream,
+            payload: vec![],
+        };
+        assert_eq!(m.on_play(&media).unwrap(), PlaybackClass::Media);
+        assert_eq!(m.on_play(&ctrl).unwrap(), PlaybackClass::Control);
+        assert_eq!(m.on_play(&eos).unwrap(), PlaybackClass::Drop);
+    }
+
+    #[test]
+    fn registry_returns_matching_module() {
+        for id in ProtocolId::ALL {
+            let m = registry(id, Some(BitRate::from_kbps(1500)));
+            assert_eq!(m.id(), id);
+        }
+    }
+}

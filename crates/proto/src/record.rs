@@ -1,0 +1,177 @@
+//! The on-disk packet record.
+//!
+//! For variable-rate streams, Calliope "interleaves the delivery schedule
+//! and data in a single file" (paper §2.2.1). The unit of interleaving is
+//! the [`PacketRecord`]: each recorded packet is stored together with its
+//! delivery offset and kind, and the IB-tree's data pages are simply
+//! sequences of packet records in delivery order.
+//!
+//! This module defines the byte layout shared by `calliope-storage`
+//! (which packs records into 256 KB data pages) and `calliope-msu` (whose
+//! network process unpacks pages back into timed packets).
+
+use calliope_types::time::MediaTime;
+use calliope_types::wire::data::PacketKind;
+use calliope_types::wire::WireError;
+
+/// Fixed overhead of one encoded packet record, in bytes:
+/// offset (8) + kind (1) + payload length (4).
+pub const RECORD_HEADER_LEN: usize = 8 + 1 + 4;
+
+/// One recorded packet: a delivery offset, a kind, and the payload bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PacketRecord {
+    /// Delivery time as an offset from the start of the recording.
+    pub offset: MediaTime,
+    /// Media or interleaved control data.
+    pub kind: PacketKind,
+    /// The packet payload (protocol bytes, header included).
+    pub payload: Vec<u8>,
+}
+
+impl PacketRecord {
+    /// Creates a media record.
+    pub fn media(offset: MediaTime, payload: Vec<u8>) -> Self {
+        PacketRecord {
+            offset,
+            kind: PacketKind::Media,
+            payload,
+        }
+    }
+
+    /// Creates an interleaved control record.
+    pub fn control(offset: MediaTime, payload: Vec<u8>) -> Self {
+        PacketRecord {
+            offset,
+            kind: PacketKind::Control,
+            payload,
+        }
+    }
+
+    /// Total encoded size of this record.
+    pub fn encoded_len(&self) -> usize {
+        RECORD_HEADER_LEN + self.payload.len()
+    }
+
+    /// Appends the record's encoding to `buf`.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.offset.as_micros().to_le_bytes());
+        buf.push(self.kind.tag());
+        buf.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&self.payload);
+    }
+
+    /// Decodes one record from the front of `buf`, returning it and the
+    /// number of bytes consumed.
+    pub fn decode_from(buf: &[u8]) -> Result<(PacketRecord, usize), WireError> {
+        if buf.len() < RECORD_HEADER_LEN {
+            return Err(WireError::Truncated {
+                what: "packet record header",
+            });
+        }
+        let offset = u64::from_le_bytes(buf[0..8].try_into().expect("slice is 8 bytes"));
+        let kind_tag = buf[8];
+        let kind = PacketKind::from_tag(kind_tag).ok_or(WireError::BadTag {
+            what: "packet record kind",
+            tag: kind_tag,
+        })?;
+        let len = u32::from_le_bytes(buf[9..13].try_into().expect("slice is 4 bytes")) as usize;
+        if buf.len() < RECORD_HEADER_LEN + len {
+            return Err(WireError::Truncated {
+                what: "packet record payload",
+            });
+        }
+        let payload = buf[RECORD_HEADER_LEN..RECORD_HEADER_LEN + len].to_vec();
+        Ok((
+            PacketRecord {
+                offset: MediaTime(offset),
+                kind,
+                payload,
+            },
+            RECORD_HEADER_LEN + len,
+        ))
+    }
+
+    /// Decodes every record packed into `buf` (e.g. the record region of
+    /// one data page).
+    pub fn decode_all(mut buf: &[u8]) -> Result<Vec<PacketRecord>, WireError> {
+        let mut out = Vec::new();
+        while !buf.is_empty() {
+            let (rec, used) = PacketRecord::decode_from(buf)?;
+            buf = &buf[used..];
+            out.push(rec);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn record_round_trip() {
+        let rec = PacketRecord::media(MediaTime::from_millis(40), vec![1, 2, 3, 4]);
+        let mut buf = Vec::new();
+        rec.encode_into(&mut buf);
+        assert_eq!(buf.len(), rec.encoded_len());
+        let (back, used) = PacketRecord::decode_from(&buf).unwrap();
+        assert_eq!(back, rec);
+        assert_eq!(used, buf.len());
+    }
+
+    #[test]
+    fn several_records_decode_in_order() {
+        let recs = vec![
+            PacketRecord::media(MediaTime::from_millis(0), vec![0; 10]),
+            PacketRecord::control(MediaTime::from_millis(5), vec![1; 3]),
+            PacketRecord::media(MediaTime::from_millis(33), vec![2; 1000]),
+        ];
+        let mut buf = Vec::new();
+        for r in &recs {
+            r.encode_into(&mut buf);
+        }
+        assert_eq!(PacketRecord::decode_all(&buf).unwrap(), recs);
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let rec = PacketRecord::media(MediaTime::from_millis(1), vec![9; 50]);
+        let mut buf = Vec::new();
+        rec.encode_into(&mut buf);
+        for cut in 0..buf.len() {
+            assert!(PacketRecord::decode_from(&buf[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn bad_kind_is_rejected() {
+        let rec = PacketRecord::media(MediaTime::ZERO, vec![]);
+        let mut buf = Vec::new();
+        rec.encode_into(&mut buf);
+        buf[8] = 99;
+        assert!(PacketRecord::decode_from(&buf).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(off in any::<u64>(), payload in proptest::collection::vec(any::<u8>(), 0..2048), ctrl in any::<bool>()) {
+            let rec = if ctrl {
+                PacketRecord::control(MediaTime(off), payload)
+            } else {
+                PacketRecord::media(MediaTime(off), payload)
+            };
+            let mut buf = Vec::new();
+            rec.encode_into(&mut buf);
+            let (back, used) = PacketRecord::decode_from(&buf).unwrap();
+            prop_assert_eq!(back, rec);
+            prop_assert_eq!(used, buf.len());
+        }
+
+        #[test]
+        fn prop_decode_all_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+            let _ = PacketRecord::decode_all(&bytes);
+        }
+    }
+}

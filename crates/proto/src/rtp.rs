@@ -1,0 +1,348 @@
+//! The RTP protocol module.
+//!
+//! RTP (the Internet Real-time Transport Protocol, then draft-ietf-avt-
+//! rtp-07) carries a sender timestamp in every data packet. "If there is
+//! a timestamp in the protocol's header, then a protocol extension
+//! function may derive delivery time from the timestamp. Using the
+//! sender-generated protocol timestamp instead of the packet's arrival
+//! time has the advantage that it does not include the effects of
+//! network-induced jitter." (paper §2.3.2)
+//!
+//! "The RTP protocol uses two ports — one for control messages and one
+//! for data. The RTP module for the MSU manages the control socket.
+//! During recording, the RTP module interleaves the control messages
+//! with the rest of the data stream before the data is given to the disk
+//! process. On output, the opposite process is performed." In this
+//! implementation both classes arrive on the Calliope data socket,
+//! distinguished by the [`PacketKind`] in the Calliope data header; the
+//! module interleaves control packets into the stored stream stamped
+//! with the running media time, and [`ProtocolModule::on_play`] routes
+//! them back to the control path.
+
+use crate::module::{ProtocolModule, RecordedPacket};
+use crate::record::PacketRecord;
+use crate::schedule::ScheduleBuilder;
+use calliope_types::content::ProtocolId;
+use calliope_types::error::{Error, Result};
+use calliope_types::wire::data::PacketKind;
+
+/// RTP's fixed header length (no CSRCs, no extension).
+pub const RTP_HEADER_LEN: usize = 12;
+
+/// RTP protocol version encoded in the header.
+pub const RTP_VERSION: u8 = 2;
+
+/// The media clock rate for video payloads (RFC-standard 90 kHz).
+pub const VIDEO_CLOCK_HZ: u32 = 90_000;
+
+/// A parsed RTP fixed header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RtpHeader {
+    /// Payload type (7 bits).
+    pub payload_type: u8,
+    /// Marker bit (last packet of a frame for most video encodings).
+    pub marker: bool,
+    /// Sequence number.
+    pub seq: u16,
+    /// Media timestamp in clock-rate ticks.
+    pub timestamp: u32,
+    /// Synchronization source.
+    pub ssrc: u32,
+}
+
+impl RtpHeader {
+    /// Serializes the fixed 12-byte header (V=2, no padding, no
+    /// extension, no CSRCs).
+    pub fn to_bytes(&self) -> [u8; RTP_HEADER_LEN] {
+        let mut b = [0u8; RTP_HEADER_LEN];
+        b[0] = RTP_VERSION << 6;
+        b[1] = (u8::from(self.marker) << 7) | (self.payload_type & 0x7F);
+        b[2..4].copy_from_slice(&self.seq.to_be_bytes());
+        b[4..8].copy_from_slice(&self.timestamp.to_be_bytes());
+        b[8..12].copy_from_slice(&self.ssrc.to_be_bytes());
+        b
+    }
+
+    /// Parses the fixed header from the front of an RTP packet.
+    pub fn parse(buf: &[u8]) -> Result<RtpHeader> {
+        if buf.len() < RTP_HEADER_LEN {
+            return Err(Error::Protocol {
+                msg: format!("rtp packet too short: {} bytes", buf.len()),
+            });
+        }
+        let version = buf[0] >> 6;
+        if version != RTP_VERSION {
+            return Err(Error::Protocol {
+                msg: format!("rtp version {version} unsupported"),
+            });
+        }
+        Ok(RtpHeader {
+            payload_type: buf[1] & 0x7F,
+            marker: buf[1] & 0x80 != 0,
+            seq: u16::from_be_bytes([buf[2], buf[3]]),
+            timestamp: u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]]),
+            ssrc: u32::from_be_bytes([buf[8], buf[9], buf[10], buf[11]]),
+        })
+    }
+}
+
+/// Unwraps 32-bit RTP timestamps into a monotone 64-bit tick count.
+///
+/// RTP timestamps wrap every 2³²/90000 ≈ 13.25 hours at the video clock
+/// rate; a long seminar recording crosses that. The unwrapper assumes
+/// successive packets differ by less than half the wrap period.
+#[derive(Debug, Default)]
+pub struct TimestampUnwrapper {
+    last: Option<u32>,
+    high: u64,
+}
+
+impl TimestampUnwrapper {
+    /// Creates an unwrapper with no history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Extends `ts` to 64 bits, detecting wraparound in either direction.
+    pub fn unwrap(&mut self, ts: u32) -> u64 {
+        if let Some(last) = self.last {
+            let forward = ts.wrapping_sub(last);
+            if forward < u32::MAX / 2 {
+                // Moving forward; did we cross zero?
+                if ts < last {
+                    self.high += 1;
+                }
+            } else {
+                // A small step backwards (reordered packet); did it cross
+                // zero in reverse?
+                if ts > last && self.high > 0 {
+                    self.high -= 1;
+                }
+            }
+        }
+        self.last = Some(ts);
+        (self.high << 32) | ts as u64
+    }
+}
+
+/// The RTP protocol module.
+pub struct RtpModule {
+    clock_hz: u32,
+    unwrapper: TimestampUnwrapper,
+    schedule: ScheduleBuilder,
+    /// Delivery offset of the most recent media packet, used to stamp
+    /// interleaved control messages.
+    last_offset_us: u64,
+    dropped: u64,
+}
+
+impl RtpModule {
+    /// Creates a module for a given media clock rate (90 kHz for video).
+    pub fn new(clock_hz: u32) -> Self {
+        assert!(clock_hz > 0, "clock rate must be non-zero");
+        RtpModule {
+            clock_hz,
+            unwrapper: TimestampUnwrapper::new(),
+            schedule: ScheduleBuilder::new(),
+            last_offset_us: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Packets dropped because their RTP header failed to parse.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    fn ticks_to_us(&self, ticks: u64) -> u64 {
+        (ticks as u128 * 1_000_000 / self.clock_hz as u128) as u64
+    }
+}
+
+impl ProtocolModule for RtpModule {
+    fn id(&self) -> ProtocolId {
+        ProtocolId::Rtp
+    }
+
+    fn on_record(
+        &mut self,
+        kind: PacketKind,
+        payload: &[u8],
+        _arrival_us: u64,
+    ) -> Result<Option<RecordedPacket>> {
+        match kind {
+            PacketKind::Media => {
+                let header = match RtpHeader::parse(payload) {
+                    Ok(h) => h,
+                    Err(_) => {
+                        // One malformed packet must not kill the stream.
+                        self.dropped += 1;
+                        return Ok(None);
+                    }
+                };
+                let ticks = self.unwrapper.unwrap(header.timestamp);
+                let raw_us = self.ticks_to_us(ticks);
+                let offset = self.schedule.push(raw_us);
+                self.last_offset_us = offset.as_micros();
+                Ok(Some(RecordedPacket {
+                    record: PacketRecord::media(offset, payload.to_vec()),
+                }))
+            }
+            PacketKind::Control => {
+                // Interleave control messages into the stored stream at
+                // the running media time (paper §2.3.2).
+                Ok(Some(RecordedPacket {
+                    record: PacketRecord::control(
+                        calliope_types::time::MediaTime(self.last_offset_us),
+                        payload.to_vec(),
+                    ),
+                }))
+            }
+            PacketKind::EndOfStream => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::PlaybackClass;
+    use proptest::prelude::*;
+
+    fn rtp_packet(seq: u16, timestamp: u32, body: &[u8]) -> Vec<u8> {
+        let header = RtpHeader {
+            payload_type: 26,
+            marker: false,
+            seq,
+            timestamp,
+            ssrc: 0xDECAF,
+        };
+        let mut pkt = header.to_bytes().to_vec();
+        pkt.extend_from_slice(body);
+        pkt
+    }
+
+    #[test]
+    fn header_round_trip() {
+        let h = RtpHeader {
+            payload_type: 96,
+            marker: true,
+            seq: 0xBEEF,
+            timestamp: 0x01020304,
+            ssrc: 0xA0B0C0D0,
+        };
+        assert_eq!(RtpHeader::parse(&h.to_bytes()).unwrap(), h);
+    }
+
+    #[test]
+    fn short_or_bad_version_packets_fail_parse() {
+        assert!(RtpHeader::parse(&[0u8; 5]).is_err());
+        let mut b = rtp_packet(1, 1, b"x");
+        b[0] = 0; // version 0
+        assert!(RtpHeader::parse(&b).is_err());
+    }
+
+    #[test]
+    fn delivery_time_comes_from_timestamp_not_arrival() {
+        let mut m = RtpModule::new(VIDEO_CLOCK_HZ);
+        // Two packets 90000 ticks (1 s) apart in media time, but arriving
+        // only 10 µs apart (burst): the schedule must span 1 s.
+        let a = m
+            .on_record(PacketKind::Media, &rtp_packet(0, 0, b"f0"), 1_000)
+            .unwrap()
+            .unwrap();
+        let b = m
+            .on_record(PacketKind::Media, &rtp_packet(1, 90_000, b"f1"), 1_010)
+            .unwrap()
+            .unwrap();
+        assert_eq!(a.record.offset.as_micros(), 0);
+        assert_eq!(b.record.offset.as_micros(), 1_000_000);
+    }
+
+    #[test]
+    fn timestamp_wraparound_is_unwrapped() {
+        let mut m = RtpModule::new(VIDEO_CLOCK_HZ);
+        let near_wrap = u32::MAX - 45_000;
+        m.on_record(PacketKind::Media, &rtp_packet(0, near_wrap, b""), 0)
+            .unwrap();
+        let after = m
+            .on_record(PacketKind::Media, &rtp_packet(1, 45_000, b""), 10)
+            .unwrap()
+            .unwrap();
+        // 90_001 ticks elapsed ≈ 1.000011 s, despite the 32-bit wrap.
+        let us = after.record.offset.as_micros();
+        assert!((999_000..1_002_000).contains(&us), "{us}");
+    }
+
+    #[test]
+    fn malformed_media_packet_is_dropped_not_fatal() {
+        let mut m = RtpModule::new(VIDEO_CLOCK_HZ);
+        assert!(m
+            .on_record(PacketKind::Media, &[1, 2, 3], 0)
+            .unwrap()
+            .is_none());
+        assert_eq!(m.dropped(), 1);
+        // Stream continues fine afterwards.
+        assert!(m
+            .on_record(PacketKind::Media, &rtp_packet(0, 0, b"ok"), 5)
+            .unwrap()
+            .is_some());
+    }
+
+    #[test]
+    fn control_packets_interleave_at_running_media_time() {
+        let mut m = RtpModule::new(VIDEO_CLOCK_HZ);
+        m.on_record(PacketKind::Media, &rtp_packet(0, 0, b""), 0)
+            .unwrap();
+        m.on_record(PacketKind::Media, &rtp_packet(1, 90_000, b""), 1)
+            .unwrap();
+        let ctrl = m
+            .on_record(PacketKind::Control, b"rtcp report", 2)
+            .unwrap()
+            .unwrap();
+        assert_eq!(ctrl.record.kind, PacketKind::Control);
+        assert_eq!(ctrl.record.offset.as_micros(), 1_000_000);
+        // And on playback it routes back to the control path.
+        assert_eq!(m.on_play(&ctrl.record).unwrap(), PlaybackClass::Control);
+    }
+
+    #[test]
+    fn end_of_stream_records_nothing() {
+        let mut m = RtpModule::new(VIDEO_CLOCK_HZ);
+        assert!(m.on_record(PacketKind::EndOfStream, &[], 0).unwrap().is_none());
+    }
+
+    #[test]
+    fn unwrapper_handles_reordering_across_wrap() {
+        let mut u = TimestampUnwrapper::new();
+        let a = u.unwrap(u32::MAX - 10);
+        let b = u.unwrap(5); // wrapped forward
+        let c = u.unwrap(u32::MAX - 2); // reordered packet from before the wrap
+        assert!(b > a);
+        assert!(c < b);
+        assert_eq!(c, (u32::MAX - 2) as u64);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_unwrapped_timestamps_preserve_small_deltas(start in any::<u32>(), deltas in proptest::collection::vec(0u32..1_000_000, 1..100)) {
+            let mut u = TimestampUnwrapper::new();
+            let mut ts = start;
+            let mut prev = u.unwrap(ts);
+            for d in deltas {
+                ts = ts.wrapping_add(d);
+                let cur = u.unwrap(ts);
+                prop_assert_eq!(cur - prev, d as u64);
+                prev = cur;
+            }
+        }
+
+        #[test]
+        fn prop_rtp_module_never_panics_on_garbage(pkts in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 0..50)) {
+            let mut m = RtpModule::new(VIDEO_CLOCK_HZ);
+            for (i, p) in pkts.iter().enumerate() {
+                let _ = m.on_record(PacketKind::Media, p, i as u64);
+            }
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Delivery schedules.
+//!
+//! "In order to replay variable-rate data packets at the correct times,
+//! the network process constructs a delivery schedule as the data is
+//! recorded. … The arrival times in delivery schedules are not absolute;
+//! they are offsets from the beginning of the recording session." (paper
+//! §2.2.1)
+//!
+//! Two flavors exist:
+//!
+//! * [`ScheduleBuilder`] — used while *recording* a variable-rate stream.
+//!   It normalizes delivery times (from arrival clocks or protocol
+//!   timestamps) so the first packet lands at offset zero and offsets
+//!   never run backwards.
+//! * [`CbrSchedule`] — the *calculated* schedule for constant bit-rate
+//!   streams: packet `i` is due at `i · packet_bytes · 8 / rate`.
+
+use calliope_types::time::{BitRate, MediaTime};
+
+/// Calculated delivery schedule for a constant bit-rate stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CbrSchedule {
+    /// The stream's constant rate.
+    pub rate: BitRate,
+    /// Fixed payload size per packet, in bytes.
+    pub packet_bytes: u32,
+}
+
+impl CbrSchedule {
+    /// Creates a schedule; `packet_bytes` must be non-zero.
+    pub fn new(rate: BitRate, packet_bytes: u32) -> Self {
+        assert!(packet_bytes > 0, "packet size must be non-zero");
+        CbrSchedule { rate, packet_bytes }
+    }
+
+    /// Delivery offset of packet `seq` (0-based).
+    pub fn offset_of(&self, seq: u64) -> MediaTime {
+        self.rate.transmit_time(seq * self.packet_bytes as u64)
+    }
+
+    /// The packet sequence number playing at media-time `t` — i.e. the
+    /// greatest `seq` with `offset_of(seq) ≤ t`. Used to turn a `seek`
+    /// target into a byte position.
+    pub fn seq_at(&self, t: MediaTime) -> u64 {
+        if self.rate.bps() == 0 {
+            return 0;
+        }
+        // offset_of(seq) = floor(seq·pkt·8·10⁶ / rate) ≤ t
+        //   ⟺ seq·pkt·8·10⁶ < (t+1)·rate
+        //   ⟺ seq ≤ floor(((t+1)·rate − 1) / (pkt·8·10⁶))
+        let num = (t.as_micros() as u128 + 1) * self.rate.bps() as u128 - 1;
+        let den = self.packet_bytes as u128 * 8 * 1_000_000;
+        (num / den) as u64
+    }
+
+    /// Byte offset into the (raw) file where packet `seq` begins.
+    pub fn byte_of(&self, seq: u64) -> u64 {
+        seq * self.packet_bytes as u64
+    }
+
+    /// Total number of packets in a file of `len` bytes (the final packet
+    /// may be short).
+    pub fn packets_in(&self, len: u64) -> u64 {
+        len.div_ceil(self.packet_bytes as u64)
+    }
+
+    /// Duration of a file of `len` bytes at this rate.
+    pub fn duration_of(&self, len: u64) -> MediaTime {
+        self.rate.transmit_time(len)
+    }
+}
+
+/// Builds a normalized delivery schedule while recording.
+///
+/// Protocol modules hand it raw delivery times — either packet arrival
+/// times or sender timestamps. The builder:
+///
+/// * subtracts the first packet's time so offsets start at zero,
+/// * clamps regressions (late-reordered or misstamped packets) to the
+///   previous offset, keeping the schedule monotone — a requirement for
+///   the IB-tree, whose search key is delivery time.
+#[derive(Debug, Default)]
+pub struct ScheduleBuilder {
+    base: Option<u64>,
+    last: u64,
+    count: u64,
+    clamped: u64,
+}
+
+impl ScheduleBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Normalizes one raw delivery time (microseconds on any clock) into
+    /// a monotone offset from the start of the recording.
+    pub fn push(&mut self, raw_us: u64) -> MediaTime {
+        let base = *self.base.get_or_insert(raw_us);
+        let off = raw_us.saturating_sub(base);
+        let off = if off < self.last {
+            self.clamped += 1;
+            self.last
+        } else {
+            off
+        };
+        self.last = off;
+        self.count += 1;
+        MediaTime(off)
+    }
+
+    /// Number of packets pushed so far.
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// True if nothing has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// How many offsets had to be clamped to keep the schedule monotone.
+    pub fn clamped(&self) -> u64 {
+        self.clamped
+    }
+
+    /// The last (and therefore greatest) offset produced, i.e. the
+    /// recording's duration so far.
+    pub fn duration(&self) -> MediaTime {
+        MediaTime(self.last)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn cbr_offsets_are_evenly_spaced() {
+        // 1.5 Mbit/s, 4 KB packets — the Graph 1 workload. Spacing should
+        // be 4096·8/1.5e6 s ≈ 21.8 ms.
+        let s = CbrSchedule::new(BitRate::from_kbps(1500), 4096);
+        let gap = s.offset_of(1).as_micros();
+        assert!((21_000..23_000).contains(&gap), "{gap}");
+        for i in 0..100u64 {
+            let exact = (i as u128 * 4096 * 8 * 1_000_000 / 1_500_000) as u64;
+            assert_eq!(s.offset_of(i).as_micros(), exact);
+        }
+    }
+
+    #[test]
+    fn cbr_seek_inverts_offset() {
+        let s = CbrSchedule::new(BitRate::from_kbps(1500), 4096);
+        for seq in [0u64, 1, 7, 100, 12345] {
+            let t = s.offset_of(seq);
+            assert_eq!(s.seq_at(t), seq, "seq {seq}");
+            // Slightly before the deadline we are still on the previous packet.
+            if t.as_micros() > 0 {
+                assert_eq!(s.seq_at(MediaTime(t.as_micros() - 1)), seq - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn cbr_packet_count_and_duration() {
+        let s = CbrSchedule::new(BitRate::from_mbps(8), 1000);
+        assert_eq!(s.packets_in(0), 0);
+        assert_eq!(s.packets_in(999), 1);
+        assert_eq!(s.packets_in(1000), 1);
+        assert_eq!(s.packets_in(1001), 2);
+        // 1 MB at 8 Mbit/s = 1 second.
+        assert_eq!(s.duration_of(1_000_000), MediaTime::from_secs(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_packet_size_is_rejected() {
+        let _ = CbrSchedule::new(BitRate::from_mbps(1), 0);
+    }
+
+    #[test]
+    fn builder_normalizes_to_zero_base() {
+        let mut b = ScheduleBuilder::new();
+        assert_eq!(b.push(5_000_000), MediaTime::ZERO);
+        assert_eq!(b.push(5_040_000), MediaTime::from_millis(40));
+        assert_eq!(b.push(5_080_000), MediaTime::from_millis(80));
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.duration(), MediaTime::from_millis(80));
+        assert_eq!(b.clamped(), 0);
+    }
+
+    #[test]
+    fn builder_clamps_regressions() {
+        let mut b = ScheduleBuilder::new();
+        b.push(100);
+        b.push(300);
+        // A reordered packet stamped before its predecessor is clamped.
+        assert_eq!(b.push(200), MediaTime(200));
+        assert_eq!(b.clamped(), 1);
+        // And a time before the base clamps to the running maximum too.
+        assert_eq!(b.push(50), MediaTime(200));
+        assert_eq!(b.clamped(), 2);
+    }
+
+    #[test]
+    fn empty_builder_reports_empty() {
+        let b = ScheduleBuilder::new();
+        assert!(b.is_empty());
+        assert_eq!(b.duration(), MediaTime::ZERO);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_builder_output_is_monotone(raw in proptest::collection::vec(any::<u64>(), 1..200)) {
+            let mut b = ScheduleBuilder::new();
+            let mut prev = MediaTime::ZERO;
+            for (i, t) in raw.iter().enumerate() {
+                let off = b.push(*t);
+                if i == 0 {
+                    prop_assert_eq!(off, MediaTime::ZERO);
+                }
+                prop_assert!(off >= prev, "offset went backwards");
+                prev = off;
+            }
+            prop_assert_eq!(b.duration(), prev);
+        }
+
+        #[test]
+        fn prop_cbr_offsets_monotone(rate_kbps in 1u64..100_000, pkt in 1u32..65_536, seqs in proptest::collection::vec(0u64..1_000_000, 1..50)) {
+            let s = CbrSchedule::new(BitRate::from_kbps(rate_kbps), pkt);
+            let mut sorted = seqs.clone();
+            sorted.sort_unstable();
+            let mut prev = MediaTime::ZERO;
+            for seq in sorted {
+                let off = s.offset_of(seq);
+                prop_assert!(off >= prev);
+                prev = off;
+            }
+        }
+
+        #[test]
+        fn prop_cbr_seek_floor(rate_kbps in 8u64..100_000, pkt in 64u32..16_384, t_ms in 0u64..3_600_000) {
+            let s = CbrSchedule::new(BitRate::from_kbps(rate_kbps), pkt);
+            let t = MediaTime::from_millis(t_ms);
+            let seq = s.seq_at(t);
+            // The chosen packet is due at or before t; the next is after.
+            prop_assert!(s.offset_of(seq) <= t);
+            prop_assert!(s.offset_of(seq + 1) > t || s.offset_of(seq + 1) == s.offset_of(seq));
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! The VAT audio protocol module.
+//!
+//! VAT was the MBone audioconferencing tool; Calliope records its
+//! packet stream directly (paper §2.1 lists a VAT audio content type).
+//! We implement the classic 8-byte VAT packet header: flags, a
+//! conference id, and a 32-bit media timestamp. As with RTP, the module
+//! derives delivery times from the sender timestamp so stored schedules
+//! are free of network jitter.
+
+use crate::module::{ProtocolModule, RecordedPacket};
+use crate::record::PacketRecord;
+use crate::schedule::ScheduleBuilder;
+use calliope_types::content::ProtocolId;
+use calliope_types::error::{Error, Result};
+use calliope_types::wire::data::PacketKind;
+
+/// VAT's fixed header length in bytes.
+pub const VAT_HEADER_LEN: usize = 8;
+
+/// The VAT audio clock rate: 8 kHz PCM.
+pub const AUDIO_CLOCK_HZ: u32 = 8_000;
+
+/// A parsed VAT packet header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VatHeader {
+    /// Protocol flags (we only validate that the "hidden" bits are sane).
+    pub flags: u8,
+    /// Audio format tag.
+    pub format: u8,
+    /// Conference identifier.
+    pub conf_id: u16,
+    /// Media timestamp in 8 kHz ticks.
+    pub timestamp: u32,
+}
+
+impl VatHeader {
+    /// Serializes the 8-byte header.
+    pub fn to_bytes(&self) -> [u8; VAT_HEADER_LEN] {
+        let mut b = [0u8; VAT_HEADER_LEN];
+        b[0] = self.flags;
+        b[1] = self.format;
+        b[2..4].copy_from_slice(&self.conf_id.to_be_bytes());
+        b[4..8].copy_from_slice(&self.timestamp.to_be_bytes());
+        b
+    }
+
+    /// Parses a header from the front of a VAT packet.
+    pub fn parse(buf: &[u8]) -> Result<VatHeader> {
+        if buf.len() < VAT_HEADER_LEN {
+            return Err(Error::Protocol {
+                msg: format!("vat packet too short: {} bytes", buf.len()),
+            });
+        }
+        Ok(VatHeader {
+            flags: buf[0],
+            format: buf[1],
+            conf_id: u16::from_be_bytes([buf[2], buf[3]]),
+            timestamp: u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]]),
+        })
+    }
+}
+
+/// The VAT protocol module.
+pub struct VatModule {
+    schedule: ScheduleBuilder,
+    last_offset_us: u64,
+    dropped: u64,
+}
+
+impl VatModule {
+    /// Creates a fresh module.
+    pub fn new() -> Self {
+        VatModule {
+            schedule: ScheduleBuilder::new(),
+            last_offset_us: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Packets dropped because their header failed to parse.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl Default for VatModule {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ProtocolModule for VatModule {
+    fn id(&self) -> ProtocolId {
+        ProtocolId::Vat
+    }
+
+    fn on_record(
+        &mut self,
+        kind: PacketKind,
+        payload: &[u8],
+        _arrival_us: u64,
+    ) -> Result<Option<RecordedPacket>> {
+        match kind {
+            PacketKind::Media => {
+                let header = match VatHeader::parse(payload) {
+                    Ok(h) => h,
+                    Err(_) => {
+                        self.dropped += 1;
+                        return Ok(None);
+                    }
+                };
+                // 8 kHz ticks → microseconds. Audio sessions are short
+                // enough that 32-bit tick wraps (149 hours) are out of
+                // scope; the schedule builder clamps if one ever occurs.
+                let raw_us = header.timestamp as u64 * 1_000_000 / AUDIO_CLOCK_HZ as u64;
+                let offset = self.schedule.push(raw_us);
+                self.last_offset_us = offset.as_micros();
+                Ok(Some(RecordedPacket {
+                    record: PacketRecord::media(offset, payload.to_vec()),
+                }))
+            }
+            PacketKind::Control => Ok(Some(RecordedPacket {
+                record: PacketRecord::control(
+                    calliope_types::time::MediaTime(self.last_offset_us),
+                    payload.to_vec(),
+                ),
+            })),
+            PacketKind::EndOfStream => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vat_packet(timestamp: u32, body: &[u8]) -> Vec<u8> {
+        let mut pkt = VatHeader {
+            flags: 0,
+            format: 1,
+            conf_id: 7,
+            timestamp,
+        }
+        .to_bytes()
+        .to_vec();
+        pkt.extend_from_slice(body);
+        pkt
+    }
+
+    #[test]
+    fn header_round_trip() {
+        let h = VatHeader {
+            flags: 0x80,
+            format: 3,
+            conf_id: 0x1234,
+            timestamp: 0xCAFEBABE,
+        };
+        assert_eq!(VatHeader::parse(&h.to_bytes()).unwrap(), h);
+    }
+
+    #[test]
+    fn delivery_time_uses_audio_clock() {
+        let mut m = VatModule::new();
+        let a = m
+            .on_record(PacketKind::Media, &vat_packet(0, &[0; 160]), 0)
+            .unwrap()
+            .unwrap();
+        // 160 ticks at 8 kHz = 20 ms: the classic audio packetization.
+        let b = m
+            .on_record(PacketKind::Media, &vat_packet(160, &[0; 160]), 1)
+            .unwrap()
+            .unwrap();
+        assert_eq!(a.record.offset.as_micros(), 0);
+        assert_eq!(b.record.offset.as_micros(), 20_000);
+    }
+
+    #[test]
+    fn short_packet_is_dropped() {
+        let mut m = VatModule::new();
+        assert!(m.on_record(PacketKind::Media, &[1, 2], 0).unwrap().is_none());
+        assert_eq!(m.dropped(), 1);
+    }
+
+    #[test]
+    fn control_packets_are_interleaved() {
+        let mut m = VatModule::new();
+        m.on_record(PacketKind::Media, &vat_packet(800, &[]), 0)
+            .unwrap();
+        m.on_record(PacketKind::Media, &vat_packet(1600, &[]), 1)
+            .unwrap();
+        let c = m
+            .on_record(PacketKind::Control, b"id string", 2)
+            .unwrap()
+            .unwrap();
+        assert_eq!(c.record.kind, PacketKind::Control);
+        assert_eq!(c.record.offset.as_micros(), 100_000);
+    }
+
+    #[test]
+    fn first_packet_defines_time_zero() {
+        let mut m = VatModule::new();
+        // Sender's clock starts at an arbitrary large value.
+        let a = m
+            .on_record(PacketKind::Media, &vat_packet(4_000_000, &[]), 0)
+            .unwrap()
+            .unwrap();
+        assert_eq!(a.record.offset.as_micros(), 0);
+        let b = m
+            .on_record(PacketKind::Media, &vat_packet(4_000_080, &[]), 1)
+            .unwrap()
+            .unwrap();
+        assert_eq!(b.record.offset.as_micros(), 10_000);
+    }
+}

@@ -1,0 +1,61 @@
+//! Calibration driver for the MSU model: prints the Graph 1/2 shapes
+//! at 60 s horizons so parameter changes can be sanity-checked quickly
+//! (`cargo run -p calliope-sim --example debug_lateness --release`).
+//! The full experiments live in `calliope-bench`.
+use calliope_sim::msu_model::{run, MsuWorkload};
+
+fn vbr_traces() -> Vec<Vec<(u64, u32)>> {
+    calliope_media::nv::paper_files()
+        .iter()
+        .map(|p| {
+            calliope_media::nv::generate(p, 60, 11)
+                .into_iter()
+                .map(|pkt| (pkt.time_us, pkt.payload.len() as u32))
+                .collect()
+        })
+        .collect()
+}
+
+fn main() {
+    for n in [2usize, 5, 22, 23, 24] {
+        let r = run(&MsuWorkload::cbr(n, 60, 3));
+        println!(
+            "cbr n={n:2}  pkts={:7}  w20={:5.1}%  w50={:5.1}%  w150={:5.1}%  max={:6.1}ms mean={:5.2}ms  wire={:.2} disk={:.2} cpu={:.2} mem={:.2} starv={}",
+            r.packets,
+            r.cdf.pct_within_ms(20),
+            r.cdf.pct_within_ms(50),
+            r.cdf.pct_within_ms(150),
+            r.cdf.max_ms(),
+            r.cdf.mean_ms(),
+            r.wire_mb_s, r.disk_mb_s, r.cpu_util, r.mem_util, r.starved
+        );
+        if n == 2 {
+            // Tail of the curve to localize the >20 ms packets.
+            for (ms, pct) in r.cdf.curve() {
+                if (15..40).contains(&ms) && ms % 2 == 1 {
+                    print!("  {ms}ms:{pct:.2}%");
+                }
+            }
+            println!();
+        }
+    }
+
+    let files = vbr_traces();
+    for n in [11usize, 15, 16, 17, 20] {
+        let r = run(&MsuWorkload::vbr(n, &files, 60, 3));
+        println!(
+            "vbr n={n:2}  pkts={:7}  w20={:5.1}%  w50={:5.1}%  w150={:5.1}%  max={:6.1}ms mean={:5.2}ms  wire={:.2} cpu={:.2} mem={:.2} starv={}",
+            r.packets, r.cdf.pct_within_ms(20), r.cdf.pct_within_ms(50), r.cdf.pct_within_ms(150),
+            r.cdf.max_ms(), r.cdf.mean_ms(), r.wire_mb_s, r.cpu_util, r.mem_util, r.starved
+        );
+    }
+    // Single-file pathological case (paper: only 11 streams).
+    let one = vec![files[2].clone()];
+    for n in [11usize, 15] {
+        let r = run(&MsuWorkload::vbr(n, &one, 60, 3));
+        println!(
+            "vbr-1file n={n:2}  w50={:5.1}%  max={:6.1}ms mean={:5.2}ms",
+            r.cdf.pct_within_ms(50), r.cdf.max_ms(), r.cdf.mean_ms()
+        );
+    }
+}

@@ -1,0 +1,283 @@
+//! The Table 1 baseline experiments.
+//!
+//! "In order to estimate the maximum potential throughput of Calliope,
+//! we measured the performance of several simple programs exercising
+//! memory, disks, and network interface." (paper §3.1)
+//!
+//! Three program shapes, combined per row:
+//!
+//! * a modified **ttcp** sending 4 KB UDP packets from a large buffer
+//!   (so the processor cache cannot fake the copy cost);
+//! * one **raw-read** process per disk issuing random 256 KB reads;
+//! * both at once, to expose the interference that determines the MSU's
+//!   real capacity.
+//!
+//! [`table1`] runs all five paper rows: FDDI alone, then 1–3 disks on
+//! one or two HBAs, alone and with FDDI.
+
+use crate::engine::{EventQueue, SimTime};
+use crate::machine::{Completion, IoJob, Machine, MachineParams, SendJob};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// ttcp's packet size in the paper's runs (`-l 4096`).
+pub const TTCP_PACKET: u32 = 4096;
+
+/// The raw-read transfer size (one file-system block).
+pub const READ_BLOCK: u32 = 256 * 1024;
+
+/// Which programs run in a scenario.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Workload {
+    /// ttcp only.
+    FddiOnly,
+    /// Raw disk readers only.
+    DisksOnly,
+    /// Both simultaneously.
+    Both,
+}
+
+/// Throughputs measured in one scenario, MB/s (10⁶ bytes/s, as in the
+/// paper).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioResult {
+    /// FDDI send throughput, if ttcp ran.
+    pub fddi_mb_s: Option<f64>,
+    /// Per-disk read throughput, in disk order.
+    pub disk_mb_s: Vec<f64>,
+}
+
+/// Runs one scenario for `secs` simulated seconds.
+pub fn run_scenario(
+    params: MachineParams,
+    disk_hba: &[usize],
+    workload: Workload,
+    secs: u64,
+    seed: u64,
+) -> ScenarioResult {
+    let mut m = Machine::new(params, disk_hba.to_vec(), seed);
+    let mut q = EventQueue::new();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9E3779B97F4A7C15);
+    let n_disks = disk_hba.len();
+    let run_disks = workload != Workload::FddiOnly && n_disks > 0;
+    let run_fddi = workload != Workload::DisksOnly;
+
+    if run_disks {
+        for d in 0..n_disks {
+            let pos = rng.gen_range(0..params.disk.positions);
+            m.submit_io(
+                &mut q,
+                IoJob {
+                    disk: d,
+                    stream: d,
+                    bytes: READ_BLOCK,
+                    pos,
+                },
+            );
+        }
+    }
+    let mut seq = 0u64;
+    if run_fddi {
+        m.submit_send(
+            &mut q,
+            SendJob {
+                stream: 0,
+                seq,
+                due: SimTime::ZERO,
+                bytes: TTCP_PACKET,
+            },
+        );
+    }
+
+    let horizon = SimTime::from_secs(secs);
+    while let Some((t, ev)) = q.pop() {
+        if t > horizon {
+            break;
+        }
+        for c in m.handle(&mut q, ev) {
+            match c {
+                // ttcp is a synchronous sender: the next sendto starts
+                // when the previous copy returns.
+                Completion::CopyDone(_) if run_fddi => {
+                    seq += 1;
+                    m.submit_send(
+                        &mut q,
+                        SendJob {
+                            stream: 0,
+                            seq,
+                            due: SimTime::ZERO,
+                            bytes: TTCP_PACKET,
+                        },
+                    );
+                }
+                // Raw readers are closed-loop: resubmit immediately.
+                Completion::IoComplete(job) if run_disks => {
+                    let pos = rng.gen_range(0..params.disk.positions);
+                    m.submit_io(&mut q, IoJob { pos, ..job });
+                }
+                _ => {}
+            }
+        }
+    }
+
+    ScenarioResult {
+        fddi_mb_s: run_fddi.then(|| m.stats().wire_bytes as f64 / 1e6 / secs as f64),
+        disk_mb_s: (0..n_disks)
+            .map(|d| m.disk_bytes(d) as f64 / 1e6 / secs as f64)
+            .collect(),
+    }
+}
+
+/// One row of Table 1.
+#[derive(Clone, Debug)]
+pub struct Table1Row {
+    /// Row label as printed in the paper.
+    pub label: &'static str,
+    /// The disk→HBA topology.
+    pub disk_hba: Vec<usize>,
+    /// FDDI-only throughput (only for the "0 disk" row in the paper;
+    /// populated for every row here since it is topology-independent).
+    pub fddi_only: Option<f64>,
+    /// Disk-only throughputs.
+    pub disks_only: Vec<f64>,
+    /// Simultaneous: FDDI.
+    pub both_fddi: f64,
+    /// Simultaneous: disks.
+    pub both_disks: Vec<f64>,
+}
+
+/// The five paper rows, in order.
+pub fn paper_topologies() -> Vec<(&'static str, Vec<usize>)> {
+    vec![
+        ("0 disk", vec![]),
+        ("1 disk (one HBA)", vec![0]),
+        ("2 disk (one HBA)", vec![0, 0]),
+        ("2 disk (two HBA)", vec![0, 1]),
+        ("3 disk (two HBA)", vec![0, 0, 1]),
+    ]
+}
+
+/// Regenerates Table 1.
+pub fn table1(params: MachineParams, secs: u64, seed: u64) -> Vec<Table1Row> {
+    paper_topologies()
+        .into_iter()
+        .map(|(label, disk_hba)| {
+            let fddi_only = if disk_hba.is_empty() {
+                run_scenario(params, &disk_hba, Workload::FddiOnly, secs, seed).fddi_mb_s
+            } else {
+                None
+            };
+            let disks_only = if disk_hba.is_empty() {
+                Vec::new()
+            } else {
+                run_scenario(params, &disk_hba, Workload::DisksOnly, secs, seed).disk_mb_s
+            };
+            let both = if disk_hba.is_empty() {
+                ScenarioResult {
+                    fddi_mb_s: Some(0.0),
+                    disk_mb_s: Vec::new(),
+                }
+            } else {
+                run_scenario(params, &disk_hba, Workload::Both, secs, seed)
+            };
+            Table1Row {
+                label,
+                disk_hba,
+                fddi_only,
+                disks_only,
+                both_fddi: both.fddi_mb_s.unwrap_or(0.0),
+                both_disks: both.disk_mb_s,
+            }
+        })
+        .collect()
+}
+
+/// One published Table 1 row:
+/// `(label, fddi_only, disks_only, both_fddi, both_disks)`.
+pub type PaperRow = (&'static str, Option<f64>, Vec<f64>, Option<f64>, Vec<f64>);
+
+/// The paper's published Table 1 values, for side-by-side reporting.
+pub fn paper_table1() -> Vec<PaperRow> {
+    vec![
+        ("0 disk", Some(8.5), vec![], None, vec![]),
+        ("1 disk (one HBA)", None, vec![3.6], Some(5.9), vec![3.4]),
+        ("2 disk (one HBA)", None, vec![2.8, 2.8], Some(4.7), vec![2.4, 2.4]),
+        ("2 disk (two HBA)", None, vec![2.9, 2.9], Some(2.3), vec![2.7, 2.7]),
+        ("3 disk (two HBA)", None, vec![2.2, 2.2, 2.7], Some(1.4), vec![1.9, 1.9, 2.5]),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> MachineParams {
+        MachineParams::default()
+    }
+
+    #[test]
+    fn fddi_only_row_matches_paper_shape() {
+        let r = run_scenario(params(), &[], Workload::FddiOnly, 20, 1);
+        let mb = r.fddi_mb_s.unwrap();
+        assert!((7.5..9.5).contains(&mb), "fddi-only {mb} (paper 8.5)");
+        assert!(r.disk_mb_s.is_empty());
+    }
+
+    #[test]
+    fn combined_run_degrades_both_sides() {
+        let solo_disk = run_scenario(params(), &[0], Workload::DisksOnly, 20, 1).disk_mb_s[0];
+        let solo_net = run_scenario(params(), &[], Workload::FddiOnly, 20, 1)
+            .fddi_mb_s
+            .unwrap();
+        let both = run_scenario(params(), &[0], Workload::Both, 20, 1);
+        assert!(both.disk_mb_s[0] <= solo_disk * 1.02);
+        assert!(both.fddi_mb_s.unwrap() < solo_net, "net must lose to DMA contention");
+        assert!(both.fddi_mb_s.unwrap() > 4.0, "but not crater with one HBA");
+    }
+
+    #[test]
+    fn two_hba_row_craters_fddi() {
+        let one = run_scenario(params(), &[0, 0], Workload::Both, 20, 1);
+        let two = run_scenario(params(), &[0, 1], Workload::Both, 20, 1);
+        assert!(
+            two.fddi_mb_s.unwrap() < one.fddi_mb_s.unwrap() * 0.75,
+            "two-HBA fddi {:?} vs one-HBA {:?} (paper: 2.3 vs 4.7)",
+            two.fddi_mb_s,
+            one.fddi_mb_s
+        );
+    }
+
+    #[test]
+    fn table1_has_five_rows_in_paper_order() {
+        let rows = table1(params(), 5, 3);
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[0].label, "0 disk");
+        assert!(rows[0].fddi_only.is_some());
+        assert_eq!(rows[4].both_disks.len(), 3);
+        // Paper reference table aligns row-for-row.
+        let paper = paper_table1();
+        for (row, p) in rows.iter().zip(&paper) {
+            assert_eq!(row.label, p.0);
+        }
+    }
+
+    #[test]
+    fn aggregate_disk_throughput_capped_by_hba_chain() {
+        // Two disks on one chain share its ~5 MB/s: each well below the
+        // single-disk figure.
+        let solo = run_scenario(params(), &[0], Workload::DisksOnly, 20, 2).disk_mb_s[0];
+        let shared = run_scenario(params(), &[0, 0], Workload::DisksOnly, 20, 2);
+        for d in &shared.disk_mb_s {
+            assert!(*d < solo * 0.85, "shared {d} vs solo {solo}");
+        }
+        let total: f64 = shared.disk_mb_s.iter().sum();
+        assert!(total > solo, "two disks still beat one in aggregate");
+    }
+
+    #[test]
+    fn results_are_deterministic() {
+        let a = run_scenario(params(), &[0, 0], Workload::Both, 5, 9);
+        let b = run_scenario(params(), &[0, 0], Workload::Both, 5, 9);
+        assert_eq!(a, b);
+    }
+}

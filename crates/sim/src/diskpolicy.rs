@@ -1,0 +1,203 @@
+//! Disk-head scheduling policies — the §2.3.3 elevator comparison.
+//!
+//! "The current implementation of the MSU does not employ disk head
+//! scheduling. The MSU services the customers for each disk in a
+//! round-robin fashion, resulting in random seeks between disk
+//! transfers. … Using a simple program that simulated 24 concurrent
+//! users reading random 256 KByte disk blocks, we found that an
+//! elevator scheduling algorithm improves throughput by only about 6%
+//! for our disks." (paper §2.3.3)
+//!
+//! This module is that simple program: `users` closed-loop readers, one
+//! outstanding random 256 KB request each, served either in round-robin
+//! order or by an elevator (SCAN). The gain is small because rotation,
+//! settling, and the 50 ms media transfer dwarf the seek component —
+//! exactly the paper's argument.
+
+use crate::machine::DiskParams;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Head-scheduling policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Policy {
+    /// Serve users in fixed round-robin order (the MSU's duty cycle):
+    /// effectively random seeks.
+    RoundRobin,
+    /// SCAN: sweep the head across the disk, serving the nearest
+    /// pending request in the current direction.
+    Elevator,
+}
+
+/// Result of one policy run.
+#[derive(Clone, Copy, Debug)]
+pub struct PolicyResult {
+    /// Sustained throughput, MB/s.
+    pub mb_s: f64,
+    /// Mean seek distance, positions.
+    pub mean_seek_distance: f64,
+    /// Mean service time, ms.
+    pub mean_service_ms: f64,
+    /// Transfers completed.
+    pub transfers: u64,
+}
+
+/// Simulates `users` concurrent readers of random `block_bytes` blocks
+/// for `secs` seconds under `policy`.
+pub fn simulate(
+    disk: DiskParams,
+    users: usize,
+    block_bytes: u64,
+    policy: Policy,
+    secs: u64,
+    seed: u64,
+) -> PolicyResult {
+    assert!(users > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // One pending request position per user.
+    let mut pending: Vec<u64> = (0..users).map(|_| rng.gen_range(0..disk.positions)).collect();
+    let mut head = 0u64;
+    let mut up = true;
+    let mut rr = 0usize;
+
+    let horizon_ms = secs as f64 * 1_000.0;
+    let mut now_ms = 0.0;
+    let mut transfers = 0u64;
+    let mut seek_sum = 0u64;
+
+    while now_ms < horizon_ms {
+        let idx = match policy {
+            Policy::RoundRobin => {
+                let i = rr;
+                rr = (rr + 1) % users;
+                i
+            }
+            Policy::Elevator => {
+                // Nearest request in the sweep direction; reverse at the
+                // end of the stroke.
+                let choose = |up: bool, head: u64, pending: &[u64]| -> Option<usize> {
+                    pending
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &p)| if up { p >= head } else { p <= head })
+                        .min_by_key(|(_, &p)| p.abs_diff(head))
+                        .map(|(i, _)| i)
+                };
+                match choose(up, head, &pending) {
+                    Some(i) => i,
+                    None => {
+                        up = !up;
+                        choose(up, head, &pending).expect("requests always pending")
+                    }
+                }
+            }
+        };
+        let pos = pending[idx];
+        let dist = head.abs_diff(pos);
+        seek_sum += dist;
+        let service = disk.seek_ms(dist)
+            + rng.gen_range(0.0..2.0 * disk.avg_rotation_ms())
+            + disk.transfer_ms(block_bytes)
+            + disk.overhead_ms;
+        now_ms += service;
+        head = pos;
+        transfers += 1;
+        // Closed loop: the user immediately asks for another block.
+        pending[idx] = rng.gen_range(0..disk.positions);
+    }
+
+    PolicyResult {
+        mb_s: transfers as f64 * block_bytes as f64 / 1e6 / (now_ms / 1_000.0),
+        mean_seek_distance: seek_sum as f64 / transfers as f64,
+        mean_service_ms: now_ms / transfers as f64,
+        transfers,
+    }
+}
+
+/// Runs both policies and returns `(round_robin, elevator, gain)` where
+/// `gain` is the elevator's fractional throughput improvement.
+pub fn compare(
+    disk: DiskParams,
+    users: usize,
+    block_bytes: u64,
+    secs: u64,
+    seed: u64,
+) -> (PolicyResult, PolicyResult, f64) {
+    let rr = simulate(disk, users, block_bytes, Policy::RoundRobin, secs, seed);
+    let el = simulate(disk, users, block_bytes, Policy::Elevator, secs, seed);
+    let gain = el.mb_s / rr.mb_s - 1.0;
+    (rr, el, gain)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BLOCK: u64 = 256 * 1024;
+
+    #[test]
+    fn elevator_gain_is_about_six_percent() {
+        let (rr, el, gain) = compare(DiskParams::default(), 24, BLOCK, 120, 1);
+        assert!(
+            (0.02..0.12).contains(&gain),
+            "elevator gain {:.1}% (paper: ~6%); rr={:.2} el={:.2}",
+            gain * 100.0,
+            rr.mb_s,
+            el.mb_s
+        );
+    }
+
+    #[test]
+    fn elevator_shortens_seeks_dramatically() {
+        let (rr, el, _) = compare(DiskParams::default(), 24, BLOCK, 60, 2);
+        // With 24 queued requests SCAN's next-in-direction hop is ~D/24
+        // vs ~D/3 for random order.
+        assert!(
+            el.mean_seek_distance < rr.mean_seek_distance / 4.0,
+            "elevator {:.0} vs rr {:.0}",
+            el.mean_seek_distance,
+            rr.mean_seek_distance
+        );
+    }
+
+    #[test]
+    fn gain_stays_small_because_transfer_dominates() {
+        // The whole point of large blocks (paper §2.3.3): even with all
+        // seek time eliminated, throughput is bounded by rotation +
+        // transfer + overhead.
+        let d = DiskParams::default();
+        let (rr, el, _) = compare(d, 24, BLOCK, 60, 3);
+        let no_seek_service =
+            d.avg_rotation_ms() + d.transfer_ms(BLOCK) + d.overhead_ms;
+        let upper_bound = BLOCK as f64 / 1e6 / (no_seek_service / 1_000.0);
+        assert!(el.mb_s < upper_bound);
+        assert!(rr.mb_s > upper_bound * 0.8, "rr already close to the cap");
+    }
+
+    #[test]
+    fn more_users_help_the_elevator() {
+        let (_, _, gain2) = compare(DiskParams::default(), 2, BLOCK, 60, 4);
+        let (_, _, gain24) = compare(DiskParams::default(), 24, BLOCK, 60, 4);
+        assert!(gain24 > gain2, "24 users {gain24:.3} vs 2 users {gain2:.3}");
+    }
+
+    #[test]
+    fn small_blocks_make_scheduling_matter() {
+        // With 8 KB blocks the seek dominates, so the elevator's edge is
+        // far larger — the flip side of the paper's design choice.
+        let (_, _, gain_small) = compare(DiskParams::default(), 24, 8 * 1024, 60, 5);
+        let (_, _, gain_big) = compare(DiskParams::default(), 24, BLOCK, 60, 5);
+        assert!(
+            gain_small > 2.0 * gain_big,
+            "8KB gain {gain_small:.2} vs 256KB gain {gain_big:.2}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = simulate(DiskParams::default(), 24, BLOCK, Policy::Elevator, 10, 6);
+        let b = simulate(DiskParams::default(), 24, BLOCK, Policy::Elevator, 10, 6);
+        assert_eq!(a.transfers, b.transfers);
+        assert_eq!(a.mb_s, b.mb_s);
+    }
+}

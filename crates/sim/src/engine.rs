@@ -1,0 +1,280 @@
+//! The discrete-event engine: a simulated clock and an event queue.
+//!
+//! Deliberately minimal — time is nanoseconds in a `u64`, events are any
+//! type `E`, and ties break in insertion order so simulations are fully
+//! deterministic for a given seed.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A point in simulated time, in nanoseconds.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Constructs from microseconds.
+    pub const fn from_us(us: u64) -> SimTime {
+        SimTime(us * 1_000)
+    }
+
+    /// Constructs from (possibly fractional) microseconds, rounding to
+    /// the nearest nanosecond. Negative values clamp to zero.
+    pub fn from_us_f64(us: f64) -> SimTime {
+        SimTime((us.max(0.0) * 1_000.0).round() as u64)
+    }
+
+    /// Constructs from milliseconds.
+    pub const fn from_ms(ms: u64) -> SimTime {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Constructs from whole seconds.
+    pub const fn from_secs(s: u64) -> SimTime {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// The time in microseconds (truncated).
+    pub const fn as_us(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// The time in fractional microseconds.
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// The time in fractional milliseconds.
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// The time in fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// `self + delta`.
+    pub fn plus(self, delta: SimTime) -> SimTime {
+        SimTime(self.0 + delta.0)
+    }
+
+    /// Saturating `self - other`.
+    pub fn saturating_sub(self, other: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(other.0))
+    }
+}
+
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event (and,
+        // on ties, the earliest-scheduled) pops first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic event queue with a simulated clock.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    now: SimTime,
+    seq: u64,
+    processed: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            processed: 0,
+        }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// Scheduling in the past is a logic error in the model; it is
+    /// clamped to `now` (the event fires immediately) to keep the clock
+    /// monotone, and debug builds assert.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        debug_assert!(at >= self.now, "event scheduled in the past");
+        let at = at.max(self.now);
+        self.heap.push(Scheduled {
+            at,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// Schedules `event` after a delay.
+    pub fn schedule_in(&mut self, delay: SimTime, event: E) {
+        self.schedule_at(self.now.plus(delay), event);
+    }
+
+    /// Pops the next event, advancing the clock to its time.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let s = self.heap.pop()?;
+        self.now = s.at;
+        self.processed += 1;
+        Some((s.at, s.event))
+    }
+
+    /// Peeks at the next event time without advancing.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// True if no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Tracks the busy time of a serialized resource for utilization
+/// reporting.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Utilization {
+    busy_ns: u64,
+}
+
+impl Utilization {
+    /// Records `busy` time.
+    pub fn add(&mut self, busy: SimTime) {
+        self.busy_ns += busy.0;
+    }
+
+    /// Busy fraction over the interval `[0, total]`.
+    pub fn fraction(&self, total: SimTime) -> f64 {
+        if total.0 == 0 {
+            0.0
+        } else {
+            self.busy_ns as f64 / total.0 as f64
+        }
+    }
+
+    /// Total busy time accumulated.
+    pub fn busy(&self) -> SimTime {
+        SimTime(self.busy_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_conversions() {
+        assert_eq!(SimTime::from_ms(10).as_us(), 10_000);
+        assert_eq!(SimTime::from_secs(2).as_ms_f64(), 2_000.0);
+        assert_eq!(SimTime::from_us_f64(1.5).0, 1_500);
+        assert_eq!(SimTime::from_us_f64(-3.0), SimTime::ZERO);
+        assert_eq!(SimTime::from_us(7).plus(SimTime::from_us(3)).as_us(), 10);
+        assert_eq!(
+            SimTime::from_us(7).saturating_sub(SimTime::from_us(9)),
+            SimTime::ZERO
+        );
+    }
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_us(30), "c");
+        q.schedule_at(SimTime::from_us(10), "a");
+        q.schedule_at(SimTime::from_us(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+        assert_eq!(q.now(), SimTime::from_us(30));
+        assert_eq!(q.processed(), 3);
+    }
+
+    #[test]
+    fn ties_break_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule_at(SimTime::from_us(5), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule_in(SimTime::from_ms(5), ());
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_ms(5));
+        assert_eq!(q.now(), SimTime::from_ms(5));
+        q.schedule_in(SimTime::from_ms(5), ());
+        let (t2, _) = q.pop().unwrap();
+        assert_eq!(t2, SimTime::from_ms(10));
+    }
+
+    #[test]
+    fn interleaved_scheduling_keeps_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_us(100), 1u32);
+        let (_, e) = q.pop().unwrap();
+        assert_eq!(e, 1);
+        // Schedule relative to the advanced clock.
+        q.schedule_in(SimTime::from_us(50), 2);
+        q.schedule_in(SimTime::from_us(25), 3);
+        assert_eq!(q.pop().unwrap(), (SimTime::from_us(125), 3));
+        assert_eq!(q.pop().unwrap(), (SimTime::from_us(150), 2));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn utilization_fraction() {
+        let mut u = Utilization::default();
+        u.add(SimTime::from_ms(250));
+        u.add(SimTime::from_ms(250));
+        assert!((u.fraction(SimTime::from_secs(1)) - 0.5).abs() < 1e-9);
+        assert_eq!(u.fraction(SimTime::ZERO), 0.0);
+        assert_eq!(u.busy(), SimTime::from_ms(500));
+    }
+}

@@ -1,0 +1,36 @@
+//! Discrete-event simulation of the paper's 1996 testbed.
+//!
+//! The original evaluation ran on a 66 MHz Pentium under FreeBSD 2.0.5
+//! with Buslogic EISA SCSI adapters, Seagate Barracuda disks, and a DEC
+//! DEFPA FDDI interface. That hardware no longer exists, so this crate
+//! models it — calibrated against the paper's own published component
+//! rates (Table 1, §3.1, §3.2.3) — and regenerates every measurement in
+//! the evaluation:
+//!
+//! * [`engine`] — the event queue and simulated clock.
+//! * [`machine`] — the interacting resource model of one MSU PC: disks
+//!   (seek/rotation/transfer), SCSI host bus adapters, the memory
+//!   system (read 53 / write 25 / copy 18 MB/s), the CPU with the
+//!   two-HBA I/O-port-stall bug, and the FDDI interface.
+//! * [`baseline`] — the Table 1 experiments: ttcp-style UDP sends,
+//!   random 256 KB raw reads, and both at once.
+//! * [`msu_model`] — the full MSU data path of Graphs 1 and 2: duty-
+//!   cycle disk scheduling, double buffering, a 10 ms-granularity
+//!   network process, and per-packet lateness accounting.
+//! * [`diskpolicy`] — the §2.3.3 elevator-vs-round-robin comparison.
+//! * [`memory`] — the §3.2.3 memory-path bottleneck arithmetic.
+//! * [`coord_model`] — the §3.3 Coordinator scalability projection.
+//! * [`lateness`] — cumulative lateness distributions (the y-axis of
+//!   Graphs 1 and 2).
+
+pub mod baseline;
+pub mod coord_model;
+pub mod diskpolicy;
+pub mod engine;
+pub mod lateness;
+pub mod machine;
+pub mod memory;
+pub mod msu_model;
+
+pub use engine::{EventQueue, SimTime};
+pub use lateness::LatenessCdf;

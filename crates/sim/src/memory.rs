@@ -1,0 +1,152 @@
+//! The §3.2.3 memory-path bottleneck arithmetic.
+//!
+//! "As the MSU reads a file from disk and sends it to a client, the
+//! data traces the following path through the memory of the MSU PC:
+//! 1. Write (DMA from disk to user memory in the raw disk read).
+//! 2. Copy (user space buffer to kernel mbuf in network send).
+//! 3. Read (UDP checksum).
+//! 4. Read (DMA to FDDI interface).
+//!
+//! Therefore, the fastest rate at which our test system could move data
+//! along this path is 1/(1/25 + 1/18 + 2/53) = 7.5 MByte/sec."
+//!
+//! The diskless measurement (a writer process replacing the disk)
+//! reached 6.3 MB/s; the authors attribute the gap to instruction
+//! fetches evicting the caches. [`MemoryModel::measured_rate`] applies
+//! that overhead factor.
+
+/// Memory-system bandwidths, MB/s (the paper's measured values).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MemoryModel {
+    /// Sequential read bandwidth (paper: 53).
+    pub read_mb_s: f64,
+    /// Sequential write bandwidth (paper: 25).
+    pub write_mb_s: f64,
+    /// Copy bandwidth (paper: 18).
+    pub copy_mb_s: f64,
+    /// Slowdown from instruction fetches and cache eviction during real
+    /// data movement (paper: 7.5 computed vs 6.3 measured ⇒ ≈1.19).
+    pub overhead: f64,
+}
+
+impl Default for MemoryModel {
+    fn default() -> Self {
+        MemoryModel {
+            read_mb_s: 53.0,
+            write_mb_s: 25.0,
+            copy_mb_s: 18.0,
+            overhead: 7.5 / 6.3,
+        }
+    }
+}
+
+/// One traversal of the data through memory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Pass {
+    /// A memory write (e.g. disk DMA into a user buffer).
+    Write,
+    /// A memory read (e.g. UDP checksum, NIC DMA out).
+    Read,
+    /// A copy — read plus write at the measured copy rate.
+    Copy,
+}
+
+impl MemoryModel {
+    /// Rate of one pass, MB/s.
+    pub fn pass_rate(&self, pass: Pass) -> f64 {
+        match pass {
+            Pass::Write => self.write_mb_s,
+            Pass::Read => self.read_mb_s,
+            Pass::Copy => self.copy_mb_s,
+        }
+    }
+
+    /// The harmonic path rate: every byte makes every pass, so the path
+    /// rate is `1 / Σ (1/rateᵢ)` — the paper's formula.
+    pub fn path_rate(&self, passes: &[Pass]) -> f64 {
+        let total: f64 = passes.iter().map(|p| 1.0 / self.pass_rate(*p)).sum();
+        if total == 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / total
+        }
+    }
+
+    /// The paper's full MSU read path: disk DMA write, mbuf copy,
+    /// checksum read, NIC DMA read.
+    pub fn msu_read_path(&self) -> [Pass; 4] {
+        [Pass::Write, Pass::Copy, Pass::Read, Pass::Read]
+    }
+
+    /// The ttcp-only path (no disk): copy, checksum read, NIC DMA read.
+    pub fn ttcp_path(&self) -> [Pass; 3] {
+        [Pass::Copy, Pass::Read, Pass::Read]
+    }
+
+    /// The computed ceiling of the full path (paper: 7.5 MB/s).
+    pub fn computed_rate(&self) -> f64 {
+        self.path_rate(&self.msu_read_path())
+    }
+
+    /// The expected *measured* rate after instruction-fetch overhead
+    /// (paper: ~6.3 MB/s on the diskless test).
+    pub fn measured_rate(&self) -> f64 {
+        self.computed_rate() / self.overhead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn computed_rate_is_the_papers_7_5() {
+        let m = MemoryModel::default();
+        let r = m.computed_rate();
+        assert!((r - 7.5).abs() < 0.05, "{r}");
+    }
+
+    #[test]
+    fn measured_rate_is_the_papers_6_3() {
+        let m = MemoryModel::default();
+        let r = m.measured_rate();
+        assert!((r - 6.3).abs() < 0.05, "{r}");
+    }
+
+    #[test]
+    fn formula_matches_hand_computation() {
+        let m = MemoryModel::default();
+        let expect = 1.0 / (1.0 / 25.0 + 1.0 / 18.0 + 2.0 / 53.0);
+        assert!((m.path_rate(&[Pass::Write, Pass::Copy, Pass::Read, Pass::Read]) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ttcp_path_is_faster_than_disk_path() {
+        let m = MemoryModel::default();
+        assert!(m.path_rate(&m.ttcp_path()) > m.computed_rate());
+        // ~10.7 MB/s before overhead; with overhead ≈ 9 — consistent
+        // with ttcp's measured 8.5 once per-packet CPU costs are added
+        // (the machine model covers those).
+        let t = m.path_rate(&m.ttcp_path());
+        assert!((10.0..11.5).contains(&t), "{t}");
+    }
+
+    #[test]
+    fn empty_path_is_unbounded() {
+        let m = MemoryModel::default();
+        assert!(m.path_rate(&[]).is_infinite());
+    }
+
+    #[test]
+    fn adding_passes_always_slows_the_path() {
+        let m = MemoryModel::default();
+        let mut passes = vec![Pass::Copy];
+        let mut last = m.path_rate(&passes);
+        for p in [Pass::Read, Pass::Write, Pass::Copy, Pass::Read] {
+            passes.push(p);
+            let r = m.path_rate(&passes);
+            assert!(r < last);
+            last = r;
+        }
+    }
+}

@@ -1,0 +1,372 @@
+//! Block devices.
+//!
+//! The MSU file system "does its own memory management and uses raw disk
+//! I/O" (paper §2.3.3). [`BlockDevice`] is that raw interface: fixed-size
+//! block reads and writes, nothing else. Two implementations are
+//! provided — [`FileDisk`], backed by a regular file standing in for a
+//! raw partition, and [`MemDisk`] for tests — plus [`MeteredDevice`], a
+//! wrapper that counts transfers and seek distance for the disk-layout
+//! experiments (E7/E8 in DESIGN.md).
+
+use calliope_types::error::{Error, Result};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// A raw, fixed-block-size storage device.
+///
+/// Blocks are numbered from zero. Implementations must reject
+/// out-of-range indices and short buffers rather than panicking: a bad
+/// request from one stream must not take down the MSU.
+pub trait BlockDevice: Send {
+    /// The device's block size in bytes.
+    fn block_size(&self) -> usize;
+
+    /// Total number of blocks.
+    fn num_blocks(&self) -> u64;
+
+    /// Reads block `idx` into `buf` (whose length must equal the block
+    /// size).
+    fn read_block(&mut self, idx: u64, buf: &mut [u8]) -> Result<()>;
+
+    /// Writes `buf` (block-size bytes) to block `idx`.
+    fn write_block(&mut self, idx: u64, buf: &[u8]) -> Result<()>;
+
+    /// Flushes any buffered writes to stable storage.
+    fn sync(&mut self) -> Result<()>;
+}
+
+fn check_args(dev: &str, idx: u64, len: usize, block_size: usize, num_blocks: u64) -> Result<()> {
+    if len != block_size {
+        return Err(Error::storage(format!(
+            "{dev}: buffer is {len} bytes, block size is {block_size}"
+        )));
+    }
+    if idx >= num_blocks {
+        return Err(Error::storage(format!(
+            "{dev}: block {idx} out of range (device has {num_blocks})"
+        )));
+    }
+    Ok(())
+}
+
+/// A block device backed by an ordinary file.
+///
+/// Stands in for the raw SCSI partitions of the original system. The
+/// backing file is created sparse at open time, so a "2 GB disk" costs
+/// only the space actually written.
+#[derive(Debug)]
+pub struct FileDisk {
+    file: File,
+    block_size: usize,
+    num_blocks: u64,
+}
+
+impl FileDisk {
+    /// Creates (or truncates) a backing file for `num_blocks` blocks of
+    /// `block_size` bytes.
+    pub fn create(path: &Path, block_size: usize, num_blocks: u64) -> Result<FileDisk> {
+        if block_size == 0 || num_blocks == 0 {
+            return Err(Error::storage("disk geometry must be non-zero"));
+        }
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        file.set_len(block_size as u64 * num_blocks)?;
+        Ok(FileDisk {
+            file,
+            block_size,
+            num_blocks,
+        })
+    }
+
+    /// Opens an existing backing file, inferring the block count from its
+    /// length.
+    pub fn open(path: &Path, block_size: usize) -> Result<FileDisk> {
+        if block_size == 0 {
+            return Err(Error::storage("block size must be non-zero"));
+        }
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len();
+        if len == 0 || len % block_size as u64 != 0 {
+            return Err(Error::storage(format!(
+                "backing file length {len} is not a multiple of block size {block_size}"
+            )));
+        }
+        Ok(FileDisk {
+            num_blocks: len / block_size as u64,
+            file,
+            block_size,
+        })
+    }
+}
+
+impl BlockDevice for FileDisk {
+    fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    fn num_blocks(&self) -> u64 {
+        self.num_blocks
+    }
+
+    fn read_block(&mut self, idx: u64, buf: &mut [u8]) -> Result<()> {
+        check_args("file-disk", idx, buf.len(), self.block_size, self.num_blocks)?;
+        self.file
+            .seek(SeekFrom::Start(idx * self.block_size as u64))?;
+        self.file.read_exact(buf)?;
+        Ok(())
+    }
+
+    fn write_block(&mut self, idx: u64, buf: &[u8]) -> Result<()> {
+        check_args("file-disk", idx, buf.len(), self.block_size, self.num_blocks)?;
+        self.file
+            .seek(SeekFrom::Start(idx * self.block_size as u64))?;
+        self.file.write_all(buf)?;
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+}
+
+/// An in-memory block device for tests and simulation.
+#[derive(Debug, Clone)]
+pub struct MemDisk {
+    block_size: usize,
+    blocks: Vec<Vec<u8>>,
+}
+
+impl MemDisk {
+    /// Creates a zero-filled in-memory disk.
+    pub fn new(block_size: usize, num_blocks: u64) -> MemDisk {
+        MemDisk {
+            block_size,
+            blocks: (0..num_blocks).map(|_| vec![0u8; block_size]).collect(),
+        }
+    }
+}
+
+impl BlockDevice for MemDisk {
+    fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    fn num_blocks(&self) -> u64 {
+        self.blocks.len() as u64
+    }
+
+    fn read_block(&mut self, idx: u64, buf: &mut [u8]) -> Result<()> {
+        check_args("mem-disk", idx, buf.len(), self.block_size, self.num_blocks())?;
+        buf.copy_from_slice(&self.blocks[idx as usize]);
+        Ok(())
+    }
+
+    fn write_block(&mut self, idx: u64, buf: &[u8]) -> Result<()> {
+        check_args("mem-disk", idx, buf.len(), self.block_size, self.num_blocks())?;
+        self.blocks[idx as usize].copy_from_slice(buf);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// Transfer and seek statistics gathered by [`MeteredDevice`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Number of block reads.
+    pub reads: u64,
+    /// Number of block writes.
+    pub writes: u64,
+    /// Number of transfers that were *not* sequential with the previous
+    /// one (i.e. required a head seek).
+    pub seeks: u64,
+    /// Total absolute head movement, in blocks.
+    pub seek_distance: u64,
+    /// Number of `sync` calls.
+    pub syncs: u64,
+}
+
+impl IoStats {
+    /// Total transfers.
+    pub fn transfers(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+/// Wraps a device and records [`IoStats`].
+pub struct MeteredDevice<D: BlockDevice> {
+    inner: D,
+    stats: IoStats,
+    head: Option<u64>,
+}
+
+impl<D: BlockDevice> MeteredDevice<D> {
+    /// Wraps `inner` with fresh counters.
+    pub fn new(inner: D) -> Self {
+        MeteredDevice {
+            inner,
+            stats: IoStats::default(),
+            head: None,
+        }
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> IoStats {
+        self.stats
+    }
+
+    /// Resets the counters (head position is kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = IoStats::default();
+    }
+
+    /// Consumes the wrapper, returning the inner device.
+    pub fn into_inner(self) -> D {
+        self.inner
+    }
+
+    fn note_transfer(&mut self, idx: u64) {
+        if let Some(head) = self.head {
+            if idx != head {
+                self.stats.seeks += 1;
+                self.stats.seek_distance += head.abs_diff(idx);
+            }
+        }
+        // After a transfer, the head rests past the block just accessed.
+        self.head = Some(idx + 1);
+    }
+}
+
+impl<D: BlockDevice> BlockDevice for MeteredDevice<D> {
+    fn block_size(&self) -> usize {
+        self.inner.block_size()
+    }
+
+    fn num_blocks(&self) -> u64 {
+        self.inner.num_blocks()
+    }
+
+    fn read_block(&mut self, idx: u64, buf: &mut [u8]) -> Result<()> {
+        self.inner.read_block(idx, buf)?;
+        self.stats.reads += 1;
+        self.note_transfer(idx);
+        Ok(())
+    }
+
+    fn write_block(&mut self, idx: u64, buf: &[u8]) -> Result<()> {
+        self.inner.write_block(idx, buf)?;
+        self.stats.writes += 1;
+        self.note_transfer(idx);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.inner.sync()?;
+        self.stats.syncs += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tempdir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "calliope-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn exercise(dev: &mut dyn BlockDevice) {
+        let bs = dev.block_size();
+        let mut a = vec![0xAAu8; bs];
+        a[0] = 1;
+        let mut b = vec![0xBBu8; bs];
+        b[0] = 2;
+        dev.write_block(0, &a).unwrap();
+        dev.write_block(dev.num_blocks() - 1, &b).unwrap();
+        let mut out = vec![0u8; bs];
+        dev.read_block(0, &mut out).unwrap();
+        assert_eq!(out, a);
+        dev.read_block(dev.num_blocks() - 1, &mut out).unwrap();
+        assert_eq!(out, b);
+        dev.sync().unwrap();
+        // Out-of-range and short-buffer requests fail cleanly.
+        assert!(dev.read_block(dev.num_blocks(), &mut out).is_err());
+        let mut short = vec![0u8; bs - 1];
+        assert!(dev.read_block(0, &mut short).is_err());
+        assert!(dev.write_block(0, &short).is_err());
+    }
+
+    #[test]
+    fn mem_disk_basic_io() {
+        let mut d = MemDisk::new(4096, 8);
+        exercise(&mut d);
+    }
+
+    #[test]
+    fn file_disk_basic_io_and_reopen() {
+        let path = tempdir().join("disk0.img");
+        {
+            let mut d = FileDisk::create(&path, 4096, 8).unwrap();
+            exercise(&mut d);
+        }
+        // Re-open and confirm persistence.
+        let mut d = FileDisk::open(&path, 4096).unwrap();
+        assert_eq!(d.num_blocks(), 8);
+        let mut buf = vec![0u8; 4096];
+        d.read_block(0, &mut buf).unwrap();
+        assert_eq!(buf[0], 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn file_disk_rejects_bad_geometry() {
+        let path = tempdir().join("badgeom.img");
+        assert!(FileDisk::create(&path, 0, 8).is_err());
+        assert!(FileDisk::create(&path, 4096, 0).is_err());
+        std::fs::write(&path, [0u8; 100]).unwrap();
+        assert!(FileDisk::open(&path, 4096).is_err(), "length not block-aligned");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn metered_device_counts_seeks() {
+        let mut d = MeteredDevice::new(MemDisk::new(512, 16));
+        let buf = vec![0u8; 512];
+        let mut out = vec![0u8; 512];
+        d.write_block(0, &buf).unwrap(); // first transfer: no seek
+        d.write_block(1, &buf).unwrap(); // sequential: no seek
+        d.write_block(10, &buf).unwrap(); // jump: seek of 8 (head was at 2)
+        d.read_block(11, &mut out).unwrap(); // sequential: no seek
+        d.read_block(3, &mut out).unwrap(); // jump back: seek of 9
+        let s = d.stats();
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.writes, 3);
+        assert_eq!(s.seeks, 2);
+        assert_eq!(s.seek_distance, 8 + 9);
+        assert_eq!(s.transfers(), 5);
+        d.reset_stats();
+        assert_eq!(d.stats(), IoStats::default());
+    }
+
+    #[test]
+    fn metered_device_failed_io_not_counted() {
+        let mut d = MeteredDevice::new(MemDisk::new(512, 4));
+        let mut out = vec![0u8; 512];
+        assert!(d.read_block(99, &mut out).is_err());
+        assert_eq!(d.stats().reads, 0);
+    }
+}

@@ -1,0 +1,504 @@
+//! The MSU file system proper.
+//!
+//! [`MsuFs`] glues a raw [`BlockDevice`] to the bitmap allocator and the
+//! in-memory catalog. All metadata lives in a reserved region at the
+//! front of the disk and is rewritten (write-through) whenever it
+//! changes structurally — file creation, finalization, deletion. Page
+//! appends during a recording consume blocks that were already reserved
+//! (and already persisted as used) at creation time, so a crash
+//! mid-recording loses at most the recording itself, never the
+//! integrity of other files.
+//!
+//! There is deliberately **no block cache** (paper §2.3.3): every read
+//! goes to the device. Read-ahead and write-behind are the MSU disk
+//! process's job, because only it knows the duty-cycle schedule.
+
+use crate::alloc::BlockAllocator;
+use crate::block::BlockDevice;
+use crate::catalog::{Catalog, FileKind, FileMeta, RootEntry};
+use crate::layout::Superblock;
+use calliope_types::error::{Error, Result};
+
+/// Default number of metadata blocks reserved at format time.
+///
+/// With 256 KB blocks, 8 blocks = 2 MB — room for the bitmap of a very
+/// large disk plus a catalog of hundreds of files.
+pub const DEFAULT_META_BLOCKS: u64 = 8;
+
+/// The MSU file system.
+pub struct MsuFs {
+    dev: Box<dyn BlockDevice>,
+    sb: Superblock,
+    alloc: BlockAllocator,
+    catalog: Catalog,
+}
+
+impl MsuFs {
+    /// Formats a device with the default metadata reservation.
+    pub fn format(dev: Box<dyn BlockDevice>) -> Result<MsuFs> {
+        Self::format_with(dev, DEFAULT_META_BLOCKS)
+    }
+
+    /// Formats a device, reserving `meta_blocks` blocks for metadata.
+    pub fn format_with(mut dev: Box<dyn BlockDevice>, meta_blocks: u64) -> Result<MsuFs> {
+        let num_blocks = dev.num_blocks();
+        if num_blocks < 1 + meta_blocks + 1 {
+            return Err(Error::storage(format!(
+                "device of {num_blocks} blocks too small for {meta_blocks} metadata blocks"
+            )));
+        }
+        let sb = Superblock {
+            num_blocks,
+            meta_blocks,
+            block_size: dev.block_size() as u32,
+        };
+        let mut block0 = vec![0u8; dev.block_size()];
+        sb.encode_into(&mut block0);
+        dev.write_block(0, &block0)?;
+        let mut fs = MsuFs {
+            alloc: BlockAllocator::new(sb.data_blocks()),
+            catalog: Catalog::new(),
+            dev,
+            sb,
+        };
+        fs.persist_meta()?;
+        Ok(fs)
+    }
+
+    /// Opens a previously formatted device, loading all metadata into
+    /// memory.
+    pub fn open(mut dev: Box<dyn BlockDevice>) -> Result<MsuFs> {
+        let mut block0 = vec![0u8; dev.block_size()];
+        dev.read_block(0, &mut block0)?;
+        let sb = Superblock::decode_from(&block0)?;
+        if sb.block_size as usize != dev.block_size() {
+            return Err(Error::storage(format!(
+                "device block size {} does not match formatted size {}",
+                dev.block_size(),
+                sb.block_size
+            )));
+        }
+        if sb.num_blocks != dev.num_blocks() {
+            return Err(Error::storage(format!(
+                "device has {} blocks but superblock says {}",
+                dev.num_blocks(),
+                sb.num_blocks
+            )));
+        }
+        // Load the metadata region.
+        let mut meta = Vec::with_capacity((sb.meta_blocks as usize) * dev.block_size());
+        let mut buf = vec![0u8; dev.block_size()];
+        for i in 0..sb.meta_blocks {
+            dev.read_block(1 + i, &mut buf)?;
+            meta.extend_from_slice(&buf);
+        }
+        if meta.len() < 8 {
+            return Err(Error::storage("metadata region truncated"));
+        }
+        let bitmap_len =
+            u32::from_le_bytes(meta[0..4].try_into().expect("4 bytes")) as usize;
+        let catalog_at = 8 + bitmap_len;
+        let catalog_len =
+            u32::from_le_bytes(meta[4..8].try_into().expect("4 bytes")) as usize;
+        if meta.len() < catalog_at + catalog_len {
+            return Err(Error::storage("metadata region inconsistent lengths"));
+        }
+        let alloc = BlockAllocator::decode(&meta[8..8 + bitmap_len])?;
+        let catalog = Catalog::decode(&meta[catalog_at..catalog_at + catalog_len])?;
+        if alloc.capacity() != sb.data_blocks() {
+            return Err(Error::storage("bitmap capacity does not match geometry"));
+        }
+        Ok(MsuFs {
+            dev,
+            sb,
+            alloc,
+            catalog,
+        })
+    }
+
+    fn persist_meta(&mut self) -> Result<()> {
+        let bitmap = self.alloc.encode();
+        let catalog = self.catalog.encode();
+        let mut meta = Vec::with_capacity(8 + bitmap.len() + catalog.len());
+        meta.extend_from_slice(&(bitmap.len() as u32).to_le_bytes());
+        meta.extend_from_slice(&(catalog.len() as u32).to_le_bytes());
+        meta.extend_from_slice(&bitmap);
+        meta.extend_from_slice(&catalog);
+        let region = self.sb.meta_blocks as usize * self.dev.block_size();
+        if meta.len() > region {
+            return Err(Error::storage(format!(
+                "metadata ({} bytes) overflows the {region}-byte metadata region",
+                meta.len()
+            )));
+        }
+        meta.resize(region, 0);
+        for i in 0..self.sb.meta_blocks {
+            let at = i as usize * self.dev.block_size();
+            self.dev
+                .write_block(1 + i, &meta[at..at + self.dev.block_size()])?;
+        }
+        self.dev.sync()
+    }
+
+    /// The device's block (data page) size.
+    pub fn block_size(&self) -> usize {
+        self.dev.block_size()
+    }
+
+    /// Total data capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.alloc.capacity() * self.dev.block_size() as u64
+    }
+
+    /// Free data capacity in bytes.
+    pub fn free_bytes(&self) -> u64 {
+        self.alloc.free() * self.dev.block_size() as u64
+    }
+
+    /// Number of files in the catalog.
+    pub fn file_count(&self) -> usize {
+        self.catalog.len()
+    }
+
+    /// Looks up a file's metadata.
+    pub fn file(&self, name: &str) -> Result<&FileMeta> {
+        self.catalog.get(name).ok_or_else(|| Error::NoSuchContent {
+            name: name.to_owned(),
+        })
+    }
+
+    /// Iterates over all files.
+    pub fn files(&self) -> impl Iterator<Item = &FileMeta> {
+        self.catalog.iter()
+    }
+
+    /// Creates a file, reserving `reserve_bytes` of disk space up front
+    /// (rounded up to whole blocks). The reservation comes from the
+    /// client's recording-length estimate; whatever goes unused is
+    /// returned at [`MsuFs::finalize`] (paper §2.2).
+    pub fn create(&mut self, name: &str, kind: FileKind, reserve_bytes: u64) -> Result<()> {
+        if self.catalog.get(name).is_some() {
+            return Err(Error::AlreadyExists {
+                kind: "file",
+                name: name.to_owned(),
+            });
+        }
+        let blocks = reserve_bytes.div_ceil(self.dev.block_size() as u64);
+        let reserved = self.alloc.alloc_many(blocks)?;
+        self.catalog
+            .insert(FileMeta::new(name.to_owned(), kind, reserved))?;
+        self.persist_meta()
+    }
+
+    /// Appends one full page (block) to a file, returning its
+    /// file-relative page index. `payload_bytes` is the number of valid
+    /// payload bytes the page carries (≤ block size for raw files; the
+    /// IB-tree writer reports it per page).
+    pub fn append_page(&mut self, name: &str, page: &[u8], payload_bytes: u64) -> Result<u64> {
+        if page.len() != self.dev.block_size() {
+            return Err(Error::storage(format!(
+                "page is {} bytes; block size is {}",
+                page.len(),
+                self.dev.block_size()
+            )));
+        }
+        let first_data = self.sb.first_data_block();
+        // Take a reserved block if any remain; otherwise grow (rare —
+        // the client under-estimated) which costs a metadata write.
+        let has_reserved = {
+            let meta = self.catalog.get(name).ok_or_else(|| Error::NoSuchContent {
+                name: name.to_owned(),
+            })?;
+            if meta.finalized {
+                return Err(Error::storage(format!("file {name:?} is finalized")));
+            }
+            !meta.reserved.is_empty()
+        };
+        let (rel, grew) = if has_reserved {
+            let meta = self
+                .catalog
+                .get_mut(name)
+                .expect("existence checked above");
+            (meta.reserved.remove(0), false)
+        } else {
+            (self.alloc.alloc()?, true)
+        };
+        let meta = self
+            .catalog
+            .get_mut(name)
+            .expect("existence checked above");
+        meta.blocks.push(rel);
+        meta.len_bytes += payload_bytes;
+        let idx = meta.blocks.len() as u64 - 1;
+        self.dev.write_block(first_data + rel, page)?;
+        if grew {
+            self.persist_meta()?;
+        }
+        Ok(idx)
+    }
+
+    /// Reads file page `page_idx` into `buf` (block-size bytes).
+    pub fn read_page(&mut self, name: &str, page_idx: u64, buf: &mut [u8]) -> Result<()> {
+        let meta = self.catalog.get(name).ok_or_else(|| Error::NoSuchContent {
+            name: name.to_owned(),
+        })?;
+        let rel = *meta
+            .blocks
+            .get(page_idx as usize)
+            .ok_or_else(|| Error::storage(format!(
+                "page {page_idx} out of range for {name:?} ({} pages)",
+                meta.blocks.len()
+            )))?;
+        let abs = self.sb.first_data_block() + rel;
+        self.dev.read_block(abs, buf)
+    }
+
+    /// Finalizes a recording: records duration and IB-tree root, returns
+    /// unused reserved blocks to the allocator, and persists.
+    pub fn finalize(&mut self, name: &str, duration_us: u64, root: Vec<RootEntry>) -> Result<()> {
+        let meta = self.catalog.get_mut(name).ok_or_else(|| Error::NoSuchContent {
+            name: name.to_owned(),
+        })?;
+        if meta.finalized {
+            return Err(Error::storage(format!("file {name:?} already finalized")));
+        }
+        meta.duration_us = duration_us;
+        meta.root = root;
+        meta.finalized = true;
+        let unused = std::mem::take(&mut meta.reserved);
+        for b in unused {
+            self.alloc.free_block(b)?;
+        }
+        self.persist_meta()
+    }
+
+    /// Deletes a file, freeing all of its blocks.
+    pub fn delete(&mut self, name: &str) -> Result<()> {
+        let meta = self.catalog.remove(name)?;
+        for b in meta.blocks.into_iter().chain(meta.reserved) {
+            self.alloc.free_block(b)?;
+        }
+        self.persist_meta()
+    }
+
+    /// Consumes the file system, returning the device (tests use this to
+    /// reopen and check persistence).
+    pub fn into_device(self) -> Box<dyn BlockDevice> {
+        self.dev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::MemDisk;
+    use crate::ibtree::{IbTreeReader, IbTreeWriter};
+    use crate::page::Geometry;
+    use calliope_proto::record::PacketRecord;
+    use calliope_types::time::MediaTime;
+
+    const BS: usize = 1024;
+
+    fn fresh_fs(blocks: u64) -> MsuFs {
+        MsuFs::format_with(Box::new(MemDisk::new(BS, blocks)), 2).unwrap()
+    }
+
+    #[test]
+    fn format_and_reopen_empty() {
+        let fs = fresh_fs(32);
+        assert_eq!(fs.file_count(), 0);
+        assert_eq!(fs.capacity_bytes(), (32 - 3) * BS as u64);
+        let dev = fs.into_device();
+        let fs = MsuFs::open(dev).unwrap();
+        assert_eq!(fs.file_count(), 0);
+    }
+
+    #[test]
+    fn format_rejects_tiny_devices() {
+        assert!(MsuFs::format_with(Box::new(MemDisk::new(BS, 2)), 2).is_err());
+    }
+
+    #[test]
+    fn open_rejects_unformatted_device() {
+        assert!(MsuFs::open(Box::new(MemDisk::new(BS, 16))).is_err());
+    }
+
+    #[test]
+    fn raw_file_write_read_cycle() {
+        let mut fs = fresh_fs(32);
+        fs.create("movie", FileKind::Raw, 3 * BS as u64).unwrap();
+        let free_after_create = fs.free_bytes();
+        assert_eq!(free_after_create, (32 - 3 - 3) * BS as u64);
+
+        let page_a = vec![0xAA; BS];
+        let page_b = vec![0xBB; BS];
+        assert_eq!(fs.append_page("movie", &page_a, BS as u64).unwrap(), 0);
+        assert_eq!(fs.append_page("movie", &page_b, 100).unwrap(), 1);
+        // Appends consume the reservation, not new space.
+        assert_eq!(fs.free_bytes(), free_after_create);
+
+        fs.finalize("movie", 5_000_000, Vec::new()).unwrap();
+        // One unused reserved block returned.
+        assert_eq!(fs.free_bytes(), free_after_create + BS as u64);
+
+        let meta = fs.file("movie").unwrap();
+        assert_eq!(meta.len_bytes, BS as u64 + 100);
+        assert_eq!(meta.duration_us, 5_000_000);
+        assert!(meta.finalized);
+
+        let mut buf = vec![0u8; BS];
+        fs.read_page("movie", 0, &mut buf).unwrap();
+        assert_eq!(buf, page_a);
+        fs.read_page("movie", 1, &mut buf).unwrap();
+        assert_eq!(buf, page_b);
+        assert!(fs.read_page("movie", 2, &mut buf).is_err());
+    }
+
+    #[test]
+    fn metadata_survives_reopen() {
+        let mut fs = fresh_fs(32);
+        fs.create("a", FileKind::Raw, BS as u64).unwrap();
+        fs.append_page("a", &vec![7u8; BS], BS as u64).unwrap();
+        fs.finalize("a", 1_000, Vec::new()).unwrap();
+        let free = fs.free_bytes();
+        let fs2 = MsuFs::open(fs.into_device()).unwrap();
+        assert_eq!(fs2.file_count(), 1);
+        assert_eq!(fs2.free_bytes(), free);
+        let meta = fs2.file("a").unwrap();
+        assert_eq!(meta.len_bytes, BS as u64);
+        assert!(meta.finalized);
+    }
+
+    #[test]
+    fn unfinalized_recording_survives_crash_with_reservation_intact() {
+        let mut fs = fresh_fs(32);
+        fs.create("rec", FileKind::Raw, 4 * BS as u64).unwrap();
+        fs.append_page("rec", &vec![1u8; BS], BS as u64).unwrap();
+        // "Crash": reopen without finalize. The creation-time persist
+        // covers the reservation, so no block is leaked or double-used.
+        let fs2 = MsuFs::open(fs.into_device()).unwrap();
+        let meta = fs2.file("rec").unwrap();
+        assert!(!meta.finalized);
+        // The appended page was not persisted (by design — data loss is
+        // confined to the in-progress recording), but all 4 reserved
+        // blocks are still accounted as used.
+        assert_eq!(meta.blocks_charged(), 4);
+        assert_eq!(fs2.free_bytes(), (32 - 3 - 4) * BS as u64);
+    }
+
+    #[test]
+    fn delete_returns_space() {
+        let mut fs = fresh_fs(32);
+        let before = fs.free_bytes();
+        fs.create("x", FileKind::Raw, 5 * BS as u64).unwrap();
+        fs.append_page("x", &vec![0u8; BS], BS as u64).unwrap();
+        fs.finalize("x", 0, Vec::new()).unwrap();
+        fs.delete("x").unwrap();
+        assert_eq!(fs.free_bytes(), before);
+        assert!(fs.file("x").is_err());
+        assert!(fs.delete("x").is_err());
+    }
+
+    #[test]
+    fn create_duplicate_is_rejected() {
+        let mut fs = fresh_fs(32);
+        fs.create("dup", FileKind::Raw, 0).unwrap();
+        assert!(fs.create("dup", FileKind::Raw, 0).is_err());
+    }
+
+    #[test]
+    fn reservation_exhaustion_grows_file() {
+        let mut fs = fresh_fs(32);
+        fs.create("grow", FileKind::Raw, BS as u64).unwrap(); // 1 block reserved
+        fs.append_page("grow", &vec![0u8; BS], BS as u64).unwrap();
+        // Second append exceeds the estimate; the file grows.
+        fs.append_page("grow", &vec![1u8; BS], BS as u64).unwrap();
+        assert_eq!(fs.file("grow").unwrap().pages(), 2);
+    }
+
+    #[test]
+    fn disk_full_is_a_clean_error() {
+        let mut fs = fresh_fs(8); // 5 data blocks
+        assert!(fs.create("big", FileKind::Raw, 100 * BS as u64).is_err());
+        fs.create("ok", FileKind::Raw, 5 * BS as u64).unwrap();
+        assert!(fs.create("more", FileKind::Raw, BS as u64).is_err());
+    }
+
+    #[test]
+    fn append_after_finalize_is_rejected() {
+        let mut fs = fresh_fs(32);
+        fs.create("f", FileKind::Raw, BS as u64).unwrap();
+        fs.finalize("f", 0, Vec::new()).unwrap();
+        assert!(fs.append_page("f", &vec![0u8; BS], 1).is_err());
+        assert!(fs.finalize("f", 0, Vec::new()).is_err(), "double finalize");
+    }
+
+    #[test]
+    fn ibtree_file_end_to_end_through_fs() {
+        let geo = Geometry::tiny(); // page_size 1024 == BS
+        let mut fs = fresh_fs(64);
+        fs.create("vbr", FileKind::IbTree, 20 * BS as u64).unwrap();
+
+        let recs: Vec<_> = (0..50)
+            .map(|i| PacketRecord::media(MediaTime(i * 20_000), vec![(i % 250) as u8; 150]))
+            .collect();
+        let mut w = IbTreeWriter::new(geo).unwrap();
+        for r in &recs {
+            if let Some(p) = w.push(r).unwrap() {
+                let idx = fs.append_page("vbr", &p.data, p.payload_bytes).unwrap();
+                assert_eq!(idx, p.index, "fs page order matches writer order");
+            }
+        }
+        let (finals, root, stats) = w.finish().unwrap();
+        for p in finals {
+            let idx = fs.append_page("vbr", &p.data, p.payload_bytes).unwrap();
+            assert_eq!(idx, p.index);
+        }
+        fs.finalize("vbr", stats.duration.as_micros(), root.clone())
+            .unwrap();
+
+        // Reopen and read back through the IB-tree reader.
+        let mut fs = MsuFs::open(fs.into_device()).unwrap();
+        let meta = fs.file("vbr").unwrap().clone();
+        assert_eq!(meta.pages(), stats.pages);
+        assert_eq!(meta.root, root);
+        assert_eq!(meta.len_bytes, stats.payload_bytes);
+
+        let reader = IbTreeReader::new(geo, meta.root.clone(), meta.pages()).unwrap();
+        let mut all = Vec::new();
+        for i in 0..meta.pages() {
+            let page = reader
+                .page(i, |idx, buf| fs.read_page("vbr", idx, buf))
+                .unwrap();
+            all.extend(page.records);
+        }
+        assert_eq!(all, recs);
+
+        // Seek through the fs too.
+        let pos = reader
+            .seek(MediaTime(20_000 * 25), |idx, buf| fs.read_page("vbr", idx, buf))
+            .unwrap();
+        let page = reader
+            .page(pos.page, |idx, buf| fs.read_page("vbr", idx, buf))
+            .unwrap();
+        assert_eq!(page.records[pos.record].offset, MediaTime(20_000 * 25));
+    }
+
+    #[test]
+    fn many_files_fill_catalog_and_persist() {
+        let mut fs = fresh_fs(128);
+        for i in 0..20 {
+            fs.create(&format!("file-{i}"), FileKind::Raw, BS as u64)
+                .unwrap();
+            fs.append_page(&format!("file-{i}"), &vec![i as u8; BS], BS as u64)
+                .unwrap();
+            fs.finalize(&format!("file-{i}"), i as u64, Vec::new())
+                .unwrap();
+        }
+        let mut fs = MsuFs::open(fs.into_device()).unwrap();
+        assert_eq!(fs.file_count(), 20);
+        let mut buf = vec![0u8; BS];
+        fs.read_page("file-7", 0, &mut buf).unwrap();
+        assert_eq!(buf, vec![7u8; BS]);
+    }
+}

@@ -1,0 +1,593 @@
+//! The Integrated B-tree (IB-tree).
+//!
+//! "When it stores the delivery schedule and data on disk, Calliope
+//! interleaves them in a single file using a data structure similar to a
+//! primary B-tree. … the key for the search tree is delivery time. A
+//! sequential scan of the B-tree gives the data packets in the order
+//! they must be delivered to the network." (paper §2.2.1)
+//!
+//! Structure produced by [`IbTreeWriter`]:
+//!
+//! * **Data pages** hold packet records in delivery order.
+//! * Every `max_keys`-th data page *embeds* an internal page in its tail
+//!   — "when an internal page fills up, it is copied into the current
+//!   data page instead of being written separately on disk", so the
+//!   data-plus-index write costs a single transfer and seek.
+//! * The **root** is one entry per embedded internal page. It is tiny
+//!   (one entry per 1024 data pages under the paper's geometry — a 256 GB
+//!   file needs 1024 entries) and lives in the file's catalog metadata,
+//!   which the MSU caches entirely in memory.
+//!
+//! During sequential reads the embedded internal pages are "read in as
+//! part of the data page but ignored": [`IbTreeReader::page`] returns
+//! the records; the 28 KB tail rides along for free and appears in only
+//! ~0.1% of pages.
+//!
+//! The writer is a pure state machine: it emits [`FinishedPage`] buffers
+//! and never touches a device, so the MSU's disk process decides when
+//! and where pages hit the disk (write-behind), and tests can drive it
+//! without I/O.
+
+use crate::catalog::RootEntry;
+use crate::page::{DataPage, DataPageBuilder, Geometry, InternalPage};
+use calliope_proto::record::PacketRecord;
+use calliope_types::error::{Error, Result};
+use calliope_types::time::MediaTime;
+
+/// A completed page, ready to be appended at file-page `index`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FinishedPage {
+    /// File-relative page index (0-based, dense).
+    pub index: u64,
+    /// The full page buffer (`geometry.page_size` bytes).
+    pub data: Vec<u8>,
+    /// Media payload bytes contained (for catalog accounting).
+    pub payload_bytes: u64,
+}
+
+/// Statistics reported when a tree is finished.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WriterStats {
+    /// Total pages emitted (including any trailer).
+    pub pages: u64,
+    /// Pages that embed an internal page.
+    pub internal_pages: u64,
+    /// Trailer pages (record-less pages emitted only to host an internal
+    /// page that found no room elsewhere).
+    pub trailer_pages: u64,
+    /// Total records stored.
+    pub records: u64,
+    /// Total media payload bytes stored.
+    pub payload_bytes: u64,
+    /// Delivery offset of the last record — the recording's duration.
+    pub duration: MediaTime,
+}
+
+/// Builds an IB-tree from a monotone stream of packet records.
+#[derive(Debug)]
+pub struct IbTreeWriter {
+    geo: Geometry,
+    current: DataPageBuilder,
+    current_payload: u64,
+    pages_done: u64,
+    l1: InternalPage,
+    root: Vec<RootEntry>,
+    stats: WriterStats,
+}
+
+impl IbTreeWriter {
+    /// Creates a writer for the given geometry.
+    pub fn new(geo: Geometry) -> Result<IbTreeWriter> {
+        geo.validate()?;
+        Ok(IbTreeWriter {
+            geo,
+            current: DataPageBuilder::new(geo, false),
+            current_payload: 0,
+            pages_done: 0,
+            l1: InternalPage::default(),
+            root: Vec::new(),
+            stats: WriterStats::default(),
+        })
+    }
+
+    /// The root entries accumulated so far (complete after `finish`).
+    pub fn root(&self) -> &[RootEntry] {
+        &self.root
+    }
+
+    fn start_new_page(&mut self) {
+        // The page under construction hosts an internal page exactly when
+        // the L1 buffer filled while the previous pages were written.
+        let hosts = self.l1.entries.len() >= self.geo.max_keys;
+        self.current = DataPageBuilder::new(self.geo, hosts);
+        self.current_payload = 0;
+    }
+
+    /// Finishes the page under construction. `embed_final` additionally
+    /// embeds the (partial) L1 buffer, including this page's own entry —
+    /// used only at file finish time.
+    fn finish_current(&mut self, embed_final: bool) -> Result<FinishedPage> {
+        let idx = self.pages_done;
+        let first_key = self
+            .current
+            .first_key()
+            .ok_or_else(|| Error::internal("finishing an empty data page"))?;
+        let hosts_full_l1 = self.l1.entries.len() >= self.geo.max_keys;
+        let builder = std::mem::replace(&mut self.current, DataPageBuilder::new(self.geo, false));
+
+        let data = if hosts_full_l1 {
+            // The page was constructed with tail space reserved; embed the
+            // full L1 covering the previous max_keys pages.
+            let internal = std::mem::take(&mut self.l1);
+            self.root.push(RootEntry {
+                first_key: internal.entries[0].0,
+                page: idx,
+            });
+            self.stats.internal_pages += 1;
+            builder.finish(Some(&internal))?
+        } else if embed_final {
+            // Final page of the file: fold the remaining entries — plus
+            // this page's own — into its tail (caller checked the room).
+            let mut internal = std::mem::take(&mut self.l1);
+            internal.entries.push((first_key, idx));
+            self.root.push(RootEntry {
+                first_key: internal.entries[0].0,
+                page: idx,
+            });
+            self.stats.internal_pages += 1;
+            let page = builder.finish(Some(&internal))?;
+            self.pages_done += 1;
+            self.stats.pages += 1;
+            return Ok(FinishedPage {
+                index: idx,
+                data: page,
+                payload_bytes: self.current_payload,
+            });
+        } else {
+            builder.finish(None)?
+        };
+
+        self.pages_done += 1;
+        self.stats.pages += 1;
+        self.l1.entries.push((first_key, idx));
+        let payload = self.current_payload;
+        self.current_payload = 0;
+        Ok(FinishedPage {
+            index: idx,
+            data,
+            payload_bytes: payload,
+        })
+    }
+
+    /// Adds one record (keys must be non-decreasing). Returns a finished
+    /// page when the record caused one to fill.
+    pub fn push(&mut self, rec: &PacketRecord) -> Result<Option<FinishedPage>> {
+        let mut emitted = None;
+        if !self.current.push(rec)? {
+            let page = self.finish_current(false)?;
+            self.start_new_page();
+            if !self.current.push(rec)? {
+                return Err(Error::internal("record rejected by a fresh page"));
+            }
+            emitted = Some(page);
+        }
+        if rec.kind == calliope_types::wire::data::PacketKind::Media {
+            self.stats.payload_bytes += rec.payload.len() as u64;
+            self.current_payload += rec.payload.len() as u64;
+        }
+        self.stats.records += 1;
+        self.stats.duration = rec.offset;
+        Ok(emitted)
+    }
+
+    /// Finishes the file: flushes the partial page and embeds the
+    /// remaining index entries, emitting at most two pages (the final
+    /// data page and, if it lacked tail room, a record-less trailer).
+    ///
+    /// Returns the final pages, the complete root, and statistics.
+    pub fn finish(mut self) -> Result<(Vec<FinishedPage>, Vec<RootEntry>, WriterStats)> {
+        let mut out = Vec::new();
+
+        if !self.current.is_empty() {
+            let hosts_full_l1 = self.l1.entries.len() >= self.geo.max_keys;
+            // Can the final L1 (current entries + this page's own) ride in
+            // this page's tail? Only if the page wasn't already reserved
+            // for a full L1 and has the room and the entry count fits.
+            let fits = !hosts_full_l1
+                && self.current.can_embed_internal()
+                && self.l1.entries.len() < self.geo.max_keys;
+            if fits {
+                out.push(self.finish_current(true)?);
+            } else {
+                out.push(self.finish_current(false)?);
+            }
+        }
+
+        if !self.l1.entries.is_empty() {
+            // Entries remain (possibly including the just-finished page):
+            // host them in a record-less trailer page.
+            let internal = std::mem::take(&mut self.l1);
+            let idx = self.pages_done;
+            self.root.push(RootEntry {
+                first_key: internal.entries[0].0,
+                page: idx,
+            });
+            let builder = DataPageBuilder::new(self.geo, true);
+            let data = builder.finish(Some(&internal))?;
+            self.pages_done += 1;
+            self.stats.pages += 1;
+            self.stats.internal_pages += 1;
+            self.stats.trailer_pages += 1;
+            out.push(FinishedPage {
+                index: idx,
+                data,
+                payload_bytes: 0,
+            });
+        }
+
+        Ok((out, self.root, self.stats))
+    }
+}
+
+/// A position inside an IB-tree file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SeekPos {
+    /// File-relative page index (`pages` = end of file).
+    pub page: u64,
+    /// Record index within that page.
+    pub record: usize,
+}
+
+/// Reads and seeks an IB-tree given its root (from the catalog).
+///
+/// The reader is I/O-agnostic: callers supply a `read_page(index, buf)`
+/// closure, so it works identically over the MSU file system, a plain
+/// buffer in tests, or the simulator.
+#[derive(Clone, Debug)]
+pub struct IbTreeReader {
+    geo: Geometry,
+    root: Vec<RootEntry>,
+    pages: u64,
+}
+
+impl IbTreeReader {
+    /// Creates a reader over a file of `pages` pages with the given root.
+    pub fn new(geo: Geometry, root: Vec<RootEntry>, pages: u64) -> Result<IbTreeReader> {
+        geo.validate()?;
+        Ok(IbTreeReader { geo, root, pages })
+    }
+
+    /// Number of pages in the file.
+    pub fn pages(&self) -> u64 {
+        self.pages
+    }
+
+    /// The end-of-file position.
+    pub fn end(&self) -> SeekPos {
+        SeekPos {
+            page: self.pages,
+            record: 0,
+        }
+    }
+
+    /// Parses one page.
+    pub fn page<F>(&self, idx: u64, mut read_page: F) -> Result<DataPage>
+    where
+        F: FnMut(u64, &mut [u8]) -> Result<()>,
+    {
+        if idx >= self.pages {
+            return Err(Error::storage(format!(
+                "page {idx} out of range ({} pages)",
+                self.pages
+            )));
+        }
+        let mut buf = vec![0u8; self.geo.page_size];
+        read_page(idx, &mut buf)?;
+        DataPage::decode(&self.geo, &buf)
+    }
+
+    /// Finds the position of the first record whose delivery offset is
+    /// `≥ t` — the packet to resume with after a seek. Returns
+    /// [`IbTreeReader::end`] if every record precedes `t`.
+    ///
+    /// "During seeks, Calliope traverses the internal pages of the search
+    /// tree in the usual way." (paper §2.2.1) — root entry → embedded
+    /// internal page → data page → scan.
+    pub fn seek<F>(&self, t: MediaTime, mut read_page: F) -> Result<SeekPos>
+    where
+        F: FnMut(u64, &mut [u8]) -> Result<()>,
+    {
+        if self.pages == 0 || self.root.is_empty() {
+            return Ok(self.end());
+        }
+        let key = t.as_micros();
+
+        // Level 2: pick the root entry governing `key`.
+        let ri = match self.root.binary_search_by(|e| e.first_key.cmp(&key)) {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) => i - 1,
+        };
+
+        // Level 1: read the page hosting the internal page.
+        let host = self.page(self.root[ri].page, &mut read_page)?;
+        let internal = host.internal.ok_or_else(|| {
+            Error::storage(format!(
+                "root entry points at page {} which embeds no internal page",
+                self.root[ri].page
+            ))
+        })?;
+        if internal.entries.is_empty() {
+            return Err(Error::storage("embedded internal page is empty"));
+        }
+
+        // Level 0: scan forward from the governed data page for the first
+        // record at or after `t` (records are globally sorted, so the
+        // first qualifying record in page order is the answer).
+        let mut p = internal.entries[internal.locate(key)].1;
+        while p < self.pages {
+            let page = self.page(p, &mut read_page)?;
+            if let Some(i) = page.records.iter().position(|r| r.offset >= t) {
+                return Ok(SeekPos { page: p, record: i });
+            }
+            p += 1;
+        }
+        Ok(self.end())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calliope_types::wire::data::PacketKind;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    fn rec(key_us: u64, len: usize) -> PacketRecord {
+        PacketRecord::media(MediaTime(key_us), vec![(key_us % 251) as u8; len])
+    }
+
+    /// Builds a tree in memory, returning (pages-by-index, root, stats,
+    /// records pushed).
+    fn build(
+        geo: Geometry,
+        recs: &[PacketRecord],
+    ) -> (HashMap<u64, Vec<u8>>, Vec<RootEntry>, WriterStats) {
+        let mut w = IbTreeWriter::new(geo).unwrap();
+        let mut pages = HashMap::new();
+        for r in recs {
+            if let Some(p) = w.push(r).unwrap() {
+                pages.insert(p.index, p.data);
+            }
+        }
+        let (finals, root, stats) = w.finish().unwrap();
+        for p in finals {
+            pages.insert(p.index, p.data);
+        }
+        (pages, root, stats)
+    }
+
+    fn read_all(
+        geo: Geometry,
+        pages: &HashMap<u64, Vec<u8>>,
+        root: &[RootEntry],
+        n: u64,
+    ) -> Vec<PacketRecord> {
+        let reader = IbTreeReader::new(geo, root.to_vec(), n).unwrap();
+        let mut out = Vec::new();
+        for i in 0..n {
+            let page = reader
+                .page(i, |idx, buf| {
+                    buf.copy_from_slice(&pages[&idx]);
+                    Ok(())
+                })
+                .unwrap();
+            out.extend(page.records);
+        }
+        out
+    }
+
+    #[test]
+    fn small_tree_round_trips() {
+        let geo = Geometry::tiny();
+        let recs: Vec<_> = (0..20).map(|i| rec(i * 1000, 100)).collect();
+        let (pages, root, stats) = build(geo, &recs);
+        assert_eq!(stats.records, 20);
+        assert_eq!(stats.pages as usize, pages.len());
+        assert!(stats.internal_pages >= 1, "every tree has an index");
+        assert_eq!(read_all(geo, &pages, &root, stats.pages), recs);
+        // Pages are dense 0..n.
+        for i in 0..stats.pages {
+            assert!(pages.contains_key(&i), "page {i} missing");
+        }
+    }
+
+    #[test]
+    fn single_page_tree_embeds_index_in_itself() {
+        let geo = Geometry::tiny();
+        let recs = vec![rec(0, 10), rec(5, 10)];
+        let (pages, root, stats) = build(geo, &recs);
+        assert_eq!(stats.pages, 1);
+        assert_eq!(stats.trailer_pages, 0);
+        assert_eq!(root.len(), 1);
+        assert_eq!(root[0].page, 0);
+        let all = read_all(geo, &pages, &root, 1);
+        assert_eq!(all, recs);
+    }
+
+    #[test]
+    fn empty_tree_is_fine() {
+        let geo = Geometry::tiny();
+        let (pages, root, stats) = build(geo, &[]);
+        assert!(pages.is_empty());
+        assert!(root.is_empty());
+        assert_eq!(stats.pages, 0);
+        let reader = IbTreeReader::new(geo, root, 0).unwrap();
+        let pos = reader
+            .seek(MediaTime::ZERO, |_, _| panic!("no pages to read"))
+            .unwrap();
+        assert_eq!(pos, reader.end());
+    }
+
+    #[test]
+    fn internal_pages_appear_every_max_keys_pages() {
+        let geo = Geometry::tiny(); // max_keys = 4
+        // Large records: ~2 per page (page cap 1024-40=984; record 13+400).
+        let recs: Vec<_> = (0..60).map(|i| rec(i * 100, 400)).collect();
+        let (pages, root, stats) = build(geo, &recs);
+        assert!(stats.pages >= 12, "want a multi-internal tree, got {}", stats.pages);
+        assert!(root.len() >= 2, "multiple internal pages expected");
+        // Root entries ascend and point at pages that embed internals.
+        for w in root.windows(2) {
+            assert!(w[0].first_key <= w[1].first_key);
+        }
+        let reader = IbTreeReader::new(geo, root.clone(), stats.pages).unwrap();
+        for e in &root {
+            let page = reader
+                .page(e.page, |idx, buf| {
+                    buf.copy_from_slice(&pages[&idx]);
+                    Ok(())
+                })
+                .unwrap();
+            assert!(page.internal.is_some(), "root points at {}", e.page);
+        }
+        // Full round trip.
+        assert_eq!(read_all(geo, &pages, &root, stats.pages), recs);
+    }
+
+    #[test]
+    fn seek_matches_linear_scan_reference() {
+        let geo = Geometry::tiny();
+        // Irregular gaps, duplicate keys, varying sizes.
+        let mut key = 0u64;
+        let mut recs = Vec::new();
+        for i in 0..120u64 {
+            if i % 7 != 0 {
+                key += (i * 37) % 900;
+            } // every 7th record repeats its predecessor's key
+            recs.push(rec(key, ((i * 53) % 350) as usize));
+        }
+        let (pages, root, stats) = build(geo, &recs);
+        let reader = IbTreeReader::new(geo, root, stats.pages).unwrap();
+        let read = |idx: u64, buf: &mut [u8]| {
+            buf.copy_from_slice(&pages[&idx]);
+            Ok(())
+        };
+        // Reference: flatten and find first record ≥ t.
+        let flat = read_all(geo, &pages, reader.root_for_test(), stats.pages);
+        assert_eq!(flat.len(), recs.len());
+        for t in (0..=key + 500).step_by(61) {
+            let pos = reader.seek(MediaTime(t), read).unwrap();
+            let reference = flat.iter().position(|r| r.offset.as_micros() >= t);
+            match reference {
+                None => assert_eq!(pos, reader.end(), "t={t}"),
+                Some(global_idx) => {
+                    // Convert the seek position back to a global index.
+                    let mut g = 0usize;
+                    for p in 0..pos.page {
+                        g += reader.page(p, read).unwrap().records.len();
+                    }
+                    g += pos.record;
+                    // Duplicate keys may legitimately resolve to any record
+                    // of the same offset; check offsets match exactly.
+                    assert_eq!(
+                        flat[g].offset, flat[global_idx].offset,
+                        "t={t}: seek found offset {:?}, reference {:?}",
+                        flat[g].offset, flat[global_idx].offset
+                    );
+                    assert!(flat[g].offset.as_micros() >= t);
+                    // And nothing earlier also satisfies ≥ t at a smaller offset.
+                    assert!(g >= global_idx);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn control_records_do_not_count_as_payload() {
+        let geo = Geometry::tiny();
+        let mut w = IbTreeWriter::new(geo).unwrap();
+        w.push(&rec(0, 100)).unwrap();
+        w.push(&PacketRecord {
+            offset: MediaTime(10),
+            kind: PacketKind::Control,
+            payload: vec![0; 50],
+        })
+        .unwrap();
+        let (_, _, stats) = w.finish().unwrap();
+        assert_eq!(stats.payload_bytes, 100);
+        assert_eq!(stats.records, 2);
+    }
+
+    #[test]
+    fn out_of_order_record_is_rejected() {
+        let geo = Geometry::tiny();
+        let mut w = IbTreeWriter::new(geo).unwrap();
+        w.push(&rec(100, 10)).unwrap();
+        assert!(w.push(&rec(50, 10)).is_err());
+    }
+
+    #[test]
+    fn duration_tracks_last_record() {
+        let geo = Geometry::tiny();
+        let mut w = IbTreeWriter::new(geo).unwrap();
+        for t in [0u64, 500, 12_000] {
+            w.push(&rec(t, 5)).unwrap();
+        }
+        let (_, _, stats) = w.finish().unwrap();
+        assert_eq!(stats.duration, MediaTime(12_000));
+    }
+
+    impl IbTreeReader {
+        fn root_for_test(&self) -> &[RootEntry] {
+            &self.root
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_build_read_identity(
+            gaps in proptest::collection::vec(0u64..5_000, 1..300),
+            lens in proptest::collection::vec(0usize..300, 1..300),
+        ) {
+            let geo = Geometry::tiny();
+            let n = gaps.len().min(lens.len());
+            let mut key = 0u64;
+            let mut recs = Vec::with_capacity(n);
+            for i in 0..n {
+                key += gaps[i];
+                recs.push(rec(key, lens[i]));
+            }
+            let (pages, root, stats) = build(geo, &recs);
+            prop_assert_eq!(read_all(geo, &pages, &root, stats.pages), recs);
+            prop_assert_eq!(stats.pages as usize, pages.len());
+        }
+
+        #[test]
+        fn prop_seek_lands_on_first_at_or_after(
+            gaps in proptest::collection::vec(1u64..2_000, 10..150),
+            probe in 0u64..300_000,
+        ) {
+            let geo = Geometry::tiny();
+            let mut key = 0u64;
+            let mut recs = Vec::new();
+            for g in &gaps {
+                key += g;
+                recs.push(rec(key, 64));
+            }
+            let (pages, root, stats) = build(geo, &recs);
+            let reader = IbTreeReader::new(geo, root, stats.pages).unwrap();
+            let read = |idx: u64, buf: &mut [u8]| { buf.copy_from_slice(&pages[&idx]); Ok(()) };
+            let pos = reader.seek(MediaTime(probe), read).unwrap();
+            let expect = recs.iter().find(|r| r.offset.as_micros() >= probe);
+            if let Some(e) = expect {
+                let page = reader.page(pos.page, read).unwrap();
+                prop_assert_eq!(page.records[pos.record].offset, e.offset);
+            } else {
+                prop_assert_eq!(pos, reader.end());
+            }
+        }
+    }
+}

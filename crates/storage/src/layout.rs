@@ -1,0 +1,142 @@
+//! On-disk layout constants and the superblock.
+//!
+//! Disk geometry (all sizes from the paper §2.2.1/§2.3.3):
+//!
+//! ```text
+//! block 0                  superblock (only the first 4 KB are used)
+//! blocks 1 ..= meta_end    metadata region: allocation bitmap + catalog
+//! blocks meta_end+1 ..     data blocks (256 KB each)
+//! ```
+//!
+//! The metadata region is sized at format time so that *all* metadata
+//! fits; the file system keeps it entirely cached in memory and writes
+//! it through on mutation, exactly because "large file block size …
+//! decreases the size of the file system meta-data to the point that it
+//! can be entirely cached in main memory".
+
+use calliope_types::error::{Error, Result};
+
+/// The data block ("page") size: 256 KB.
+pub const BLOCK_SIZE: usize = 256 * 1024;
+
+/// Size of an embedded IB-tree internal page: 28 KB.
+pub const INTERNAL_PAGE_SIZE: usize = 28 * 1024;
+
+/// Maximum keys per internal page (paper: "28 KByte internal pages (with
+/// 1024 keys)").
+pub const INTERNAL_PAGE_KEYS: usize = 1024;
+
+/// Magic number identifying a Calliope MSU file system.
+pub const FS_MAGIC: u32 = 0xCA11_F500;
+
+/// On-disk format version.
+pub const FS_VERSION: u32 = 1;
+
+/// The superblock, stored at the start of block 0.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Superblock {
+    /// Total number of blocks on the device.
+    pub num_blocks: u64,
+    /// Number of metadata blocks following the superblock.
+    pub meta_blocks: u64,
+    /// The device's block size at format time (must equal [`BLOCK_SIZE`]).
+    pub block_size: u32,
+}
+
+impl Superblock {
+    /// Encoded size in bytes.
+    pub const ENCODED_LEN: usize = 4 + 4 + 8 + 8 + 4;
+
+    /// Index of the first data block.
+    pub fn first_data_block(&self) -> u64 {
+        1 + self.meta_blocks
+    }
+
+    /// Number of usable data blocks.
+    pub fn data_blocks(&self) -> u64 {
+        self.num_blocks.saturating_sub(self.first_data_block())
+    }
+
+    /// Serializes the superblock into the head of a block buffer.
+    pub fn encode_into(&self, block: &mut [u8]) {
+        assert!(block.len() >= Self::ENCODED_LEN);
+        block[0..4].copy_from_slice(&FS_MAGIC.to_le_bytes());
+        block[4..8].copy_from_slice(&FS_VERSION.to_le_bytes());
+        block[8..16].copy_from_slice(&self.num_blocks.to_le_bytes());
+        block[16..24].copy_from_slice(&self.meta_blocks.to_le_bytes());
+        block[24..28].copy_from_slice(&self.block_size.to_le_bytes());
+    }
+
+    /// Reads a superblock back from block 0, validating magic and
+    /// version.
+    pub fn decode_from(block: &[u8]) -> Result<Superblock> {
+        if block.len() < Self::ENCODED_LEN {
+            return Err(Error::storage("superblock truncated"));
+        }
+        let magic = u32::from_le_bytes(block[0..4].try_into().expect("4 bytes"));
+        if magic != FS_MAGIC {
+            return Err(Error::storage(format!(
+                "bad fs magic {magic:#x}: device is not a Calliope file system"
+            )));
+        }
+        let version = u32::from_le_bytes(block[4..8].try_into().expect("4 bytes"));
+        if version != FS_VERSION {
+            return Err(Error::storage(format!(
+                "fs version {version} unsupported (want {FS_VERSION})"
+            )));
+        }
+        Ok(Superblock {
+            num_blocks: u64::from_le_bytes(block[8..16].try_into().expect("8 bytes")),
+            meta_blocks: u64::from_le_bytes(block[16..24].try_into().expect("8 bytes")),
+            block_size: u32::from_le_bytes(block[24..28].try_into().expect("4 bytes")),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_match_the_paper() {
+        assert_eq!(BLOCK_SIZE, 262_144);
+        assert_eq!(INTERNAL_PAGE_SIZE, 28_672);
+        assert_eq!(INTERNAL_PAGE_KEYS, 1024);
+        // One internal page per 1024 data pages ⇒ internals appear in
+        // ~0.1% of data pages, the paper's figure.
+        let fraction = 1.0 / INTERNAL_PAGE_KEYS as f64;
+        assert!(fraction < 0.0011);
+    }
+
+    #[test]
+    fn superblock_round_trip() {
+        let sb = Superblock {
+            num_blocks: 8192,
+            meta_blocks: 15,
+            block_size: BLOCK_SIZE as u32,
+        };
+        let mut block = vec![0u8; 64];
+        sb.encode_into(&mut block);
+        assert_eq!(Superblock::decode_from(&block).unwrap(), sb);
+        assert_eq!(sb.first_data_block(), 16);
+        assert_eq!(sb.data_blocks(), 8192 - 16);
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected() {
+        let sb = Superblock {
+            num_blocks: 10,
+            meta_blocks: 1,
+            block_size: BLOCK_SIZE as u32,
+        };
+        let mut block = vec![0u8; 64];
+        sb.encode_into(&mut block);
+        let mut bad_magic = block.clone();
+        bad_magic[0] ^= 1;
+        assert!(Superblock::decode_from(&bad_magic).is_err());
+        let mut bad_version = block.clone();
+        bad_version[4] = 99;
+        assert!(Superblock::decode_from(&bad_version).is_err());
+        assert!(Superblock::decode_from(&block[..8]).is_err());
+    }
+}

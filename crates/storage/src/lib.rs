@@ -1,0 +1,40 @@
+//! The MSU user-level file system.
+//!
+//! "The MSU has to manage files that are often large … and are usually
+//! read and written sequentially. Instead of the BSD fast file system,
+//! the MSU uses a simple user-level file system tuned to the multimedia
+//! workload." (paper §2.3.3)
+//!
+//! The file system's defining choices, all from the paper:
+//!
+//! * **Large blocks** — 256 KB transfers amortize seeks ("the MSU
+//!   achieves 70% of the maximum disk transfer bandwidth") and shrink
+//!   metadata until it is *entirely cached in main memory*.
+//! * **No LRU block cache** — clients stream sequentially and share
+//!   nothing on a one-second granularity, so caching data blocks would
+//!   only waste memory. Read-ahead / write-behind buffering is done by
+//!   the MSU's disk process instead.
+//! * **Raw device access** — the FS sits directly on a [`block::BlockDevice`]
+//!   (a file-backed disk in this reproduction), not on a kernel FS.
+//! * **The Integrated B-tree** ([`ibtree`]) — variable-rate files
+//!   interleave their delivery schedule with the data, embedding the
+//!   B-tree's internal pages *inside* data pages so a data+index write
+//!   costs one transfer and one seek (paper §2.2.1).
+//! * **No striping by default** — a file's blocks live on one disk
+//!   (§2.3.3 discusses the trade-off at length); [`striped`] implements
+//!   the striped layout the authors considered, as an ablation.
+
+pub mod alloc;
+pub mod block;
+pub mod catalog;
+pub mod fs;
+pub mod ibtree;
+pub mod layout;
+pub mod page;
+pub mod striped;
+
+pub use block::{BlockDevice, FileDisk, IoStats, MemDisk, MeteredDevice};
+pub use catalog::{FileKind, FileMeta};
+pub use fs::MsuFs;
+pub use ibtree::{IbTreeReader, IbTreeWriter, SeekPos};
+pub use layout::BLOCK_SIZE;

@@ -1,0 +1,554 @@
+//! Data-page and internal-page layout for the Integrated B-tree.
+//!
+//! "Calliope's variant on B-tree is called Integrated B-tree (IB-tree)
+//! because it integrates the internal pages into the data pages. …
+//! When an internal page fills up, it is copied into the current data
+//! page instead of being written separately on disk." (paper §2.2.1)
+//!
+//! A data page is one file-system block. Its layout:
+//!
+//! ```text
+//! +--------------------------+ 0
+//! | 40-byte page header      |
+//! +--------------------------+ 40
+//! | packed packet records    |
+//! | (delivery order)         |
+//! +--------------------------+ 40 + record_bytes
+//! | free space               |
+//! +--------------------------+ page_size - internal_size   (only if
+//! | embedded internal page   |    the HAS_INTERNAL flag is set)
+//! +--------------------------+ page_size
+//! ```
+//!
+//! The paper's geometry is 256 KB pages with 28 KB internal pages of
+//! 1024 keys; [`Geometry`] parameterizes this so tests can exercise
+//! multi-internal-page trees cheaply.
+
+use crate::layout::{BLOCK_SIZE, INTERNAL_PAGE_KEYS, INTERNAL_PAGE_SIZE};
+use calliope_proto::record::PacketRecord;
+use calliope_types::error::{Error, Result};
+
+/// Magic number opening every data page.
+pub const PAGE_MAGIC: u32 = 0xCA11_DA7A;
+
+/// Magic number opening every embedded internal page.
+pub const INTERNAL_MAGIC: u32 = 0xCA11_1DE8;
+
+/// Byte length of the data-page header.
+pub const PAGE_HEADER_LEN: usize = 40;
+
+/// Byte length of the internal-page header.
+pub const INTERNAL_HEADER_LEN: usize = 16;
+
+/// Bytes per internal-page entry (key + page index).
+pub const INTERNAL_ENTRY_LEN: usize = 16;
+
+/// Flag: this data page embeds an internal page in its tail.
+const FLAG_HAS_INTERNAL: u32 = 1;
+
+/// IB-tree sizing parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Geometry {
+    /// Data page size (one file-system block).
+    pub page_size: usize,
+    /// Embedded internal page size.
+    pub internal_size: usize,
+    /// Maximum keys per internal page.
+    pub max_keys: usize,
+}
+
+impl Geometry {
+    /// The paper's geometry: 256 KB pages, 28 KB internal pages, 1024
+    /// keys.
+    pub const fn paper() -> Geometry {
+        Geometry {
+            page_size: BLOCK_SIZE,
+            internal_size: INTERNAL_PAGE_SIZE,
+            max_keys: INTERNAL_PAGE_KEYS,
+        }
+    }
+
+    /// A tiny geometry for tests: multi-internal-page trees appear after
+    /// a few dozen records.
+    pub const fn tiny() -> Geometry {
+        Geometry {
+            page_size: 1024,
+            internal_size: 128,
+            max_keys: 4,
+        }
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) -> Result<()> {
+        let needed = INTERNAL_HEADER_LEN + self.max_keys * INTERNAL_ENTRY_LEN;
+        if self.internal_size < needed {
+            return Err(Error::storage(format!(
+                "internal page of {} bytes cannot hold {} keys ({} needed)",
+                self.internal_size, self.max_keys, needed
+            )));
+        }
+        if self.page_size < PAGE_HEADER_LEN + self.internal_size + 64 {
+            return Err(Error::storage(
+                "page too small for header + internal page + any records",
+            ));
+        }
+        if self.max_keys == 0 {
+            return Err(Error::storage("max_keys must be positive"));
+        }
+        Ok(())
+    }
+
+    /// Record capacity of a page, with or without an embedded internal
+    /// page.
+    pub fn record_capacity(&self, hosts_internal: bool) -> usize {
+        self.page_size
+            - PAGE_HEADER_LEN
+            - if hosts_internal { self.internal_size } else { 0 }
+    }
+}
+
+/// An internal ("index") page: sorted `(first_key, data_page)` entries.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct InternalPage {
+    /// Entries in ascending key order. `key` is the delivery offset (µs)
+    /// of the first record in data page `page` (a file-relative index).
+    pub entries: Vec<(u64, u64)>,
+}
+
+impl InternalPage {
+    /// Serializes into an `internal_size` buffer.
+    pub fn encode(&self, geo: &Geometry) -> Result<Vec<u8>> {
+        if self.entries.len() > geo.max_keys {
+            return Err(Error::internal(format!(
+                "internal page overflow: {} entries (max {})",
+                self.entries.len(),
+                geo.max_keys
+            )));
+        }
+        let mut buf = vec![0u8; geo.internal_size];
+        buf[0..4].copy_from_slice(&INTERNAL_MAGIC.to_le_bytes());
+        buf[4..8].copy_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        for (i, (key, page)) in self.entries.iter().enumerate() {
+            let at = INTERNAL_HEADER_LEN + i * INTERNAL_ENTRY_LEN;
+            buf[at..at + 8].copy_from_slice(&key.to_le_bytes());
+            buf[at + 8..at + 16].copy_from_slice(&page.to_le_bytes());
+        }
+        Ok(buf)
+    }
+
+    /// Parses an internal page from an `internal_size` slice.
+    pub fn decode(buf: &[u8]) -> Result<InternalPage> {
+        if buf.len() < INTERNAL_HEADER_LEN {
+            return Err(Error::storage("internal page truncated"));
+        }
+        let magic = u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes"));
+        if magic != INTERNAL_MAGIC {
+            return Err(Error::storage("bad internal page magic"));
+        }
+        let count = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes")) as usize;
+        let need = INTERNAL_HEADER_LEN + count * INTERNAL_ENTRY_LEN;
+        if buf.len() < need {
+            return Err(Error::storage("internal page entry region truncated"));
+        }
+        let mut entries = Vec::with_capacity(count);
+        let mut prev_key = None;
+        for i in 0..count {
+            let at = INTERNAL_HEADER_LEN + i * INTERNAL_ENTRY_LEN;
+            let key = u64::from_le_bytes(buf[at..at + 8].try_into().expect("8 bytes"));
+            let page = u64::from_le_bytes(buf[at + 8..at + 16].try_into().expect("8 bytes"));
+            if let Some(prev) = prev_key {
+                if key < prev {
+                    return Err(Error::storage("internal page keys out of order"));
+                }
+            }
+            prev_key = Some(key);
+            entries.push((key, page));
+        }
+        Ok(InternalPage { entries })
+    }
+
+    /// Index of the entry governing key `t`: the last entry with
+    /// `key ≤ t`, or 0 if `t` precedes every key.
+    pub fn locate(&self, t: u64) -> usize {
+        match self.entries.binary_search_by(|&(k, _)| k.cmp(&t)) {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) => i - 1,
+        }
+    }
+}
+
+/// Accumulates packet records into one data page.
+#[derive(Debug)]
+pub struct DataPageBuilder {
+    geo: Geometry,
+    hosts_internal: bool,
+    records: Vec<u8>,
+    count: u32,
+    first_key: Option<u64>,
+    last_key: u64,
+}
+
+impl DataPageBuilder {
+    /// Starts an empty page. `hosts_internal` reserves the tail for an
+    /// embedded internal page, reducing record capacity.
+    pub fn new(geo: Geometry, hosts_internal: bool) -> DataPageBuilder {
+        DataPageBuilder {
+            geo,
+            hosts_internal,
+            records: Vec::new(),
+            count: 0,
+            first_key: None,
+            last_key: 0,
+        }
+    }
+
+    /// True if no records have been added.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Number of records so far.
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// Delivery offset of the first record, if any.
+    pub fn first_key(&self) -> Option<u64> {
+        self.first_key
+    }
+
+    /// Bytes of record capacity still free.
+    pub fn free(&self) -> usize {
+        self.geo.record_capacity(self.hosts_internal) - self.records.len()
+    }
+
+    /// Whether an internal page could still be embedded at finish time
+    /// (enough tail space is unused).
+    pub fn can_embed_internal(&self) -> bool {
+        self.hosts_internal
+            || self.geo.record_capacity(true) >= self.records.len()
+    }
+
+    /// Tries to add a record; returns `false` (and leaves the page
+    /// unchanged) if it does not fit.
+    ///
+    /// Records must arrive in non-decreasing key order; the IB-tree's
+    /// search structure depends on it.
+    pub fn push(&mut self, rec: &PacketRecord) -> Result<bool> {
+        let key = rec.offset.as_micros();
+        if self.first_key.is_some() && key < self.last_key {
+            return Err(Error::internal(format!(
+                "record key {key} precedes page's last key {}",
+                self.last_key
+            )));
+        }
+        if rec.encoded_len() > self.free() {
+            // A single record larger than an empty page can never fit.
+            if self.is_empty() {
+                return Err(Error::storage(format!(
+                    "packet of {} bytes exceeds page capacity {}",
+                    rec.encoded_len(),
+                    self.geo.record_capacity(self.hosts_internal)
+                )));
+            }
+            return Ok(false);
+        }
+        rec.encode_into(&mut self.records);
+        self.first_key.get_or_insert(key);
+        self.last_key = key;
+        self.count += 1;
+        Ok(true)
+    }
+
+    /// Finishes the page, optionally embedding an internal page in its
+    /// tail, and returns the full page buffer.
+    pub fn finish(self, internal: Option<&InternalPage>) -> Result<Vec<u8>> {
+        let embeds = internal.is_some();
+        if embeds && self.records.len() > self.geo.record_capacity(true) {
+            return Err(Error::internal(
+                "records overflow the space reserved for the internal page",
+            ));
+        }
+        let mut buf = vec![0u8; self.geo.page_size];
+        let flags = if embeds { FLAG_HAS_INTERNAL } else { 0 };
+        buf[0..4].copy_from_slice(&PAGE_MAGIC.to_le_bytes());
+        buf[4..8].copy_from_slice(&flags.to_le_bytes());
+        buf[8..12].copy_from_slice(&self.count.to_le_bytes());
+        buf[12..16].copy_from_slice(&(self.records.len() as u32).to_le_bytes());
+        buf[16..24].copy_from_slice(&self.first_key.unwrap_or(u64::MAX).to_le_bytes());
+        buf[24..32].copy_from_slice(&self.last_key.to_le_bytes());
+        // Bytes 32..40 reserved.
+        buf[PAGE_HEADER_LEN..PAGE_HEADER_LEN + self.records.len()]
+            .copy_from_slice(&self.records);
+        if let Some(internal) = internal {
+            let at = self.geo.page_size - self.geo.internal_size;
+            buf[at..].copy_from_slice(&internal.encode(&self.geo)?);
+        }
+        Ok(buf)
+    }
+}
+
+/// A parsed data page.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DataPage {
+    /// Packet records in delivery order.
+    pub records: Vec<PacketRecord>,
+    /// The embedded internal page, if the flag was set.
+    pub internal: Option<InternalPage>,
+    /// First record key (`u64::MAX` for a record-less trailer page).
+    pub first_key: u64,
+    /// Last record key.
+    pub last_key: u64,
+}
+
+impl DataPage {
+    /// Parses a page buffer.
+    pub fn decode(geo: &Geometry, buf: &[u8]) -> Result<DataPage> {
+        if buf.len() != geo.page_size {
+            return Err(Error::storage(format!(
+                "page buffer is {} bytes, expected {}",
+                buf.len(),
+                geo.page_size
+            )));
+        }
+        let magic = u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes"));
+        if magic != PAGE_MAGIC {
+            return Err(Error::storage("bad data page magic"));
+        }
+        let flags = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes"));
+        let count = u32::from_le_bytes(buf[8..12].try_into().expect("4 bytes"));
+        let record_bytes =
+            u32::from_le_bytes(buf[12..16].try_into().expect("4 bytes")) as usize;
+        let first_key = u64::from_le_bytes(buf[16..24].try_into().expect("8 bytes"));
+        let last_key = u64::from_le_bytes(buf[24..32].try_into().expect("8 bytes"));
+        let embeds = flags & FLAG_HAS_INTERNAL != 0;
+        if record_bytes > geo.record_capacity(embeds) {
+            return Err(Error::storage("record region exceeds page capacity"));
+        }
+        let records =
+            PacketRecord::decode_all(&buf[PAGE_HEADER_LEN..PAGE_HEADER_LEN + record_bytes])
+                .map_err(Error::from)?;
+        if records.len() != count as usize {
+            return Err(Error::storage(format!(
+                "page claims {count} records but {} decoded",
+                records.len()
+            )));
+        }
+        let internal = if embeds {
+            let at = geo.page_size - geo.internal_size;
+            Some(InternalPage::decode(&buf[at..])?)
+        } else {
+            None
+        };
+        Ok(DataPage {
+            records,
+            internal,
+            first_key,
+            last_key,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calliope_types::time::MediaTime;
+    use proptest::prelude::*;
+
+    fn rec(key_us: u64, len: usize) -> PacketRecord {
+        PacketRecord::media(MediaTime(key_us), vec![0xAB; len])
+    }
+
+    #[test]
+    fn paper_geometry_is_valid_and_matches_sizes() {
+        let g = Geometry::paper();
+        g.validate().unwrap();
+        assert_eq!(g.page_size, 256 * 1024);
+        assert_eq!(g.internal_size, 28 * 1024);
+        assert_eq!(g.max_keys, 1024);
+        // 28 KB comfortably holds 1024 sixteen-byte entries + header.
+        assert!(INTERNAL_HEADER_LEN + 1024 * INTERNAL_ENTRY_LEN <= g.internal_size);
+    }
+
+    #[test]
+    fn tiny_geometry_is_valid() {
+        Geometry::tiny().validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_geometries_are_rejected() {
+        let mut g = Geometry::tiny();
+        g.internal_size = 8;
+        assert!(g.validate().is_err());
+        let mut g = Geometry::tiny();
+        g.page_size = 100;
+        assert!(g.validate().is_err());
+        let mut g = Geometry::tiny();
+        g.max_keys = 0;
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn page_round_trip_without_internal() {
+        let geo = Geometry::tiny();
+        let mut b = DataPageBuilder::new(geo, false);
+        let recs = vec![rec(10, 50), rec(20, 60), rec(20, 5), rec(35, 0)];
+        for r in &recs {
+            assert!(b.push(r).unwrap());
+        }
+        let page = b.finish(None).unwrap();
+        assert_eq!(page.len(), geo.page_size);
+        let parsed = DataPage::decode(&geo, &page).unwrap();
+        assert_eq!(parsed.records, recs);
+        assert_eq!(parsed.first_key, 10);
+        assert_eq!(parsed.last_key, 35);
+        assert!(parsed.internal.is_none());
+    }
+
+    #[test]
+    fn page_round_trip_with_internal() {
+        let geo = Geometry::tiny();
+        let mut b = DataPageBuilder::new(geo, true);
+        assert!(b.push(&rec(5, 40)).unwrap());
+        let internal = InternalPage {
+            entries: vec![(0, 0), (100, 1), (250, 2)],
+        };
+        let page = b.finish(Some(&internal)).unwrap();
+        let parsed = DataPage::decode(&geo, &page).unwrap();
+        assert_eq!(parsed.internal.as_ref().unwrap(), &internal);
+        assert_eq!(parsed.records.len(), 1);
+    }
+
+    #[test]
+    fn full_page_rejects_more_records() {
+        let geo = Geometry::tiny();
+        let mut b = DataPageBuilder::new(geo, false);
+        let capacity = geo.record_capacity(false);
+        let big = rec(1, capacity - 13); // exactly fills (13-byte header)
+        assert!(b.push(&big).unwrap());
+        assert_eq!(b.free(), 0);
+        assert!(!b.push(&rec(2, 1)).unwrap(), "no room left");
+        assert_eq!(b.count(), 1);
+    }
+
+    #[test]
+    fn oversized_record_is_a_hard_error() {
+        let geo = Geometry::tiny();
+        let mut b = DataPageBuilder::new(geo, false);
+        let too_big = rec(1, geo.page_size);
+        assert!(b.push(&too_big).is_err());
+    }
+
+    #[test]
+    fn out_of_order_keys_are_rejected() {
+        let geo = Geometry::tiny();
+        let mut b = DataPageBuilder::new(geo, false);
+        b.push(&rec(100, 10)).unwrap();
+        assert!(b.push(&rec(50, 10)).is_err());
+    }
+
+    #[test]
+    fn internal_page_locate_semantics() {
+        let p = InternalPage {
+            entries: vec![(0, 0), (100, 1), (200, 2)],
+        };
+        assert_eq!(p.locate(0), 0);
+        assert_eq!(p.locate(99), 0);
+        assert_eq!(p.locate(100), 1);
+        assert_eq!(p.locate(150), 1);
+        assert_eq!(p.locate(200), 2);
+        assert_eq!(p.locate(u64::MAX), 2);
+    }
+
+    #[test]
+    fn internal_page_overflow_is_rejected() {
+        let geo = Geometry::tiny(); // max 4 keys
+        let p = InternalPage {
+            entries: (0..5).map(|i| (i * 10, i)).collect(),
+        };
+        assert!(p.encode(&geo).is_err());
+    }
+
+    #[test]
+    fn internal_page_decode_rejects_corruption() {
+        let geo = Geometry::tiny();
+        let p = InternalPage {
+            entries: vec![(1, 0), (2, 1)],
+        };
+        let good = p.encode(&geo).unwrap();
+        let mut bad_magic = good.clone();
+        bad_magic[0] ^= 0xFF;
+        assert!(InternalPage::decode(&bad_magic).is_err());
+        // Out-of-order keys.
+        let q = InternalPage {
+            entries: vec![(5, 0), (2, 1)],
+        };
+        let buf = q.encode(&geo).unwrap();
+        assert!(InternalPage::decode(&buf).is_err());
+        // Truncated entries.
+        assert!(InternalPage::decode(&good[..INTERNAL_HEADER_LEN + 3]).is_err());
+    }
+
+    #[test]
+    fn data_page_decode_rejects_corruption() {
+        let geo = Geometry::tiny();
+        let mut b = DataPageBuilder::new(geo, false);
+        b.push(&rec(1, 10)).unwrap();
+        let good = b.finish(None).unwrap();
+        let mut bad = good.clone();
+        bad[0] ^= 1;
+        assert!(DataPage::decode(&geo, &bad).is_err());
+        let mut bad_count = good.clone();
+        bad_count[8] = 99;
+        assert!(DataPage::decode(&geo, &bad_count).is_err());
+        assert!(DataPage::decode(&geo, &good[..10]).is_err());
+    }
+
+    #[test]
+    fn empty_trailer_page_round_trips() {
+        let geo = Geometry::tiny();
+        let b = DataPageBuilder::new(geo, true);
+        let internal = InternalPage {
+            entries: vec![(7, 3)],
+        };
+        let page = b.finish(Some(&internal)).unwrap();
+        let parsed = DataPage::decode(&geo, &page).unwrap();
+        assert!(parsed.records.is_empty());
+        assert_eq!(parsed.first_key, u64::MAX);
+        assert_eq!(parsed.internal.unwrap().entries, vec![(7, 3)]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_pages_round_trip(lens in proptest::collection::vec(0usize..120, 1..10), start in 0u64..1_000) {
+            let geo = Geometry::tiny();
+            let mut b = DataPageBuilder::new(geo, false);
+            let mut pushed = Vec::new();
+            let mut key = start;
+            for len in lens {
+                let r = rec(key, len);
+                key += 7;
+                if b.push(&r).unwrap() {
+                    pushed.push(r);
+                } else {
+                    break;
+                }
+            }
+            let page = b.finish(None).unwrap();
+            let parsed = DataPage::decode(&geo, &page).unwrap();
+            prop_assert_eq!(parsed.records, pushed);
+        }
+
+        #[test]
+        fn prop_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+            let geo = Geometry::tiny();
+            let mut page = bytes.clone();
+            page.resize(geo.page_size, 0);
+            let _ = DataPage::decode(&geo, &page);
+            let mut internal = bytes;
+            internal.resize(geo.internal_size, 0);
+            let _ = InternalPage::decode(&internal);
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Striped file layout — the ablation the paper discusses but did not
+//! build.
+//!
+//! "In the current implementation, Calliope's MSU does not stripe files
+//! over its disks. … It would be easy to lay out a file so that
+//! consecutive blocks are on 'adjacent' disks. The disk process in this
+//! case would read or write blocks from its disks in a round-robin
+//! fashion." (paper §2.3.3)
+//!
+//! [`StripedStore`] implements exactly that: global page `i` of a file
+//! lives on disk `i mod D`. The paper's analysis of the trade-off —
+//! duty cycles of `N·D` slots, VCR-command latency `D×` longer, but any
+//! title readable at the full `D`-disk aggregate bandwidth — is
+//! quantified by experiment E9 (see DESIGN.md).
+
+use crate::catalog::{FileKind, RootEntry};
+use crate::fs::MsuFs;
+use calliope_types::error::{Error, Result};
+
+/// A round-robin striped store over several single-disk file systems.
+pub struct StripedStore {
+    disks: Vec<MsuFs>,
+}
+
+impl StripedStore {
+    /// Builds a store over `disks` (at least one; all must share a block
+    /// size).
+    pub fn new(disks: Vec<MsuFs>) -> Result<StripedStore> {
+        if disks.is_empty() {
+            return Err(Error::storage("striped store needs at least one disk"));
+        }
+        let bs = disks[0].block_size();
+        if disks.iter().any(|d| d.block_size() != bs) {
+            return Err(Error::storage("striped disks must share a block size"));
+        }
+        Ok(StripedStore { disks })
+    }
+
+    /// Number of member disks (the stripe width `D`).
+    pub fn width(&self) -> usize {
+        self.disks.len()
+    }
+
+    /// Block size shared by all member disks.
+    pub fn block_size(&self) -> usize {
+        self.disks[0].block_size()
+    }
+
+    /// Aggregate free bytes across all disks.
+    pub fn free_bytes(&self) -> u64 {
+        self.disks.iter().map(MsuFs::free_bytes).sum()
+    }
+
+    /// Creates a striped file, splitting the reservation evenly (rounded
+    /// up) across the member disks.
+    pub fn create(&mut self, name: &str, kind: FileKind, reserve_bytes: u64) -> Result<()> {
+        let per_disk = reserve_bytes.div_ceil(self.disks.len() as u64);
+        for (i, d) in self.disks.iter_mut().enumerate() {
+            if let Err(e) = d.create(name, kind, per_disk) {
+                // Roll back the disks that already created the file so a
+                // failed create leaves no partial state.
+                for j in 0..i {
+                    let _ = self.disks[j].delete(name);
+                }
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// Total global pages written so far for `name`.
+    fn global_pages(&self, name: &str) -> Result<u64> {
+        let mut total = 0;
+        for d in &self.disks {
+            total += d.file(name)?.pages();
+        }
+        Ok(total)
+    }
+
+    /// Appends one page; consecutive pages land on adjacent disks.
+    /// Returns the global page index.
+    pub fn append_page(&mut self, name: &str, page: &[u8], payload_bytes: u64) -> Result<u64> {
+        let global = self.global_pages(name)?;
+        let disk = (global % self.disks.len() as u64) as usize;
+        self.disks[disk].append_page(name, page, payload_bytes)?;
+        Ok(global)
+    }
+
+    /// Reads global page `idx` into `buf`.
+    pub fn read_page(&mut self, name: &str, idx: u64, buf: &mut [u8]) -> Result<()> {
+        let d = self.disks.len() as u64;
+        let disk = (idx % d) as usize;
+        self.disks[disk].read_page(name, idx / d, buf)
+    }
+
+    /// Which disk serves global page `idx` (for duty-cycle scheduling).
+    pub fn disk_of(&self, idx: u64) -> usize {
+        (idx % self.disks.len() as u64) as usize
+    }
+
+    /// Finalizes the file on every disk. The IB-tree root (if any) is
+    /// stored on disk 0; roots reference *global* page indices, so the
+    /// reader must route through [`StripedStore::read_page`].
+    pub fn finalize(&mut self, name: &str, duration_us: u64, root: Vec<RootEntry>) -> Result<()> {
+        for (i, d) in self.disks.iter_mut().enumerate() {
+            let r = if i == 0 { root.clone() } else { Vec::new() };
+            d.finalize(name, duration_us, r)?;
+        }
+        Ok(())
+    }
+
+    /// Deletes the file from every disk.
+    pub fn delete(&mut self, name: &str) -> Result<()> {
+        for d in &mut self.disks {
+            d.delete(name)?;
+        }
+        Ok(())
+    }
+
+    /// Total payload bytes of a finalized file.
+    pub fn len_bytes(&self, name: &str) -> Result<u64> {
+        let mut total = 0;
+        for d in &self.disks {
+            total += d.file(name)?.len_bytes;
+        }
+        Ok(total)
+    }
+
+    /// The IB-tree root for a file (stored on disk 0).
+    pub fn root(&self, name: &str) -> Result<Vec<RootEntry>> {
+        Ok(self.disks[0].file(name)?.root.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::MemDisk;
+
+    const BS: usize = 1024;
+
+    fn store(disks: usize, blocks_each: u64) -> StripedStore {
+        let fss = (0..disks)
+            .map(|_| MsuFs::format_with(Box::new(MemDisk::new(BS, blocks_each)), 2).unwrap())
+            .collect();
+        StripedStore::new(fss).unwrap()
+    }
+
+    #[test]
+    fn pages_round_robin_across_disks() {
+        let mut s = store(3, 32);
+        s.create("f", FileKind::Raw, 9 * BS as u64).unwrap();
+        for i in 0..9u8 {
+            let idx = s.append_page("f", &vec![i; BS], BS as u64).unwrap();
+            assert_eq!(idx, i as u64);
+            assert_eq!(s.disk_of(idx), (i % 3) as usize);
+        }
+        // Each disk holds exactly 3 pages.
+        for d in &s.disks {
+            assert_eq!(d.file("f").unwrap().pages(), 3);
+        }
+        let mut buf = vec![0u8; BS];
+        for i in 0..9u8 {
+            s.read_page("f", i as u64, &mut buf).unwrap();
+            assert_eq!(buf, vec![i; BS]);
+        }
+    }
+
+    #[test]
+    fn finalize_and_len_aggregate() {
+        let mut s = store(2, 32);
+        s.create("f", FileKind::Raw, 4 * BS as u64).unwrap();
+        for i in 0..4u8 {
+            s.append_page("f", &vec![i; BS], 500).unwrap();
+        }
+        s.finalize("f", 9_000, Vec::new()).unwrap();
+        assert_eq!(s.len_bytes("f").unwrap(), 2000);
+        assert!(s.root("f").unwrap().is_empty());
+    }
+
+    #[test]
+    fn delete_frees_all_disks() {
+        let mut s = store(2, 16);
+        let before = s.free_bytes();
+        s.create("f", FileKind::Raw, 4 * BS as u64).unwrap();
+        s.append_page("f", &vec![0u8; BS], BS as u64).unwrap();
+        s.finalize("f", 0, Vec::new()).unwrap();
+        s.delete("f").unwrap();
+        assert_eq!(s.free_bytes(), before);
+    }
+
+    #[test]
+    fn failed_create_rolls_back() {
+        // Disk 1 is too small for its share: create must fail and leave
+        // no residue on disk 0.
+        let big = MsuFs::format_with(Box::new(MemDisk::new(BS, 64)), 2).unwrap();
+        let tiny = MsuFs::format_with(Box::new(MemDisk::new(BS, 4)), 2).unwrap();
+        let mut s = StripedStore::new(vec![big, tiny]).unwrap();
+        let free = s.free_bytes();
+        assert!(s.create("huge", FileKind::Raw, 40 * BS as u64).is_err());
+        assert_eq!(s.free_bytes(), free, "no space leaked");
+        assert!(s.disks[0].file("huge").is_err());
+    }
+
+    #[test]
+    fn empty_store_is_rejected() {
+        assert!(StripedStore::new(Vec::new()).is_err());
+    }
+
+    #[test]
+    fn mismatched_block_sizes_rejected() {
+        let a = MsuFs::format_with(Box::new(MemDisk::new(1024, 16)), 2).unwrap();
+        let b = MsuFs::format_with(Box::new(MemDisk::new(2048, 16)), 2).unwrap();
+        assert!(StripedStore::new(vec![a, b]).is_err());
+    }
+
+    #[test]
+    fn width_one_degenerates_to_plain_fs() {
+        let mut s = store(1, 32);
+        s.create("f", FileKind::Raw, 2 * BS as u64).unwrap();
+        for i in 0..2u8 {
+            assert_eq!(s.append_page("f", &vec![i; BS], BS as u64).unwrap(), i as u64);
+            assert_eq!(s.disk_of(i as u64), 0);
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Model-based testing of the MSU file system: random operation
+//! sequences run against both the real file system and a trivial
+//! in-memory reference; contents, metadata, and free-space accounting
+//! must agree at every step — including across simulated remounts.
+
+use calliope_storage::block::MemDisk;
+use calliope_storage::catalog::FileKind;
+use calliope_storage::MsuFs;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const BS: usize = 2048;
+const BLOCKS: u64 = 96;
+const META: u64 = 4;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Create { name: u8, reserve_pages: u8 },
+    Append { name: u8, fill: u8, valid: u16 },
+    Finalize { name: u8 },
+    Delete { name: u8 },
+    Remount,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..6, 0u8..6).prop_map(|(name, reserve_pages)| Op::Create { name, reserve_pages }),
+        (0u8..6, any::<u8>(), 1u16..=BS as u16)
+            .prop_map(|(name, fill, valid)| Op::Append { name, fill, valid }),
+        (0u8..6).prop_map(|name| Op::Finalize { name }),
+        (0u8..6).prop_map(|name| Op::Delete { name }),
+        Just(Op::Remount),
+    ]
+}
+
+#[derive(Clone, Debug, Default)]
+struct ModelFile {
+    pages: Vec<(u8, u16)>, // (fill byte, valid bytes)
+    reserved_pages: u64,
+    finalized: bool,
+    /// Pages appended since the last metadata persist point; lost on
+    /// remount for unfinalized files. Any operation that rewrites the
+    /// metadata region (create/finalize/delete of *any* file, or an
+    /// append that grows past its reservation) persists everything.
+    unpersisted_pages: usize,
+}
+
+#[derive(Clone, Debug, Default)]
+struct Model {
+    files: HashMap<u8, ModelFile>,
+}
+
+impl Model {
+    fn used_blocks(&self) -> u64 {
+        self.files
+            .values()
+            .map(|f| f.pages.len() as u64 + f.reserved_pages)
+            .sum()
+    }
+
+    /// A metadata write-through persisted every file's block list.
+    fn persist_all(&mut self) {
+        for f in self.files.values_mut() {
+            f.unpersisted_pages = 0;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fs_matches_reference_model(ops in proptest::collection::vec(arb_op(), 1..60)) {
+        let mut fs = MsuFs::format_with(Box::new(MemDisk::new(BS, BLOCKS)), META).unwrap();
+        let data_blocks = BLOCKS - 1 - META;
+        let mut model = Model::default();
+
+        for op in ops {
+            match op {
+                Op::Create { name, reserve_pages } => {
+                    let fname = format!("f{name}");
+                    let res = fs.create(&fname, FileKind::Raw, reserve_pages as u64 * BS as u64);
+                    let fits = model.used_blocks() + reserve_pages as u64 <= data_blocks;
+                    let fresh = !model.files.contains_key(&name);
+                    if fresh && fits {
+                        prop_assert!(res.is_ok(), "create should succeed: {res:?}");
+                        model.persist_all();
+                        model.files.insert(name, ModelFile {
+                            reserved_pages: reserve_pages as u64,
+                            ..Default::default()
+                        });
+                    } else {
+                        prop_assert!(res.is_err(), "create should fail (fresh={fresh}, fits={fits})");
+                    }
+                }
+                Op::Append { name, fill, valid } => {
+                    let fname = format!("f{name}");
+                    let page = vec![fill; BS];
+                    let res = fs.append_page(&fname, &page, valid as u64);
+                    let expect_ok = match model.files.get(&name) {
+                        None => false,
+                        Some(f) if f.finalized => false,
+                        Some(f) => {
+                            // Succeeds if a reservation remains or the disk
+                            // can grow the file by one block.
+                            f.reserved_pages > 0 || model.used_blocks() < data_blocks
+                        }
+                    };
+                    prop_assert_eq!(res.is_ok(), expect_ok, "append {}: {:?}", name, res);
+                    if expect_ok {
+                        let grew = model.files.get(&name).unwrap().reserved_pages == 0;
+                        let f = model.files.get_mut(&name).unwrap();
+                        if f.reserved_pages > 0 {
+                            f.reserved_pages -= 1;
+                        }
+                        f.pages.push((fill, valid));
+                        f.unpersisted_pages += 1;
+                        if grew {
+                            // Growth rewrites the metadata region,
+                            // persisting every file's state.
+                            model.persist_all();
+                        }
+                    }
+                }
+                Op::Finalize { name } => {
+                    let fname = format!("f{name}");
+                    let res = fs.finalize(&fname, 1_000, Vec::new());
+                    let expect_ok = model
+                        .files
+                        .get(&name)
+                        .is_some_and(|f| !f.finalized);
+                    prop_assert_eq!(res.is_ok(), expect_ok);
+                    if expect_ok {
+                        {
+                            let f = model.files.get_mut(&name).unwrap();
+                            f.finalized = true;
+                            f.reserved_pages = 0;
+                        }
+                        model.persist_all();
+                    }
+                }
+                Op::Delete { name } => {
+                    let fname = format!("f{name}");
+                    let res = fs.delete(&fname);
+                    let existed = model.files.contains_key(&name);
+                    prop_assert_eq!(res.is_ok(), existed);
+                    model.files.remove(&name);
+                    if existed {
+                        model.persist_all();
+                    }
+                }
+                Op::Remount => {
+                    fs = MsuFs::open(fs.into_device()).unwrap();
+                    // Unfinalized appends since the last persist are lost
+                    // (by design: crash loss is confined to in-progress
+                    // recordings); their blocks return to the reservation.
+                    for f in model.files.values_mut() {
+                        if !f.finalized {
+                            let lost = f.unpersisted_pages;
+                            f.pages.truncate(f.pages.len() - lost);
+                            f.reserved_pages += lost as u64;
+                            f.unpersisted_pages = 0;
+                        }
+                    }
+                }
+            }
+
+            // Invariants after every operation.
+            prop_assert_eq!(fs.file_count(), model.files.len());
+            let model_len = |f: &ModelFile| f.pages.iter().map(|(_, v)| *v as u64).sum::<u64>();
+            for (name, mf) in &model.files {
+                let meta = fs.file(&format!("f{name}")).unwrap();
+                prop_assert_eq!(meta.pages(), mf.pages.len() as u64, "pages of f{}", name);
+                prop_assert_eq!(meta.len_bytes, model_len(mf), "len of f{}", name);
+                prop_assert_eq!(meta.finalized, mf.finalized, "finalized of f{}", name);
+            }
+            prop_assert_eq!(
+                fs.free_bytes(),
+                (data_blocks - model.used_blocks()) * BS as u64,
+                "free space accounting"
+            );
+        }
+
+        // Final content check: every persisted page reads back.
+        for (name, mf) in &model.files {
+            let fname = format!("f{name}");
+            let mut buf = vec![0u8; BS];
+            for (i, (fill, _)) in mf.pages.iter().enumerate() {
+                // Unpersisted pages exist in memory until remount; both
+                // cases must read back correctly while mounted.
+                fs.read_page(&fname, i as u64, &mut buf).unwrap();
+                prop_assert!(buf.iter().all(|b| b == fill), "page {i} of {fname}");
+            }
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! The shared error type.
+//!
+//! Calliope components return `Result<T, Error>` rather than panicking:
+//! a multimedia server must survive malformed requests, disconnected
+//! peers, and exhausted resources without taking down unrelated streams.
+
+use crate::ids::{DiskId, MsuId, StreamId};
+use core::fmt;
+use std::io;
+
+/// Convenience alias used across the workspace.
+pub type Result<T, E = Error> = core::result::Result<T, E>;
+
+/// Errors produced by Calliope components.
+#[derive(Debug)]
+pub enum Error {
+    /// An underlying I/O operation failed.
+    Io(io::Error),
+    /// A wire frame could not be decoded.
+    Wire(crate::wire::WireError),
+    /// The named content does not exist in the catalog.
+    NoSuchContent {
+        /// The content name the client asked for.
+        name: String,
+    },
+    /// The named content type is not in the type table.
+    NoSuchType {
+        /// The type name.
+        name: String,
+    },
+    /// The named display port is not registered in this session.
+    NoSuchPort {
+        /// The port name.
+        name: String,
+    },
+    /// A name was reused (content, port, or type already exists).
+    AlreadyExists {
+        /// What kind of thing collided ("content", "port", "type"...).
+        kind: &'static str,
+        /// The colliding name.
+        name: String,
+    },
+    /// The port's type does not match the content's type.
+    TypeMismatch {
+        /// Type of the content being played or recorded.
+        content_type: String,
+        /// Type of the display port offered.
+        port_type: String,
+    },
+    /// A composite type was used where an atomic rate was required.
+    CompositeHasNoRate {
+        /// The composite type's name.
+        type_name: String,
+    },
+    /// No MSU currently has the bandwidth (and, for recording, space) to
+    /// satisfy the request; it was not queued.
+    ResourcesExhausted {
+        /// Human-readable description of what ran out.
+        what: String,
+    },
+    /// The MSU the Coordinator chose is no longer reachable.
+    MsuUnavailable {
+        /// Which MSU failed.
+        msu: MsuId,
+    },
+    /// A stream id was not recognised by the MSU.
+    NoSuchStream {
+        /// The unknown stream.
+        stream: StreamId,
+    },
+    /// The requested disk does not exist or is full.
+    Disk {
+        /// Which disk.
+        disk: DiskId,
+        /// What went wrong.
+        msg: String,
+    },
+    /// The on-disk file system is corrupt or from an incompatible version.
+    Storage {
+        /// Description of the inconsistency.
+        msg: String,
+    },
+    /// The request is valid but not permitted (e.g. admin-only).
+    PermissionDenied {
+        /// The operation that was denied.
+        op: &'static str,
+    },
+    /// A protocol module rejected a packet or stream.
+    Protocol {
+        /// Description of the violation.
+        msg: String,
+    },
+    /// The peer closed the connection or violated the session protocol.
+    SessionClosed,
+    /// Trick-play was requested but no filtered file is attached.
+    NoTrickFile {
+        /// The content lacking a trick file.
+        content: String,
+    },
+    /// An internal invariant failed; indicates a bug, reported rather
+    /// than panicking so one stream cannot kill the server.
+    Internal {
+        /// Description of the broken invariant.
+        msg: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "i/o error: {e}"),
+            Error::Wire(e) => write!(f, "wire error: {e}"),
+            Error::NoSuchContent { name } => write!(f, "no such content: {name:?}"),
+            Error::NoSuchType { name } => write!(f, "no such content type: {name:?}"),
+            Error::NoSuchPort { name } => write!(f, "no such display port: {name:?}"),
+            Error::AlreadyExists { kind, name } => write!(f, "{kind} already exists: {name:?}"),
+            Error::TypeMismatch {
+                content_type,
+                port_type,
+            } => write!(
+                f,
+                "type mismatch: content is {content_type:?} but port is {port_type:?}"
+            ),
+            Error::CompositeHasNoRate { type_name } => {
+                write!(f, "composite type {type_name:?} has no atomic rate")
+            }
+            Error::ResourcesExhausted { what } => write!(f, "resources exhausted: {what}"),
+            Error::MsuUnavailable { msu } => write!(f, "{msu} is unavailable"),
+            Error::NoSuchStream { stream } => write!(f, "no such stream: {stream}"),
+            Error::Disk { disk, msg } => write!(f, "{disk}: {msg}"),
+            Error::Storage { msg } => write!(f, "storage: {msg}"),
+            Error::PermissionDenied { op } => write!(f, "permission denied: {op}"),
+            Error::Protocol { msg } => write!(f, "protocol: {msg}"),
+            Error::SessionClosed => f.write_str("session closed"),
+            Error::NoTrickFile { content } => {
+                write!(f, "no trick-play file loaded for {content:?}")
+            }
+            Error::Internal { msg } => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            Error::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for Error {
+    fn from(e: io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+impl From<crate::wire::WireError> for Error {
+    fn from(e: crate::wire::WireError) -> Self {
+        Error::Wire(e)
+    }
+}
+
+impl Error {
+    /// Builds an [`Error::Internal`] from anything displayable.
+    pub fn internal(msg: impl fmt::Display) -> Self {
+        Error::Internal {
+            msg: msg.to_string(),
+        }
+    }
+
+    /// Builds an [`Error::Storage`] from anything displayable.
+    pub fn storage(msg: impl fmt::Display) -> Self {
+        Error::Storage {
+            msg: msg.to_string(),
+        }
+    }
+
+    /// Stable numeric code used when sending errors over the wire.
+    pub fn wire_code(&self) -> u16 {
+        match self {
+            Error::Io(_) => 1,
+            Error::Wire(_) => 2,
+            Error::NoSuchContent { .. } => 3,
+            Error::NoSuchType { .. } => 4,
+            Error::NoSuchPort { .. } => 5,
+            Error::AlreadyExists { .. } => 6,
+            Error::TypeMismatch { .. } => 7,
+            Error::CompositeHasNoRate { .. } => 8,
+            Error::ResourcesExhausted { .. } => 9,
+            Error::MsuUnavailable { .. } => 10,
+            Error::NoSuchStream { .. } => 11,
+            Error::Disk { .. } => 12,
+            Error::Storage { .. } => 13,
+            Error::PermissionDenied { .. } => 14,
+            Error::Protocol { .. } => 15,
+            Error::SessionClosed => 16,
+            Error::NoTrickFile { .. } => 17,
+            Error::Internal { .. } => 18,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = Error::TypeMismatch {
+            content_type: "mpeg1".into(),
+            port_type: "vat-audio".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("mpeg1") && s.contains("vat-audio"), "{s}");
+    }
+
+    #[test]
+    fn io_errors_convert_and_chain() {
+        let e: Error = io::Error::new(io::ErrorKind::BrokenPipe, "pipe").into();
+        assert!(matches!(e, Error::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn wire_codes_are_distinct() {
+        let samples = [Error::SessionClosed,
+            Error::NoSuchContent { name: "x".into() },
+            Error::ResourcesExhausted { what: "bw".into() },
+            Error::internal("x"),
+            Error::storage("y")];
+        let mut codes: Vec<u16> = samples.iter().map(Error::wire_code).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), samples.len());
+    }
+}

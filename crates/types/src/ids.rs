@@ -1,0 +1,176 @@
+//! Strongly-typed identifiers used throughout Calliope.
+//!
+//! Every entity that crosses a component boundary (client, Coordinator,
+//! MSU) is named by a small-integer identifier. Newtypes keep the different
+//! id spaces from being mixed up at compile time, and a shared
+//! [`IdAllocator`] hands out fresh values on the Coordinator.
+
+use core::fmt;
+use core::sync::atomic::{AtomicU64, Ordering};
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u64);
+
+        impl $name {
+            /// Returns the raw integer value of this identifier.
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(v: u64) -> Self {
+                $name(v)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifies a client known to the Coordinator.
+    ClientId,
+    "client-"
+);
+define_id!(
+    /// Identifies one client-Coordinator session.
+    ///
+    /// Display ports are scoped to a session: when the session drops, the
+    /// Coordinator deallocates its local representation of the ports.
+    SessionId,
+    "session-"
+);
+define_id!(
+    /// Identifies one real-time stream being played or recorded by an MSU.
+    StreamId,
+    "stream-"
+);
+define_id!(
+    /// Identifies a Multimedia Storage Unit.
+    MsuId,
+    "msu-"
+);
+define_id!(
+    /// Identifies a disk within an MSU.
+    ///
+    /// Disk ids are global (allocated by the Coordinator when the MSU
+    /// registers), so a (content, disk) pair pins a replica.
+    DiskId,
+    "disk-"
+);
+define_id!(
+    /// Identifies an item of content in the Coordinator's catalog.
+    ContentId,
+    "content-"
+);
+define_id!(
+    /// Identifies a registered display port within a session.
+    PortId,
+    "port-"
+);
+define_id!(
+    /// Identifies a stream group.
+    ///
+    /// All streams playing the components of one composite content item
+    /// belong to the same group and are controlled by the same VCR
+    /// commands; the Coordinator schedules the whole group on one MSU.
+    GroupId,
+    "group-"
+);
+
+/// A monotonically increasing allocator for one id space.
+///
+/// Thread-safe; ids start at 1 so that 0 can be used as a sentinel (for
+/// example, request id 0 marks unsolicited MSU notifications on the
+/// Coordinator-MSU connection).
+#[derive(Debug)]
+pub struct IdAllocator {
+    next: AtomicU64,
+}
+
+impl IdAllocator {
+    /// Creates an allocator whose first id is 1.
+    pub const fn new() -> Self {
+        IdAllocator {
+            next: AtomicU64::new(1),
+        }
+    }
+
+    /// Returns a fresh raw id.
+    pub fn next_raw(&self) -> u64 {
+        self.next.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Returns a fresh id of the requested newtype.
+    pub fn next<T: From<u64>>(&self) -> T {
+        T::from(self.next_raw())
+    }
+}
+
+impl Default for IdAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Arc;
+
+    #[test]
+    fn ids_format_with_prefix() {
+        assert_eq!(StreamId(7).to_string(), "stream-7");
+        assert_eq!(format!("{:?}", MsuId(3)), "msu-3");
+        assert_eq!(DiskId(12).raw(), 12);
+    }
+
+    #[test]
+    fn allocator_starts_at_one_and_is_monotonic() {
+        let a = IdAllocator::new();
+        let first: StreamId = a.next();
+        let second: StreamId = a.next();
+        assert_eq!(first, StreamId(1));
+        assert_eq!(second, StreamId(2));
+    }
+
+    #[test]
+    fn allocator_is_unique_across_threads() {
+        let a = Arc::new(IdAllocator::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let a = Arc::clone(&a);
+            handles.push(std::thread::spawn(move || {
+                (0..1000).map(|_| a.next_raw()).collect::<Vec<_>>()
+            }));
+        }
+        let mut seen = HashSet::new();
+        for h in handles {
+            for id in h.join().unwrap() {
+                assert!(seen.insert(id), "duplicate id {id}");
+            }
+        }
+        assert_eq!(seen.len(), 8000);
+    }
+
+    #[test]
+    fn ids_are_ordered_by_raw_value() {
+        assert!(ContentId(1) < ContentId(2));
+        assert!(GroupId(10) > GroupId(9));
+    }
+}

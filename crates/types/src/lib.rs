@@ -1,0 +1,31 @@
+//! Shared types for the Calliope distributed multimedia server.
+//!
+//! This crate holds everything the other Calliope crates agree on:
+//!
+//! * strongly-typed identifiers ([`ids`]),
+//! * media time and rate units ([`time`]),
+//! * the content-type model with separate bandwidth and storage rates
+//!   ([`content`]),
+//! * VCR commands ([`vcr`]),
+//! * the error type ([`error`]),
+//! * the length-prefixed binary wire codec and every control-plane message
+//!   exchanged between clients, the Coordinator, and MSUs ([`wire`]).
+//!
+//! The design follows the paper "Calliope: A Distributed, Scalable
+//! Multimedia Server" (USENIX 1996): clients and servers exchange control
+//! information over TCP and multimedia data over UDP, so the wire module
+//! provides both a TCP frame codec and the fixed-size UDP data-packet
+//! header.
+
+pub mod content;
+pub mod error;
+pub mod ids;
+pub mod time;
+pub mod vcr;
+pub mod wire;
+
+pub use content::{ContentEntry, ContentKind, ContentTypeSpec};
+pub use error::{Error, Result};
+pub use ids::{ClientId, ContentId, DiskId, GroupId, MsuId, PortId, SessionId, StreamId};
+pub use time::{BitRate, ByteRate, MediaTime};
+pub use vcr::VcrCommand;

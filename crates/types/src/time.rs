@@ -1,0 +1,283 @@
+//! Media time and rate units.
+//!
+//! Calliope's delivery schedules store packet delivery times as *offsets
+//! from the beginning of the recording session* (paper §2.2.1), not as
+//! absolute times. [`MediaTime`] is that offset, with microsecond
+//! resolution. [`BitRate`] and [`ByteRate`] are the consumption rates the
+//! Coordinator tracks per content type — bandwidth in bits/second (the
+//! unit the paper quotes stream rates in) and storage in bytes/second.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+use std::time::Duration;
+
+/// An offset from the beginning of a recording, in microseconds.
+///
+/// `MediaTime` is the key of the IB-tree: a sequential scan of the tree
+/// yields packets in non-decreasing `MediaTime` order, which is delivery
+/// order.
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MediaTime(pub u64);
+
+impl MediaTime {
+    /// The zero offset — the instant the recording started.
+    pub const ZERO: MediaTime = MediaTime(0);
+
+    /// Creates a media time from whole microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        MediaTime(us)
+    }
+
+    /// Creates a media time from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        MediaTime(ms * 1_000)
+    }
+
+    /// Creates a media time from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        MediaTime(s * 1_000_000)
+    }
+
+    /// Returns the offset in microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the offset in (truncated) milliseconds.
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Returns the offset as floating-point seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Returns this offset as a [`Duration`].
+    pub const fn as_duration(self) -> Duration {
+        Duration::from_micros(self.0)
+    }
+
+    /// Saturating subtraction: `self - other`, or zero if `other` is later.
+    pub const fn saturating_sub(self, other: MediaTime) -> MediaTime {
+        MediaTime(self.0.saturating_sub(other.0))
+    }
+
+    /// Checked addition of a duration expressed in microseconds.
+    pub const fn checked_add_micros(self, us: u64) -> Option<MediaTime> {
+        match self.0.checked_add(us) {
+            Some(v) => Some(MediaTime(v)),
+            None => None,
+        }
+    }
+}
+
+impl fmt::Debug for MediaTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}us", self.0)
+    }
+}
+
+impl fmt::Display for MediaTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total_ms = self.0 / 1_000;
+        write!(f, "{}.{:03}s", total_ms / 1_000, total_ms % 1_000)
+    }
+}
+
+impl Add for MediaTime {
+    type Output = MediaTime;
+    fn add(self, rhs: MediaTime) -> MediaTime {
+        MediaTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for MediaTime {
+    fn add_assign(&mut self, rhs: MediaTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for MediaTime {
+    type Output = MediaTime;
+    fn sub(self, rhs: MediaTime) -> MediaTime {
+        MediaTime(self.0 - rhs.0)
+    }
+}
+
+impl From<Duration> for MediaTime {
+    fn from(d: Duration) -> Self {
+        MediaTime(d.as_micros() as u64)
+    }
+}
+
+/// A data rate in bits per second.
+///
+/// The paper quotes stream rates this way ("1.5 Mbit/sec MPEG-1").
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BitRate(pub u64);
+
+impl BitRate {
+    /// Creates a rate from bits per second.
+    pub const fn from_bps(bps: u64) -> Self {
+        BitRate(bps)
+    }
+
+    /// Creates a rate from kilobits (10^3 bits) per second.
+    pub const fn from_kbps(kbps: u64) -> Self {
+        BitRate(kbps * 1_000)
+    }
+
+    /// Creates a rate from megabits (10^6 bits) per second.
+    pub const fn from_mbps(mbps: u64) -> Self {
+        BitRate(mbps * 1_000_000)
+    }
+
+    /// Returns the rate in bits per second.
+    pub const fn bps(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the rate in (truncated) bytes per second.
+    pub const fn as_byte_rate(self) -> ByteRate {
+        ByteRate(self.0 / 8)
+    }
+
+    /// Time needed to transmit `bytes` at this rate.
+    ///
+    /// Returns [`MediaTime::ZERO`] for a zero rate rather than dividing by
+    /// zero; a zero-rate stream never makes progress, and callers treat the
+    /// zero answer as "immediately due".
+    pub fn transmit_time(self, bytes: u64) -> MediaTime {
+        if self.0 == 0 {
+            return MediaTime::ZERO;
+        }
+        // bits * 1e6 / rate, in u128 to avoid overflow for large files.
+        let us = (bytes as u128 * 8 * 1_000_000) / self.0 as u128;
+        MediaTime(us as u64)
+    }
+
+    /// Bytes transmitted in `t` at this rate (truncated).
+    pub fn bytes_in(self, t: MediaTime) -> u64 {
+        ((self.0 as u128 * t.0 as u128) / (8 * 1_000_000)) as u64
+    }
+}
+
+impl fmt::Debug for BitRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for BitRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 && self.0.is_multiple_of(100_000) {
+            write!(f, "{}.{}Mbit/s", self.0 / 1_000_000, (self.0 / 100_000) % 10)
+        } else if self.0 >= 1_000 {
+            write!(f, "{}kbit/s", self.0 / 1_000)
+        } else {
+            write!(f, "{}bit/s", self.0)
+        }
+    }
+}
+
+/// A data rate in bytes per second, used for disk-space accounting.
+///
+/// For variable-rate encodings the Coordinator allocates *bandwidth* near
+/// the stream's peak rate but *storage* near its average rate (paper
+/// §2.2), so the two rates are distinct types.
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ByteRate(pub u64);
+
+impl ByteRate {
+    /// Creates a rate from bytes per second.
+    pub const fn from_bytes_per_sec(bps: u64) -> Self {
+        ByteRate(bps)
+    }
+
+    /// Returns the rate in bytes per second.
+    pub const fn bytes_per_sec(self) -> u64 {
+        self.0
+    }
+
+    /// Storage consumed by `secs` seconds at this rate.
+    pub const fn bytes_for_secs(self, secs: u64) -> u64 {
+        self.0 * secs
+    }
+}
+
+impl fmt::Debug for ByteRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}B/s", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn media_time_conversions() {
+        assert_eq!(MediaTime::from_secs(2).as_micros(), 2_000_000);
+        assert_eq!(MediaTime::from_millis(1500).as_millis(), 1500);
+        assert_eq!(MediaTime::from_micros(999).as_millis(), 0);
+        assert!((MediaTime::from_millis(500).as_secs_f64() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn media_time_arithmetic() {
+        let a = MediaTime::from_millis(100);
+        let b = MediaTime::from_millis(40);
+        assert_eq!(a + b, MediaTime::from_millis(140));
+        assert_eq!(a - b, MediaTime::from_millis(60));
+        assert_eq!(b.saturating_sub(a), MediaTime::ZERO);
+        let mut c = a;
+        c += b;
+        assert_eq!(c, MediaTime::from_millis(140));
+    }
+
+    #[test]
+    fn media_time_display() {
+        assert_eq!(MediaTime::from_millis(1234).to_string(), "1.234s");
+        assert_eq!(MediaTime::ZERO.to_string(), "0.000s");
+    }
+
+    #[test]
+    fn bitrate_transmit_time_mpeg_block() {
+        // A 256 KByte block at 1.5 Mbit/s takes ~1.4 seconds — the paper's
+        // "a 256 KByte buffer contains only about one second of video".
+        let rate = BitRate::from_kbps(1_500);
+        let t = rate.transmit_time(256 * 1024);
+        assert!(t.as_millis() > 1_300 && t.as_millis() < 1_500, "{t}");
+    }
+
+    #[test]
+    fn bitrate_round_trip_bytes() {
+        let rate = BitRate::from_mbps(3);
+        let t = rate.transmit_time(1_000_000);
+        let back = rate.bytes_in(t);
+        assert!((back as i64 - 1_000_000i64).abs() < 10, "{back}");
+    }
+
+    #[test]
+    fn zero_rate_is_immediately_due() {
+        assert_eq!(BitRate(0).transmit_time(1_000_000), MediaTime::ZERO);
+        assert_eq!(BitRate(0).bytes_in(MediaTime::from_secs(10)), 0);
+    }
+
+    #[test]
+    fn bitrate_display_units() {
+        assert_eq!(BitRate::from_kbps(1_500).to_string(), "1.5Mbit/s");
+        assert_eq!(BitRate::from_kbps(64).to_string(), "64kbit/s");
+        assert_eq!(BitRate(500).to_string(), "500bit/s");
+    }
+
+    #[test]
+    fn byte_rate_storage_math() {
+        // 1.5 Mbit/s ≈ 187500 B/s; a 7200-second movie ≈ 1.35 GByte, the
+        // paper's "two hour MPEG-1 movie" figure.
+        let r = BitRate::from_kbps(1_500).as_byte_rate();
+        let movie = r.bytes_for_secs(7_200);
+        assert!(movie > 1_300_000_000 && movie < 1_400_000_000, "{movie}");
+    }
+}

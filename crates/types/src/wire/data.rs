@@ -1,0 +1,211 @@
+//! The UDP data-packet header.
+//!
+//! Real-time data travels over UDP (paper §2). Every Calliope data packet
+//! carries a small fixed-size header so the receiver can (a) demultiplex
+//! streams sharing one display-port socket, (b) detect loss and
+//! reordering by sequence number, and (c) measure how late each packet
+//! arrived relative to its delivery schedule — the metric of Graphs 1
+//! and 2.
+//!
+//! The header is deliberately minimal: the protocol payload (RTP, VAT,
+//! raw MPEG) follows it unmodified, so a thin shim can strip the header
+//! and hand the payload to an unmodified decoder.
+
+use super::{Reader, Wire, WireError};
+use crate::ids::StreamId;
+use crate::time::MediaTime;
+
+/// Magic number opening every Calliope data packet.
+pub const DATA_MAGIC: u16 = 0xCA11;
+
+/// Wire format version.
+pub const DATA_VERSION: u8 = 1;
+
+/// Size of the encoded header in bytes.
+pub const DATA_HEADER_LEN: usize = 2 + 1 + 1 + 8 + 4 + 8;
+
+/// What a data packet carries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PacketKind {
+    /// Ordinary media payload.
+    Media,
+    /// Interleaved protocol control message (e.g. RTCP for the RTP
+    /// module, paper §2.3.2).
+    Control,
+    /// Marks the end of the stream; carries no payload.
+    EndOfStream,
+}
+
+impl PacketKind {
+    /// Stable numeric tag.
+    pub const fn tag(self) -> u8 {
+        match self {
+            PacketKind::Media => 0,
+            PacketKind::Control => 1,
+            PacketKind::EndOfStream => 2,
+        }
+    }
+
+    /// Inverse of [`PacketKind::tag`].
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(PacketKind::Media),
+            1 => Some(PacketKind::Control),
+            2 => Some(PacketKind::EndOfStream),
+            _ => None,
+        }
+    }
+}
+
+/// Header prepended to every UDP data packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DataHeader {
+    /// Which stream the packet belongs to.
+    pub stream: StreamId,
+    /// Per-stream sequence number, starting at 0.
+    pub seq: u32,
+    /// Scheduled delivery time, as an offset from the start of playback.
+    pub offset: MediaTime,
+    /// Payload classification.
+    pub kind: PacketKind,
+}
+
+impl DataHeader {
+    /// Encodes the header followed by `payload` into a datagram buffer.
+    pub fn encode_packet(&self, payload: &[u8]) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(DATA_HEADER_LEN + payload.len());
+        self.encode(&mut buf);
+        buf.extend_from_slice(payload);
+        buf
+    }
+
+    /// Splits a received datagram into header and payload.
+    pub fn decode_packet(datagram: &[u8]) -> Result<(DataHeader, &[u8]), WireError> {
+        let mut r = Reader::new(datagram);
+        let header = DataHeader::decode(&mut r)?;
+        Ok((header, &datagram[DATA_HEADER_LEN..]))
+    }
+}
+
+impl Wire for DataHeader {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        DATA_MAGIC.encode(buf);
+        buf.push(DATA_VERSION);
+        buf.push(self.kind.tag());
+        self.stream.encode(buf);
+        self.seq.encode(buf);
+        self.offset.encode(buf);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let magic = r.u16("data magic")?;
+        if magic != DATA_MAGIC {
+            return Err(WireError::BadTag {
+                what: "data magic",
+                tag: (magic & 0xFF) as u8,
+            });
+        }
+        let version = r.u8("data version")?;
+        if version != DATA_VERSION {
+            return Err(WireError::BadTag {
+                what: "data version",
+                tag: version,
+            });
+        }
+        let kind_tag = r.u8("packet kind")?;
+        let kind = PacketKind::from_tag(kind_tag).ok_or(WireError::BadTag {
+            what: "packet kind",
+            tag: kind_tag,
+        })?;
+        Ok(DataHeader {
+            stream: StreamId::decode(r)?,
+            seq: u32::decode(r)?,
+            offset: MediaTime::decode(r)?,
+            kind,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn header() -> DataHeader {
+        DataHeader {
+            stream: StreamId(3),
+            seq: 42,
+            offset: MediaTime::from_millis(1_234),
+            kind: PacketKind::Media,
+        }
+    }
+
+    #[test]
+    fn header_len_matches_constant() {
+        assert_eq!(header().to_bytes().len(), DATA_HEADER_LEN);
+    }
+
+    #[test]
+    fn packet_round_trip() {
+        let payload = b"mpeg bits go here";
+        let datagram = header().encode_packet(payload);
+        let (h, p) = DataHeader::decode_packet(&datagram).unwrap();
+        assert_eq!(h, header());
+        assert_eq!(p, payload);
+    }
+
+    #[test]
+    fn empty_payload_round_trip() {
+        let h = DataHeader {
+            kind: PacketKind::EndOfStream,
+            ..header()
+        };
+        let datagram = h.encode_packet(&[]);
+        let (back, p) = DataHeader::decode_packet(&datagram).unwrap();
+        assert_eq!(back.kind, PacketKind::EndOfStream);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn wrong_magic_is_rejected() {
+        let mut datagram = header().encode_packet(b"x");
+        datagram[0] ^= 0xFF;
+        assert!(DataHeader::decode_packet(&datagram).is_err());
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut datagram = header().encode_packet(b"x");
+        datagram[2] = DATA_VERSION + 1;
+        assert!(DataHeader::decode_packet(&datagram).is_err());
+    }
+
+    #[test]
+    fn short_datagram_is_rejected() {
+        let datagram = header().encode_packet(b"payload");
+        for cut in 0..DATA_HEADER_LEN {
+            assert!(DataHeader::decode_packet(&datagram[..cut]).is_err());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_header_round_trips(stream in any::<u64>(), seq in any::<u32>(), us in any::<u64>(), kind_tag in 0u8..3) {
+            let h = DataHeader {
+                stream: StreamId(stream),
+                seq,
+                offset: MediaTime(us),
+                kind: PacketKind::from_tag(kind_tag).unwrap(),
+            };
+            let datagram = h.encode_packet(&[]);
+            let (back, rest) = DataHeader::decode_packet(&datagram).unwrap();
+            prop_assert_eq!(back, h);
+            prop_assert!(rest.is_empty());
+        }
+
+        #[test]
+        fn prop_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let _ = DataHeader::decode_packet(&bytes);
+        }
+    }
+}

@@ -1,0 +1,1486 @@
+//! Control-plane messages.
+//!
+//! Three TCP conversations exist in a Calliope installation (paper §2):
+//!
+//! 1. **client ↔ Coordinator** — session setup, table-of-contents
+//!    browsing, display-port registration, play/record/delete requests,
+//!    and administration ([`ClientRequest`] / [`CoordReply`]).
+//! 2. **MSU ↔ Coordinator** — the MSU dials the Coordinator's intra-server
+//!    port, registers its disks, receives scheduling decisions, and posts
+//!    stream-termination notifications ([`MsuToCoord`] / [`CoordToMsu`],
+//!    carried in [`MsuEnvelope`] / [`CoordEnvelope`] with correlation
+//!    ids).
+//! 3. **MSU ↔ client** — as soon as a stream is scheduled the MSU opens a
+//!    control connection *to* the client, over which the client sends VCR
+//!    commands ([`MsuToClient`] / [`ClientToMsu`]).
+
+use super::{Reader, Wire, WireError};
+use crate::content::{ContentEntry, ContentTypeSpec, ProtocolId};
+use crate::ids::{DiskId, GroupId, MsuId, SessionId, StreamId};
+use crate::time::{BitRate, ByteRate};
+use crate::vcr::VcrCommand;
+use std::net::SocketAddr;
+
+/// Why a stream stopped.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DoneReason {
+    /// The content played (or the recording estimate was reached) to the
+    /// end.
+    Completed,
+    /// The client sent a `quit` VCR command.
+    ClientQuit,
+    /// The Coordinator cancelled the stream.
+    Cancelled,
+    /// The MSU is shutting down.
+    MsuShutdown,
+    /// Something went wrong; the message describes it.
+    Error(String),
+}
+
+impl Wire for DoneReason {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            DoneReason::Completed => buf.push(0),
+            DoneReason::ClientQuit => buf.push(1),
+            DoneReason::Cancelled => buf.push(2),
+            DoneReason::MsuShutdown => buf.push(3),
+            DoneReason::Error(msg) => {
+                buf.push(4);
+                msg.encode(buf);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8("done reason")? {
+            0 => Ok(DoneReason::Completed),
+            1 => Ok(DoneReason::ClientQuit),
+            2 => Ok(DoneReason::Cancelled),
+            3 => Ok(DoneReason::MsuShutdown),
+            4 => Ok(DoneReason::Error(String::decode(r)?)),
+            tag => Err(WireError::BadTag {
+                what: "done reason",
+                tag,
+            }),
+        }
+    }
+}
+
+/// How the MSU's network process paces a playback stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PacingSpec {
+    /// Constant bit-rate: the delivery schedule is *calculated* — packet
+    /// `i` of size `packet_bytes` is due at `i * packet_bytes * 8 / rate`.
+    Constant {
+        /// Stream rate.
+        rate: BitRate,
+        /// Fixed packet payload size in bytes.
+        packet_bytes: u32,
+    },
+    /// Variable bit-rate: delivery times are *stored* in the IB-tree
+    /// alongside the data and replayed as recorded.
+    Stored,
+}
+
+impl Wire for PacingSpec {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            PacingSpec::Constant { rate, packet_bytes } => {
+                buf.push(0);
+                rate.encode(buf);
+                packet_bytes.encode(buf);
+            }
+            PacingSpec::Stored => buf.push(1),
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8("pacing spec")? {
+            0 => Ok(PacingSpec::Constant {
+                rate: BitRate::decode(r)?,
+                packet_bytes: u32::decode(r)?,
+            }),
+            1 => Ok(PacingSpec::Stored),
+            tag => Err(WireError::BadTag {
+                what: "pacing spec",
+                tag,
+            }),
+        }
+    }
+}
+
+/// Names of the pre-filtered trick-play files for one content item
+/// (paper §2.3.1). Loaded by an administrator; the MSU switches between
+/// the normal-rate file and these on FF/FB commands.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TrickFiles {
+    /// File holding every 15th frame, forward order.
+    pub fast_forward: String,
+    /// File holding every 15th frame, reverse order.
+    pub fast_backward: String,
+}
+
+impl Wire for TrickFiles {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.fast_forward.encode(buf);
+        self.fast_backward.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(TrickFiles {
+            fast_forward: String::decode(r)?,
+            fast_backward: String::decode(r)?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Conversation 1: client ↔ Coordinator
+// ---------------------------------------------------------------------
+
+/// Requests a client sends to the Coordinator over its session connection.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClientRequest {
+    /// Opens the session. Must be the first message.
+    Hello {
+        /// Client's self-reported name (used for the admin database).
+        client_name: String,
+        /// True if the client claims administrative rights.
+        admin: bool,
+    },
+    /// Asks for the table of contents.
+    ListContent,
+    /// Asks for the content-type table.
+    ListTypes,
+    /// Registers an atomic display port: a UDP socket where this client
+    /// receives (or sends, when recording) data, plus the TCP listener the
+    /// MSU should dial for VCR control.
+    RegisterPort {
+        /// Port name, unique within the session.
+        name: String,
+        /// Must name an atomic content type.
+        type_name: String,
+        /// UDP address of the data socket.
+        data_addr: SocketAddr,
+        /// TCP address of the client's control listener.
+        ctrl_addr: SocketAddr,
+    },
+    /// Registers a composite display port from previously-registered
+    /// component ports (paper §2.1: a Seminar port is built from an RTP
+    /// port and a VAT port).
+    RegisterCompositePort {
+        /// Port name, unique within the session.
+        name: String,
+        /// Must name a composite content type.
+        type_name: String,
+        /// Names of already-registered atomic ports, in the composite
+        /// type's component order.
+        components: Vec<String>,
+    },
+    /// Removes a display port from the session.
+    UnregisterPort {
+        /// The port to remove.
+        name: String,
+    },
+    /// Plays existing content to a display port of the same type.
+    Play {
+        /// Content name from the table of contents.
+        content: String,
+        /// A registered display port of matching type.
+        port: String,
+    },
+    /// Records new content from a display port. The client must estimate
+    /// the recording length so the Coordinator can reserve disk space;
+    /// over-estimates are returned when the recording completes.
+    Record {
+        /// Name for the new content item.
+        content: String,
+        /// A registered display port of matching type.
+        port: String,
+        /// Content type of the new item.
+        type_name: String,
+        /// Client's estimate of the recording length, in seconds.
+        est_secs: u32,
+    },
+    /// Deletes an item of content (requires permission).
+    Delete {
+        /// The content to delete.
+        content: String,
+    },
+    /// Adds a content type to the type table (admin only — clients may not
+    /// define new types without an administrator, paper §2.1).
+    AddType {
+        /// The new type definition.
+        spec: ContentTypeSpec,
+    },
+    /// Associates offline-filtered fast-forward / fast-backward files with
+    /// a content item (admin only, paper §2.3.1).
+    AttachTrick {
+        /// The normal-rate content.
+        content: String,
+        /// Names of the filtered versions, already recorded on the server.
+        files: TrickFiles,
+    },
+    /// Replicates a content item onto another disk (admin only): "we
+    /// can make copies of popular content on several disks", buying
+    /// per-title bandwidth with disk space (paper §2.3.3).
+    Replicate {
+        /// The content to copy.
+        content: String,
+    },
+    /// Asks for the scheduler's resource view (MSUs, disks, load).
+    ServerStatus,
+    /// Ends the session; the Coordinator deallocates the session's ports.
+    Bye,
+}
+
+impl Wire for ClientRequest {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            ClientRequest::Hello { client_name, admin } => {
+                buf.push(0);
+                client_name.encode(buf);
+                admin.encode(buf);
+            }
+            ClientRequest::ListContent => buf.push(1),
+            ClientRequest::ListTypes => buf.push(2),
+            ClientRequest::RegisterPort {
+                name,
+                type_name,
+                data_addr,
+                ctrl_addr,
+            } => {
+                buf.push(3);
+                name.encode(buf);
+                type_name.encode(buf);
+                data_addr.encode(buf);
+                ctrl_addr.encode(buf);
+            }
+            ClientRequest::RegisterCompositePort {
+                name,
+                type_name,
+                components,
+            } => {
+                buf.push(4);
+                name.encode(buf);
+                type_name.encode(buf);
+                components.encode(buf);
+            }
+            ClientRequest::UnregisterPort { name } => {
+                buf.push(5);
+                name.encode(buf);
+            }
+            ClientRequest::Play { content, port } => {
+                buf.push(6);
+                content.encode(buf);
+                port.encode(buf);
+            }
+            ClientRequest::Record {
+                content,
+                port,
+                type_name,
+                est_secs,
+            } => {
+                buf.push(7);
+                content.encode(buf);
+                port.encode(buf);
+                type_name.encode(buf);
+                est_secs.encode(buf);
+            }
+            ClientRequest::Delete { content } => {
+                buf.push(8);
+                content.encode(buf);
+            }
+            ClientRequest::AddType { spec } => {
+                buf.push(9);
+                spec.encode(buf);
+            }
+            ClientRequest::AttachTrick { content, files } => {
+                buf.push(10);
+                content.encode(buf);
+                files.encode(buf);
+            }
+            ClientRequest::Bye => buf.push(11),
+            ClientRequest::Replicate { content } => {
+                buf.push(12);
+                content.encode(buf);
+            }
+            ClientRequest::ServerStatus => buf.push(13),
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match r.u8("client request")? {
+            0 => ClientRequest::Hello {
+                client_name: String::decode(r)?,
+                admin: bool::decode(r)?,
+            },
+            1 => ClientRequest::ListContent,
+            2 => ClientRequest::ListTypes,
+            3 => ClientRequest::RegisterPort {
+                name: String::decode(r)?,
+                type_name: String::decode(r)?,
+                data_addr: SocketAddr::decode(r)?,
+                ctrl_addr: SocketAddr::decode(r)?,
+            },
+            4 => ClientRequest::RegisterCompositePort {
+                name: String::decode(r)?,
+                type_name: String::decode(r)?,
+                components: Vec::<String>::decode(r)?,
+            },
+            5 => ClientRequest::UnregisterPort {
+                name: String::decode(r)?,
+            },
+            6 => ClientRequest::Play {
+                content: String::decode(r)?,
+                port: String::decode(r)?,
+            },
+            7 => ClientRequest::Record {
+                content: String::decode(r)?,
+                port: String::decode(r)?,
+                type_name: String::decode(r)?,
+                est_secs: u32::decode(r)?,
+            },
+            8 => ClientRequest::Delete {
+                content: String::decode(r)?,
+            },
+            9 => ClientRequest::AddType {
+                spec: ContentTypeSpec::decode(r)?,
+            },
+            10 => ClientRequest::AttachTrick {
+                content: String::decode(r)?,
+                files: TrickFiles::decode(r)?,
+            },
+            11 => ClientRequest::Bye,
+            12 => ClientRequest::Replicate {
+                content: String::decode(r)?,
+            },
+            13 => ClientRequest::ServerStatus,
+            tag => {
+                return Err(WireError::BadTag {
+                    what: "client request",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+/// One scheduled playback stream, as reported to the client.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StreamStart {
+    /// The stream id, used in VCR commands.
+    pub stream: StreamId,
+    /// Which of the client's (possibly composite) component ports this
+    /// stream feeds.
+    pub port_name: String,
+    /// The MSU serving the stream (informational; the MSU dials the
+    /// client's control listener itself).
+    pub msu: MsuId,
+}
+
+impl Wire for StreamStart {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.stream.encode(buf);
+        self.port_name.encode(buf);
+        self.msu.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(StreamStart {
+            stream: StreamId::decode(r)?,
+            port_name: String::decode(r)?,
+            msu: MsuId::decode(r)?,
+        })
+    }
+}
+
+/// One scheduled recording stream, as reported to the client.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecordStart {
+    /// The stream id, used in VCR commands.
+    pub stream: StreamId,
+    /// Which component port this stream records from.
+    pub port_name: String,
+    /// The MSU serving the stream.
+    pub msu: MsuId,
+    /// UDP address on the MSU where the client must send data packets.
+    pub udp_sink: SocketAddr,
+}
+
+impl Wire for RecordStart {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.stream.encode(buf);
+        self.port_name.encode(buf);
+        self.msu.encode(buf);
+        self.udp_sink.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(RecordStart {
+            stream: StreamId::decode(r)?,
+            port_name: String::decode(r)?,
+            msu: MsuId::decode(r)?,
+            udp_sink: SocketAddr::decode(r)?,
+        })
+    }
+}
+
+/// One disk's load in a [`CoordReply::Status`] report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DiskStatus {
+    /// Global disk id.
+    pub disk: DiskId,
+    /// Free space, bytes.
+    pub free_bytes: u64,
+    /// Total capacity, bytes.
+    pub capacity_bytes: u64,
+    /// Bandwidth reserved, bytes/s.
+    pub bw_used: u64,
+    /// Bandwidth capacity, bytes/s.
+    pub bw_capacity: u64,
+}
+
+impl Wire for DiskStatus {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.disk.encode(buf);
+        self.free_bytes.encode(buf);
+        self.capacity_bytes.encode(buf);
+        self.bw_used.encode(buf);
+        self.bw_capacity.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(DiskStatus {
+            disk: DiskId::decode(r)?,
+            free_bytes: u64::decode(r)?,
+            capacity_bytes: u64::decode(r)?,
+            bw_used: u64::decode(r)?,
+            bw_capacity: u64::decode(r)?,
+        })
+    }
+}
+
+/// One MSU's load in a [`CoordReply::Status`] report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MsuStatus {
+    /// The MSU.
+    pub msu: MsuId,
+    /// False while the Coordinator has it marked down.
+    pub available: bool,
+    /// Network bandwidth reserved, bytes/s.
+    pub net_used: u64,
+    /// Network bandwidth capacity, bytes/s.
+    pub net_capacity: u64,
+    /// Its disks.
+    pub disks: Vec<DiskStatus>,
+}
+
+impl Wire for MsuStatus {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.msu.encode(buf);
+        self.available.encode(buf);
+        self.net_used.encode(buf);
+        self.net_capacity.encode(buf);
+        self.disks.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(MsuStatus {
+            msu: MsuId::decode(r)?,
+            available: bool::decode(r)?,
+            net_used: u64::decode(r)?,
+            net_capacity: u64::decode(r)?,
+            disks: Vec::<DiskStatus>::decode(r)?,
+        })
+    }
+}
+
+/// Replies the Coordinator sends to a client.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CoordReply {
+    /// Session established.
+    Welcome {
+        /// The new session's id.
+        session: SessionId,
+    },
+    /// The table of contents.
+    ContentList {
+        /// One entry per content item.
+        entries: Vec<ContentEntry>,
+    },
+    /// The content-type table.
+    TypeList {
+        /// One spec per type.
+        types: Vec<ContentTypeSpec>,
+    },
+    /// Generic success for requests with nothing else to return.
+    Ok,
+    /// The request is valid but no MSU currently has the resources; it has
+    /// been queued and the final reply will follow when it is scheduled
+    /// (paper §2.2). Interim message.
+    Queued,
+    /// Playback scheduled: one stream per component (a singleton group for
+    /// atomic content).
+    PlayStarted {
+        /// The stream group controlling all components together.
+        group: GroupId,
+        /// Component streams in port order.
+        streams: Vec<StreamStart>,
+    },
+    /// Recording scheduled.
+    RecordStarted {
+        /// The stream group.
+        group: GroupId,
+        /// Component streams in port order.
+        streams: Vec<RecordStart>,
+    },
+    /// The request failed.
+    Error {
+        /// Stable code from [`crate::error::Error::wire_code`].
+        code: u16,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// The scheduler's resource view.
+    Status {
+        /// One entry per known MSU.
+        msus: Vec<MsuStatus>,
+        /// Live stream reservations.
+        active_streams: u32,
+    },
+}
+
+impl Wire for CoordReply {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            CoordReply::Welcome { session } => {
+                buf.push(0);
+                session.encode(buf);
+            }
+            CoordReply::ContentList { entries } => {
+                buf.push(1);
+                entries.encode(buf);
+            }
+            CoordReply::TypeList { types } => {
+                buf.push(2);
+                types.encode(buf);
+            }
+            CoordReply::Ok => buf.push(3),
+            CoordReply::Queued => buf.push(4),
+            CoordReply::PlayStarted { group, streams } => {
+                buf.push(5);
+                group.encode(buf);
+                streams.encode(buf);
+            }
+            CoordReply::RecordStarted { group, streams } => {
+                buf.push(6);
+                group.encode(buf);
+                streams.encode(buf);
+            }
+            CoordReply::Error { code, msg } => {
+                buf.push(7);
+                code.encode(buf);
+                msg.encode(buf);
+            }
+            CoordReply::Status {
+                msus,
+                active_streams,
+            } => {
+                buf.push(8);
+                msus.encode(buf);
+                active_streams.encode(buf);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match r.u8("coord reply")? {
+            0 => CoordReply::Welcome {
+                session: SessionId::decode(r)?,
+            },
+            1 => CoordReply::ContentList {
+                entries: Vec::<ContentEntry>::decode(r)?,
+            },
+            2 => CoordReply::TypeList {
+                types: Vec::<ContentTypeSpec>::decode(r)?,
+            },
+            3 => CoordReply::Ok,
+            4 => CoordReply::Queued,
+            5 => CoordReply::PlayStarted {
+                group: GroupId::decode(r)?,
+                streams: Vec::<StreamStart>::decode(r)?,
+            },
+            6 => CoordReply::RecordStarted {
+                group: GroupId::decode(r)?,
+                streams: Vec::<RecordStart>::decode(r)?,
+            },
+            7 => CoordReply::Error {
+                code: u16::decode(r)?,
+                msg: String::decode(r)?,
+            },
+            8 => CoordReply::Status {
+                msus: Vec::<MsuStatus>::decode(r)?,
+                active_streams: u32::decode(r)?,
+            },
+            tag => {
+                return Err(WireError::BadTag {
+                    what: "coord reply",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Conversation 2: MSU ↔ Coordinator
+// ---------------------------------------------------------------------
+
+/// An MSU's description of one of its disks at registration time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DiskReport {
+    /// Total capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Bytes currently free.
+    pub free_bytes: u64,
+    /// Sustained bandwidth the disk can deliver under the duty-cycle
+    /// workload (random 256 KB transfers), used by the Coordinator for
+    /// admission control.
+    pub bandwidth: ByteRate,
+}
+
+impl Wire for DiskReport {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.capacity_bytes.encode(buf);
+        self.free_bytes.encode(buf);
+        self.bandwidth.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(DiskReport {
+            capacity_bytes: u64::decode(r)?,
+            free_bytes: u64::decode(r)?,
+            bandwidth: ByteRate::decode(r)?,
+        })
+    }
+}
+
+/// Messages from an MSU to the Coordinator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MsuToCoord {
+    /// First message on the connection: announce disks and control
+    /// address. If the MSU restarted after a failure it passes its
+    /// previous id so the Coordinator can restore (rather than duplicate)
+    /// its database entry (paper §2.2 fault tolerance).
+    Register {
+        /// TCP address other components may use to reach this MSU.
+        ctrl_addr: SocketAddr,
+        /// One report per local disk, in local disk order.
+        disks: Vec<DiskReport>,
+        /// Previous identity when re-registering after a crash.
+        previous: Option<MsuId>,
+    },
+    /// Reply to [`CoordToMsu::ScheduleRead`]: either the stream is being
+    /// delivered or an error string.
+    ReadScheduled {
+        /// `None` on success, `Some(message)` on failure.
+        error: Option<String>,
+    },
+    /// Reply to [`CoordToMsu::ScheduleWrite`]: on success carries the UDP
+    /// socket the client must send data to.
+    WriteScheduled {
+        /// `Ok(sink)` or `Err(message)` flattened for the wire.
+        udp_sink: Option<SocketAddr>,
+        /// Present iff `udp_sink` is `None`.
+        error: Option<String>,
+    },
+    /// Unsolicited: a stream ended. For recordings, `bytes` and
+    /// `duration_us` describe the captured content so the Coordinator can
+    /// finalize the catalog entry and return over-reserved disk space.
+    StreamDone {
+        /// Which stream.
+        stream: StreamId,
+        /// Why it ended.
+        reason: DoneReason,
+        /// Bytes played or recorded.
+        bytes: u64,
+        /// Play/record duration in microseconds of media time.
+        duration_us: u64,
+    },
+    /// Reply to [`CoordToMsu::Ping`].
+    Pong,
+    /// Reply to [`CoordToMsu::DeleteFile`].
+    FileDeleted {
+        /// `None` on success.
+        error: Option<String>,
+    },
+    /// Reply to [`CoordToMsu::CopyFile`].
+    FileCopied {
+        /// `None` on success.
+        error: Option<String>,
+    },
+}
+
+impl Wire for MsuToCoord {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            MsuToCoord::Register {
+                ctrl_addr,
+                disks,
+                previous,
+            } => {
+                buf.push(0);
+                ctrl_addr.encode(buf);
+                disks.encode(buf);
+                previous.encode(buf);
+            }
+            MsuToCoord::ReadScheduled { error } => {
+                buf.push(1);
+                error.encode(buf);
+            }
+            MsuToCoord::WriteScheduled { udp_sink, error } => {
+                buf.push(2);
+                udp_sink.encode(buf);
+                error.encode(buf);
+            }
+            MsuToCoord::StreamDone {
+                stream,
+                reason,
+                bytes,
+                duration_us,
+            } => {
+                buf.push(3);
+                stream.encode(buf);
+                reason.encode(buf);
+                bytes.encode(buf);
+                duration_us.encode(buf);
+            }
+            MsuToCoord::Pong => buf.push(4),
+            MsuToCoord::FileDeleted { error } => {
+                buf.push(5);
+                error.encode(buf);
+            }
+            MsuToCoord::FileCopied { error } => {
+                buf.push(6);
+                error.encode(buf);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match r.u8("msu-to-coord")? {
+            0 => MsuToCoord::Register {
+                ctrl_addr: SocketAddr::decode(r)?,
+                disks: Vec::<DiskReport>::decode(r)?,
+                previous: Option::<MsuId>::decode(r)?,
+            },
+            1 => MsuToCoord::ReadScheduled {
+                error: Option::<String>::decode(r)?,
+            },
+            2 => MsuToCoord::WriteScheduled {
+                udp_sink: Option::<SocketAddr>::decode(r)?,
+                error: Option::<String>::decode(r)?,
+            },
+            3 => MsuToCoord::StreamDone {
+                stream: StreamId::decode(r)?,
+                reason: DoneReason::decode(r)?,
+                bytes: u64::decode(r)?,
+                duration_us: u64::decode(r)?,
+            },
+            4 => MsuToCoord::Pong,
+            5 => MsuToCoord::FileDeleted {
+                error: Option::<String>::decode(r)?,
+            },
+            6 => MsuToCoord::FileCopied {
+                error: Option::<String>::decode(r)?,
+            },
+            tag => {
+                return Err(WireError::BadTag {
+                    what: "msu-to-coord",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+/// Messages from the Coordinator to an MSU.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CoordToMsu {
+    /// Reply to [`MsuToCoord::Register`]: the MSU's identity and the
+    /// global ids assigned to its disks (in the order reported).
+    RegisterAck {
+        /// This MSU's id.
+        msu: MsuId,
+        /// Global disk ids, parallel to the registration's disk list.
+        disk_ids: Vec<DiskId>,
+    },
+    /// Schedule a playback stream (paper §2.2: once scheduled, the client
+    /// talks to the MSU directly).
+    ScheduleRead {
+        /// New stream id.
+        stream: StreamId,
+        /// Stream group for synchronized VCR control.
+        group: GroupId,
+        /// Total number of streams in the group (the MSU releases the
+        /// group — and starts all members simultaneously — once this
+        /// many are primed).
+        group_size: u32,
+        /// Which local disk holds the content (by global id).
+        disk: DiskId,
+        /// File name in the MSU file system.
+        file: String,
+        /// Protocol module to use on output.
+        protocol: ProtocolId,
+        /// Calculated or stored delivery schedule.
+        pacing: PacingSpec,
+        /// UDP address of the client's display port.
+        client_data: SocketAddr,
+        /// TCP listener the MSU must dial for VCR control (one connection
+        /// per group; the MSU dials it for the group's first stream).
+        client_ctrl: SocketAddr,
+        /// Trick-play files, if an administrator attached any.
+        trick: Option<TrickFiles>,
+    },
+    /// Schedule a recording stream.
+    ScheduleWrite {
+        /// New stream id.
+        stream: StreamId,
+        /// Stream group.
+        group: GroupId,
+        /// Total number of streams in the group.
+        group_size: u32,
+        /// Which local disk receives the recording.
+        disk: DiskId,
+        /// File name to create in the MSU file system.
+        file: String,
+        /// Protocol module to use on input (derives delivery times).
+        protocol: ProtocolId,
+        /// Reserved size in bytes (from the client's length estimate).
+        est_bytes: u64,
+        /// Whether to store a delivery schedule (variable-rate types) or
+        /// rely on a computed one (constant-rate types).
+        stores_schedule: bool,
+        /// For constant-rate recordings, the nominal rate.
+        cbr_rate: Option<BitRate>,
+        /// TCP listener the MSU must dial for VCR control.
+        client_ctrl: SocketAddr,
+    },
+    /// Cancel a stream (e.g. its group-mate failed to schedule).
+    Cancel {
+        /// Which stream.
+        stream: StreamId,
+    },
+    /// Deletes a file from one of the MSU's disks (content deletion,
+    /// paper §2.1 "with appropriate permissions, the client can delete
+    /// an item of content").
+    DeleteFile {
+        /// Which local disk (by global id).
+        disk: DiskId,
+        /// The file to remove.
+        file: String,
+    },
+    /// Copies a file between two of the MSU's disks — content
+    /// replication: "we can make copies of popular content on several
+    /// disks" to buy per-title bandwidth with space (paper §2.3.3).
+    CopyFile {
+        /// Source disk (global id).
+        src_disk: DiskId,
+        /// Destination disk (global id, same MSU).
+        dst_disk: DiskId,
+        /// File name (kept identical on the destination).
+        file: String,
+    },
+    /// Liveness probe.
+    Ping,
+    /// Orderly shutdown: finish nothing, stop everything.
+    Shutdown,
+}
+
+impl Wire for CoordToMsu {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            CoordToMsu::RegisterAck { msu, disk_ids } => {
+                buf.push(0);
+                msu.encode(buf);
+                disk_ids.encode(buf);
+            }
+            CoordToMsu::ScheduleRead {
+                stream,
+                group,
+                group_size,
+                disk,
+                file,
+                protocol,
+                pacing,
+                client_data,
+                client_ctrl,
+                trick,
+            } => {
+                buf.push(1);
+                stream.encode(buf);
+                group.encode(buf);
+                group_size.encode(buf);
+                disk.encode(buf);
+                file.encode(buf);
+                protocol.encode(buf);
+                pacing.encode(buf);
+                client_data.encode(buf);
+                client_ctrl.encode(buf);
+                trick.encode(buf);
+            }
+            CoordToMsu::ScheduleWrite {
+                stream,
+                group,
+                group_size,
+                disk,
+                file,
+                protocol,
+                est_bytes,
+                stores_schedule,
+                cbr_rate,
+                client_ctrl,
+            } => {
+                buf.push(2);
+                stream.encode(buf);
+                group.encode(buf);
+                group_size.encode(buf);
+                disk.encode(buf);
+                file.encode(buf);
+                protocol.encode(buf);
+                est_bytes.encode(buf);
+                stores_schedule.encode(buf);
+                cbr_rate.encode(buf);
+                client_ctrl.encode(buf);
+            }
+            CoordToMsu::Cancel { stream } => {
+                buf.push(3);
+                stream.encode(buf);
+            }
+            CoordToMsu::Ping => buf.push(4),
+            CoordToMsu::Shutdown => buf.push(5),
+            CoordToMsu::DeleteFile { disk, file } => {
+                buf.push(6);
+                disk.encode(buf);
+                file.encode(buf);
+            }
+            CoordToMsu::CopyFile {
+                src_disk,
+                dst_disk,
+                file,
+            } => {
+                buf.push(7);
+                src_disk.encode(buf);
+                dst_disk.encode(buf);
+                file.encode(buf);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match r.u8("coord-to-msu")? {
+            0 => CoordToMsu::RegisterAck {
+                msu: MsuId::decode(r)?,
+                disk_ids: Vec::<DiskId>::decode(r)?,
+            },
+            1 => CoordToMsu::ScheduleRead {
+                stream: StreamId::decode(r)?,
+                group: GroupId::decode(r)?,
+                group_size: u32::decode(r)?,
+                disk: DiskId::decode(r)?,
+                file: String::decode(r)?,
+                protocol: ProtocolId::decode(r)?,
+                pacing: PacingSpec::decode(r)?,
+                client_data: SocketAddr::decode(r)?,
+                client_ctrl: SocketAddr::decode(r)?,
+                trick: Option::<TrickFiles>::decode(r)?,
+            },
+            2 => CoordToMsu::ScheduleWrite {
+                stream: StreamId::decode(r)?,
+                group: GroupId::decode(r)?,
+                group_size: u32::decode(r)?,
+                disk: DiskId::decode(r)?,
+                file: String::decode(r)?,
+                protocol: ProtocolId::decode(r)?,
+                est_bytes: u64::decode(r)?,
+                stores_schedule: bool::decode(r)?,
+                cbr_rate: Option::<BitRate>::decode(r)?,
+                client_ctrl: SocketAddr::decode(r)?,
+            },
+            3 => CoordToMsu::Cancel {
+                stream: StreamId::decode(r)?,
+            },
+            4 => CoordToMsu::Ping,
+            5 => CoordToMsu::Shutdown,
+            6 => CoordToMsu::DeleteFile {
+                disk: DiskId::decode(r)?,
+                file: String::decode(r)?,
+            },
+            7 => CoordToMsu::CopyFile {
+                src_disk: DiskId::decode(r)?,
+                dst_disk: DiskId::decode(r)?,
+                file: String::decode(r)?,
+            },
+            tag => {
+                return Err(WireError::BadTag {
+                    what: "coord-to-msu",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+/// Envelope for Coordinator→MSU frames: a correlation id plus the body.
+///
+/// The Coordinator assigns `req_id`s from its own counter; the MSU echoes
+/// the id in its reply envelope. Unsolicited messages use id 0.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CoordEnvelope {
+    /// Correlation id (0 = unsolicited).
+    pub req_id: u64,
+    /// The message.
+    pub body: CoordToMsu,
+}
+
+impl Wire for CoordEnvelope {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.req_id.encode(buf);
+        self.body.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(CoordEnvelope {
+            req_id: u64::decode(r)?,
+            body: CoordToMsu::decode(r)?,
+        })
+    }
+}
+
+/// Envelope for MSU→Coordinator frames.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MsuEnvelope {
+    /// Correlation id this frame replies to (0 = unsolicited).
+    pub req_id: u64,
+    /// The message.
+    pub body: MsuToCoord,
+}
+
+impl Wire for MsuEnvelope {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.req_id.encode(buf);
+        self.body.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(MsuEnvelope {
+            req_id: u64::decode(r)?,
+            body: MsuToCoord::decode(r)?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Conversation 3: MSU ↔ client (VCR control)
+// ---------------------------------------------------------------------
+
+/// Messages the MSU sends on the control connection it opens to the
+/// client (one connection per stream group).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MsuToClient {
+    /// Sent right after connecting: the group is about to play/record.
+    GroupReady {
+        /// The stream group this connection controls.
+        group: GroupId,
+        /// Member streams.
+        streams: Vec<StreamId>,
+    },
+    /// Response to a VCR command.
+    VcrAck {
+        /// The group the command applied to.
+        group: GroupId,
+        /// `None` on success, `Some(message)` on failure (e.g. FF without
+        /// a trick file).
+        error: Option<String>,
+    },
+    /// The group ended (end of content, quit, error, shutdown).
+    GroupEnded {
+        /// The group.
+        group: GroupId,
+        /// Why.
+        reason: DoneReason,
+    },
+}
+
+impl Wire for MsuToClient {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            MsuToClient::GroupReady { group, streams } => {
+                buf.push(0);
+                group.encode(buf);
+                streams.encode(buf);
+            }
+            MsuToClient::VcrAck { group, error } => {
+                buf.push(1);
+                group.encode(buf);
+                error.encode(buf);
+            }
+            MsuToClient::GroupEnded { group, reason } => {
+                buf.push(2);
+                group.encode(buf);
+                reason.encode(buf);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match r.u8("msu-to-client")? {
+            0 => MsuToClient::GroupReady {
+                group: GroupId::decode(r)?,
+                streams: Vec::<StreamId>::decode(r)?,
+            },
+            1 => MsuToClient::VcrAck {
+                group: GroupId::decode(r)?,
+                error: Option::<String>::decode(r)?,
+            },
+            2 => MsuToClient::GroupEnded {
+                group: GroupId::decode(r)?,
+                reason: DoneReason::decode(r)?,
+            },
+            tag => {
+                return Err(WireError::BadTag {
+                    what: "msu-to-client",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+/// Messages the client sends to the MSU on the control connection.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClientToMsu {
+    /// A VCR command for the whole group: one command starts and stops all
+    /// member streams simultaneously (paper §2.2).
+    Vcr {
+        /// The group.
+        group: GroupId,
+        /// The command.
+        cmd: VcrCommand,
+    },
+}
+
+impl Wire for ClientToMsu {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            ClientToMsu::Vcr { group, cmd } => {
+                buf.push(0);
+                group.encode(buf);
+                cmd.encode(buf);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match r.u8("client-to-msu")? {
+            0 => ClientToMsu::Vcr {
+                group: GroupId::decode(r)?,
+                cmd: VcrCommand::decode(r)?,
+            },
+            tag => {
+                return Err(WireError::BadTag {
+                    what: "client-to-msu",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::MediaTime;
+    use proptest::prelude::*;
+
+    fn round_trip<T: Wire + PartialEq + core::fmt::Debug>(v: &T) {
+        let bytes = v.to_bytes();
+        assert_eq!(&T::from_bytes(&bytes).expect("decode"), v);
+    }
+
+    fn sample_addr() -> SocketAddr {
+        "10.1.2.3:5004".parse().unwrap()
+    }
+
+    #[test]
+    fn client_requests_round_trip() {
+        let reqs = vec![
+            ClientRequest::Hello {
+                client_name: "mbone-client".into(),
+                admin: false,
+            },
+            ClientRequest::ListContent,
+            ClientRequest::ListTypes,
+            ClientRequest::RegisterPort {
+                name: "video0".into(),
+                type_name: "nv-video".into(),
+                data_addr: sample_addr(),
+                ctrl_addr: "10.1.2.3:6000".parse().unwrap(),
+            },
+            ClientRequest::RegisterCompositePort {
+                name: "seminar0".into(),
+                type_name: "seminar".into(),
+                components: vec!["video0".into(), "audio0".into()],
+            },
+            ClientRequest::UnregisterPort {
+                name: "video0".into(),
+            },
+            ClientRequest::Play {
+                content: "lecture-1".into(),
+                port: "seminar0".into(),
+            },
+            ClientRequest::Record {
+                content: "new-talk".into(),
+                port: "video0".into(),
+                type_name: "nv-video".into(),
+                est_secs: 3600,
+            },
+            ClientRequest::Delete {
+                content: "old".into(),
+            },
+            ClientRequest::AddType {
+                spec: crate::content::builtin_types().remove(0),
+            },
+            ClientRequest::AttachTrick {
+                content: "movie".into(),
+                files: TrickFiles {
+                    fast_forward: "movie.ff".into(),
+                    fast_backward: "movie.fb".into(),
+                },
+            },
+            ClientRequest::Bye,
+            ClientRequest::Replicate {
+                content: "popular".into(),
+            },
+        ];
+        for r in &reqs {
+            round_trip(r);
+        }
+    }
+
+    #[test]
+    fn coord_replies_round_trip() {
+        let replies = vec![
+            CoordReply::Welcome {
+                session: SessionId(7),
+            },
+            CoordReply::ContentList {
+                entries: vec![ContentEntry {
+                    name: "m".into(),
+                    type_name: "mpeg1".into(),
+                    bytes: 42,
+                    duration_us: 1_000_000,
+                }],
+            },
+            CoordReply::TypeList {
+                types: crate::content::builtin_types(),
+            },
+            CoordReply::Ok,
+            CoordReply::Queued,
+            CoordReply::PlayStarted {
+                group: GroupId(1),
+                streams: vec![StreamStart {
+                    stream: StreamId(9),
+                    port_name: "video0".into(),
+                    msu: MsuId(2),
+                }],
+            },
+            CoordReply::RecordStarted {
+                group: GroupId(2),
+                streams: vec![RecordStart {
+                    stream: StreamId(10),
+                    port_name: "video0".into(),
+                    msu: MsuId(2),
+                    udp_sink: sample_addr(),
+                }],
+            },
+            CoordReply::Error {
+                code: 9,
+                msg: "resources exhausted".into(),
+            },
+        ];
+        for r in &replies {
+            round_trip(r);
+        }
+    }
+
+    #[test]
+    fn msu_coordinator_envelopes_round_trip() {
+        let msgs = vec![
+            MsuEnvelope {
+                req_id: 0,
+                body: MsuToCoord::Register {
+                    ctrl_addr: sample_addr(),
+                    disks: vec![DiskReport {
+                        capacity_bytes: 2_000_000_000,
+                        free_bytes: 1_500_000_000,
+                        bandwidth: ByteRate::from_bytes_per_sec(2_400_000),
+                    }],
+                    previous: Some(MsuId(4)),
+                },
+            },
+            MsuEnvelope {
+                req_id: 12,
+                body: MsuToCoord::ReadScheduled { error: None },
+            },
+            MsuEnvelope {
+                req_id: 13,
+                body: MsuToCoord::WriteScheduled {
+                    udp_sink: Some(sample_addr()),
+                    error: None,
+                },
+            },
+            MsuEnvelope {
+                req_id: 0,
+                body: MsuToCoord::StreamDone {
+                    stream: StreamId(5),
+                    reason: DoneReason::ClientQuit,
+                    bytes: 1_000_000,
+                    duration_us: 60_000_000,
+                },
+            },
+            MsuEnvelope {
+                req_id: 44,
+                body: MsuToCoord::Pong,
+            },
+            MsuEnvelope {
+                req_id: 15,
+                body: MsuToCoord::FileDeleted { error: None },
+            },
+            MsuEnvelope {
+                req_id: 16,
+                body: MsuToCoord::FileCopied { error: None },
+            },
+        ];
+        for m in &msgs {
+            round_trip(m);
+        }
+
+        let coord = vec![
+            CoordEnvelope {
+                req_id: 0,
+                body: CoordToMsu::RegisterAck {
+                    msu: MsuId(1),
+                    disk_ids: vec![DiskId(10), DiskId(11)],
+                },
+            },
+            CoordEnvelope {
+                req_id: 12,
+                body: CoordToMsu::ScheduleRead {
+                    stream: StreamId(5),
+                    group: GroupId(3),
+                    group_size: 1,
+                    disk: DiskId(10),
+                    file: "movie".into(),
+                    protocol: ProtocolId::ConstantRate,
+                    pacing: PacingSpec::Constant {
+                        rate: BitRate::from_kbps(1500),
+                        packet_bytes: 4096,
+                    },
+                    client_data: sample_addr(),
+                    client_ctrl: "10.1.2.3:6000".parse().unwrap(),
+                    trick: Some(TrickFiles {
+                        fast_forward: "movie.ff".into(),
+                        fast_backward: "movie.fb".into(),
+                    }),
+                },
+            },
+            CoordEnvelope {
+                req_id: 13,
+                body: CoordToMsu::ScheduleWrite {
+                    stream: StreamId(6),
+                    group: GroupId(3),
+                    group_size: 2,
+                    disk: DiskId(10),
+                    file: "new-talk".into(),
+                    protocol: ProtocolId::Rtp,
+                    est_bytes: 500_000_000,
+                    stores_schedule: true,
+                    cbr_rate: None,
+                    client_ctrl: "10.1.2.3:6000".parse().unwrap(),
+                },
+            },
+            CoordEnvelope {
+                req_id: 0,
+                body: CoordToMsu::Cancel { stream: StreamId(6) },
+            },
+            CoordEnvelope {
+                req_id: 14,
+                body: CoordToMsu::Ping,
+            },
+            CoordEnvelope {
+                req_id: 15,
+                body: CoordToMsu::DeleteFile {
+                    disk: DiskId(10),
+                    file: "old".into(),
+                },
+            },
+            CoordEnvelope {
+                req_id: 16,
+                body: CoordToMsu::CopyFile {
+                    src_disk: DiskId(10),
+                    dst_disk: DiskId(11),
+                    file: "popular".into(),
+                },
+            },
+            CoordEnvelope {
+                req_id: 0,
+                body: CoordToMsu::Shutdown,
+            },
+        ];
+        for m in &coord {
+            round_trip(m);
+        }
+    }
+
+    #[test]
+    fn control_channel_messages_round_trip() {
+        round_trip(&MsuToClient::GroupReady {
+            group: GroupId(1),
+            streams: vec![StreamId(1), StreamId(2)],
+        });
+        round_trip(&MsuToClient::VcrAck {
+            group: GroupId(1),
+            error: Some("no trick file".into()),
+        });
+        round_trip(&MsuToClient::GroupEnded {
+            group: GroupId(1),
+            reason: DoneReason::Error("disk failed".into()),
+        });
+        round_trip(&ClientToMsu::Vcr {
+            group: GroupId(1),
+            cmd: VcrCommand::Seek(MediaTime::from_secs(90)),
+        });
+    }
+
+    #[test]
+    fn done_reasons_round_trip() {
+        for reason in [
+            DoneReason::Completed,
+            DoneReason::ClientQuit,
+            DoneReason::Cancelled,
+            DoneReason::MsuShutdown,
+            DoneReason::Error("boom".into()),
+        ] {
+            round_trip(&reason);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_message_decoders_survive_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+            let _ = ClientRequest::from_bytes(&bytes);
+            let _ = CoordReply::from_bytes(&bytes);
+            let _ = CoordEnvelope::from_bytes(&bytes);
+            let _ = MsuEnvelope::from_bytes(&bytes);
+            let _ = MsuToClient::from_bytes(&bytes);
+            let _ = ClientToMsu::from_bytes(&bytes);
+        }
+
+        #[test]
+        fn prop_play_round_trips(content in "[a-z0-9/_-]{0,64}", port in "[a-z0-9/_-]{0,64}") {
+            let req = ClientRequest::Play { content, port };
+            let bytes = req.to_bytes();
+            prop_assert_eq!(ClientRequest::from_bytes(&bytes).unwrap(), req);
+        }
+    }
+}

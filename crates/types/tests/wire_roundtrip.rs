@@ -1,0 +1,304 @@
+//! Property tests: every control-plane message round-trips through the
+//! wire codec for *arbitrary* field values, and the decoders never
+//! panic on garbage. These complement the unit round trips in the
+//! module tests by generating the message structures themselves.
+
+use calliope_types::content::{ContentKind, ContentTypeSpec, ProtocolId, TypeBody};
+use calliope_types::time::{BitRate, ByteRate, MediaTime};
+use calliope_types::wire::messages::*;
+use calliope_types::wire::Wire;
+use calliope_types::{DiskId, GroupId, MsuId, SessionId, StreamId, VcrCommand};
+use proptest::prelude::*;
+use std::net::SocketAddr;
+
+fn arb_addr() -> impl Strategy<Value = SocketAddr> {
+    prop_oneof![
+        (any::<[u8; 4]>(), any::<u16>()).prop_map(|(ip, port)| {
+            SocketAddr::new(std::net::IpAddr::V4(ip.into()), port)
+        }),
+        (any::<[u8; 16]>(), any::<u16>()).prop_map(|(ip, port)| {
+            SocketAddr::new(std::net::IpAddr::V6(ip.into()), port)
+        }),
+    ]
+}
+
+fn arb_protocol() -> impl Strategy<Value = ProtocolId> {
+    prop_oneof![
+        Just(ProtocolId::ConstantRate),
+        Just(ProtocolId::Rtp),
+        Just(ProtocolId::Vat),
+    ]
+}
+
+fn arb_type_spec() -> impl Strategy<Value = ContentTypeSpec> {
+    let atomic = (any::<String>(), arb_protocol(), any::<u64>(), any::<u64>(), any::<bool>())
+        .prop_map(|(name, protocol, a, b, constant)| ContentTypeSpec {
+            name,
+            body: TypeBody::Atomic {
+                protocol,
+                kind: if constant {
+                    ContentKind::Constant { rate: BitRate(a) }
+                } else {
+                    ContentKind::Variable {
+                        bandwidth: BitRate(a),
+                        storage: ByteRate(b),
+                    }
+                },
+            },
+        });
+    let composite = (any::<String>(), proptest::collection::vec(any::<String>(), 0..4))
+        .prop_map(|(name, components)| ContentTypeSpec {
+            name,
+            body: TypeBody::Composite { components },
+        });
+    prop_oneof![atomic, composite]
+}
+
+fn arb_vcr() -> impl Strategy<Value = VcrCommand> {
+    prop_oneof![
+        Just(VcrCommand::Play),
+        Just(VcrCommand::Pause),
+        any::<u64>().prop_map(|us| VcrCommand::Seek(MediaTime(us))),
+        Just(VcrCommand::FastForward),
+        Just(VcrCommand::FastBackward),
+        Just(VcrCommand::Quit),
+    ]
+}
+
+fn arb_done_reason() -> impl Strategy<Value = DoneReason> {
+    prop_oneof![
+        Just(DoneReason::Completed),
+        Just(DoneReason::ClientQuit),
+        Just(DoneReason::Cancelled),
+        Just(DoneReason::MsuShutdown),
+        any::<String>().prop_map(DoneReason::Error),
+    ]
+}
+
+fn arb_client_request() -> impl Strategy<Value = ClientRequest> {
+    prop_oneof![
+        (any::<String>(), any::<bool>())
+            .prop_map(|(client_name, admin)| ClientRequest::Hello { client_name, admin }),
+        Just(ClientRequest::ListContent),
+        Just(ClientRequest::ListTypes),
+        (any::<String>(), any::<String>(), arb_addr(), arb_addr()).prop_map(
+            |(name, type_name, data_addr, ctrl_addr)| ClientRequest::RegisterPort {
+                name,
+                type_name,
+                data_addr,
+                ctrl_addr,
+            }
+        ),
+        (
+            any::<String>(),
+            any::<String>(),
+            proptest::collection::vec(any::<String>(), 0..4)
+        )
+            .prop_map(|(name, type_name, components)| {
+                ClientRequest::RegisterCompositePort {
+                    name,
+                    type_name,
+                    components,
+                }
+            }),
+        any::<String>().prop_map(|name| ClientRequest::UnregisterPort { name }),
+        (any::<String>(), any::<String>())
+            .prop_map(|(content, port)| ClientRequest::Play { content, port }),
+        (any::<String>(), any::<String>(), any::<String>(), any::<u32>()).prop_map(
+            |(content, port, type_name, est_secs)| ClientRequest::Record {
+                content,
+                port,
+                type_name,
+                est_secs,
+            }
+        ),
+        any::<String>().prop_map(|content| ClientRequest::Delete { content }),
+        arb_type_spec().prop_map(|spec| ClientRequest::AddType { spec }),
+        (any::<String>(), any::<String>(), any::<String>()).prop_map(|(content, ff, fb)| {
+            ClientRequest::AttachTrick {
+                content,
+                files: TrickFiles {
+                    fast_forward: ff,
+                    fast_backward: fb,
+                },
+            }
+        }),
+        any::<String>().prop_map(|content| ClientRequest::Replicate { content }),
+        Just(ClientRequest::Bye),
+    ]
+}
+
+fn arb_coord_to_msu() -> impl Strategy<Value = CoordToMsu> {
+    let pacing = prop_oneof![
+        (any::<u64>(), 1u32..1_000_000).prop_map(|(bps, packet_bytes)| PacingSpec::Constant {
+            rate: BitRate(bps),
+            packet_bytes,
+        }),
+        Just(PacingSpec::Stored),
+    ];
+    prop_oneof![
+        (any::<u64>(), proptest::collection::vec(any::<u64>(), 0..5)).prop_map(|(m, d)| {
+            CoordToMsu::RegisterAck {
+                msu: MsuId(m),
+                disk_ids: d.into_iter().map(DiskId).collect(),
+            }
+        }),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u32>(),
+            any::<u64>(),
+            any::<String>(),
+            arb_protocol(),
+            pacing,
+            arb_addr(),
+            arb_addr(),
+            proptest::option::of((any::<String>(), any::<String>())),
+        )
+            .prop_map(
+                |(s, g, gs, d, file, protocol, pacing, a, b, trick)| CoordToMsu::ScheduleRead {
+                    stream: StreamId(s),
+                    group: GroupId(g),
+                    group_size: gs,
+                    disk: DiskId(d),
+                    file,
+                    protocol,
+                    pacing,
+                    client_data: a,
+                    client_ctrl: b,
+                    trick: trick.map(|(ff, fb)| TrickFiles {
+                        fast_forward: ff,
+                        fast_backward: fb,
+                    }),
+                }
+            ),
+        any::<u64>().prop_map(|s| CoordToMsu::Cancel { stream: StreamId(s) }),
+        (any::<u64>(), any::<u64>(), any::<String>()).prop_map(|(a, b, file)| {
+            CoordToMsu::CopyFile {
+                src_disk: DiskId(a),
+                dst_disk: DiskId(b),
+                file,
+            }
+        }),
+        (any::<u64>(), any::<String>())
+            .prop_map(|(d, file)| CoordToMsu::DeleteFile { disk: DiskId(d), file }),
+        Just(CoordToMsu::Ping),
+        Just(CoordToMsu::Shutdown),
+    ]
+}
+
+fn arb_msu_to_coord() -> impl Strategy<Value = MsuToCoord> {
+    prop_oneof![
+        (
+            arb_addr(),
+            proptest::collection::vec((any::<u64>(), any::<u64>(), any::<u64>()), 0..4),
+            proptest::option::of(any::<u64>()),
+        )
+            .prop_map(|(ctrl_addr, disks, previous)| MsuToCoord::Register {
+                ctrl_addr,
+                disks: disks
+                    .into_iter()
+                    .map(|(c, f, b)| DiskReport {
+                        capacity_bytes: c,
+                        free_bytes: f,
+                        bandwidth: ByteRate(b),
+                    })
+                    .collect(),
+                previous: previous.map(MsuId),
+            }),
+        proptest::option::of(any::<String>())
+            .prop_map(|error| MsuToCoord::ReadScheduled { error }),
+        (proptest::option::of(arb_addr()), proptest::option::of(any::<String>()))
+            .prop_map(|(udp_sink, error)| MsuToCoord::WriteScheduled { udp_sink, error }),
+        (any::<u64>(), arb_done_reason(), any::<u64>(), any::<u64>()).prop_map(
+            |(s, reason, bytes, duration_us)| MsuToCoord::StreamDone {
+                stream: StreamId(s),
+                reason,
+                bytes,
+                duration_us,
+            }
+        ),
+        Just(MsuToCoord::Pong),
+        proptest::option::of(any::<String>()).prop_map(|error| MsuToCoord::FileDeleted { error }),
+        proptest::option::of(any::<String>()).prop_map(|error| MsuToCoord::FileCopied { error }),
+    ]
+}
+
+fn arb_coord_reply() -> impl Strategy<Value = CoordReply> {
+    prop_oneof![
+        any::<u64>().prop_map(|s| CoordReply::Welcome { session: SessionId(s) }),
+        Just(CoordReply::Ok),
+        Just(CoordReply::Queued),
+        (any::<u64>(), proptest::collection::vec((any::<u64>(), any::<String>(), any::<u64>()), 0..4))
+            .prop_map(|(g, streams)| CoordReply::PlayStarted {
+                group: GroupId(g),
+                streams: streams
+                    .into_iter()
+                    .map(|(s, port_name, m)| StreamStart {
+                        stream: StreamId(s),
+                        port_name,
+                        msu: MsuId(m),
+                    })
+                    .collect(),
+            }),
+        (any::<u16>(), any::<String>()).prop_map(|(code, msg)| CoordReply::Error { code, msg }),
+        proptest::collection::vec(arb_type_spec(), 0..4)
+            .prop_map(|types| CoordReply::TypeList { types }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn client_requests_round_trip(req in arb_client_request()) {
+        let bytes = req.to_bytes();
+        prop_assert_eq!(ClientRequest::from_bytes(&bytes).unwrap(), req);
+    }
+
+    #[test]
+    fn coord_replies_round_trip(reply in arb_coord_reply()) {
+        let bytes = reply.to_bytes();
+        prop_assert_eq!(CoordReply::from_bytes(&bytes).unwrap(), reply);
+    }
+
+    #[test]
+    fn coord_to_msu_round_trips(body in arb_coord_to_msu(), req_id in any::<u64>()) {
+        let env = CoordEnvelope { req_id, body };
+        let bytes = env.to_bytes();
+        prop_assert_eq!(CoordEnvelope::from_bytes(&bytes).unwrap(), env);
+    }
+
+    #[test]
+    fn msu_to_coord_round_trips(body in arb_msu_to_coord(), req_id in any::<u64>()) {
+        let env = MsuEnvelope { req_id, body };
+        let bytes = env.to_bytes();
+        prop_assert_eq!(MsuEnvelope::from_bytes(&bytes).unwrap(), env);
+    }
+
+    #[test]
+    fn vcr_messages_round_trip(g in any::<u64>(), cmd in arb_vcr()) {
+        let msg = ClientToMsu::Vcr { group: GroupId(g), cmd };
+        let bytes = msg.to_bytes();
+        prop_assert_eq!(ClientToMsu::from_bytes(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn truncation_never_panics(req in arb_client_request(), cut_ratio in 0.0f64..1.0) {
+        let bytes = req.to_bytes();
+        let cut = (bytes.len() as f64 * cut_ratio) as usize;
+        let _ = ClientRequest::from_bytes(&bytes[..cut]);
+    }
+
+    #[test]
+    fn single_byte_corruption_never_panics(body in arb_coord_to_msu(), pos_ratio in 0.0f64..1.0, flip in 1u8..=255) {
+        let env = CoordEnvelope { req_id: 1, body };
+        let mut bytes = env.to_bytes();
+        if !bytes.is_empty() {
+            let pos = ((bytes.len() - 1) as f64 * pos_ratio) as usize;
+            bytes[pos] ^= flip;
+            // May decode to something else or fail; must never panic.
+            let _ = CoordEnvelope::from_bytes(&bytes);
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Scaling out: multiple MSUs, many concurrent viewers, and queueing.
+//!
+//! ```sh
+//! cargo run --example scale_out
+//! ```
+//!
+//! "Larger Calliope installations still have a single coordinator, but
+//! add more MSUs as storage requirements or user bandwidth requirements
+//! increase." This example starts two MSUs, spreads content across
+//! them, saturates one disk's bandwidth with viewers, and shows a
+//! queued request completing the moment capacity frees (§2.2).
+
+use calliope::cluster::Cluster;
+use calliope::content;
+use std::time::{Duration, Instant};
+
+fn main() {
+    println!("starting Coordinator + 2 MSUs…");
+    let cluster = Cluster::builder().msus(2).build().expect("cluster start");
+    let mut librarian = cluster.client("librarian", false).expect("session");
+
+    println!("loading 3 titles…");
+    for (i, name) in ["news", "lecture", "cartoon"].iter().enumerate() {
+        content::upload_mpeg(&mut librarian, name, 2, i as u64).expect("upload");
+    }
+
+    // 12 viewers of one title saturate its disk (2.4 MB/s ÷ 187.5 kB/s).
+    println!("admitting 12 viewers of \"news\" (the per-disk bandwidth ceiling)…");
+    let mut viewer = cluster.client("audience", false).expect("session");
+    let mut ports = Vec::new();
+    for i in 0..12 {
+        ports.push(viewer.open_port(&format!("tv{i}"), "mpeg1").expect("port"));
+    }
+    let mut plays = Vec::new();
+    for (i, port) in ports.iter().enumerate() {
+        plays.push(viewer.play("news", &format!("tv{i}"), &[port]).expect("play"));
+    }
+    println!("  active streams: {}", cluster.coord.active_streams());
+
+    println!("viewer 13 asks for \"news\": the Coordinator queues the request…");
+    let extra = viewer.open_port("tv-extra", "mpeg1").expect("port");
+    let mut one = plays.pop().expect("have 12");
+    let t = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(800));
+        println!("  (a seat frees: one viewer quits)");
+        one.quit().expect("quit");
+    });
+    let started = Instant::now();
+    let mut queued = viewer.play("news", "tv-extra", &[&extra]).expect("queued play");
+    println!(
+        "  queued request completed after {:?} (> 0.5 s of waiting)",
+        started.elapsed()
+    );
+    t.join().unwrap();
+
+    println!("other titles on the second disk/MSU admit instantly:");
+    let lport = viewer.open_port("tv-lecture", "mpeg1").expect("port");
+    let started = Instant::now();
+    let mut lecture = viewer.play("lecture", "tv-lecture", &[&lport]).expect("play");
+    println!("  \"lecture\" admitted in {:?}", started.elapsed());
+
+    println!("tearing down…");
+    queued.quit().ok();
+    lecture.quit().ok();
+    for mut p in plays {
+        p.quit().ok();
+    }
+    cluster.shutdown();
+    println!("done.");
+}

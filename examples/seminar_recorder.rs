@@ -1,0 +1,67 @@
+//! Recording and replaying an MBone seminar — composite content.
+//!
+//! ```sh
+//! cargo run --example seminar_recorder
+//! ```
+//!
+//! The paper's seminar application (§2.1): a composite `Seminar` type
+//! made of one NV video stream (variable-rate RTP, stored delivery
+//! schedule in the IB-tree) and one VAT audio stream. Recording and
+//! playback each use a *stream group*: both components are scheduled on
+//! the same MSU and start simultaneously, so one set of VCR commands
+//! controls them in sync (§2.2).
+
+use calliope::cluster::Cluster;
+use calliope::content;
+use std::time::Duration;
+
+fn main() {
+    let cluster = Cluster::builder().msus(1).build().expect("cluster start");
+    let mut client = cluster.client("seminar-bot", false).expect("session");
+
+    println!("recording a 2 s seminar (NV video + VAT audio) as one composite item…");
+    let (video, audio) = content::upload_seminar(&mut client, "colloquium", 2, 3).expect("record");
+    let vbytes: u64 = video.iter().map(|p| p.payload.len() as u64).sum();
+    let abytes: u64 = audio.iter().map(|p| p.payload.len() as u64).sum();
+    println!(
+        "  captured {} video packets ({vbytes} bytes), {} audio packets ({abytes} bytes)",
+        video.len(),
+        audio.len()
+    );
+
+    println!("replaying the seminar to a composite display port…");
+    let vport = client.open_port("screen", "nv-video").expect("video port");
+    let aport = client.open_port("speaker", "vat-audio").expect("audio port");
+    client
+        .register_composite("seminar-out", "seminar", &[&vport, &aport])
+        .expect("composite port");
+
+    let mut play = client
+        .play("colloquium", "seminar-out", &[&vport, &aport])
+        .expect("play");
+    println!("  stream group {} with {} members", play.group, play.streams.len());
+    let (vs, as_) = (play.streams[0], play.streams[1]);
+    let reason = play.wait_end(Duration::from_secs(60)).expect("end");
+    std::thread::sleep(Duration::from_millis(300));
+
+    let v = vport.stats(vs);
+    let a = aport.stats(as_);
+    println!("playback ended: {reason:?}");
+    println!(
+        "  video: {} pkts {} bytes, worst lateness {:.1} ms ({}% of recorded bytes)",
+        v.packets,
+        v.bytes,
+        v.max_late_us as f64 / 1000.0,
+        v.bytes * 100 / vbytes.max(1)
+    );
+    println!(
+        "  audio: {} pkts {} bytes, worst lateness {:.1} ms ({}% of recorded bytes)",
+        a.packets,
+        a.bytes,
+        a.max_late_us as f64 / 1000.0,
+        a.bytes * 100 / abytes.max(1)
+    );
+
+    cluster.shutdown();
+    println!("done.");
+}

@@ -1,0 +1,68 @@
+//! Video-on-demand with VCR control and trick play.
+//!
+//! ```sh
+//! cargo run --example video_on_demand
+//! ```
+//!
+//! The paper's motivating application (§2.1): browse the catalog, play
+//! a movie, and drive it with VCR commands — pause, resume, seek, fast
+//! forward, fast backward. Trick modes play the offline-filtered files
+//! an administrator produced and attached (§2.3.1): every 15th frame,
+//! reversed for rewind.
+
+use calliope::cluster::Cluster;
+use calliope::content;
+use calliope_types::{MediaTime, VcrCommand};
+use std::time::Duration;
+
+fn main() {
+    let cluster = Cluster::builder().msus(1).build().expect("cluster start");
+
+    // An administrator loads a movie plus its filtered FF/FB versions.
+    let mut admin = cluster.client("admin", true).expect("admin session");
+    println!("admin: recording \"feature\" with fast-forward/backward files…");
+    content::upload_movie_with_trick(&mut admin, "feature", 6, 7).expect("upload");
+
+    // A viewer arrives.
+    let mut viewer = cluster.client("viewer", false).expect("session");
+    println!("viewer: catalog:");
+    for e in viewer.list_content().expect("toc") {
+        println!("  {}  ({:.1}s)", e.name, e.duration_us as f64 / 1e6);
+    }
+
+    let port = viewer.open_port("settop", "mpeg1").expect("port");
+    let mut play = viewer.play("feature", "settop", &[&port]).expect("play");
+    let stream = play.streams[0];
+    println!("viewer: playing; watching for 1 s…");
+    std::thread::sleep(Duration::from_secs(1));
+    println!("  received so far: {} packets", port.stats(stream).packets);
+
+    println!("viewer: pause 500 ms");
+    play.pause().expect("pause");
+    std::thread::sleep(Duration::from_millis(500));
+
+    println!("viewer: resume");
+    play.resume().expect("resume");
+    std::thread::sleep(Duration::from_millis(500));
+
+    println!("viewer: fast forward (plays the filtered file at 15x content speed)");
+    play.vcr(VcrCommand::FastForward).expect("ff");
+    std::thread::sleep(Duration::from_millis(300));
+
+    println!("viewer: back to normal speed");
+    play.vcr(VcrCommand::Play).expect("normal");
+    std::thread::sleep(Duration::from_millis(300));
+
+    println!("viewer: rewind");
+    play.vcr(VcrCommand::FastBackward).expect("fb");
+    std::thread::sleep(Duration::from_millis(300));
+
+    println!("viewer: seek to 5.0 s and let it finish");
+    play.vcr(VcrCommand::Play).expect("normal");
+    play.seek(MediaTime::from_millis(5_000)).expect("seek");
+    let reason = play.wait_end(Duration::from_secs(30)).expect("end");
+    println!("viewer: ended ({reason:?}); {} packets total", port.stats(stream).packets);
+
+    cluster.shutdown();
+    println!("done.");
+}

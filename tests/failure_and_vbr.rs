@@ -1,0 +1,458 @@
+//! Failure injection and variable-bit-rate paths: stored schedules,
+//! VBR seeks, aborted recordings, MSU death mid-stream, and concurrent
+//! clients.
+
+use calliope::cluster::Cluster;
+use calliope::content;
+use calliope_media::nv;
+use calliope_types::wire::messages::DoneReason;
+use calliope_types::MediaTime;
+use std::time::{Duration, Instant};
+
+fn wait_for<T>(timeout: Duration, mut f: impl FnMut() -> Option<T>) -> T {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if let Some(v) = f() {
+            return v;
+        }
+        assert!(Instant::now() < deadline, "timed out");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn vbr_content_round_trips_with_stored_schedule() {
+    let cluster = Cluster::builder().msus(1).build().unwrap();
+    let mut client = cluster.client("alice", false).unwrap();
+    let params = nv::paper_files()[0];
+    let trace = content::upload_nv(&mut client, "nvclip", &params, 2, 5).unwrap();
+    let total: u64 = trace.iter().map(|p| p.payload.len() as u64).sum();
+
+    // The catalog duration reflects the RTP timestamps, not the (fast)
+    // upload pacing — the protocol module derived the schedule from the
+    // headers.
+    let toc = client.list_content().unwrap();
+    let e = toc.iter().find(|e| e.name == "nvclip").unwrap();
+    let dur_s = e.duration_us as f64 / 1e6;
+    assert!((1.5..2.5).contains(&dur_s), "stored duration {dur_s}s for 2s trace");
+
+    let port = client.open_port("screen", "nv-video").unwrap();
+    let started = Instant::now();
+    let mut play = client.play("nvclip", "screen", &[&port]).unwrap();
+    let stream = play.streams[0];
+    let reason = play.wait_end(Duration::from_secs(30)).unwrap();
+    assert_eq!(reason, DoneReason::Completed);
+    let took = started.elapsed();
+    // Played at the *recorded* pace: ≈ the trace duration.
+    assert!(took >= Duration::from_millis(1_500), "replayed in {took:?}");
+
+    let stats = wait_for(Duration::from_secs(5), || {
+        let s = port.stats(stream);
+        s.eos.then_some(s)
+    });
+    assert_eq!(stats.bytes, total, "every RTP byte came back");
+    assert_eq!(stats.packets as usize, trace.len(), "packet framing preserved");
+    assert_eq!(stats.lost, 0);
+    cluster.shutdown();
+}
+
+#[test]
+fn vbr_seek_uses_the_ibtree() {
+    let cluster = Cluster::builder().msus(1).build().unwrap();
+    let mut client = cluster.client("alice", false).unwrap();
+    let params = nv::paper_files()[0];
+    let trace = content::upload_nv(&mut client, "longnv", &params, 4, 6).unwrap();
+    let total: u64 = trace.iter().map(|p| p.payload.len() as u64).sum();
+
+    let port = client.open_port("screen", "nv-video").unwrap();
+    let mut play = client.play("longnv", "screen", &[&port]).unwrap();
+    let stream = play.streams[0];
+    wait_for(Duration::from_secs(10), || {
+        (port.stats(stream).packets > 3).then_some(())
+    });
+    // Seek forward past most of the clip.
+    play.seek(MediaTime::from_millis(3_500)).unwrap();
+    let reason = play.wait_end(Duration::from_secs(20)).unwrap();
+    assert_eq!(reason, DoneReason::Completed);
+    let stats = port.stats(stream);
+    assert!(
+        stats.bytes < total * 2 / 3,
+        "seek skipped content: {} of {total}",
+        stats.bytes
+    );
+    // The delivered packets after the seek are the tail of the trace:
+    // the last packet's bytes arrived.
+    assert!(stats.bytes > 0);
+    cluster.shutdown();
+}
+
+#[test]
+fn aborted_recording_finalizes_partial_content() {
+    let cluster = Cluster::builder().msus(1).build().unwrap();
+    let mut client = cluster.client("alice", false).unwrap();
+    let port = client.open_port("cam", "mpeg1").unwrap();
+    let mut rec = client
+        .record("interrupted", "cam", "mpeg1", 30, &[&port])
+        .unwrap();
+    // Send ~100 KB, then quit mid-recording.
+    for i in 0..70 {
+        rec.send_media(0, &vec![i as u8; 1400]).unwrap();
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let reason = rec.quit(Duration::from_secs(20)).unwrap();
+    assert_eq!(reason, DoneReason::ClientQuit);
+
+    // The partial content finalizes and becomes playable; the unused
+    // reservation returns to the disk (paper §2.2).
+    let entry = wait_for(Duration::from_secs(10), || {
+        client
+            .list_content()
+            .unwrap()
+            .into_iter()
+            .find(|e| e.name == "interrupted" && e.bytes > 0)
+    });
+    assert_eq!(entry.bytes, 70 * 1400);
+
+    let out = client.open_port("tv", "mpeg1").unwrap();
+    let mut play = client.play("interrupted", "tv", &[&out]).unwrap();
+    let stream = play.streams[0];
+    play.wait_end(Duration::from_secs(30)).unwrap();
+    let stats = wait_for(Duration::from_secs(5), || {
+        let s = out.stats(stream);
+        s.eos.then_some(s)
+    });
+    assert_eq!(stats.bytes, 70 * 1400);
+    cluster.shutdown();
+}
+
+#[test]
+fn msu_death_mid_stream_surfaces_to_the_client() {
+    let mut cluster = Cluster::builder().msus(1).build().unwrap();
+    let mut client = cluster.client("alice", false).unwrap();
+    content::upload_mpeg(&mut client, "doomed", 4, 8).unwrap();
+    let port = client.open_port("tv", "mpeg1").unwrap();
+    let mut play = client.play("doomed", "tv", &[&port]).unwrap();
+    let stream = play.streams[0];
+    wait_for(Duration::from_secs(10), || {
+        (port.stats(stream).packets > 2).then_some(())
+    });
+
+    // Kill the MSU under the stream.
+    let _id = cluster.kill_msu(0);
+    // The client's group ends (shutdown notice or broken control
+    // connection — either is a clean failure signal).
+    // Either a shutdown notice or a broken control connection is a
+    // clean failure signal.
+    if let Ok(reason) = play.wait_end(Duration::from_secs(10)) {
+        assert_ne!(reason, DoneReason::Completed);
+    }
+    // The Coordinator noticed the death too.
+    wait_for(Duration::from_secs(5), || {
+        (cluster.coord.msu_count() == 0).then_some(())
+    });
+    cluster.shutdown();
+}
+
+#[test]
+fn concurrent_clients_do_not_interfere() {
+    let cluster = Cluster::builder().msus(1).build().unwrap();
+    let mut setup = cluster.client("setup", false).unwrap();
+    content::upload_mpeg(&mut setup, "shared", 2, 12).unwrap();
+    let addr_holder = &cluster;
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for w in 0..4 {
+            let cluster_ref = addr_holder;
+            handles.push(scope.spawn(move || {
+                let mut c = cluster_ref.client(&format!("viewer{w}"), false).unwrap();
+                let port = c.open_port("tv", "mpeg1").unwrap();
+                let mut play = c.play("shared", "tv", &[&port]).unwrap();
+                let stream = play.streams[0];
+                let reason = play.wait_end(Duration::from_secs(30)).unwrap();
+                assert_eq!(reason, DoneReason::Completed);
+                // All four viewers get the full clip.
+                let deadline = Instant::now() + Duration::from_secs(5);
+                loop {
+                    let s = port.stats(stream);
+                    if s.eos {
+                        return s.bytes;
+                    }
+                    assert!(Instant::now() < deadline);
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            }));
+        }
+        let sizes: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(sizes.windows(2).all(|w| w[0] == w[1]), "{sizes:?}");
+    });
+    cluster.shutdown();
+}
+
+#[test]
+fn port_type_mismatch_is_rejected_cleanly() {
+    let cluster = Cluster::builder().msus(1).build().unwrap();
+    let mut client = cluster.client("alice", false).unwrap();
+    content::upload_mpeg(&mut client, "movie", 1, 1).unwrap();
+    // A VAT-audio port cannot play MPEG content.
+    let port = client.open_port("speaker", "vat-audio").unwrap();
+    let err = client.play("movie", "speaker", &[&port]);
+    assert!(err.is_err(), "type mismatch must be rejected");
+    cluster.shutdown();
+}
+
+#[test]
+fn pause_then_quit_releases_resources() {
+    let cluster = Cluster::builder().msus(1).build().unwrap();
+    let mut client = cluster.client("alice", false).unwrap();
+    content::upload_mpeg(&mut client, "movie", 3, 2).unwrap();
+    let port = client.open_port("tv", "mpeg1").unwrap();
+    let mut play = client.play("movie", "tv", &[&port]).unwrap();
+    wait_for(Duration::from_secs(10), || {
+        (cluster.coord.active_streams() == 1).then_some(())
+    });
+    play.pause().unwrap();
+    play.quit().unwrap();
+    wait_for(Duration::from_secs(10), || {
+        (cluster.coord.active_streams() == 0).then_some(())
+    });
+    cluster.shutdown();
+}
+
+#[test]
+fn replication_doubles_a_titles_stream_ceiling() {
+    let cluster = Cluster::builder().msus(1).build().unwrap();
+    let mut admin = cluster.client("root", true).unwrap();
+    content::upload_mpeg(&mut admin, "hit", 1, 77).unwrap();
+
+    // One replica: the title's disk admits 12 × 1.5 Mbit/s.
+    let mut viewer = cluster.client("crowd", false).unwrap();
+    let mut ports = Vec::new();
+    for i in 0..20 {
+        ports.push(viewer.open_port(&format!("tv{i}"), "mpeg1").unwrap());
+    }
+    let mut plays = Vec::new();
+    for (i, port) in ports.iter().enumerate().take(12) {
+        plays.push(viewer.play("hit", &format!("tv{i}"), &[port]).unwrap());
+    }
+    // Non-admin replication is rejected; admin replication succeeds.
+    assert!(viewer.replicate("hit").is_err());
+    admin.replicate("hit").unwrap();
+
+    // The second replica's disk admits more viewers immediately (no
+    // queueing): pushing well past the single-disk ceiling.
+    for (i, port) in ports.iter().enumerate().skip(12).take(6) {
+        let started = Instant::now();
+        plays.push(viewer.play("hit", &format!("tv{i}"), &[port]).unwrap());
+        assert!(
+            started.elapsed() < Duration::from_millis(400),
+            "replicated title must admit without queueing"
+        );
+    }
+    assert_eq!(cluster.coord.active_streams(), 18);
+    for mut p in plays {
+        p.quit().ok();
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn replicated_content_plays_identically_from_either_disk() {
+    let cluster = Cluster::builder().msus(1).build().unwrap();
+    let mut admin = cluster.client("root", true).unwrap();
+    let original = content::upload_mpeg(&mut admin, "dup", 1, 55).unwrap();
+    admin.replicate("dup").unwrap();
+
+    // Saturate the first disk so the second play lands on the replica,
+    // then verify both deliveries byte-for-byte.
+    let mut viewer = cluster.client("v", false).unwrap();
+    let mut sizes = Vec::new();
+    let mut holds = Vec::new();
+    let mut hold_ports = Vec::new();
+    for i in 0..12 {
+        hold_ports.push(viewer.open_port(&format!("hold{i}"), "mpeg1").unwrap());
+    }
+    for (i, port) in hold_ports.iter().enumerate() {
+        holds.push(viewer.play("dup", &format!("hold{i}"), &[port]).unwrap());
+    }
+    for run in 0..2 {
+        let port = viewer.open_port(&format!("chk{run}"), "mpeg1").unwrap();
+        let mut play = viewer.play("dup", &format!("chk{run}"), &[&port]).unwrap();
+        let stream = play.streams[0];
+        play.wait_end(Duration::from_secs(30)).unwrap();
+        let stats = wait_for(Duration::from_secs(5), || {
+            let s = port.stats(stream);
+            s.eos.then_some(s)
+        });
+        sizes.push(stats.bytes);
+    }
+    assert_eq!(sizes, vec![original.len() as u64; 2]);
+    for mut p in holds {
+        p.quit().ok();
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn server_status_reflects_load() {
+    let cluster = Cluster::builder().msus(2).build().unwrap();
+    let mut client = cluster.client("ops", false).unwrap();
+    let (msus, streams) = client.server_status().unwrap();
+    assert_eq!(msus.len(), 2);
+    assert_eq!(streams, 0);
+    assert!(msus.iter().all(|m| m.available));
+    assert!(msus.iter().all(|m| m.disks.len() == 2));
+    assert!(msus.iter().all(|m| m.net_used == 0));
+
+    // Start a stream and watch the reservation appear.
+    content::upload_mpeg(&mut client, "x", 2, 1).unwrap();
+    let port = client.open_port("tv", "mpeg1").unwrap();
+    let mut play = client.play("x", "tv", &[&port]).unwrap();
+    let (msus, streams) = client.server_status().unwrap();
+    assert_eq!(streams, 1);
+    let net_used: u64 = msus.iter().map(|m| m.net_used).sum();
+    assert_eq!(net_used, 187_500, "one 1.5 Mbit/s reservation");
+    play.quit().unwrap();
+    wait_for(Duration::from_secs(10), || {
+        client
+            .server_status()
+            .ok()
+            .filter(|(_, s)| *s == 0)
+            .map(|_| ())
+    });
+    cluster.shutdown();
+}
+
+#[test]
+fn rtcp_control_packets_interleave_through_recording_and_playback() {
+    // Paper §2.3.2: "the RTP module interleaves the control messages
+    // with the rest of the data stream before the data is given to the
+    // disk process. On output, the opposite process is performed."
+    use calliope_proto::rtp::RtpHeader;
+    use calliope_types::wire::data::PacketKind;
+
+    let cluster = Cluster::builder().msus(1).build().unwrap();
+    let mut client = cluster.client("alice", false).unwrap();
+    let port = client.open_port("cam", "nv-video").unwrap();
+    let mut rec = client.record("with-rtcp", "cam", "nv-video", 10, &[&port]).unwrap();
+
+    // 30 RTP media packets (90 kHz timestamps, 33 ms apart) with an
+    // RTCP report interleaved every 10th packet.
+    let mut rtcp_sent = 0;
+    for i in 0..30u32 {
+        let header = RtpHeader {
+            payload_type: 28,
+            marker: true,
+            seq: i as u16,
+            timestamp: i * 3000,
+            ssrc: 0x5EED,
+        };
+        let mut pkt = header.to_bytes().to_vec();
+        pkt.extend_from_slice(&[i as u8; 200]);
+        rec.send(0, PacketKind::Media, &pkt).unwrap();
+        if i % 10 == 9 {
+            rec.send(0, PacketKind::Control, b"rtcp sender report").unwrap();
+            rtcp_sent += 1;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    rec.finish(Duration::from_secs(20)).unwrap();
+    wait_for(Duration::from_secs(10), || {
+        client
+            .list_content()
+            .unwrap()
+            .into_iter()
+            .find(|e| e.name == "with-rtcp")
+    });
+
+    let out = client.open_port("screen", "nv-video").unwrap();
+    let mut play = client.play("with-rtcp", "screen", &[&out]).unwrap();
+    let stream = play.streams[0];
+    play.wait_end(Duration::from_secs(30)).unwrap();
+    let stats = wait_for(Duration::from_secs(5), || {
+        let s = out.stats(stream);
+        s.eos.then_some(s)
+    });
+    assert_eq!(stats.packets, 30 + rtcp_sent, "media + control all replayed");
+    assert_eq!(stats.control_packets, rtcp_sent, "RTCP came back as control");
+    cluster.shutdown();
+}
+
+#[test]
+fn replication_needs_a_spare_disk() {
+    // A single-disk MSU has nowhere to put a replica.
+    let cluster = Cluster::builder().msus(1).disks_per_msu(1).build().unwrap();
+    let mut admin = cluster.client("root", true).unwrap();
+    content::upload_mpeg(&mut admin, "solo", 1, 4).unwrap();
+    let err = admin.replicate("solo");
+    assert!(err.is_err(), "no spare disk must be a clean error");
+    // The content is untouched and still plays.
+    let port = admin.open_port("tv", "mpeg1").unwrap();
+    let mut play = admin.play("solo", "tv", &[&port]).unwrap();
+    play.wait_end(Duration::from_secs(30)).unwrap();
+    cluster.shutdown();
+}
+
+#[test]
+fn in_progress_recordings_are_not_playable() {
+    let cluster = Cluster::builder().msus(1).build().unwrap();
+    let mut client = cluster.client("alice", false).unwrap();
+    let cam = client.open_port("cam", "mpeg1").unwrap();
+    let mut rec = client.record("wip", "cam", "mpeg1", 30, &[&cam]).unwrap();
+    rec.send_media(0, &[0u8; 1000]).unwrap();
+
+    // Not in the table of contents, not playable (paper §2.2: content
+    // finalizes when the recording session completes).
+    assert!(client.list_content().unwrap().iter().all(|e| e.name != "wip"));
+    let tv = client.open_port("tv", "mpeg1").unwrap();
+    assert!(client.play("wip", "tv", &[&tv]).is_err());
+
+    rec.finish(Duration::from_secs(20)).unwrap();
+    wait_for(Duration::from_secs(10), || {
+        client.list_content().unwrap().into_iter().find(|e| e.name == "wip")
+    });
+    cluster.shutdown();
+}
+
+#[test]
+fn queued_request_is_abandoned_when_the_client_disconnects() {
+    let cluster = Cluster::builder().msus(1).build().unwrap();
+    let mut client = cluster.client("alice", false).unwrap();
+    // Long enough that nothing completes during the test.
+    content::upload_mpeg(&mut client, "full", 60, 3).unwrap();
+    // Saturate the title's disk.
+    let mut ports = Vec::new();
+    for i in 0..12 {
+        ports.push(client.open_port(&format!("tv{i}"), "mpeg1").unwrap());
+    }
+    let mut plays = Vec::new();
+    for (i, port) in ports.iter().enumerate() {
+        plays.push(client.play("full", &format!("tv{i}"), &[port]).unwrap());
+    }
+    // A second client queues a play, then vanishes.
+    {
+        let mut ghost = cluster.client("ghost", false).unwrap();
+        let port = ghost.open_port("tv", "mpeg1").unwrap();
+        // Fire the request without waiting for the final reply, then drop
+        // the session (closing the TCP connection).
+        ghost
+            .request_no_reply(calliope_types::wire::messages::ClientRequest::Play {
+                content: "full".into(),
+                port: "tv".into(),
+            })
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(300)); // let it queue
+        drop(port);
+    } // ghost dropped here
+    std::thread::sleep(Duration::from_millis(500));
+
+    // Freeing capacity must not schedule the dead client's stream: the
+    // count drops to 11 and stays there.
+    plays.pop().unwrap().quit().unwrap();
+    std::thread::sleep(Duration::from_secs(2));
+    assert_eq!(cluster.coord.active_streams(), 11);
+    for mut p in plays {
+        p.quit().ok();
+    }
+    cluster.shutdown();
+}
