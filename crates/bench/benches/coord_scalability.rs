@@ -25,9 +25,7 @@ fn main() {
     // --- The real experiment, scaled in duration (not in rate). -----
     let total_requests: usize = if calliope_bench::quick() { 300 } else { 1800 };
     let target_rate = 60.0; // requests/second, as in the paper
-    println!(
-        "running the real Coordinator + 2 fake MSUs (50 ms delay), 4 client sessions,"
-    );
+    println!("running the real Coordinator + 2 fake MSUs (50 ms delay), 4 client sessions,");
     println!(
         "{total_requests} requests at ~{target_rate:.0} req/s (the paper sent 10,000 at the same rate)…"
     );
@@ -115,11 +113,17 @@ fn main() {
     println!();
     println!("measured on this host:");
     println!("  requests processed : {}", s.requests());
-    println!("  offered rate       : {:.1} req/s", total_requests as f64 / elapsed.as_secs_f64());
+    println!(
+        "  offered rate       : {:.1} req/s",
+        total_requests as f64 / elapsed.as_secs_f64()
+    );
     println!("  streams started    : {}", s.streams_started());
     println!("  streams terminated : {}", s.streams_done());
     println!("  Coordinator CPU    : {:.2}%", s.cpu_utilization() * 100.0);
-    println!("  intra-server net   : {:.2}% of 10 Mbit/s", s.network_utilization() * 100.0);
+    println!(
+        "  intra-server net   : {:.2}% of 10 Mbit/s",
+        s.network_utilization() * 100.0
+    );
     println!("  (paper, on a 66 MHz Pentium: CPU 14%, network 6%)");
 
     // --- The paper's projection, from the calibrated model. ---------
@@ -139,9 +143,7 @@ fn main() {
     println!();
     let rate = model.installation_rate(150, 20, 60.0);
     let l = model.at_rate(rate);
-    println!(
-        "paper's target installation: 150 MSUs × 20 streams, 1-minute sessions"
-    );
+    println!("paper's target installation: 150 MSUs × 20 streams, 1-minute sessions");
     println!(
         "  ⇒ {rate:.0} req/s ⇒ CPU {:.1}%, network {:.1}% — \"relatively insignificant loads\"",
         l.cpu * 100.0,

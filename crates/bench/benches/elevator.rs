@@ -15,7 +15,15 @@ fn main() {
 
     println!(
         "{:>6} {:>10} | {:>8} {:>10} {:>10} | {:>8} {:>10} {:>10} | {:>7}",
-        "users", "block", "rr MB/s", "rr seek", "rr svc ms", "el MB/s", "el seek", "el svc ms", "gain"
+        "users",
+        "block",
+        "rr MB/s",
+        "rr seek",
+        "rr svc ms",
+        "el MB/s",
+        "el seek",
+        "el svc ms",
+        "gain"
     );
     println!("{}", "-".repeat(104));
     for users in [2usize, 8, 24, 64] {

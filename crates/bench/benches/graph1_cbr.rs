@@ -11,14 +11,20 @@ fn main() {
         "Graph 1, §3.2.1",
     );
     let secs = horizon_secs();
-    println!(
-        "workload: n × 1.5 Mbit/s MPEG-1 streams, 4 KB packets, 2 disks on 1 HBA, {secs} s"
-    );
+    println!("workload: n × 1.5 Mbit/s MPEG-1 streams, 4 KB packets, 2 disks on 1 HBA, {secs} s");
     println!("(the paper ran six minutes and ~16480 packets per stream)");
     println!();
     println!(
         "{:>8} | {:>9} | {:>7} {:>7} {:>7} {:>7} {:>8} | {:>9} {:>9}",
-        "streams", "packets", "≤10ms", "≤20ms", "≤50ms", "≤150ms", "max(ms)", "wire MB/s", "disk MB/s"
+        "streams",
+        "packets",
+        "≤10ms",
+        "≤20ms",
+        "≤50ms",
+        "≤150ms",
+        "max(ms)",
+        "wire MB/s",
+        "disk MB/s"
     );
     println!("{}", "-".repeat(98));
     for n in [22usize, 23, 24] {

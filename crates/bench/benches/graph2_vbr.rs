@@ -27,7 +27,9 @@ fn main() {
 
     // Workload characterization, like the paper's: average rates and
     // 50 ms-window peaks of the three files.
-    println!("synthetic NV files (paper: averages 650/635/877 Kbit/s, 50 ms peaks 2.0–5.4 Mbit/s):");
+    println!(
+        "synthetic NV files (paper: averages 650/635/877 Kbit/s, 50 ms peaks 2.0–5.4 Mbit/s):"
+    );
     for p in nv::paper_files() {
         let pkts = nv::generate(&p, 60, 7);
         println!(

@@ -29,11 +29,20 @@ fn build(duration_mins: u64) -> (u64, u64, u64, u64) {
     }
     let (finals, root, stats) = w.finish().expect("finish");
     pages += finals.len() as u64;
-    (pages, stats.internal_pages, stats.records, root.len() as u64)
+    (
+        pages,
+        stats.internal_pages,
+        stats.records,
+        root.len() as u64,
+    )
 }
 
 fn main() {
-    banner("E8", "IB-tree: integrated vs. separate internal pages", "§2.2.1");
+    banner(
+        "E8",
+        "IB-tree: integrated vs. separate internal pages",
+        "§2.2.1",
+    );
     let disk = DiskParams::default();
     let geo = Geometry::paper();
 
@@ -96,6 +105,9 @@ fn main() {
     // Seek cost: a VCR seek reads root (cached) → 1 hosting page → 1
     // data page.
     println!("VCR seek cost: root is in cached metadata; 1 page read for the");
-    println!("internal page + 1 for the data page ≈ {:.0} ms — well inside the", 2.0 * data_io_ms);
+    println!(
+        "internal page + 1 for the data page ≈ {:.0} ms — well inside the",
+        2.0 * data_io_ms
+    );
     println!("paper's \"few seconds of delay\" budget for trick-mode switches.");
 }

@@ -12,7 +12,11 @@ use calliope_sim::machine::MachineParams;
 use calliope_sim::memory::{MemoryModel, Pass};
 
 fn main() {
-    banner("E5", "Memory-system bottleneck of the MSU data path", "§3.2.3");
+    banner(
+        "E5",
+        "Memory-system bottleneck of the MSU data path",
+        "§3.2.3",
+    );
     let m = MemoryModel::default();
     println!("component rates (paper-measured):");
     println!("  read  {:>5.0} MB/s", m.read_mb_s);

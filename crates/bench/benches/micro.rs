@@ -132,7 +132,8 @@ fn bench_fs_page_path(c: &mut Criterion) {
             || {
                 let mut fs =
                     MsuFs::format_with(Box::new(MemDisk::new(block, 256)), 4).expect("format");
-                fs.create("f", FileKind::Raw, 128 * block as u64).expect("create");
+                fs.create("f", FileKind::Raw, 128 * block as u64)
+                    .expect("create");
                 fs
             },
             |mut fs| {

@@ -20,20 +20,30 @@ fn main() {
     );
     println!(
         "{:<20} | {:>5} {:>5} | {:>5} {:>5} {:>5} {:>5} | {:>5} {:>5} {:>5} {:>5} {:>5}",
-        "configuration", "sim", "paper", "d1", "d2", "d3", "paper", "fddi", "d1", "d2", "d3", "p-fddi"
+        "configuration",
+        "sim",
+        "paper",
+        "d1",
+        "d2",
+        "d3",
+        "paper",
+        "fddi",
+        "d1",
+        "d2",
+        "d3",
+        "p-fddi"
     );
     println!("{}", "-".repeat(104));
     for (row, p) in rows.iter().zip(&paper) {
-        let sim_disks: Vec<String> = (0..3)
-            .map(|i| mb(row.disks_only.get(i).copied()))
-            .collect();
-        let sim_both: Vec<String> = (0..3)
-            .map(|i| mb(row.both_disks.get(i).copied()))
-            .collect();
+        let sim_disks: Vec<String> = (0..3).map(|i| mb(row.disks_only.get(i).copied())).collect();
+        let sim_both: Vec<String> = (0..3).map(|i| mb(row.both_disks.get(i).copied())).collect();
         let paper_disks = if p.2.is_empty() {
             "-".to_string()
         } else {
-            p.2.iter().map(|v| format!("{v:.1}")).collect::<Vec<_>>().join("/")
+            p.2.iter()
+                .map(|v| format!("{v:.1}"))
+                .collect::<Vec<_>>()
+                .join("/")
         };
         println!(
             "{:<20} | {} {} | {} {} {} {:>5} | {} {} {} {} {:>6}",
@@ -59,18 +69,30 @@ fn main() {
     println!(
         "  FDDI alone ≈ 8.5 MB/s:                 {:.1} MB/s  [{}]",
         fddi_only,
-        if (7.5..9.5).contains(&fddi_only) { "ok" } else { "OFF" }
+        if (7.5..9.5).contains(&fddi_only) {
+            "ok"
+        } else {
+            "OFF"
+        }
     );
     println!(
         "  one disk alone ≈ 3.6 MB/s:             {:.1} MB/s  [{}]",
         rows[1].disks_only[0],
-        if (3.0..4.2).contains(&rows[1].disks_only[0]) { "ok" } else { "OFF" }
+        if (3.0..4.2).contains(&rows[1].disks_only[0]) {
+            "ok"
+        } else {
+            "OFF"
+        }
     );
     println!(
         "  2 disks/2 HBAs crater FDDI vs 1 HBA:   {:.1} vs {:.1} MB/s (paper: 2.3 vs 4.7)  [{}]",
         two_hba,
         one_hba,
-        if two_hba < one_hba * 0.75 { "ok" } else { "OFF" }
+        if two_hba < one_hba * 0.75 {
+            "ok"
+        } else {
+            "OFF"
+        }
     );
     let r3 = &rows[4];
     println!(

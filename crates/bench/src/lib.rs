@@ -16,7 +16,9 @@ pub fn banner(id: &str, title: &str, paper_ref: &str) {
 
 /// True if the quick (CI) mode is requested.
 pub fn quick() -> bool {
-    std::env::var("BENCH_QUICK").map(|v| v == "1").unwrap_or(false)
+    std::env::var("BENCH_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Simulated horizon in seconds: the paper's six minutes, or 60 s in

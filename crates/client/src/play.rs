@@ -7,9 +7,7 @@
 //! loaded).
 
 use calliope_types::error::{Error, Result};
-use calliope_types::wire::messages::{
-    ClientToMsu, DoneReason, MsuToClient, StreamStart,
-};
+use calliope_types::wire::messages::{ClientToMsu, DoneReason, MsuToClient, StreamStart};
 use calliope_types::wire::{read_frame, write_frame};
 use calliope_types::{GroupId, StreamId, VcrCommand};
 use std::net::TcpStream;

@@ -13,7 +13,9 @@
 //! * a TCP listener for the control connection the MSU establishes
 //!   once a stream is scheduled (§2.2).
 
+use calliope_obs::{Counter, Histogram, Registry, LATENCY_US_BUCKETS};
 use calliope_types::wire::data::{DataHeader, PacketKind};
+use calliope_types::wire::stats::{MetricEntry, MetricValue, StatsSnapshot};
 use calliope_types::StreamId;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -85,6 +87,17 @@ pub struct DisplayPort {
     streams: Arc<Mutex<HashMap<StreamId, RecvState>>>,
     ctrl_conns: crossbeam::channel::Receiver<TcpStream>,
     stop: Arc<AtomicBool>,
+    /// Port-wide receive metrics, exported in the wire snapshot form so
+    /// client-side lateness lines up with MSU-side send lateness.
+    registry: Arc<Registry>,
+}
+
+/// Receive-path metric handles shared with the receiver thread.
+struct RecvMetrics {
+    packets: Arc<Counter>,
+    bytes: Arc<Counter>,
+    lost: Arc<Counter>,
+    lateness_us: Arc<Histogram>,
 }
 
 impl DisplayPort {
@@ -95,8 +108,16 @@ impl DisplayPort {
         let data_addr = data.local_addr()?;
         let ctrl = TcpListener::bind((bind_ip, 0))?;
         let ctrl_addr = ctrl.local_addr()?;
-        let streams: Arc<Mutex<HashMap<StreamId, RecvState>>> = Arc::new(Mutex::new(HashMap::new()));
+        let streams: Arc<Mutex<HashMap<StreamId, RecvState>>> =
+            Arc::new(Mutex::new(HashMap::new()));
         let stop = Arc::new(AtomicBool::new(false));
+        let registry = Arc::new(Registry::new());
+        let metrics = RecvMetrics {
+            packets: registry.counter("recv.packets"),
+            bytes: registry.counter("recv.bytes"),
+            lost: registry.counter("recv.lost"),
+            lateness_us: registry.histogram("recv.lateness_us", LATENCY_US_BUCKETS),
+        };
 
         // Receiver thread: demultiplex by stream id, account arrivals.
         {
@@ -131,15 +152,19 @@ impl DisplayPort {
                         continue;
                     }
                     st.stats.packets += 1;
+                    metrics.packets.inc();
                     if header.kind == PacketKind::Control {
                         st.stats.control_packets += 1;
                     }
                     st.stats.bytes += payload.len() as u64;
+                    metrics.bytes.add(payload.len() as u64);
                     if let Some(last) = st.last_seq {
                         let expect = last.wrapping_add(1);
                         if header.seq != expect {
                             if header.seq > expect {
-                                st.stats.lost += (header.seq - expect) as u64;
+                                let gap = (header.seq - expect) as u64;
+                                st.stats.lost += gap;
+                                metrics.lost.add(gap);
                             } else {
                                 st.stats.reordered += 1;
                             }
@@ -148,16 +173,21 @@ impl DisplayPort {
                     st.last_seq = Some(header.seq);
                     // Lateness vs. the stream's own schedule: the first
                     // packet defines offset-zero's wall time.
-                    let (base_at, base_off) = *st
-                        .base
-                        .get_or_insert((now, header.offset.as_micros()));
-                    let expected =
-                        base_at + Duration::from_micros(header.offset.as_micros().saturating_sub(base_off));
+                    let (base_at, base_off) =
+                        *st.base.get_or_insert((now, header.offset.as_micros()));
+                    let expected = base_at
+                        + Duration::from_micros(header.offset.as_micros().saturating_sub(base_off));
                     let late_us = now.saturating_duration_since(expected).as_micros() as u64;
                     st.stats.max_late_us = st.stats.max_late_us.max(late_us);
                     st.stats.sum_late_us += late_us;
+                    metrics.lateness_us.record(late_us);
                     if late_us > 50_000 {
                         st.stats.late_over_50ms += 1;
+                        tracing::debug!(
+                            "recv: stream {} packet {} arrived {late_us} µs late",
+                            header.stream,
+                            header.seq
+                        );
                     }
                 }
             });
@@ -193,7 +223,34 @@ impl DisplayPort {
             streams,
             ctrl_conns: rx,
             stop,
+            registry,
         })
+    }
+
+    /// Every port-wide metric plus per-stream arrival counters in the
+    /// wire snapshot form, tagged `client:{port name}` — the same shape
+    /// MSUs and the Coordinator report, so one tool prints them all.
+    pub fn snapshot_stats(&self) -> StatsSnapshot {
+        let mut snap = self.registry.snapshot(&format!("client:{}", self.name));
+        {
+            let map = self.streams.lock();
+            for (id, st) in map.iter() {
+                let prefix = format!("stream.{}", id.0);
+                for (field, v) in [
+                    ("packets", st.stats.packets),
+                    ("bytes", st.stats.bytes),
+                    ("lost", st.stats.lost),
+                    ("max_late_us", st.stats.max_late_us),
+                ] {
+                    snap.metrics.push(MetricEntry {
+                        name: format!("{prefix}.{field}"),
+                        value: MetricValue::Counter(v),
+                    });
+                }
+            }
+        }
+        snap.metrics.sort_by(|a, b| a.name.cmp(&b.name));
+        snap
     }
 
     /// The UDP data address to register with the Coordinator.
@@ -255,7 +312,8 @@ mod tests {
             offset: MediaTime(offset_us),
             kind,
         };
-        sock.send_to(&header.encode_packet(&vec![0u8; len]), to).unwrap();
+        sock.send_to(&header.encode_packet(&vec![0u8; len]), to)
+            .unwrap();
     }
 
     fn wait_packets(port: &DisplayPort, stream: u64, n: u64) {
@@ -272,7 +330,14 @@ mod tests {
     fn receiver_counts_packets_and_bytes() {
         let port = DisplayPort::open(localhost(), "p", "mpeg1").unwrap();
         for seq in 0..5u32 {
-            send(port.data_addr(), 1, seq, seq as u64 * 1000, PacketKind::Media, 100);
+            send(
+                port.data_addr(),
+                1,
+                seq,
+                seq as u64 * 1000,
+                PacketKind::Media,
+                100,
+            );
         }
         wait_packets(&port, 1, 5);
         let s = port.stats(StreamId(1));
@@ -364,6 +429,37 @@ mod tests {
         send(port.data_addr(), 5, 0, 0, PacketKind::Media, 10);
         wait_packets(&port, 5, 1);
         assert_eq!(port.stats(StreamId(5)).packets, 1);
+    }
+
+    #[test]
+    fn snapshot_exports_port_and_stream_metrics() {
+        let port = DisplayPort::open(localhost(), "tv", "mpeg1").unwrap();
+        for seq in 0..4u32 {
+            send(
+                port.data_addr(),
+                9,
+                seq,
+                seq as u64 * 1000,
+                PacketKind::Media,
+                50,
+            );
+        }
+        wait_packets(&port, 9, 4);
+        let snap = port.snapshot_stats();
+        assert_eq!(snap.source, "client:tv");
+        assert_eq!(snap.counter("recv.packets"), 4);
+        assert_eq!(snap.counter("recv.bytes"), 200);
+        assert_eq!(snap.counter("stream.9.packets"), 4);
+        let late = snap.get("recv.lateness_us").unwrap();
+        assert!(matches!(
+            late,
+            calliope_types::wire::stats::MetricValue::Histogram { count: 4, .. }
+        ));
+        // Sorted for stable display.
+        let names: Vec<_> = snap.metrics.iter().map(|m| m.name.clone()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
     }
 
     #[test]

@@ -11,8 +11,9 @@ use crate::record::RecordSession;
 use calliope_types::content::{ContentEntry, ContentTypeSpec};
 use calliope_types::error::{Error, Result};
 use calliope_types::wire::messages::{ClientRequest, CoordReply, TrickFiles};
+use calliope_types::wire::stats::StatsSnapshot;
 use calliope_types::wire::{read_frame, write_frame};
-use calliope_types::SessionId;
+use calliope_types::{MsuId, SessionId};
 use std::net::{IpAddr, SocketAddr, TcpStream};
 use std::time::Duration;
 
@@ -44,6 +45,7 @@ impl CalliopeClient {
             admin,
         })? {
             CoordReply::Welcome { session } => {
+                tracing::info!("session {session} opened with coordinator at {coordinator}");
                 client.session = session;
                 Ok(client)
             }
@@ -154,6 +156,10 @@ impl CalliopeClient {
             port: port_name.to_owned(),
         })? {
             CoordReply::PlayStarted { group, streams } => {
+                tracing::info!(
+                    "play {content:?}: {group} started with {} streams",
+                    streams.len()
+                );
                 PlaySession::establish(group, streams, ports, Duration::from_secs(20))
             }
             other => Err(Error::internal(format!("unexpected reply {other:?}"))),
@@ -180,6 +186,10 @@ impl CalliopeClient {
             est_secs,
         })? {
             CoordReply::RecordStarted { group, streams } => {
+                tracing::info!(
+                    "record {content:?}: {group} started with {} streams",
+                    streams.len()
+                );
                 RecordSession::establish(group, streams, ports, Duration::from_secs(20))
             }
             other => Err(Error::internal(format!("unexpected reply {other:?}"))),
@@ -207,7 +217,12 @@ impl CalliopeClient {
     /// Attaches offline-filtered trick-play content to an item (admin,
     /// paper §2.3.1: "an administrative interface is used to load the
     /// fast forward and fast backward files into the server").
-    pub fn attach_trick(&mut self, content: &str, ff_content: &str, fb_content: &str) -> Result<()> {
+    pub fn attach_trick(
+        &mut self,
+        content: &str,
+        ff_content: &str,
+        fb_content: &str,
+    ) -> Result<()> {
         match self.request(ClientRequest::AttachTrick {
             content: content.to_owned(),
             files: TrickFiles {
@@ -230,6 +245,15 @@ impl CalliopeClient {
                 msus,
                 active_streams,
             } => Ok((msus, active_streams)),
+            other => Err(Error::internal(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Fetches live metrics snapshots: the Coordinator's own plus one
+    /// per reachable MSU, or — with `Some(id)` — just that MSU's.
+    pub fn stats(&mut self, msu: Option<MsuId>) -> Result<Vec<StatsSnapshot>> {
+        match self.request(ClientRequest::Stats { msu })? {
+            CoordReply::Stats { snapshots } => Ok(snapshots),
             other => Err(Error::internal(format!("unexpected reply {other:?}"))),
         }
     }

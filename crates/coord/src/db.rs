@@ -74,7 +74,11 @@ impl ContentRecord {
 
     /// Duration (maximum across components).
     pub fn duration_us(&self) -> u64 {
-        self.components.iter().map(|c| c.duration_us).max().unwrap_or(0)
+        self.components
+            .iter()
+            .map(|c| c.duration_us)
+            .max()
+            .unwrap_or(0)
     }
 
     /// The catalog entry shown to clients.
@@ -179,9 +183,11 @@ impl AdminDb {
 
     /// Looks up content mutably.
     pub fn content_mut(&mut self, name: &str) -> Result<&mut ContentRecord> {
-        self.content.get_mut(name).ok_or_else(|| Error::NoSuchContent {
-            name: name.to_owned(),
-        })
+        self.content
+            .get_mut(name)
+            .ok_or_else(|| Error::NoSuchContent {
+                name: name.to_owned(),
+            })
     }
 
     /// Inserts a new content record.
@@ -199,9 +205,11 @@ impl AdminDb {
     /// Removes a content record, returning it so the caller can free
     /// disk space.
     pub fn remove_content(&mut self, name: &str) -> Result<ContentRecord> {
-        self.content.remove(name).ok_or_else(|| Error::NoSuchContent {
-            name: name.to_owned(),
-        })
+        self.content
+            .remove(name)
+            .ok_or_else(|| Error::NoSuchContent {
+                name: name.to_owned(),
+            })
     }
 
     /// The table of contents (ready items only; recordings in progress
@@ -291,7 +299,11 @@ mod tests {
         let mut db = db();
         // Duplicate.
         assert!(db
-            .add_type(ContentTypeSpec::constant("mpeg1", ProtocolId::ConstantRate, BitRate(1)))
+            .add_type(ContentTypeSpec::constant(
+                "mpeg1",
+                ProtocolId::ConstantRate,
+                BitRate(1)
+            ))
             .is_err());
         // Unknown component.
         assert!(db
@@ -302,7 +314,9 @@ mod tests {
             .add_type(ContentTypeSpec::composite("nest", &["seminar"]))
             .is_err());
         // Empty composite.
-        assert!(db.add_type(ContentTypeSpec::composite("empty", &[])).is_err());
+        assert!(db
+            .add_type(ContentTypeSpec::composite("empty", &[]))
+            .is_err());
         // A fine new type.
         db.add_type(ContentTypeSpec::constant(
             "mpeg2",

@@ -14,13 +14,14 @@ use calliope_types::time::ByteRate;
 use calliope_types::wire::messages::{
     CoordEnvelope, CoordToMsu, DiskReport, DoneReason, MsuEnvelope, MsuToCoord,
 };
+use calliope_types::wire::stats::{MetricEntry, MetricValue, StatsSnapshot};
 use calliope_types::wire::{read_frame, write_frame};
 use calliope_types::MsuId;
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A running fake MSU.
 pub struct FakeMsu {
@@ -64,9 +65,15 @@ impl FakeMsu {
                 body: CoordToMsu::RegisterAck { msu, .. },
                 ..
             }) => msu,
-            other => return Err(Error::internal(format!("expected RegisterAck, got {other:?}"))),
+            other => {
+                return Err(Error::internal(format!(
+                    "expected RegisterAck, got {other:?}"
+                )))
+            }
         };
 
+        tracing::info!("fake {id}: registered {disks} disks, per-request delay {delay:?}");
+        let started = Instant::now();
         let stop = Arc::new(AtomicBool::new(false));
         let served = Arc::new(AtomicU64::new(0));
         let stop2 = Arc::clone(&stop);
@@ -95,6 +102,7 @@ impl FakeMsu {
                 let Some(env) = env else { return };
                 match env.body {
                     CoordToMsu::ScheduleRead { stream, .. } => {
+                        tracing::debug!("fake {id}: play {stream} scheduled; will terminate");
                         let writer = Arc::clone(&writer);
                         let served = Arc::clone(&served2);
                         std::thread::spawn(move || {
@@ -125,6 +133,7 @@ impl FakeMsu {
                         });
                     }
                     CoordToMsu::ScheduleWrite { stream, .. } => {
+                        tracing::debug!("fake {id}: record {stream} scheduled; will terminate");
                         let writer = Arc::clone(&writer);
                         let served = Arc::clone(&served2);
                         std::thread::spawn(move || {
@@ -135,9 +144,7 @@ impl FakeMsu {
                                 &MsuEnvelope {
                                     req_id: env.req_id,
                                     body: MsuToCoord::WriteScheduled {
-                                        udp_sink: Some(
-                                            "127.0.0.1:9".parse().expect("static addr"),
-                                        ),
+                                        udp_sink: Some("127.0.0.1:9".parse().expect("static addr")),
                                         error: None,
                                     },
                                 },
@@ -184,6 +191,26 @@ impl FakeMsu {
                             &MsuEnvelope {
                                 req_id: env.req_id,
                                 body: MsuToCoord::FileCopied { error: None },
+                            },
+                        );
+                    }
+                    CoordToMsu::GetStats => {
+                        // Even the fake MSU answers the metrics probe,
+                        // so §3.3 runs can be watched live.
+                        let snapshot = StatsSnapshot {
+                            source: id.to_string(),
+                            uptime_us: started.elapsed().as_micros() as u64,
+                            metrics: vec![MetricEntry {
+                                name: "fake.streams_served".into(),
+                                value: MetricValue::Counter(served2.load(Ordering::Relaxed)),
+                            }],
+                        };
+                        let mut w = writer.lock();
+                        let _ = write_frame(
+                            &mut *w,
+                            &MsuEnvelope {
+                                req_id: env.req_id,
+                                body: MsuToCoord::Stats { snapshot },
                             },
                         );
                     }

@@ -241,10 +241,7 @@ impl Scheduler {
     /// streams from the same group were assigned to different
     /// machines"). On success every reservation is recorded against its
     /// stream id.
-    pub fn admit_play(
-        &self,
-        wants: &[PlayWant],
-    ) -> Result<Vec<(StreamId, MsuId, DiskId)>> {
+    pub fn admit_play(&self, wants: &[PlayWant]) -> Result<Vec<(StreamId, MsuId, DiskId)>> {
         if wants.is_empty() {
             return Err(Error::internal("empty admission request"));
         }
@@ -254,7 +251,9 @@ impl Scheduler {
         candidates.dedup();
         candidates.retain(|m| {
             t.msus.get(m).is_some_and(|s| s.available)
-                && wants.iter().all(|(_, locs, _)| locs.iter().any(|(lm, _)| lm == m))
+                && wants
+                    .iter()
+                    .all(|(_, locs, _)| locs.iter().any(|(lm, _)| lm == m))
         });
 
         for msu in candidates {
@@ -272,10 +271,7 @@ impl Scheduler {
             let mut ok = true;
             for (stream, locs, bw) in wants {
                 let pick = locs.iter().find(|(lm, ld)| {
-                    *lm == msu
-                        && t.disks
-                            .get(ld)
-                            .is_some_and(|d| d.bw_free() >= *bw)
+                    *lm == msu && t.disks.get(ld).is_some_and(|d| d.bw_free() >= *bw)
                 });
                 match pick {
                     Some((_, disk)) => {
@@ -334,9 +330,9 @@ impl Scheduler {
             .collect();
         for msu in msus {
             let total_bw: u64 = wants.iter().map(|(_, bw, _)| *bw).sum();
-            if t
-                .msus
-                .get(&msu).is_none_or(|m| m.net_used + total_bw > m.net_capacity)
+            if t.msus
+                .get(&msu)
+                .is_none_or(|m| m.net_used + total_bw > m.net_capacity)
             {
                 continue;
             }
@@ -447,8 +443,18 @@ mod tests {
             MsuId(1),
             addr(),
             &[
-                (DiskId(10), 2_000_000_000, 2_000_000_000, ByteRate(2_400_000)),
-                (DiskId(11), 2_000_000_000, 2_000_000_000, ByteRate(2_400_000)),
+                (
+                    DiskId(10),
+                    2_000_000_000,
+                    2_000_000_000,
+                    ByteRate(2_400_000),
+                ),
+                (
+                    DiskId(11),
+                    2_000_000_000,
+                    2_000_000_000,
+                    ByteRate(2_400_000),
+                ),
             ],
         );
         s
@@ -482,7 +488,9 @@ mod tests {
         let locs = vec![(MsuId(1), DiskId(10))];
         let mut admitted = 0;
         for i in 0..20 {
-            if s.admit_play(&[(StreamId(i), locs.clone(), MPEG_BW)]).is_ok() {
+            if s.admit_play(&[(StreamId(i), locs.clone(), MPEG_BW)])
+                .is_ok()
+            {
                 admitted += 1;
             }
         }
@@ -497,8 +505,7 @@ mod tests {
         let mut admitted = 0;
         for i in 0..30 {
             let disk = if i % 2 == 0 { DiskId(10) } else { DiskId(11) };
-            if s
-                .admit_play(&[(StreamId(i), vec![(MsuId(1), disk)], MPEG_BW)])
+            if s.admit_play(&[(StreamId(i), vec![(MsuId(1), disk)], MPEG_BW)])
                 .is_ok()
             {
                 admitted += 1;
@@ -568,13 +575,20 @@ mod tests {
         s.mark_down(MsuId(1));
         assert!(!s.is_available(MsuId(1)));
         let locs = vec![(MsuId(1), DiskId(10))];
-        assert!(s.admit_play(&[(StreamId(1), locs.clone(), MPEG_BW)]).is_err());
+        assert!(s
+            .admit_play(&[(StreamId(1), locs.clone(), MPEG_BW)])
+            .is_err());
         // Re-registration restores it (paper: "when the MSU becomes
         // available again, it contacts the Coordinator and is restored").
         s.register_msu(
             MsuId(1),
             addr(),
-            &[(DiskId(10), 2_000_000_000, 2_000_000_000, ByteRate(2_400_000))],
+            &[(
+                DiskId(10),
+                2_000_000_000,
+                2_000_000_000,
+                ByteRate(2_400_000),
+            )],
         );
         assert!(s.is_available(MsuId(1)));
         assert!(s.admit_play(&[(StreamId(1), locs, MPEG_BW)]).is_ok());
@@ -585,9 +599,12 @@ mod tests {
         let s = std::sync::Arc::new(scheduler_with_one_msu());
         let locs = vec![(MsuId(1), DiskId(10))];
         for i in 0..12 {
-            s.admit_play(&[(StreamId(i), locs.clone(), MPEG_BW)]).unwrap();
+            s.admit_play(&[(StreamId(i), locs.clone(), MPEG_BW)])
+                .unwrap();
         }
-        assert!(s.admit_play(&[(StreamId(99), locs.clone(), MPEG_BW)]).is_err());
+        assert!(s
+            .admit_play(&[(StreamId(99), locs.clone(), MPEG_BW)])
+            .is_err());
         let gen = s.generation();
         let s2 = std::sync::Arc::clone(&s);
         let waiter = std::thread::spawn(move || {

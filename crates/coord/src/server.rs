@@ -238,6 +238,10 @@ fn msu_connection(inner: Arc<Inner>, mut stream: TcpStream) {
         }
     }
     inner.stats.note_busy(started.elapsed());
+    tracing::info!(
+        "register: {msu} up with {} disks at {ctrl_addr}",
+        disk_ids.len()
+    );
 
     // Read loop.
     stream
@@ -260,6 +264,7 @@ fn msu_connection(inner: Arc<Inner>, mut stream: TcpStream) {
         let Some(env) = env else {
             // "The Coordinator detects when one of the MSUs fails by a
             // break in the TCP connection." (§2.2)
+            tracing::warn!("{msu} connection broke; marked down");
             inner.conns.remove(msu);
             inner.sched.mark_down(msu);
             return;
@@ -281,6 +286,7 @@ fn handle_msu_notification(inner: &Inner, msg: MsuToCoord) {
         duration_us,
     } = msg
     {
+        tracing::info!("teardown: {stream} done ({bytes} bytes, {duration_us} µs)");
         inner.stats.note_stream_done();
         // Recording? Finalize the catalog entry.
         let track = inner.recordings.lock().remove(&stream);
@@ -395,6 +401,7 @@ fn dispatch(
     if let ClientRequest::Hello { client_name, admin } = &req {
         let id: SessionId = inner.ids.next();
         inner.db.lock().touch_customer(client_name, *admin);
+        tracing::info!("hello: {id} opened for client {client_name:?} (admin={admin})");
         *session = Some(Session {
             id,
             client_name: client_name.clone(),
@@ -529,9 +536,7 @@ fn handle_request(
             Ok(CoordReply::Ok)
         }
         ClientRequest::UnregisterPort { name } => {
-            sess.ports
-                .remove(&name)
-                .ok_or(Error::NoSuchPort { name })?;
+            sess.ports.remove(&name).ok_or(Error::NoSuchPort { name })?;
             Ok(CoordReply::Ok)
         }
         ClientRequest::Play { content, port } => {
@@ -542,7 +547,9 @@ fn handle_request(
             port,
             type_name,
             est_secs,
-        } => handle_record(inner, sess, stream, content, port, type_name, est_secs, waits),
+        } => handle_record(
+            inner, sess, stream, content, port, type_name, est_secs, waits,
+        ),
         ClientRequest::Delete { content } => {
             if !sess.admin {
                 return Err(Error::PermissionDenied { op: "delete" });
@@ -605,6 +612,31 @@ fn handle_request(
                 return Err(Error::PermissionDenied { op: "replicate" });
             }
             handle_replicate(inner, &content, waits)
+        }
+        ClientRequest::Stats { msu } => {
+            let mut snapshots = Vec::new();
+            match msu {
+                Some(id) => match timed_rpc(inner, waits, id, CoordToMsu::GetStats)? {
+                    MsuToCoord::Stats { snapshot } => snapshots.push(snapshot),
+                    other => return Err(Error::internal(format!("unexpected reply {other:?}"))),
+                },
+                None => {
+                    snapshots.push(inner.stats.snapshot("coordinator"));
+                    for (id, m, _) in inner.sched.snapshot() {
+                        if !m.available {
+                            continue;
+                        }
+                        // A down or slow MSU drops out of the report
+                        // rather than failing the whole request.
+                        if let Ok(MsuToCoord::Stats { snapshot }) =
+                            timed_rpc(inner, waits, id, CoordToMsu::GetStats)
+                        {
+                            snapshots.push(snapshot);
+                        }
+                    }
+                }
+            }
+            Ok(CoordReply::Stats { snapshots })
         }
         ClientRequest::AttachTrick { content, files } => {
             if !sess.admin {
@@ -798,13 +830,23 @@ fn admit_with_queue<T>(
     waits: &mut Duration,
     mut admit: impl FnMut() -> Result<T>,
 ) -> Result<T> {
+    let arrived = Instant::now();
     let mut queued_sent = false;
     loop {
         match admit() {
-            Ok(v) => return Ok(v),
+            Ok(v) => {
+                let waited = arrived.elapsed();
+                inner.stats.admissions.inc();
+                inner.stats.queue_wait_us.record(waited.as_micros() as u64);
+                if queued_sent {
+                    tracing::info!("admit: granted after queueing {waited:?}");
+                }
+                return Ok(v);
+            }
             Err(Error::ResourcesExhausted { .. }) if !inner.stop.load(Ordering::Acquire) => {
                 if !queued_sent {
                     queued_sent = true;
+                    tracing::info!("admit: resources exhausted, request queued");
                     write_frame(stream, &CoordReply::Queued)?;
                 }
                 if peer_closed(stream) {
@@ -815,7 +857,11 @@ fn admit_with_queue<T>(
                 inner.sched.wait_for_change(gen, Duration::from_millis(500));
                 *waits += t.elapsed();
             }
-            Err(e) => return Err(e),
+            Err(e) => {
+                inner.stats.rejections.inc();
+                tracing::info!("admit: rejected ({e})");
+                return Err(e);
+            }
         }
     }
 }
@@ -893,7 +939,11 @@ fn handle_play(
             .find(|l| l.msu == *msu && l.disk == *disk)
             .ok_or_else(|| Error::internal("admitted replica vanished"))?;
         let pacing = pacing_of(&specs[i])?;
-        let send_trick = if components.len() == 1 { trick.clone() } else { None };
+        let send_trick = if components.len() == 1 {
+            trick.clone()
+        } else {
+            None
+        };
         let result = timed_rpc(
             inner,
             waits,
@@ -922,9 +972,12 @@ fn handle_play(
                 inner.sched.release(*s, 0);
             }
             for done in &scheduled {
-                let _ = inner
-                    .conns
-                    .notify(*msu, CoordToMsu::Cancel { stream: done.stream });
+                let _ = inner.conns.notify(
+                    *msu,
+                    CoordToMsu::Cancel {
+                        stream: done.stream,
+                    },
+                );
             }
             return Err(e);
         }
@@ -936,6 +989,10 @@ fn handle_play(
         });
     }
     let _ = sess.id; // sessions own ports; streams outlive the check
+    tracing::info!(
+        "play: {content_name:?} admitted as {group} ({} streams)",
+        scheduled.len()
+    );
     Ok(CoordReply::PlayStarted {
         group,
         streams: scheduled,
@@ -1029,7 +1086,10 @@ fn handle_record(
             Ok(MsuToCoord::WriteScheduled { error: Some(e), .. }) => {
                 (None, Some(Error::Protocol { msg: e }))
             }
-            Ok(other) => (None, Some(Error::internal(format!("unexpected reply {other:?}")))),
+            Ok(other) => (
+                None,
+                Some(Error::internal(format!("unexpected reply {other:?}"))),
+            ),
             Err(e) => (None, Some(e)),
         };
         if let Some(e) = err {
@@ -1038,9 +1098,12 @@ fn handle_record(
                 inner.recordings.lock().remove(s);
             }
             for done in &starts {
-                let _ = inner
-                    .conns
-                    .notify(*msu, CoordToMsu::Cancel { stream: done.stream });
+                let _ = inner.conns.notify(
+                    *msu,
+                    CoordToMsu::Cancel {
+                        stream: done.stream,
+                    },
+                );
             }
             return Err(e);
         }
@@ -1082,6 +1145,10 @@ fn handle_record(
         trick: None,
     })?;
     let _ = &sess.client_name;
+    tracing::info!(
+        "record: {content_name:?} admitted as {group} ({} streams)",
+        starts.len()
+    );
     Ok(CoordReply::RecordStarted {
         group,
         streams: starts,
@@ -1146,7 +1213,10 @@ mod tests {
             }
             std::thread::sleep(Duration::from_millis(10));
         }
-        assert!(!coord.inner.sched.is_available(id), "TCP break marks it down");
+        assert!(
+            !coord.inner.sched.is_available(id),
+            "TCP break marks it down"
+        );
         coord.shutdown();
     }
 

@@ -4,23 +4,56 @@
 //! network utilization at 6%." The Coordinator tallies the CPU time it
 //! spends processing requests and the intra-server bytes it moves;
 //! utilization is busy time (or bytes) over wall-clock elapsed.
+//!
+//! All counters live in a [`calliope_obs::Registry`], so the same
+//! figures the §3.3 benchmark reads are exported over the wire by
+//! `ClientRequest::Stats` alongside the admission-control metrics
+//! (grants, rejections, and queue-wait histogram).
 
+use calliope_obs::{Counter, Histogram, Registry, LATENCY_US_BUCKETS};
+use calliope_types::wire::stats::StatsSnapshot;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// The intra-server network modeled for utilization reporting:
 /// 10 Mbit/s Ethernet, as in the paper.
 pub const INTRA_SERVER_BYTES_PER_SEC: f64 = 1.25e6;
 
+/// The three §3.3 load figures, derived together from one elapsed
+/// reading so they are mutually consistent.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Rates {
+    /// CPU utilization: busy time / elapsed time.
+    pub cpu_utilization: f64,
+    /// Network utilization against the modeled 10 Mbit/s intra-server
+    /// Ethernet.
+    pub network_utilization: f64,
+    /// Offered request rate, requests/second.
+    pub request_rate: f64,
+}
+
 /// Accumulates Coordinator load figures.
 pub struct CoordStats {
+    /// The registry every figure is registered in; snapshotted by the
+    /// `Stats` wire request.
+    pub registry: Registry,
     started: Mutex<Instant>,
+    /// Nanosecond resolution: individual requests are far shorter than
+    /// a microsecond of CPU, so a µs counter would round them all to 0.
     busy_ns: AtomicU64,
-    bytes: AtomicU64,
-    requests: AtomicU64,
-    streams_started: AtomicU64,
-    streams_done: AtomicU64,
+    bytes: Arc<Counter>,
+    requests: Arc<Counter>,
+    streams_started: Arc<Counter>,
+    streams_done: Arc<Counter>,
+    /// Admission groups granted (one per Play/Record that got through).
+    pub admissions: Arc<Counter>,
+    /// Admission requests that failed outright (bad request, MSU gone).
+    pub rejections: Arc<Counter>,
+    /// Time spent parked in the §2.2 admission queue, µs, including the
+    /// zero-wait fast path so percentiles reflect real client latency.
+    pub queue_wait_us: Arc<Histogram>,
 }
 
 impl Default for CoordStats {
@@ -32,13 +65,25 @@ impl Default for CoordStats {
 impl CoordStats {
     /// Creates zeroed statistics starting now.
     pub fn new() -> CoordStats {
+        let registry = Registry::new();
+        let bytes = registry.counter("coord.intra_net_bytes");
+        let requests = registry.counter("coord.requests");
+        let streams_started = registry.counter("coord.streams_started");
+        let streams_done = registry.counter("coord.streams_done");
+        let admissions = registry.counter("admission.granted");
+        let rejections = registry.counter("admission.rejected");
+        let queue_wait_us = registry.histogram("admission.queue_wait_us", LATENCY_US_BUCKETS);
         CoordStats {
+            registry,
             started: Mutex::new(Instant::now()),
             busy_ns: AtomicU64::new(0),
-            bytes: AtomicU64::new(0),
-            requests: AtomicU64::new(0),
-            streams_started: AtomicU64::new(0),
-            streams_done: AtomicU64::new(0),
+            bytes,
+            requests,
+            streams_started,
+            streams_done,
+            admissions,
+            rejections,
+            queue_wait_us,
         }
     }
 
@@ -47,17 +92,19 @@ impl CoordStats {
     pub fn reset(&self) {
         *self.started.lock() = Instant::now();
         self.busy_ns.store(0, Ordering::Relaxed);
-        self.bytes.store(0, Ordering::Relaxed);
-        self.requests.store(0, Ordering::Relaxed);
-        self.streams_started.store(0, Ordering::Relaxed);
-        self.streams_done.store(0, Ordering::Relaxed);
+        self.bytes.reset();
+        self.requests.reset();
+        self.streams_started.reset();
+        self.streams_done.reset();
+        self.admissions.reset();
+        self.rejections.reset();
+        self.queue_wait_us.reset();
     }
 
     /// Records one processed request and the CPU time it took.
     pub fn note_request(&self, busy: Duration) {
-        self.requests.fetch_add(1, Ordering::Relaxed);
-        self.busy_ns
-            .fetch_add(busy.as_nanos() as u64, Ordering::Relaxed);
+        self.requests.inc();
+        self.note_busy(busy);
     }
 
     /// Records CPU time outside the request path (e.g. notification
@@ -69,32 +116,32 @@ impl CoordStats {
 
     /// Records intra-server bytes moved (both directions).
     pub fn note_bytes(&self, n: usize) {
-        self.bytes.fetch_add(n as u64, Ordering::Relaxed);
+        self.bytes.add(n as u64);
     }
 
     /// Records a stream admission.
     pub fn note_stream_started(&self) {
-        self.streams_started.fetch_add(1, Ordering::Relaxed);
+        self.streams_started.inc();
     }
 
     /// Records a stream termination.
     pub fn note_stream_done(&self) {
-        self.streams_done.fetch_add(1, Ordering::Relaxed);
+        self.streams_done.inc();
     }
 
     /// Total requests processed.
     pub fn requests(&self) -> u64 {
-        self.requests.load(Ordering::Relaxed)
+        self.requests.get()
     }
 
     /// Streams started.
     pub fn streams_started(&self) -> u64 {
-        self.streams_started.load(Ordering::Relaxed)
+        self.streams_started.get()
     }
 
     /// Streams terminated.
     pub fn streams_done(&self) -> u64 {
-        self.streams_done.load(Ordering::Relaxed)
+        self.streams_done.get()
     }
 
     /// Wall-clock time since the last reset.
@@ -102,32 +149,45 @@ impl CoordStats {
         self.started.lock().elapsed()
     }
 
+    /// The §3.3 figures over the wall clock since the last reset.
+    pub fn rates(&self) -> Rates {
+        self.rates_over(self.elapsed())
+    }
+
+    /// The §3.3 figures over an injected elapsed time — the one place
+    /// the three utilization formulas live, and deterministic under
+    /// test.
+    pub fn rates_over(&self, elapsed: Duration) -> Rates {
+        let e = elapsed.as_secs_f64();
+        if e == 0.0 {
+            return Rates::default();
+        }
+        Rates {
+            cpu_utilization: self.busy_ns.load(Ordering::Relaxed) as f64 / 1e9 / e,
+            network_utilization: self.bytes.get() as f64 / INTRA_SERVER_BYTES_PER_SEC / e,
+            request_rate: self.requests.get() as f64 / e,
+        }
+    }
+
     /// CPU utilization: busy time / elapsed time.
     pub fn cpu_utilization(&self) -> f64 {
-        let e = self.elapsed().as_secs_f64();
-        if e == 0.0 {
-            return 0.0;
-        }
-        self.busy_ns.load(Ordering::Relaxed) as f64 / 1e9 / e
+        self.rates().cpu_utilization
     }
 
     /// Network utilization against the modeled 10 Mbit/s intra-server
     /// Ethernet.
     pub fn network_utilization(&self) -> f64 {
-        let e = self.elapsed().as_secs_f64();
-        if e == 0.0 {
-            return 0.0;
-        }
-        self.bytes.load(Ordering::Relaxed) as f64 / INTRA_SERVER_BYTES_PER_SEC / e
+        self.rates().network_utilization
     }
 
     /// Offered request rate, requests/second.
     pub fn request_rate(&self) -> f64 {
-        let e = self.elapsed().as_secs_f64();
-        if e == 0.0 {
-            return 0.0;
-        }
-        self.requests.load(Ordering::Relaxed) as f64 / e
+        self.rates().request_rate
+    }
+
+    /// Every registered figure in wire form, tagged with `source`.
+    pub fn snapshot(&self, source: &str) -> StatsSnapshot {
+        self.registry.snapshot(source)
     }
 }
 
@@ -141,16 +201,17 @@ mod tests {
         s.note_request(Duration::from_millis(10));
         s.note_request(Duration::from_millis(30));
         s.note_bytes(125_000);
-        std::thread::sleep(Duration::from_millis(100));
-        let cpu = s.cpu_utilization();
-        assert!(cpu > 0.0 && cpu < 1.0, "{cpu}");
-        // 40 ms busy over ≥100 ms elapsed: ≤ 40%.
-        assert!(cpu <= 0.45, "{cpu}");
-        let net = s.network_utilization();
-        // 125 kB over ≥0.1 s on a 1.25 MB/s link ⇒ ≤ 100%.
-        assert!(net > 0.0 && net <= 1.0, "{net}");
+        // Injected elapsed: no sleeping, no tolerance bands.
+        let r = s.rates_over(Duration::from_millis(100));
+        assert!((r.cpu_utilization - 0.4).abs() < 1e-9, "{r:?}");
+        // 125 kB over 0.1 s on a 1.25 MB/s link ⇒ exactly 100%.
+        assert!((r.network_utilization - 1.0).abs() < 1e-9, "{r:?}");
+        assert!((r.request_rate - 20.0).abs() < 1e-9, "{r:?}");
         assert_eq!(s.requests(), 2);
-        assert!(s.request_rate() > 0.0);
+        // Zero elapsed never divides by zero.
+        assert_eq!(s.rates_over(Duration::ZERO), Rates::default());
+        // The wall-clock path reports through the same helper.
+        assert!(s.rates().cpu_utilization > 0.0);
     }
 
     #[test]
@@ -160,10 +221,34 @@ mod tests {
         s.note_bytes(100);
         s.note_stream_started();
         s.note_stream_done();
+        s.admissions.inc();
+        s.rejections.inc();
+        s.queue_wait_us.record(300);
         s.reset();
         assert_eq!(s.requests(), 0);
         assert_eq!(s.streams_started(), 0);
         assert_eq!(s.streams_done(), 0);
+        assert_eq!(s.admissions.get(), 0);
+        assert_eq!(s.rejections.get(), 0);
+        assert_eq!(s.queue_wait_us.count(), 0);
         assert!(s.cpu_utilization() < 0.01);
+    }
+
+    #[test]
+    fn snapshot_carries_admission_metrics() {
+        let s = CoordStats::new();
+        s.admissions.inc();
+        s.admissions.inc();
+        s.rejections.inc();
+        s.queue_wait_us.record(80);
+        s.queue_wait_us.record(120_000);
+        let snap = s.snapshot("coordinator");
+        assert_eq!(snap.source, "coordinator");
+        assert_eq!(snap.counter("admission.granted"), 2);
+        assert_eq!(snap.counter("admission.rejected"), 1);
+        let wait = snap.get("admission.queue_wait_us").unwrap();
+        assert_eq!(wait.as_counter(), None, "histograms are not counters");
+        assert!(wait.quantile(0.99).unwrap() >= 120_000);
+        assert!(wait.mean().unwrap() > 0.0);
     }
 }

@@ -12,6 +12,7 @@
 //!   delete <name>             delete content (admin)
 //!   replicate <name>          copy content onto another disk (admin)
 //!   status                    scheduler resource view
+//!   stats [msu-N]             live metrics from the Coordinator and MSUs
 //! ```
 //!
 //! `play` accepts VCR commands on stdin while the stream runs:
@@ -19,7 +20,8 @@
 
 use calliope::content;
 use calliope_client::CalliopeClient;
-use calliope_types::{MediaTime, VcrCommand};
+use calliope_types::wire::stats::MetricValue;
+use calliope_types::{MediaTime, MsuId, VcrCommand};
 use std::io::BufRead;
 use std::net::{IpAddr, Ipv4Addr, SocketAddr};
 use std::time::Duration;
@@ -27,12 +29,13 @@ use std::time::Duration;
 fn usage() -> ! {
     eprintln!(
         "usage: calliope-cli --coordinator HOST:PORT [--admin] \
-         <list|types|upload|upload-trick|play|delete|replicate|status> [args…]"
+         <list|types|upload|upload-trick|play|delete|replicate|status|stats> [args…]"
     );
     std::process::exit(2);
 }
 
 fn main() {
+    calliope_obs::init_logging();
     let mut coordinator: Option<SocketAddr> = None;
     let mut admin = false;
     let mut rest: Vec<String> = Vec::new();
@@ -50,7 +53,9 @@ fn main() {
             }
         }
     }
-    let Some(coordinator) = coordinator else { usage() };
+    let Some(coordinator) = coordinator else {
+        usage()
+    };
     if rest.is_empty() {
         usage()
     }
@@ -64,6 +69,8 @@ fn main() {
         }
     };
 
+    let cmd_span = tracing::info_span!("cli", cmd = rest[0]);
+    let _guard = cmd_span.enter();
     let result = match rest[0].as_str() {
         "list" => cmd_list(&mut client),
         "types" => cmd_types(&mut client),
@@ -99,7 +106,9 @@ fn main() {
             if rest.len() != 2 {
                 usage()
             }
-            client.delete(&rest[1]).map(|()| println!("deleted {:?}", rest[1]))
+            client
+                .delete(&rest[1])
+                .map(|()| println!("deleted {:?}", rest[1]))
         }
         "replicate" => {
             if rest.len() != 2 {
@@ -131,6 +140,16 @@ fn main() {
                 }
             }
         }),
+        "stats" => {
+            let msu = match rest.get(1) {
+                None => None,
+                Some(arg) => {
+                    let digits = arg.strip_prefix("msu-").unwrap_or(arg);
+                    Some(MsuId(digits.parse().unwrap_or_else(|_| usage())))
+                }
+            };
+            cmd_stats(&mut client, msu)
+        }
         _ => usage(),
     };
     if let Err(e) = result {
@@ -163,6 +182,56 @@ fn cmd_types(client: &mut CalliopeClient) -> calliope_types::Result<()> {
     Ok(())
 }
 
+/// Formats a µs figure from a histogram bound; the overflow bucket's
+/// `u64::MAX` bound prints as the catch-all it is.
+fn fmt_us(v: u64) -> String {
+    if v == u64::MAX {
+        ">1s".into()
+    } else {
+        format!("{v}µs")
+    }
+}
+
+fn cmd_stats(client: &mut CalliopeClient, msu: Option<MsuId>) -> calliope_types::Result<()> {
+    let snaps = client.stats(msu)?;
+    if snaps.is_empty() {
+        println!("(no snapshots)");
+    }
+    for snap in snaps {
+        println!(
+            "=== {} (up {:.1}s) ===",
+            snap.source,
+            snap.uptime_us as f64 / 1e6
+        );
+        for m in &snap.metrics {
+            match &m.value {
+                MetricValue::Counter(v) => println!("  {:36} {v}", m.name),
+                MetricValue::Gauge { value, high_water } => {
+                    println!("  {:36} {value} (high water {high_water})", m.name)
+                }
+                MetricValue::Histogram { count, .. } => {
+                    let p50 = m
+                        .value
+                        .quantile(0.50)
+                        .map(fmt_us)
+                        .unwrap_or_else(|| "-".into());
+                    let p99 = m
+                        .value
+                        .quantile(0.99)
+                        .map(fmt_us)
+                        .unwrap_or_else(|| "-".into());
+                    let mean = m.value.mean().unwrap_or(0.0);
+                    println!(
+                        "  {:36} n={count} mean={mean:.0}µs p50={p50} p99={p99}",
+                        m.name
+                    );
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 fn cmd_play(client: &mut CalliopeClient, name: &str) -> calliope_types::Result<()> {
     // Look the type up so the port matches the content.
     let toc = client.list_content()?;
@@ -181,7 +250,10 @@ fn cmd_play(client: &mut CalliopeClient, name: &str) -> calliope_types::Result<(
     let port = client.open_port("cli", &entry.type_name)?;
     let mut play = client.play(name, "cli", &[&port])?;
     let stream = play.streams[0];
-    println!("playing {name:?} ({:.1}s); VCR commands on stdin: pause/play/seek <s>/ff/fb/quit", entry.duration_us as f64 / 1e6);
+    println!(
+        "playing {name:?} ({:.1}s); VCR commands on stdin: pause/play/seek <s>/ff/fb/quit",
+        entry.duration_us as f64 / 1e6
+    );
 
     // Stdin VCR loop on a side thread.
     let (tx, rx) = std::sync::mpsc::channel::<VcrCommand>();

@@ -17,6 +17,7 @@ fn usage() -> ! {
 }
 
 fn main() {
+    calliope_obs::init_logging();
     let mut cfg = CoordConfig::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -49,6 +50,13 @@ fn main() {
     println!("  client port : {}", server.client_addr);
     println!("  msu port    : {}", server.msu_addr);
     println!("(^C to stop)");
+    let main_span = tracing::info_span!("coordinator");
+    let _guard = main_span.enter();
+    tracing::info!(
+        "listening: clients on {}, MSUs on {}",
+        server.client_addr,
+        server.msu_addr
+    );
 
     // Periodic status line, forever.
     loop {

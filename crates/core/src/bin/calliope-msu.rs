@@ -25,6 +25,7 @@ fn usage() -> ! {
 }
 
 fn main() {
+    calliope_obs::init_logging();
     let mut coordinator: Option<SocketAddr> = None;
     let mut data_dir = std::path::PathBuf::from("./calliope-msu-data");
     let mut disks = 2usize;
@@ -47,7 +48,9 @@ fn main() {
             _ => usage(),
         }
     }
-    let Some(coordinator) = coordinator else { usage() };
+    let Some(coordinator) = coordinator else {
+        usage()
+    };
 
     let cfg = MsuConfig {
         coordinator,
@@ -66,9 +69,15 @@ fn main() {
     };
     println!("calliope MSU running");
     println!("  identity    : {}", server.id());
-    println!("  disks       : {disks} × {blocks} blocks under {}", data_dir.display());
+    println!(
+        "  disks       : {disks} × {blocks} blocks under {}",
+        data_dir.display()
+    );
     println!("  disk ids    : {:?}", server.disk_ids());
     println!("(^C to stop)");
+    let main_span = tracing::info_span!("msu", id = server.id());
+    let _guard = main_span.enter();
+    tracing::info!("serving: {disks} disks, tick {tick_ms} ms");
     loop {
         std::thread::sleep(Duration::from_secs(30));
         println!("status: {} active streams", server.stream_count());

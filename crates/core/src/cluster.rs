@@ -96,10 +96,7 @@ impl ClusterBuilder {
 fn scratch_dir() -> PathBuf {
     static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
     let n = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-    std::env::temp_dir().join(format!(
-        "calliope-cluster-{}-{n}",
-        std::process::id()
-    ))
+    std::env::temp_dir().join(format!("calliope-cluster-{}-{n}", std::process::id()))
 }
 
 /// A running installation: one Coordinator plus its MSUs.

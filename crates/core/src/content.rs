@@ -54,16 +54,21 @@ fn upload_packets(
             })
         }
     }
-    client.request(calliope_types::wire::messages::ClientRequest::UnregisterPort {
-        name: port_name,
-    })?;
+    client.request(
+        calliope_types::wire::messages::ClientRequest::UnregisterPort { name: port_name },
+    )?;
     wait_cataloged(client, name)
 }
 
 /// Records `secs` seconds of synthetic 1.5 Mbit/s MPEG-1 as `name`.
 /// Returns the generated stream so callers can verify playback
 /// byte-for-byte.
-pub fn upload_mpeg(client: &mut CalliopeClient, name: &str, secs: u32, seed: u64) -> Result<Vec<u8>> {
+pub fn upload_mpeg(
+    client: &mut CalliopeClient,
+    name: &str,
+    secs: u32,
+    seed: u64,
+) -> Result<Vec<u8>> {
     let stream = mpeg::generate(BitRate::from_kbps(1500), secs, seed);
     upload_mpeg_bytes(client, name, &stream)?;
     Ok(stream)

@@ -80,7 +80,11 @@ mod tests {
         let frames = parse(&ff).unwrap();
         assert_eq!(frames.len(), 4 * 30 / SKIP); // 8 frames
         for f in &frames {
-            assert_eq!(f.frame_type, FrameType::I, "every kept frame is intra-coded");
+            assert_eq!(
+                f.frame_type,
+                FrameType::I,
+                "every kept frame is intra-coded"
+            );
         }
     }
 

@@ -116,7 +116,8 @@ fn payload_bytes_per_frame(rate: BitRate, frame_type: FrameType) -> usize {
 pub fn generate(rate: BitRate, seconds: u32, seed: u64) -> Vec<u8> {
     let frames = seconds as u64 * FRAME_RATE as u64;
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut out = Vec::with_capacity(rate.as_byte_rate().bytes_per_sec() as usize * seconds as usize);
+    let mut out =
+        Vec::with_capacity(rate.as_byte_rate().bytes_per_sec() as usize * seconds as usize);
     for n in 0..frames {
         let ty = FrameType::of_frame(n);
         let len = payload_bytes_per_frame(rate, ty);
@@ -283,7 +284,10 @@ mod tests {
         stream2[4] = 99;
         assert!(parse(&stream2).is_err(), "bad frame type");
         let stream3 = generate(BitRate::from_kbps(500), 1, 3);
-        assert!(parse(&stream3[..stream3.len() - 5]).is_err(), "truncated payload");
+        assert!(
+            parse(&stream3[..stream3.len() - 5]).is_err(),
+            "truncated payload"
+        );
     }
 
     #[test]

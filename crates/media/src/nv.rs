@@ -90,7 +90,8 @@ pub fn generate(params: &NvParams, seconds: u32, seed: u64) -> Vec<TimedPacket> 
     let ssrc = rng.gen::<u32>();
     for n in 0..frames {
         let t_us = n * frame_interval_us;
-        let is_burst = params.burst_every > 0 && n % params.burst_every as u64 == params.burst_every as u64 - 1;
+        let is_burst = params.burst_every > 0
+            && n % params.burst_every as u64 == params.burst_every as u64 - 1;
         let frame_bytes = if is_burst {
             params.burst_bytes
         } else {
@@ -185,7 +186,10 @@ mod tests {
         let p = paper_files()[2];
         let pkts = generate(&p, 2, 4);
         // Find a burst: consecutive packets 1 µs apart.
-        let bursty = pkts.windows(2).filter(|w| w[1].time_us == w[0].time_us + 1).count();
+        let bursty = pkts
+            .windows(2)
+            .filter(|w| w[1].time_us == w[0].time_us + 1)
+            .count();
         assert!(bursty > pkts.len() / 2, "{bursty} of {}", pkts.len());
     }
 

@@ -15,11 +15,15 @@
 //!   and the Coordinator.
 
 use crate::disk::DiskCmd;
+use crate::metrics::MsuMetrics;
 use crate::net::NetCmd;
 use crate::stream::{GroupShared, StreamShared};
 use crate::trick::TrickMode;
 use calliope_types::error::{Error, Result};
-use calliope_types::wire::messages::{ClientToMsu, DoneReason, MsuEnvelope, MsuToClient, MsuToCoord};
+use calliope_types::wire::messages::{
+    ClientToMsu, DoneReason, MsuEnvelope, MsuToClient, MsuToCoord,
+};
+use calliope_types::wire::stats::{MetricEntry, MetricValue, StatsSnapshot};
 use calliope_types::wire::{read_frame, write_frame};
 use calliope_types::{GroupId, StreamId, VcrCommand};
 use crossbeam::channel::{unbounded, Sender};
@@ -76,6 +80,8 @@ pub struct ServerShared {
     pub net_tx: Sender<NetCmd>,
     /// Write half of the Coordinator connection.
     pub coord_conn: Mutex<Option<TcpStream>>,
+    /// MSU-wide metric handles.
+    pub metrics: Arc<MsuMetrics>,
     /// Set when the server is shutting down.
     pub stop: Arc<AtomicBool>,
 }
@@ -110,6 +116,37 @@ impl ServerShared {
             .map_err(|_| Error::internal("disk thread did not reply"))
     }
 
+    /// Snapshots the MSU-wide metrics plus per-stream delivery counters
+    /// for every live stream, sorted by name.
+    pub fn snapshot_stats(&self, source: &str) -> StatsSnapshot {
+        let mut snap = self.metrics.registry.snapshot(source);
+        {
+            let reg = self.registry.lock();
+            for (id, info) in reg.iter() {
+                let s = &info.shared.stats;
+                let prefix = format!("stream.{}", id.0);
+                snap.metrics.push(MetricEntry {
+                    name: format!("{prefix}.packets"),
+                    value: MetricValue::Counter(s.packets.load(Ordering::Relaxed)),
+                });
+                snap.metrics.push(MetricEntry {
+                    name: format!("{prefix}.bytes"),
+                    value: MetricValue::Counter(s.bytes.load(Ordering::Relaxed)),
+                });
+                snap.metrics.push(MetricEntry {
+                    name: format!("{prefix}.deadline_misses"),
+                    value: MetricValue::Counter(s.deadline_misses.load(Ordering::Relaxed)),
+                });
+                snap.metrics.push(MetricEntry {
+                    name: format!("{prefix}.max_late_us"),
+                    value: MetricValue::Counter(s.max_late_us.load(Ordering::Relaxed)),
+                });
+            }
+        }
+        snap.metrics.sort_by(|a, b| a.name.cmp(&b.name));
+        snap
+    }
+
     /// Sends a message on a group's client control connection.
     pub fn send_to_client(&self, group: &GroupInfo, msg: &MsuToClient) {
         let mut guard = group.conn.lock();
@@ -122,10 +159,20 @@ impl ServerShared {
 
     /// Tears one stream down and reports `StreamDone` with the given
     /// reason. Idempotent per stream.
-    pub fn finish_stream(&self, info: &StreamInfo, reason: DoneReason, bytes: u64, duration_us: u64) {
+    pub fn finish_stream(
+        &self,
+        info: &StreamInfo,
+        reason: DoneReason,
+        bytes: u64,
+        duration_us: u64,
+    ) {
         if info.done_sent.swap(true, Ordering::AcqRel) {
             return;
         }
+        tracing::info!(
+            "teardown: {} done ({reason:?}), {bytes} bytes in {duration_us} µs",
+            info.shared.id
+        );
         info.shared.ctl.lock().phase = crate::stream::StreamPhase::Done;
         if let Some(stop) = &info.record_stop {
             stop.store(true, Ordering::Release);
@@ -138,7 +185,12 @@ impl ServerShared {
         let _ = self.net_tx.send(NetCmd::Remove {
             stream: info.shared.id,
         });
-        self.registry.lock().remove(&info.shared.id);
+        let live = {
+            let mut reg = self.registry.lock();
+            reg.remove(&info.shared.id);
+            reg.len()
+        };
+        self.metrics.streams_active.set(live as u64);
         self.send_to_coord(&MsuEnvelope {
             req_id: 0,
             body: MsuToCoord::StreamDone {
@@ -203,6 +255,7 @@ impl ServerShared {
                 msg: format!("group {group_id} has no streams"),
             });
         }
+        tracing::info!("vcr: {cmd} on {group_id} ({} streams)", members.len());
         let now = std::time::Instant::now();
         match cmd {
             VcrCommand::Pause => {
@@ -310,7 +363,13 @@ pub fn run_group_ctrl(shared: Arc<ServerShared>, group: Arc<GroupInfo>, group_id
         let is_quit = cmd.is_terminal();
         let error = shared.apply_vcr(group_id, cmd).err().map(|e| e.to_string());
         if !is_quit {
-            shared.send_to_client(&group, &MsuToClient::VcrAck { group: group_id, error });
+            shared.send_to_client(
+                &group,
+                &MsuToClient::VcrAck {
+                    group: group_id,
+                    error,
+                },
+            );
         } else {
             return;
         }
@@ -330,6 +389,7 @@ mod tests {
             disk_txs: Vec::new(),
             net_tx,
             coord_conn: Mutex::new(None),
+            metrics: MsuMetrics::new(),
             stop: Arc::new(AtomicBool::new(false)),
         };
         let r: Result<u64> = shared.disk_rpc(0, |reply| DiskCmd::FreeBytes { reply });
@@ -345,6 +405,7 @@ mod tests {
             disk_txs: Vec::new(),
             net_tx,
             coord_conn: Mutex::new(None),
+            metrics: MsuMetrics::new(),
             stop: Arc::new(AtomicBool::new(false)),
         };
         assert!(shared.apply_vcr(GroupId(9), VcrCommand::Pause).is_err());
@@ -359,6 +420,7 @@ mod tests {
             disk_txs: Vec::new(),
             net_tx,
             coord_conn: Mutex::new(None),
+            metrics: MsuMetrics::new(),
             stop: Arc::new(AtomicBool::new(false)),
         };
         shared.send_to_coord(&MsuEnvelope {

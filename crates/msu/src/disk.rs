@@ -12,8 +12,9 @@
 //! file system for its disk, so metadata operations (stat, create,
 //! seek, trick-switch) arrive as commands with reply channels.
 
+use crate::metrics::{MsuMetrics, DISK_CYCLE_BUDGET_US};
 use crate::spsc::{Consumer, PopError, Producer, PushError};
-use crate::stream::{ActiveFile, PageBuf, StreamCtl, StreamPhase, StreamShared, raw_seek};
+use crate::stream::{raw_seek, ActiveFile, PageBuf, StreamCtl, StreamPhase, StreamShared};
 use crate::trick::{self, TrickMode};
 use calliope_proto::record::PacketRecord;
 use calliope_proto::schedule::CbrSchedule;
@@ -213,7 +214,12 @@ struct WriteIo {
 
 /// The disk thread main loop. Runs until `Shutdown` or channel
 /// disconnection.
-pub fn run(mut fs: MsuFs, rx: Receiver<DiskCmd>, events: Sender<DiskEvent>) {
+pub fn run(
+    mut fs: MsuFs,
+    rx: Receiver<DiskCmd>,
+    events: Sender<DiskEvent>,
+    metrics: Arc<MsuMetrics>,
+) {
     let geo = geometry_for(&fs);
     let mut reads: HashMap<StreamId, ReadIo> = HashMap::new();
     let mut writes: HashMap<StreamId, WriteIo> = HashMap::new();
@@ -232,6 +238,7 @@ pub fn run(mut fs: MsuFs, rx: Receiver<DiskCmd>, events: Sender<DiskEvent>) {
         }
 
         let mut progressed = false;
+        let cycle_start = Instant::now();
 
         // Duty cycle: serve read streams round-robin, one page each.
         if !order.is_empty() {
@@ -240,7 +247,7 @@ pub fn run(mut fs: MsuFs, rx: Receiver<DiskCmd>, events: Sender<DiskEvent>) {
                 let Some(io) = reads.get_mut(&id) else {
                     continue;
                 };
-                match serve_read(&mut fs, geo, io) {
+                match serve_read(&mut fs, geo, io, &metrics) {
                     Ok(true) => {
                         rr = (rr + probe + 1) % order.len();
                         if !io.primed {
@@ -267,7 +274,14 @@ pub fn run(mut fs: MsuFs, rx: Receiver<DiskCmd>, events: Sender<DiskEvent>) {
         // Drain recording rings.
         let mut finished: Vec<StreamId> = Vec::new();
         for (id, w) in writes.iter_mut() {
-            match serve_write(&mut fs, w) {
+            let write_start = Instant::now();
+            let served = serve_write(&mut fs, w);
+            if !matches!(served, Ok(ServeWrite::Idle)) {
+                metrics
+                    .disk_write_us
+                    .record(write_start.elapsed().as_micros() as u64);
+            }
+            match served {
                 Ok(ServeWrite::Progress) => progressed = true,
                 Ok(ServeWrite::Idle) => {}
                 Ok(ServeWrite::Finished { bytes, duration_us }) => {
@@ -290,6 +304,21 @@ pub fn run(mut fs: MsuFs, rx: Receiver<DiskCmd>, events: Sender<DiskEvent>) {
         }
         for id in finished {
             writes.remove(&id);
+        }
+
+        // Duty-cycle accounting: a pass that outruns the 10 ms timer
+        // granularity means this disk is oversubscribed.
+        if progressed {
+            let pass_us = cycle_start.elapsed().as_micros() as u64;
+            if pass_us > DISK_CYCLE_BUDGET_US {
+                metrics
+                    .disk_cycle_overrun_us
+                    .record(pass_us - DISK_CYCLE_BUDGET_US);
+                tracing::debug!(
+                    "duty cycle overran its budget by {} µs",
+                    pass_us - DISK_CYCLE_BUDGET_US
+                );
+            }
         }
 
         if !progressed {
@@ -472,7 +501,12 @@ fn handle_cmd(
 
 /// Serves at most one page for a read stream. Returns `Ok(true)` if a
 /// page was read.
-fn serve_read(fs: &mut MsuFs, _geo: Geometry, io: &mut ReadIo) -> Result<bool> {
+fn serve_read(
+    fs: &mut MsuFs,
+    _geo: Geometry,
+    io: &mut ReadIo,
+    metrics: &Arc<MsuMetrics>,
+) -> Result<bool> {
     if io.producer.is_full() || io.producer.is_closed() {
         return Ok(false);
     }
@@ -506,7 +540,11 @@ fn serve_read(fs: &mut MsuFs, _geo: Geometry, io: &mut ReadIo) -> Result<bool> {
     };
 
     let mut data = vec![0u8; fs.block_size()];
+    let read_start = Instant::now();
     fs.read_page(&file, page_idx, &mut data)?;
+    metrics
+        .disk_read_us
+        .record(read_start.elapsed().as_micros() as u64);
     let buf = PageBuf {
         gen,
         index: page_idx,
@@ -546,7 +584,11 @@ fn serve_write(fs: &mut MsuFs, w: &mut WriteIo) -> Result<ServeWrite> {
                 }
             }
             Err(PopError::Empty) => {
-                return Ok(if any { ServeWrite::Progress } else { ServeWrite::Idle })
+                return Ok(if any {
+                    ServeWrite::Progress
+                } else {
+                    ServeWrite::Idle
+                })
             }
             Err(PopError::Closed) => {
                 let (bytes, duration_us) = sink_finish(fs, w)?;
@@ -723,17 +765,15 @@ mod tests {
         let fs = test_fs();
         let (tx, rx) = unbounded();
         let (etx, erx) = unbounded();
-        let h = std::thread::spawn(move || run(fs, rx, etx));
+        let h = std::thread::spawn(move || run(fs, rx, etx, MsuMetrics::new()));
         (tx, erx, h)
     }
 
-    fn rpc<T: Send + 'static>(
-        tx: &Sender<DiskCmd>,
-        make: impl FnOnce(Sender<T>) -> DiskCmd,
-    ) -> T {
+    fn rpc<T: Send + 'static>(tx: &Sender<DiskCmd>, make: impl FnOnce(Sender<T>) -> DiskCmd) -> T {
         let (rtx, rrx) = unbounded();
         tx.send(make(rtx)).unwrap();
-        rrx.recv_timeout(Duration::from_secs(5)).expect("disk thread reply")
+        rrx.recv_timeout(Duration::from_secs(5))
+            .expect("disk thread reply")
     }
 
     fn make_stream(id: u64, file: ActiveFile) -> Arc<StreamShared> {
@@ -766,14 +806,17 @@ mod tests {
         });
         r.unwrap();
         // Feed through the write path.
-        let shared = make_stream(999, ActiveFile {
-            name: name.into(),
-            kind: FileKind::Raw,
-            pages: 0,
-            len_bytes: 0,
-            root: vec![],
-            duration_us: 0,
-        });
+        let shared = make_stream(
+            999,
+            ActiveFile {
+                name: name.into(),
+                kind: FileKind::Raw,
+                pages: 0,
+                len_bytes: 0,
+                root: vec![],
+                duration_us: 0,
+            },
+        );
         let (mut p, c) = spsc::ring(64);
         tx.send(DiskCmd::AddWrite {
             shared,
@@ -848,7 +891,11 @@ mod tests {
                     got.extend_from_slice(&buf.data[buf.skip..buf.valid]);
                 }
                 Err(PopError::Empty) => {
-                    assert!(Instant::now() < deadline, "timed out with {} bytes", got.len());
+                    assert!(
+                        Instant::now() < deadline,
+                        "timed out with {} bytes",
+                        got.len()
+                    );
                     std::thread::sleep(Duration::from_millis(1));
                 }
                 Err(PopError::Closed) => break,
@@ -875,7 +922,10 @@ mod tests {
         let content = vec![7u8; BS * 4];
         write_raw_content(&tx, "f", &content);
         erx.recv_timeout(Duration::from_secs(5)).unwrap();
-        let file: Result<ActiveFile> = rpc(&tx, |reply| DiskCmd::Stat { name: "f".into(), reply });
+        let file: Result<ActiveFile> = rpc(&tx, |reply| DiskCmd::Stat {
+            name: "f".into(),
+            reply,
+        });
         let file = file.unwrap();
 
         let shared = make_stream(2, file);
@@ -926,7 +976,10 @@ mod tests {
         let (tx, erx, _h) = spawn_disk();
         write_raw_content(&tx, "g", &vec![1u8; 2000]);
         erx.recv_timeout(Duration::from_secs(5)).unwrap();
-        let file: Result<ActiveFile> = rpc(&tx, |reply| DiskCmd::Stat { name: "g".into(), reply });
+        let file: Result<ActiveFile> = rpc(&tx, |reply| DiskCmd::Stat {
+            name: "g".into(),
+            reply,
+        });
         let shared = make_stream(3, file.unwrap());
         let group = GroupShared::new(GroupId(3), 1);
         let (p, _c) = spsc::ring(2);
@@ -954,7 +1007,10 @@ mod tests {
         write_raw_content(&tx, "n.ff", &vec![2u8; BS]);
         erx.recv_timeout(Duration::from_secs(5)).unwrap();
 
-        let file: Result<ActiveFile> = rpc(&tx, |reply| DiskCmd::Stat { name: "n".into(), reply });
+        let file: Result<ActiveFile> = rpc(&tx, |reply| DiskCmd::Stat {
+            name: "n".into(),
+            reply,
+        });
         let shared = make_stream(4, file.unwrap());
         let group = GroupShared::new(GroupId(4), 1);
         let (p, _c) = spsc::ring(2);
@@ -1007,14 +1063,17 @@ mod tests {
             reply,
         });
         r.unwrap();
-        let shared = make_stream(5, ActiveFile {
-            name: "vbr".into(),
-            kind: FileKind::IbTree,
-            pages: 0,
-            len_bytes: 0,
-            root: vec![],
-            duration_us: 0,
-        });
+        let shared = make_stream(
+            5,
+            ActiveFile {
+                name: "vbr".into(),
+                kind: FileKind::IbTree,
+                pages: 0,
+                len_bytes: 0,
+                root: vec![],
+                duration_us: 0,
+            },
+        );
         let (mut p, c) = spsc::ring(64);
         tx.send(DiskCmd::AddWrite {
             shared,
@@ -1041,13 +1100,18 @@ mod tests {
         }
         drop(p);
         match erx.recv_timeout(Duration::from_secs(5)).unwrap() {
-            DiskEvent::RecordFinished { bytes, duration_us, .. } => {
+            DiskEvent::RecordFinished {
+                bytes, duration_us, ..
+            } => {
                 assert_eq!(bytes, 200 * 120);
                 assert_eq!(duration_us, 199 * 20_000);
             }
             other => panic!("{other:?}"),
         }
-        let file: Result<ActiveFile> = rpc(&tx, |reply| DiskCmd::Stat { name: "vbr".into(), reply });
+        let file: Result<ActiveFile> = rpc(&tx, |reply| DiskCmd::Stat {
+            name: "vbr".into(),
+            reply,
+        });
         let file = file.unwrap();
         assert!(file.pages > 0);
         assert!(!file.root.is_empty(), "IB-tree root recorded");

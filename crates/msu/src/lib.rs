@@ -35,6 +35,7 @@
 pub mod config;
 pub mod control;
 pub mod disk;
+pub mod metrics;
 pub mod net;
 pub mod pacer;
 pub mod packetize;

@@ -1,0 +1,91 @@
+//! MSU-wide metric handles.
+//!
+//! One [`MsuMetrics`] is built at server start and shared (via `Arc`)
+//! with every disk thread, the network thread, and each recording
+//! receiver. The handles are pre-registered so the hot paths never
+//! touch the registry lock — each update is a relaxed atomic on an
+//! already-resolved `Arc`.
+
+use calliope_obs::{Counter, Gauge, Histogram, Registry, LATENCY_US_BUCKETS};
+use std::sync::Arc;
+
+/// Time budget for one disk duty-cycle pass: the paper's 10 ms timer
+/// granularity. A pass that runs longer than this records the overrun.
+pub const DISK_CYCLE_BUDGET_US: u64 = 10_000;
+
+/// Pre-registered metric handles for one MSU.
+pub struct MsuMetrics {
+    /// The registry backing every handle (snapshot source).
+    pub registry: Registry,
+    /// Media packets transmitted by the network thread.
+    pub packets_sent: Arc<Counter>,
+    /// Payload bytes transmitted.
+    pub bytes_sent: Arc<Counter>,
+    /// Packets sent more than one pacing tick behind schedule.
+    pub deadline_misses: Arc<Counter>,
+    /// Send lateness relative to the pacing deadline, µs.
+    pub send_lateness_us: Arc<Histogram>,
+    /// Packets received by recording receivers.
+    pub packets_recorded: Arc<Counter>,
+    /// Payload bytes received by recording receivers.
+    pub bytes_recorded: Arc<Counter>,
+    /// Service time of one page read off a disk, µs.
+    pub disk_read_us: Arc<Histogram>,
+    /// Service time of one recording-drain batch, µs.
+    pub disk_write_us: Arc<Histogram>,
+    /// Amount by which a disk duty-cycle pass exceeded its budget, µs.
+    pub disk_cycle_overrun_us: Arc<Histogram>,
+    /// Play-ring (page queue) depth; high-water is the interesting part.
+    pub play_ring_depth: Arc<Gauge>,
+    /// Record-ring depth; high-water is the interesting part.
+    pub record_ring_depth: Arc<Gauge>,
+    /// Live streams in the control-plane registry.
+    pub streams_active: Arc<Gauge>,
+}
+
+impl MsuMetrics {
+    /// Builds the registry and resolves every handle.
+    pub fn new() -> Arc<MsuMetrics> {
+        let registry = Registry::new();
+        let m = MsuMetrics {
+            packets_sent: registry.counter("net.packets_sent"),
+            bytes_sent: registry.counter("net.bytes_sent"),
+            deadline_misses: registry.counter("net.deadline_misses"),
+            send_lateness_us: registry.histogram("net.send_lateness_us", LATENCY_US_BUCKETS),
+            packets_recorded: registry.counter("net.packets_recorded"),
+            bytes_recorded: registry.counter("net.bytes_recorded"),
+            disk_read_us: registry.histogram("disk.read_service_us", LATENCY_US_BUCKETS),
+            disk_write_us: registry.histogram("disk.write_service_us", LATENCY_US_BUCKETS),
+            disk_cycle_overrun_us: registry.histogram("disk.cycle_overrun_us", LATENCY_US_BUCKETS),
+            play_ring_depth: registry.gauge("spsc.play_ring_depth"),
+            record_ring_depth: registry.gauge("spsc.record_ring_depth"),
+            streams_active: registry.gauge("streams.active"),
+            registry,
+        };
+        Arc::new(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calliope_types::wire::stats::MetricValue;
+
+    #[test]
+    fn handles_feed_the_registry_snapshot() {
+        let m = MsuMetrics::new();
+        m.packets_sent.add(7);
+        m.send_lateness_us.record(1_200);
+        m.play_ring_depth.observe_peak(2);
+        let snap = m.registry.snapshot("msu-0");
+        assert_eq!(snap.counter("net.packets_sent"), 7);
+        match snap.get("net.send_lateness_us") {
+            Some(MetricValue::Histogram { count, .. }) => assert_eq!(*count, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        match snap.get("spsc.play_ring_depth") {
+            Some(MetricValue::Gauge { high_water, .. }) => assert_eq!(*high_water, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -16,9 +16,10 @@
 //! derives delivery times, §2.3.2), and pushes the records into the
 //! ring the disk process drains.
 
+use crate::metrics::MsuMetrics;
 use crate::pacer::Pacer;
 use crate::spsc::{Consumer, PopError, Producer, PushError};
-use crate::stream::{GroupShared, PageBuf, StreamPhase, StreamShared};
+use crate::stream::{GroupShared, PageBuf, StreamPhase, StreamShared, DEADLINE_MISS_US};
 use calliope_proto::module::ProtocolModule;
 use calliope_proto::record::PacketRecord;
 use calliope_proto::schedule::CbrSchedule;
@@ -93,47 +94,19 @@ struct PlayIo {
 }
 
 /// The network thread main loop.
-pub fn run(socket: UdpSocket, tick: Duration, rx: Receiver<NetCmd>, events: Sender<NetEvent>) {
+pub fn run(
+    socket: UdpSocket,
+    tick: Duration,
+    rx: Receiver<NetCmd>,
+    events: Sender<NetEvent>,
+    metrics: Arc<MsuMetrics>,
+) {
     let mut plays: HashMap<StreamId, PlayIo> = HashMap::new();
     loop {
         loop {
             match rx.try_recv() {
                 Ok(NetCmd::Shutdown) => return,
-                Ok(NetCmd::AddPlay {
-                    shared,
-                    group,
-                    consumer,
-                    dest,
-                    pacing,
-                    geometry,
-                }) => {
-                    let packetizer = match pacing {
-                        PacingSpec::Constant { rate, packet_bytes } => Some(
-                            crate::packetize::CbrPacketizer::new(CbrSchedule::new(rate, packet_bytes)),
-                        ),
-                        PacingSpec::Stored => None,
-                    };
-                    plays.insert(
-                        shared.id,
-                        PlayIo {
-                            shared,
-                            group,
-                            consumer,
-                            dest,
-                            geometry,
-                            packetizer,
-                            queue: VecDeque::new(),
-                            local_gen: 0,
-                            skip_until: MediaTime::ZERO,
-                            wire_seq: 0,
-                            flushed: false,
-                            finished: false,
-                        },
-                    );
-                }
-                Ok(NetCmd::Remove { stream }) => {
-                    plays.remove(&stream);
-                }
+                Ok(cmd) => handle_inline(cmd, &mut plays, &metrics),
                 Err(crossbeam::channel::TryRecvError::Empty) => break,
                 Err(crossbeam::channel::TryRecvError::Disconnected) => return,
             }
@@ -142,7 +115,7 @@ pub fn run(socket: UdpSocket, tick: Duration, rx: Receiver<NetCmd>, events: Send
         let now = Instant::now();
         let mut done: Vec<StreamId> = Vec::new();
         for (id, io) in plays.iter_mut() {
-            if service_play(&socket, io, now, &events) {
+            if service_play(&socket, io, now, &events, &metrics) {
                 done.push(*id);
             }
         }
@@ -158,7 +131,7 @@ pub fn run(socket: UdpSocket, tick: Duration, rx: Receiver<NetCmd>, events: Send
             Ok(cmd) => {
                 // Re-queue by handling inline on the next iteration: the
                 // simplest is to process it here.
-                handle_inline(cmd, &mut plays);
+                handle_inline(cmd, &mut plays, &metrics);
             }
             Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
             Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
@@ -166,7 +139,7 @@ pub fn run(socket: UdpSocket, tick: Duration, rx: Receiver<NetCmd>, events: Send
     }
 }
 
-fn handle_inline(cmd: NetCmd, plays: &mut HashMap<StreamId, PlayIo>) {
+fn handle_inline(cmd: NetCmd, plays: &mut HashMap<StreamId, PlayIo>, metrics: &Arc<MsuMetrics>) {
     match cmd {
         NetCmd::AddPlay {
             shared,
@@ -182,6 +155,7 @@ fn handle_inline(cmd: NetCmd, plays: &mut HashMap<StreamId, PlayIo>) {
                 ),
                 PacingSpec::Stored => None,
             };
+            tracing::debug!("play stream {} delivering to {dest}", shared.id);
             plays.insert(
                 shared.id,
                 PlayIo {
@@ -201,7 +175,11 @@ fn handle_inline(cmd: NetCmd, plays: &mut HashMap<StreamId, PlayIo>) {
             );
         }
         NetCmd::Remove { stream } => {
-            plays.remove(&stream);
+            if let Some(io) = plays.remove(&stream) {
+                metrics
+                    .play_ring_depth
+                    .observe_peak(io.consumer.high_water() as u64);
+            }
         }
         NetCmd::Shutdown => {}
     }
@@ -213,6 +191,7 @@ fn service_play(
     io: &mut PlayIo,
     now: Instant,
     events: &Sender<NetEvent>,
+    metrics: &Arc<MsuMetrics>,
 ) -> bool {
     // Snapshot the control block.
     let (phase, gen, start_seq, skip_until_us, eof, pacer, kind): (
@@ -323,7 +302,21 @@ fn service_play(
         // client's sequence numbers expose the loss.
         let _ = socket.send_to(&datagram, io.dest);
         io.shared.stats.note_packet(pkt.payload.len(), late_us);
+        metrics.packets_sent.inc();
+        metrics.bytes_sent.add(pkt.payload.len() as u64);
+        metrics.send_lateness_us.record(late_us);
+        if late_us > DEADLINE_MISS_US {
+            metrics.deadline_misses.inc();
+            tracing::trace!(
+                "deadline miss: stream {} packet at {} was {late_us} µs late",
+                io.shared.id,
+                pkt.offset
+            );
+        }
     }
+    metrics
+        .play_ring_depth
+        .observe_peak(io.consumer.high_water() as u64);
 
     // End of stream: flush the final short packet, then the marker.
     if eof && io.queue.is_empty() && io.consumer.is_empty() && pacer.is_playing() {
@@ -373,6 +366,7 @@ pub fn spawn_record_receiver(
     mut module: Box<dyn ProtocolModule>,
     mut producer: Producer<PacketRecord>,
     stop: Arc<AtomicBool>,
+    metrics: Arc<MsuMetrics>,
 ) -> std::thread::JoinHandle<()> {
     std::thread::spawn(move || {
         socket
@@ -407,6 +401,8 @@ pub fn spawn_record_receiver(
                 Err(_) => continue,
             };
             shared.stats.note_packet(record.payload.len(), 0);
+            metrics.packets_recorded.inc();
+            metrics.bytes_recorded.add(record.payload.len() as u64);
             let mut rec = record;
             loop {
                 match producer.push(rec) {
@@ -415,10 +411,18 @@ pub fn spawn_record_receiver(
                         rec = back;
                         std::thread::sleep(Duration::from_micros(200));
                     }
-                    Err(PushError::Closed(_)) => return,
+                    Err(PushError::Closed(_)) => {
+                        metrics
+                            .record_ring_depth
+                            .observe_peak(producer.high_water() as u64);
+                        return;
+                    }
                 }
             }
         }
+        metrics
+            .record_ring_depth
+            .observe_peak(producer.high_water() as u64);
         // Producer drops here: the disk process finalizes the file.
     })
 }
@@ -461,8 +465,14 @@ mod tests {
         })
     }
 
-    fn recv_all(socket: &UdpSocket, until_eos: bool, timeout: Duration) -> Vec<(DataHeader, Vec<u8>)> {
-        socket.set_read_timeout(Some(Duration::from_millis(100))).unwrap();
+    fn recv_all(
+        socket: &UdpSocket,
+        until_eos: bool,
+        timeout: Duration,
+    ) -> Vec<(DataHeader, Vec<u8>)> {
+        socket
+            .set_read_timeout(Some(Duration::from_millis(100)))
+            .unwrap();
         let mut out = Vec::new();
         let deadline = Instant::now() + timeout;
         let mut buf = vec![0u8; 65536];
@@ -487,7 +497,7 @@ mod tests {
         let (tx, rx) = unbounded();
         let (etx, erx) = unbounded();
         let tick = Duration::from_millis(2);
-        let net = std::thread::spawn(move || run(send_sock, tick, rx, etx));
+        let net = std::thread::spawn(move || run(send_sock, tick, rx, etx, MsuMetrics::new()));
 
         // 2.5 pages of content at a fast rate.
         let page = 4096usize;
@@ -542,7 +552,10 @@ mod tests {
         let pkts = recv_all(&client, true, Duration::from_secs(10));
         let eos = pkts.last().unwrap();
         assert_eq!(eos.0.kind, PacketKind::EndOfStream);
-        let media: Vec<_> = pkts.iter().filter(|(h, _)| h.kind == PacketKind::Media).collect();
+        let media: Vec<_> = pkts
+            .iter()
+            .filter(|(h, _)| h.kind == PacketKind::Media)
+            .collect();
         let total: usize = media.iter().map(|(_, p)| p.len()).sum();
         assert_eq!(total as u64, len, "every byte delivered");
         // Sequence numbers are dense.
@@ -567,7 +580,15 @@ mod tests {
         let dest = client.local_addr().unwrap();
         let (tx, rx) = unbounded();
         let (etx, _erx) = unbounded();
-        let net = std::thread::spawn(move || run(send_sock, Duration::from_millis(2), rx, etx));
+        let net = std::thread::spawn(move || {
+            run(
+                send_sock,
+                Duration::from_millis(2),
+                rx,
+                etx,
+                MsuMetrics::new(),
+            )
+        });
 
         let shared = mk_stream(9, FileKind::Raw, 1, 1000);
         let group = GroupShared::new(GroupId(9), 2); // expects TWO members
@@ -618,7 +639,15 @@ mod tests {
         let dest = client.local_addr().unwrap();
         let (tx, rx) = unbounded();
         let (etx, _erx) = unbounded();
-        let net = std::thread::spawn(move || run(send_sock, Duration::from_millis(2), rx, etx));
+        let net = std::thread::spawn(move || {
+            run(
+                send_sock,
+                Duration::from_millis(2),
+                rx,
+                etx,
+                MsuMetrics::new(),
+            )
+        });
 
         let shared = mk_stream(11, FileKind::Raw, 2, 2000);
         // Pretend a seek already happened: current gen is 1.
@@ -666,9 +695,15 @@ mod tests {
         shared.ctl.lock().eof = true;
 
         let pkts = recv_all(&client, true, Duration::from_secs(5));
-        let media: Vec<_> = pkts.iter().filter(|(h, _)| h.kind == PacketKind::Media).collect();
+        let media: Vec<_> = pkts
+            .iter()
+            .filter(|(h, _)| h.kind == PacketKind::Media)
+            .collect();
         assert_eq!(media.len(), 1);
-        assert!(media[0].1.iter().all(|&b| b == 0xBB), "only the gen-1 page plays");
+        assert!(
+            media[0].1.iter().all(|&b| b == 0xBB),
+            "only the gen-1 page plays"
+        );
         tx.send(NetCmd::Shutdown).unwrap();
         net.join().unwrap();
     }
@@ -684,7 +719,14 @@ mod tests {
             calliope_types::content::ProtocolId::ConstantRate,
             Some(BitRate::from_kbps(64)),
         );
-        let h = spawn_record_receiver(sink, Arc::clone(&shared), module, producer, Arc::clone(&stop));
+        let h = spawn_record_receiver(
+            sink,
+            Arc::clone(&shared),
+            module,
+            producer,
+            Arc::clone(&stop),
+            MsuMetrics::new(),
+        );
 
         let client = UdpSocket::bind("127.0.0.1:0").unwrap();
         for seq in 0..5u32 {
@@ -718,9 +760,16 @@ mod tests {
             }
         }
         assert_eq!(records.len(), 5);
-        assert_eq!(records[0].offset, MediaTime::ZERO, "first packet is time zero");
+        assert_eq!(
+            records[0].offset,
+            MediaTime::ZERO,
+            "first packet is time zero"
+        );
         for w in records.windows(2) {
-            assert!(w[1].offset >= w[0].offset, "arrival-derived schedule is monotone");
+            assert!(
+                w[1].offset >= w[0].offset,
+                "arrival-derived schedule is monotone"
+            );
         }
         assert_eq!(shared.stats.packets.load(Ordering::Relaxed), 5);
     }
@@ -736,7 +785,14 @@ mod tests {
             calliope_types::content::ProtocolId::ConstantRate,
             None,
         );
-        let h = spawn_record_receiver(sink, shared, module, producer, Arc::clone(&stop));
+        let h = spawn_record_receiver(
+            sink,
+            shared,
+            module,
+            producer,
+            Arc::clone(&stop),
+            MsuMetrics::new(),
+        );
         let client = UdpSocket::bind("127.0.0.1:0").unwrap();
         client.send_to(b"not a calliope packet", sink_addr).unwrap();
         // A packet for a different stream id.
@@ -746,7 +802,9 @@ mod tests {
             offset: MediaTime::ZERO,
             kind: PacketKind::Media,
         };
-        client.send_to(&foreign.encode_packet(&[1; 10]), sink_addr).unwrap();
+        client
+            .send_to(&foreign.encode_packet(&[1; 10]), sink_addr)
+            .unwrap();
         std::thread::sleep(Duration::from_millis(50));
         stop.store(true, Ordering::Release);
         h.join().unwrap();

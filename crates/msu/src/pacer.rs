@@ -179,7 +179,10 @@ mod tests {
         assert_eq!(d, base + ms(520));
         // Double pause/resume are idempotent.
         p.resume(base + ms(600));
-        assert_eq!(p.deadline(MediaTime::from_millis(120)).unwrap(), base + ms(520));
+        assert_eq!(
+            p.deadline(MediaTime::from_millis(120)).unwrap(),
+            base + ms(520)
+        );
     }
 
     #[test]

@@ -12,6 +12,7 @@
 use crate::config::MsuConfig;
 use crate::control::{run_group_ctrl, GroupInfo, ServerShared, StreamInfo};
 use crate::disk::{self, DiskCmd, DiskEvent, TrickNames};
+use crate::metrics::MsuMetrics;
 use crate::net::{self, NetCmd, NetEvent};
 use crate::spsc;
 use crate::stream::{ActiveFile, GroupShared, StreamCtl, StreamPhase, StreamShared};
@@ -84,6 +85,7 @@ impl MsuServer {
         }
 
         // Channels and threads.
+        let metrics = MsuMetrics::new();
         let (events_tx, events_rx) = unbounded::<ServerEvent>();
         let mut disk_txs = Vec::new();
         let mut handles = Vec::new();
@@ -98,7 +100,8 @@ impl MsuServer {
                     }
                 }
             }));
-            handles.push(std::thread::spawn(move || disk::run(fs, rx, dtx)));
+            let dm = Arc::clone(&metrics);
+            handles.push(std::thread::spawn(move || disk::run(fs, rx, dtx, dm)));
             disk_txs.push(tx);
         }
         let (net_tx, net_rx) = unbounded::<NetCmd>();
@@ -114,8 +117,9 @@ impl MsuServer {
                 }
             }));
             let tick = cfg.net_tick;
+            let nm = Arc::clone(&metrics);
             handles.push(std::thread::spawn(move || {
-                net::run(send_socket, tick, net_rx, ntx)
+                net::run(send_socket, tick, net_rx, ntx, nm)
             }));
         }
 
@@ -125,11 +129,17 @@ impl MsuServer {
             disk_txs,
             net_tx,
             coord_conn: Mutex::new(None),
+            metrics,
             stop: Arc::clone(&stop),
         });
 
         // Register with the Coordinator.
         let (conn, msu_id, ids) = register(&cfg, &reports, cfg.previous_id)?;
+        tracing::info!(
+            "register: {msu_id} up with {} disks at {}",
+            ids.len(),
+            cfg.coordinator
+        );
         *shared.coord_conn.lock() = Some(conn.try_clone()?);
         let disk_ids = Arc::new(Mutex::new(ids));
 
@@ -382,7 +392,7 @@ fn coordinator_loop(
             continue;
         };
 
-        let reply = handle_coord_request(&shared, &cfg, &disk_ids, &events_tx, env.body);
+        let reply = handle_coord_request(&shared, &cfg, &disk_ids, &events_tx, msu_id, env.body);
         match reply {
             Some(body) => shared.send_to_coord(&MsuEnvelope {
                 req_id: env.req_id,
@@ -413,11 +423,15 @@ fn handle_coord_request(
     cfg: &MsuConfig,
     disk_ids: &Arc<Mutex<Vec<DiskId>>>,
     events_tx: &Sender<ServerEvent>,
+    msu_id: MsuId,
     body: CoordToMsu,
 ) -> Option<MsuToCoord> {
     match body {
         CoordToMsu::RegisterAck { .. } => None, // handshake artifact; ignore
         CoordToMsu::Ping => Some(MsuToCoord::Pong),
+        CoordToMsu::GetStats => Some(MsuToCoord::Stats {
+            snapshot: shared.snapshot_stats(&msu_id.to_string()),
+        }),
         CoordToMsu::CopyFile {
             src_disk,
             dst_disk,
@@ -465,8 +479,17 @@ fn handle_coord_request(
             trick,
         } => {
             let error = schedule_read(
-                shared, disk_ids, stream, group, group_size, disk, file, pacing, client_data,
-                client_ctrl, trick,
+                shared,
+                disk_ids,
+                stream,
+                group,
+                group_size,
+                disk,
+                file,
+                pacing,
+                client_data,
+                client_ctrl,
+                trick,
             )
             .err()
             .map(|e| e.to_string());
@@ -626,7 +649,10 @@ fn schedule_read(
         (PacingSpec::Stored, FileKind::IbTree) => None,
         _ => {
             return Err(Error::Protocol {
-                msg: format!("pacing {pacing:?} does not match file kind {:?}", active.kind),
+                msg: format!(
+                    "pacing {pacing:?} does not match file kind {:?}",
+                    active.kind
+                ),
             })
         }
     };
@@ -678,18 +704,24 @@ fn schedule_read(
         })
         .map_err(|_| Error::internal("net thread gone"))?;
 
-    shared.registry.lock().insert(
-        stream,
-        Arc::new(StreamInfo {
-            shared: stream_shared,
-            group: ginfo.shared.clone(),
-            disk: local,
-            is_record: false,
-            record_stop: None,
-            quit_reason: Mutex::new(None),
-            done_sent: AtomicBool::new(false),
-        }),
-    );
+    let live = {
+        let mut reg = shared.registry.lock();
+        reg.insert(
+            stream,
+            Arc::new(StreamInfo {
+                shared: stream_shared,
+                group: ginfo.shared.clone(),
+                disk: local,
+                is_record: false,
+                record_stop: None,
+                quit_reason: Mutex::new(None),
+                done_sent: AtomicBool::new(false),
+            }),
+        );
+        reg.len()
+    };
+    shared.metrics.streams_active.set(live as u64);
+    tracing::info!("play: {stream} ({group}) reading {file:?} from disk {local} to {client_data}");
     Ok(())
 }
 
@@ -768,20 +800,33 @@ fn schedule_write(
 
     let stop = Arc::new(AtomicBool::new(false));
     let module = proto_registry(protocol, cbr_rate);
-    net::spawn_record_receiver(sink, Arc::clone(&stream_shared), module, producer, Arc::clone(&stop));
-
-    shared.registry.lock().insert(
-        stream,
-        Arc::new(StreamInfo {
-            shared: stream_shared,
-            group: ginfo.shared.clone(),
-            disk: local,
-            is_record: true,
-            record_stop: Some(stop),
-            quit_reason: Mutex::new(None),
-            done_sent: AtomicBool::new(false),
-        }),
+    net::spawn_record_receiver(
+        sink,
+        Arc::clone(&stream_shared),
+        module,
+        producer,
+        Arc::clone(&stop),
+        Arc::clone(&shared.metrics),
     );
+
+    let live = {
+        let mut reg = shared.registry.lock();
+        reg.insert(
+            stream,
+            Arc::new(StreamInfo {
+                shared: stream_shared,
+                group: ginfo.shared.clone(),
+                disk: local,
+                is_record: true,
+                record_stop: Some(stop),
+                quit_reason: Mutex::new(None),
+                done_sent: AtomicBool::new(false),
+            }),
+        );
+        reg.len()
+    };
+    shared.metrics.streams_active.set(live as u64);
+    tracing::info!("record: {stream} ({group}) to disk {local}, sink {sink_addr}");
 
     // A recording is "primed" as soon as its sink exists.
     if ginfo.shared.prime(stream) {

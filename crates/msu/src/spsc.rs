@@ -27,6 +27,9 @@ struct Ring<T> {
     head: AtomicUsize,
     /// Next slot the consumer will read.
     tail: AtomicUsize,
+    /// Deepest occupancy ever observed (queue-depth high-water mark,
+    /// maintained by the producer on every push).
+    watermark: AtomicUsize,
     /// Set when either side is dropped.
     closed: AtomicBool,
 }
@@ -55,6 +58,7 @@ pub fn ring<T: Send>(capacity: usize) -> (Producer<T>, Consumer<T>) {
             .collect(),
         head: AtomicUsize::new(0),
         tail: AtomicUsize::new(0),
+        watermark: AtomicUsize::new(0),
         closed: AtomicBool::new(false),
     });
     (
@@ -108,7 +112,15 @@ impl<T: Send> Producer<T> {
             (*slot.get()).write(value);
         }
         self.ring.head.store(head + 1, Ordering::Release);
+        self.ring
+            .watermark
+            .fetch_max(head + 1 - tail, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// Deepest occupancy the ring has ever reached.
+    pub fn high_water(&self) -> usize {
+        self.ring.watermark.load(Ordering::Relaxed)
     }
 
     /// Number of items currently buffered.
@@ -184,6 +196,11 @@ impl<T: Send> Consumer<T> {
     /// True if the producer has been dropped (items may still remain).
     pub fn is_closed(&self) -> bool {
         self.ring.closed.load(Ordering::Acquire)
+    }
+
+    /// Deepest occupancy the ring has ever reached.
+    pub fn high_water(&self) -> usize {
+        self.ring.watermark.load(Ordering::Relaxed)
     }
 }
 
@@ -360,5 +377,26 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
         let _ = ring::<u8>(0);
+    }
+
+    #[test]
+    fn watermark_tracks_peak_depth() {
+        let (mut p, mut c) = ring::<u8>(8);
+        assert_eq!(p.high_water(), 0);
+        p.push(1).unwrap();
+        p.push(2).unwrap();
+        p.push(3).unwrap();
+        assert_eq!(p.high_water(), 3);
+        c.pop().unwrap();
+        c.pop().unwrap();
+        // Draining does not lower the mark.
+        assert_eq!(c.high_water(), 3);
+        p.push(4).unwrap();
+        // Depth only reached 2 here; the mark stays at its peak.
+        assert_eq!(p.high_water(), 3);
+        for v in 5..10 {
+            p.push(v).unwrap();
+        }
+        assert_eq!(c.high_water(), 7);
     }
 }

@@ -103,6 +103,11 @@ pub struct StreamShared {
     pub stats: StreamStats,
 }
 
+/// A packet later than this missed its deadline outright: lateness up
+/// to one pacing tick (10 ms, the paper's timer granularity) is
+/// expected jitter; beyond it the MSU fell behind schedule.
+pub const DEADLINE_MISS_US: u64 = 10_000;
+
 /// Lightweight delivery counters (inspected by tests and the status
 /// API; the client measures true network lateness).
 #[derive(Debug, Default)]
@@ -113,6 +118,8 @@ pub struct StreamStats {
     pub bytes: AtomicU64,
     /// Worst send lateness observed, µs.
     pub max_late_us: AtomicU64,
+    /// Packets sent more than [`DEADLINE_MISS_US`] behind schedule.
+    pub deadline_misses: AtomicU64,
 }
 
 impl StreamStats {
@@ -121,6 +128,9 @@ impl StreamStats {
         self.packets.fetch_add(1, Ordering::Relaxed);
         self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
         self.max_late_us.fetch_max(late_us, Ordering::Relaxed);
+        if late_us > DEADLINE_MISS_US {
+            self.deadline_misses.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -170,7 +180,11 @@ impl GroupShared {
 
 /// Computes the CBR packetizer state for a seek to media time `t`:
 /// returns `(page, skip_bytes_within_page, packet_seq)`.
-pub fn raw_seek(schedule: &CbrSchedule, t: calliope_types::MediaTime, page_size: usize) -> (u64, usize, u64) {
+pub fn raw_seek(
+    schedule: &CbrSchedule,
+    t: calliope_types::MediaTime,
+    page_size: usize,
+) -> (u64, usize, u64) {
     let seq = schedule.seq_at(t);
     let byte = schedule.byte_of(seq);
     let page = byte / page_size as u64;
@@ -233,5 +247,7 @@ mod tests {
         assert_eq!(s.packets.load(Ordering::Relaxed), 3);
         assert_eq!(s.bytes.load(Ordering::Relaxed), 3 * 4096);
         assert_eq!(s.max_late_us.load(Ordering::Relaxed), 12_000);
+        // Only the 12 ms packet exceeded the one-tick allowance.
+        assert_eq!(s.deadline_misses.load(Ordering::Relaxed), 1);
     }
 }

@@ -32,7 +32,12 @@ pub enum TrickMode {
 
 /// Converts a position in the file for `mode` into the *virtual*
 /// position within the normal-rate content.
-pub fn to_normal(mode: TrickMode, pos: MediaTime, normal_duration: MediaTime, skip: u64) -> MediaTime {
+pub fn to_normal(
+    mode: TrickMode,
+    pos: MediaTime,
+    normal_duration: MediaTime,
+    skip: u64,
+) -> MediaTime {
     match mode {
         TrickMode::Normal => pos,
         TrickMode::FastForward => MediaTime(pos.as_micros().saturating_mul(skip)),
@@ -44,7 +49,12 @@ pub fn to_normal(mode: TrickMode, pos: MediaTime, normal_duration: MediaTime, sk
 
 /// Converts a virtual normal-content position into the position within
 /// the file for `mode`.
-pub fn from_normal(mode: TrickMode, normal_pos: MediaTime, normal_duration: MediaTime, skip: u64) -> MediaTime {
+pub fn from_normal(
+    mode: TrickMode,
+    normal_pos: MediaTime,
+    normal_duration: MediaTime,
+    skip: u64,
+) -> MediaTime {
     let clamped = normal_pos.min(normal_duration);
     match mode {
         TrickMode::Normal => clamped,
@@ -110,7 +120,13 @@ mod tests {
     #[test]
     fn ff_to_fb_reverses_direction_at_the_same_content_point() {
         let ff_pos = MediaTime::from_secs(20); // content 300 s
-        let fb = switch_position(TrickMode::FastForward, TrickMode::FastBackward, ff_pos, D, SKIP);
+        let fb = switch_position(
+            TrickMode::FastForward,
+            TrickMode::FastBackward,
+            ff_pos,
+            D,
+            SKIP,
+        );
         let content_from_fb = to_normal(TrickMode::FastBackward, fb, D, SKIP);
         assert_eq!(content_from_fb, MediaTime::from_secs(300));
     }

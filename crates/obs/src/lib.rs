@@ -1,0 +1,21 @@
+//! Observability for Calliope components.
+//!
+//! Two halves, both deliberately light so they can sit on the MSU's
+//! real-time paths:
+//!
+//! * [`metrics`] — a registry of atomic counters, gauges (with
+//!   high-water marks), and fixed-bucket histograms. Hot paths hold
+//!   pre-registered `Arc` handles and touch only relaxed atomics; the
+//!   registry lock is taken at registration and snapshot time only.
+//!   Snapshots flatten into [`calliope_types::wire::stats::StatsSnapshot`]
+//!   so they can travel over the control plane unchanged.
+//! * [`logging`] — a `tracing` subscriber with `RUST_LOG`-style target
+//!   filtering and compact or JSON line output on stderr. When no
+//!   filter is configured the subscriber is never installed and every
+//!   `tracing` macro collapses to one relaxed atomic load.
+
+pub mod logging;
+pub mod metrics;
+
+pub use logging::{init_logging, init_logging_with};
+pub use metrics::{Counter, Gauge, Histogram, Registry, LATENCY_US_BUCKETS};

@@ -1,0 +1,243 @@
+//! The shared `tracing` subscriber for Calliope binaries.
+//!
+//! All three binaries call [`init_logging`] first thing in `main`. The
+//! filter comes from `RUST_LOG` (same directive syntax as `env_logger`:
+//! a comma-separated list of `level` or `target=level`, e.g.
+//! `info,calliope_msu=debug,calliope_coord::sched=trace`); the output
+//! shape from `CALLIOPE_LOG_FORMAT` (`compact`, the default, or
+//! `json`). When `RUST_LOG` is unset or empty no subscriber is
+//! installed at all, leaving the `tracing` macros on their one-atomic
+//! fast path.
+
+use std::io::Write;
+use std::time::Instant;
+use tracing::Level;
+
+/// One parsed `RUST_LOG` directive: an optional target prefix and the
+/// level enabled for it (`None` = off).
+#[derive(Debug, Clone)]
+struct Directive {
+    /// Module-path prefix; empty for the bare default level.
+    target: String,
+    level: Option<Level>,
+}
+
+/// A `RUST_LOG`-style target filter.
+#[derive(Debug, Clone, Default)]
+pub struct EnvFilter {
+    directives: Vec<Directive>,
+}
+
+impl EnvFilter {
+    /// Parses a directive list. Unknown level names are treated as
+    /// `off` rather than rejected — a bad `RUST_LOG` should never take
+    /// a media server down.
+    pub fn parse(spec: &str) -> EnvFilter {
+        let mut directives = Vec::new();
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (target, level_str) = match part.split_once('=') {
+                Some((t, l)) => (t.trim().to_owned(), l.trim()),
+                None => (String::new(), part),
+            };
+            directives.push(Directive {
+                target,
+                level: Level::parse(level_str),
+            });
+        }
+        EnvFilter { directives }
+    }
+
+    /// The most specific (longest-prefix) directive wins.
+    pub fn enabled(&self, target: &str, level: Level) -> bool {
+        let mut best: Option<&Directive> = None;
+        for d in &self.directives {
+            let matches = d.target.is_empty()
+                || target == d.target
+                || (target.starts_with(&d.target)
+                    && target.as_bytes().get(d.target.len()) == Some(&b':'));
+            if matches && best.is_none_or(|b| d.target.len() >= b.target.len()) {
+                best = Some(d);
+            }
+        }
+        match best {
+            Some(d) => d.level.is_some_and(|min| level >= min),
+            None => false,
+        }
+    }
+
+    /// The loosest level any directive enables — used as the global
+    /// `tracing` gate so disabled levels never reach the subscriber.
+    pub fn min_level(&self) -> Option<Level> {
+        self.directives.iter().filter_map(|d| d.level).min()
+    }
+}
+
+/// Subscriber writing one line per event to stderr.
+pub struct FmtSubscriber {
+    filter: EnvFilter,
+    json: bool,
+    started: Instant,
+}
+
+impl tracing::Subscriber for FmtSubscriber {
+    fn enabled(&self, target: &str, level: Level) -> bool {
+        self.filter.enabled(target, level)
+    }
+
+    fn event(
+        &self,
+        target: &str,
+        level: Level,
+        spans: &[String],
+        message: std::fmt::Arguments<'_>,
+    ) {
+        let t = self.started.elapsed();
+        let stderr = std::io::stderr();
+        let mut out = stderr.lock();
+        let res = if self.json {
+            writeln!(
+                out,
+                "{{\"t_us\":{},\"level\":\"{}\",\"target\":\"{}\",\"spans\":[{}],\"message\":\"{}\"}}",
+                t.as_micros(),
+                level,
+                json_escape(target),
+                spans
+                    .iter()
+                    .map(|s| format!("\"{}\"", json_escape(s)))
+                    .collect::<Vec<_>>()
+                    .join(","),
+                json_escape(&message.to_string()),
+            )
+        } else if spans.is_empty() {
+            writeln!(
+                out,
+                "{:10.6} {:5} {}: {}",
+                t.as_secs_f64(),
+                level,
+                target,
+                message
+            )
+        } else {
+            writeln!(
+                out,
+                "{:10.6} {:5} {}: {}: {}",
+                t.as_secs_f64(),
+                level,
+                target,
+                spans.join(":"),
+                message
+            )
+        };
+        // Stderr going away (closed pipe) must not crash the server.
+        let _ = res;
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Installs the global subscriber from an explicit directive spec.
+/// `json` selects line format. Returns false if a subscriber was
+/// already installed or the spec enables nothing.
+pub fn init_logging_with(spec: &str, json: bool) -> bool {
+    let filter = EnvFilter::parse(spec);
+    let Some(min) = filter.min_level() else {
+        return false;
+    };
+    tracing::set_subscriber(
+        Box::new(FmtSubscriber {
+            filter,
+            json,
+            started: Instant::now(),
+        }),
+        Some(min),
+    )
+}
+
+/// Installs the global subscriber from `RUST_LOG` and
+/// `CALLIOPE_LOG_FORMAT`. No-op (and zero steady-state cost) when
+/// `RUST_LOG` is unset or empty.
+pub fn init_logging() -> bool {
+    let spec = match std::env::var("RUST_LOG") {
+        Ok(s) if !s.trim().is_empty() => s,
+        _ => return false,
+    };
+    let json = std::env::var("CALLIOPE_LOG_FORMAT")
+        .map(|f| f.eq_ignore_ascii_case("json"))
+        .unwrap_or(false);
+    init_logging_with(&spec, json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_level_applies_to_all_targets() {
+        let f = EnvFilter::parse("info");
+        assert!(f.enabled("calliope_msu::net", Level::INFO));
+        assert!(f.enabled("anything", Level::ERROR));
+        assert!(!f.enabled("anything", Level::DEBUG));
+        assert_eq!(f.min_level(), Some(Level::INFO));
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let f = EnvFilter::parse("warn,calliope_msu=info,calliope_msu::net=trace");
+        assert!(f.enabled("calliope_msu::net", Level::TRACE));
+        assert!(f.enabled("calliope_msu::net::pacer", Level::TRACE));
+        assert!(f.enabled("calliope_msu::disk", Level::INFO));
+        assert!(!f.enabled("calliope_msu::disk", Level::DEBUG));
+        assert!(!f.enabled("calliope_coord", Level::INFO));
+        assert!(f.enabled("calliope_coord", Level::WARN));
+        assert_eq!(f.min_level(), Some(Level::TRACE));
+    }
+
+    #[test]
+    fn prefix_must_end_at_a_path_boundary() {
+        let f = EnvFilter::parse("calliope_msu=debug");
+        assert!(f.enabled("calliope_msu", Level::DEBUG));
+        assert!(f.enabled("calliope_msu::disk", Level::DEBUG));
+        // Different crate that merely shares a name prefix.
+        assert!(!f.enabled("calliope_msu_extras", Level::ERROR));
+    }
+
+    #[test]
+    fn off_and_garbage_disable_targets() {
+        let f = EnvFilter::parse("info,noisy=off,broken=banana");
+        assert!(!f.enabled("noisy", Level::ERROR));
+        assert!(!f.enabled("broken::sub", Level::ERROR));
+        assert!(f.enabled("fine", Level::INFO));
+    }
+
+    #[test]
+    fn empty_spec_enables_nothing() {
+        let f = EnvFilter::parse("");
+        assert!(!f.enabled("x", Level::ERROR));
+        assert_eq!(f.min_level(), None);
+        assert!(!init_logging_with("  ", false));
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

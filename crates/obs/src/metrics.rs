@@ -1,0 +1,392 @@
+//! Lock-light metrics primitives and the registry that names them.
+//!
+//! The MSU's disk and network processes run on a real-time duty cycle,
+//! so instrumentation must never block: every update here is a relaxed
+//! atomic operation on a handle the caller obtained once at startup.
+//! The only mutex in the module guards the name→metric map, touched at
+//! registration and snapshot time.
+
+use calliope_types::wire::stats::{HistBucket, MetricEntry, MetricValue, StatsSnapshot};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Bucket bounds (microseconds) for latency-style histograms: packet
+/// lateness, disk service time, queue wait. 50 µs resolution at the
+/// bottom, stretching to one second; an implicit overflow bucket
+/// catches the rest.
+pub const LATENCY_US_BUCKETS: &[u64] = &[
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000,
+];
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes the counter. Not linearizable against concurrent `inc`s;
+    /// meant for benchmark warmup boundaries, not steady-state use.
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// An instantaneous level that also remembers its high-water mark.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+    high_water: AtomicU64,
+}
+
+impl Gauge {
+    /// Sets the current level, raising the high-water mark if exceeded.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+        self.high_water.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Raises only the high-water mark (for externally tracked levels).
+    #[inline]
+    pub fn observe_peak(&self, v: u64) {
+        self.high_water.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Highest level ever set.
+    pub fn high_water(&self) -> u64 {
+        self.high_water.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes the level and the high-water mark (benchmark warmup).
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+        self.high_water.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A fixed-bucket histogram of `u64` samples.
+///
+/// Bounds are chosen at registration; recording is a short linear scan
+/// (bounds lists are small) plus two relaxed `fetch_add`s. Values above
+/// the last bound land in an implicit overflow bucket.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    /// One per bound, plus the overflow bucket at the end.
+    buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &[u64]) -> Histogram {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds ascending");
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Zeroes every bucket and the sum (benchmark warmup).
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.sum.store(0, Ordering::Relaxed);
+    }
+
+    /// Renders the cumulative wire form.
+    pub fn snapshot_value(&self) -> MetricValue {
+        let mut cum = 0u64;
+        let mut out = Vec::with_capacity(self.buckets.len());
+        for (i, b) in self.buckets.iter().enumerate() {
+            cum += b.load(Ordering::Relaxed);
+            out.push(HistBucket {
+                le: self.bounds.get(i).copied().unwrap_or(u64::MAX),
+                count: cum,
+            });
+        }
+        MetricValue::Histogram {
+            buckets: out,
+            count: cum,
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[derive(Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn snapshot_value(&self) -> MetricValue {
+        match self {
+            Metric::Counter(c) => MetricValue::Counter(c.get()),
+            Metric::Gauge(g) => MetricValue::Gauge {
+                value: g.get(),
+                high_water: g.high_water(),
+            },
+            Metric::Histogram(h) => h.snapshot_value(),
+        }
+    }
+}
+
+/// A named collection of metrics belonging to one component.
+///
+/// `counter`/`gauge`/`histogram` are get-or-create: asking twice for
+/// the same name returns the same underlying metric, so independent
+/// subsystems can share a series. Asking for an existing name with a
+/// different kind panics — that is a programming error, not a runtime
+/// condition.
+pub struct Registry {
+    started: Instant,
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// An empty registry; uptime counts from now.
+    pub fn new() -> Registry {
+        Registry {
+            started: Instant::now(),
+            metrics: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Gets or creates a counter.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut m = self.metrics.lock().unwrap();
+        match m
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Gets or creates a gauge.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut m = self.metrics.lock().unwrap();
+        match m
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Gets or creates a histogram with the given bucket bounds (bounds
+    /// are fixed by whoever registers first).
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Arc<Histogram> {
+        let mut m = self.metrics.lock().unwrap();
+        match m
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new(bounds))))
+        {
+            Metric::Histogram(h) => h.clone(),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Seconds-scale uptime, in microseconds, for snapshot stamping.
+    pub fn uptime_us(&self) -> u64 {
+        self.started.elapsed().as_micros() as u64
+    }
+
+    /// Flattens every metric into the wire snapshot form, sorted by
+    /// name.
+    pub fn snapshot(&self, source: &str) -> StatsSnapshot {
+        let metrics = {
+            let m = self.metrics.lock().unwrap();
+            m.iter()
+                .map(|(name, metric)| MetricEntry {
+                    name: name.clone(),
+                    value: metric.snapshot_value(),
+                })
+                .collect()
+        };
+        StatsSnapshot {
+            source: source.to_owned(),
+            uptime_us: self.uptime_us(),
+            metrics,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn concurrent_counter_increments_are_all_counted() {
+        let reg = Arc::new(Registry::new());
+        let threads = 8;
+        let per_thread = 10_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let c = reg.counter("hits");
+                thread::spawn(move || {
+                    for _ in 0..per_thread {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(reg.counter("hits").get(), threads * per_thread);
+        let snap = reg.snapshot("test");
+        assert_eq!(snap.counter("hits"), threads * per_thread);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_inclusive() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat", &[10, 100, 1000]);
+        // A value exactly equal to a bound belongs to that bound.
+        h.record(10);
+        h.record(11);
+        h.record(100);
+        h.record(1000);
+        h.record(1001); // overflow
+        h.record(0);
+        let MetricValue::Histogram {
+            buckets,
+            count,
+            sum,
+        } = h.snapshot_value()
+        else {
+            panic!("expected histogram")
+        };
+        assert_eq!(count, 6);
+        assert_eq!(sum, 10 + 11 + 100 + 1000 + 1001);
+        // Cumulative: le=10 holds {0,10}; le=100 adds {11,100}; le=1000
+        // adds {1000}; overflow adds {1001}.
+        assert_eq!(buckets[0], HistBucket { le: 10, count: 2 });
+        assert_eq!(buckets[1], HistBucket { le: 100, count: 4 });
+        assert_eq!(buckets[2], HistBucket { le: 1000, count: 5 });
+        assert_eq!(
+            buckets[3],
+            HistBucket {
+                le: u64::MAX,
+                count: 6
+            }
+        );
+    }
+
+    #[test]
+    fn concurrent_histogram_records_preserve_count() {
+        let reg = Arc::new(Registry::new());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let h = reg.histogram("svc", LATENCY_US_BUCKETS);
+                thread::spawn(move || {
+                    for i in 0..5_000u64 {
+                        h.record(t * 997 + i % 2_000_000);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let h = reg.histogram("svc", LATENCY_US_BUCKETS);
+        assert_eq!(h.count(), 20_000);
+        let snap = reg.snapshot("test").get("svc").cloned().unwrap();
+        let MetricValue::Histogram { buckets, count, .. } = snap else {
+            panic!("expected histogram")
+        };
+        assert_eq!(count, 20_000);
+        assert_eq!(buckets.last().unwrap().count, 20_000);
+    }
+
+    #[test]
+    fn gauge_tracks_high_water() {
+        let reg = Registry::new();
+        let g = reg.gauge("depth");
+        g.set(3);
+        g.set(17);
+        g.set(5);
+        assert_eq!(g.get(), 5);
+        assert_eq!(g.high_water(), 17);
+        g.observe_peak(40);
+        assert_eq!(g.get(), 5);
+        assert_eq!(g.high_water(), 40);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_same_name_shares_metric() {
+        let reg = Registry::new();
+        reg.counter("z.last").inc();
+        reg.counter("a.first").add(2);
+        reg.counter("a.first").inc();
+        let snap = reg.snapshot("sorted");
+        let names: Vec<_> = snap.metrics.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, ["a.first", "z.last"]);
+        assert_eq!(snap.counter("a.first"), 3);
+        assert_eq!(snap.source, "sorted");
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        reg.counter("x");
+        reg.gauge("x");
+    }
+}

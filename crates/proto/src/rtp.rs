@@ -309,7 +309,10 @@ mod tests {
     #[test]
     fn end_of_stream_records_nothing() {
         let mut m = RtpModule::new(VIDEO_CLOCK_HZ);
-        assert!(m.on_record(PacketKind::EndOfStream, &[], 0).unwrap().is_none());
+        assert!(m
+            .on_record(PacketKind::EndOfStream, &[], 0)
+            .unwrap()
+            .is_none());
     }
 
     #[test]

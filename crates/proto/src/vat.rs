@@ -177,7 +177,10 @@ mod tests {
     #[test]
     fn short_packet_is_dropped() {
         let mut m = VatModule::new();
-        assert!(m.on_record(PacketKind::Media, &[1, 2], 0).unwrap().is_none());
+        assert!(m
+            .on_record(PacketKind::Media, &[1, 2], 0)
+            .unwrap()
+            .is_none());
         assert_eq!(m.dropped(), 1);
     }
 

@@ -55,7 +55,9 @@ fn main() {
         let r = run(&MsuWorkload::vbr(n, &one, 60, 3));
         println!(
             "vbr-1file n={n:2}  w50={:5.1}%  max={:6.1}ms mean={:5.2}ms",
-            r.cdf.pct_within_ms(50), r.cdf.max_ms(), r.cdf.mean_ms()
+            r.cdf.pct_within_ms(50),
+            r.cdf.max_ms(),
+            r.cdf.mean_ms()
         );
     }
 }

@@ -201,9 +201,27 @@ pub fn paper_table1() -> Vec<PaperRow> {
     vec![
         ("0 disk", Some(8.5), vec![], None, vec![]),
         ("1 disk (one HBA)", None, vec![3.6], Some(5.9), vec![3.4]),
-        ("2 disk (one HBA)", None, vec![2.8, 2.8], Some(4.7), vec![2.4, 2.4]),
-        ("2 disk (two HBA)", None, vec![2.9, 2.9], Some(2.3), vec![2.7, 2.7]),
-        ("3 disk (two HBA)", None, vec![2.2, 2.2, 2.7], Some(1.4), vec![1.9, 1.9, 2.5]),
+        (
+            "2 disk (one HBA)",
+            None,
+            vec![2.8, 2.8],
+            Some(4.7),
+            vec![2.4, 2.4],
+        ),
+        (
+            "2 disk (two HBA)",
+            None,
+            vec![2.9, 2.9],
+            Some(2.3),
+            vec![2.7, 2.7],
+        ),
+        (
+            "3 disk (two HBA)",
+            None,
+            vec![2.2, 2.2, 2.7],
+            Some(1.4),
+            vec![1.9, 1.9, 2.5],
+        ),
     ]
 }
 
@@ -231,7 +249,10 @@ mod tests {
             .unwrap();
         let both = run_scenario(params(), &[0], Workload::Both, 20, 1);
         assert!(both.disk_mb_s[0] <= solo_disk * 1.02);
-        assert!(both.fddi_mb_s.unwrap() < solo_net, "net must lose to DMA contention");
+        assert!(
+            both.fddi_mb_s.unwrap() < solo_net,
+            "net must lose to DMA contention"
+        );
         assert!(both.fddi_mb_s.unwrap() > 4.0, "but not crater with one HBA");
     }
 

@@ -55,7 +55,9 @@ pub fn simulate(
     assert!(users > 0);
     let mut rng = StdRng::seed_from_u64(seed);
     // One pending request position per user.
-    let mut pending: Vec<u64> = (0..users).map(|_| rng.gen_range(0..disk.positions)).collect();
+    let mut pending: Vec<u64> = (0..users)
+        .map(|_| rng.gen_range(0..disk.positions))
+        .collect();
     let mut head = 0u64;
     let mut up = true;
     let mut rr = 0usize;
@@ -167,8 +169,7 @@ mod tests {
         // transfer + overhead.
         let d = DiskParams::default();
         let (rr, el, _) = compare(d, 24, BLOCK, 60, 3);
-        let no_seek_service =
-            d.avg_rotation_ms() + d.transfer_ms(BLOCK) + d.overhead_ms;
+        let no_seek_service = d.avg_rotation_ms() + d.transfer_ms(BLOCK) + d.overhead_ms;
         let upper_bound = BLOCK as f64 / 1e6 / (no_seek_service / 1_000.0);
         assert!(el.mb_s < upper_bound);
         assert!(rr.mb_s > upper_bound * 0.8, "rr already close to the cap");

@@ -375,7 +375,10 @@ impl Machine {
 
     fn stall_us(&mut self) -> f64 {
         let (p, len) = if self.multi_hba {
-            (self.params.stall_multi_hba_p, self.params.stall_multi_hba_us)
+            (
+                self.params.stall_multi_hba_p,
+                self.params.stall_multi_hba_us,
+            )
         } else {
             (self.params.stall_one_hba_p, self.params.stall_one_hba_us)
         };
@@ -461,7 +464,10 @@ impl Machine {
             left -= take;
             q.schedule_in(
                 SimTime::from_us_f64(step * i as f64),
-                Ev::MemContention { bytes: take, nic: true },
+                Ev::MemContention {
+                    bytes: take,
+                    nic: true,
+                },
             );
         }
         self.wire.busy = Some(job);
@@ -479,9 +485,8 @@ impl Machine {
         let rotation = self
             .rng
             .gen_range(0.0..2.0 * self.params.disk.avg_rotation_ms());
-        let mut mech_ms = self.params.disk.seek_ms(distance)
-            + rotation
-            + self.params.disk.overhead_ms;
+        let mut mech_ms =
+            self.params.disk.seek_ms(distance) + rotation + self.params.disk.overhead_ms;
         if self.multi_hba {
             // Driver port-I/O stalls while issuing the command (§3.1).
             mech_ms += self.params.stall_per_io_multi_us / 1_000.0;
@@ -517,10 +522,10 @@ impl Machine {
         let dur = SimTime::from_us_f64(us);
         self.hbas[h].util.add(dur);
         self.disks[job.disk].util.add(dur); // disk held through its bus phase
-        // The EISA DMA into host memory proceeds concurrently with the
-        // bus transfer; it is charged to the memory system as contention,
-        // in slices spread across the transfer (a burst enqueued at once
-        // would head-of-line-block packet copies for a whole block time).
+                                            // The EISA DMA into host memory proceeds concurrently with the
+                                            // bus transfer; it is charged to the memory system as contention,
+                                            // in slices spread across the transfer (a burst enqueued at once
+                                            // would head-of-line-block packet copies for a whole block time).
         let chunks = job.bytes.div_ceil(DMA_CHUNK);
         let step = us / chunks as f64;
         let mut left = job.bytes;
@@ -529,7 +534,10 @@ impl Machine {
             left -= take;
             q.schedule_in(
                 SimTime::from_us_f64(step * i as f64),
-                Ev::MemContention { bytes: take, nic: false },
+                Ev::MemContention {
+                    bytes: take,
+                    nic: false,
+                },
             );
         }
         self.hbas[h].busy = Some(job);
@@ -568,7 +576,11 @@ impl Machine {
                 self.kick_mem(q);
             }
             Ev::WireDone => {
-                let job = self.wire.busy.take().expect("wire completion without a job");
+                let job = self
+                    .wire
+                    .busy
+                    .take()
+                    .expect("wire completion without a job");
                 self.stats.wire_bytes += job.bytes as u64;
                 self.stats.wire_packets += 1;
                 out.push(Completion::PacketDelivered(job));
@@ -618,7 +630,15 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         for d in 0..n {
             let pos = rng.gen_range(0..m.params.disk.positions);
-            m.submit_io(&mut q, IoJob { disk: d, stream: 0, bytes: BLOCK, pos });
+            m.submit_io(
+                &mut q,
+                IoJob {
+                    disk: d,
+                    stream: 0,
+                    bytes: BLOCK,
+                    pos,
+                },
+            );
         }
         let horizon = SimTime::from_secs(secs);
         while let Some((t, ev)) = q.pop() {
@@ -645,11 +665,27 @@ mod tests {
         if with_disks {
             for d in 0..n {
                 let pos = rng.gen_range(0..m.params.disk.positions);
-                m.submit_io(&mut q, IoJob { disk: d, stream: 0, bytes: BLOCK, pos });
+                m.submit_io(
+                    &mut q,
+                    IoJob {
+                        disk: d,
+                        stream: 0,
+                        bytes: BLOCK,
+                        pos,
+                    },
+                );
             }
         }
         let mut seq = 0u64;
-        m.submit_send(&mut q, SendJob { stream: 0, seq, due: SimTime::ZERO, bytes: 4096 });
+        m.submit_send(
+            &mut q,
+            SendJob {
+                stream: 0,
+                seq,
+                due: SimTime::ZERO,
+                bytes: 4096,
+            },
+        );
         let horizon = SimTime::from_secs(secs);
         while let Some((t, ev)) = q.pop() {
             if t > horizon {
@@ -662,7 +698,15 @@ mod tests {
                 match c {
                     Completion::CopyDone(_) => {
                         seq += 1;
-                        m.submit_send(&mut q, SendJob { stream: 0, seq, due: SimTime::ZERO, bytes: 4096 });
+                        m.submit_send(
+                            &mut q,
+                            SendJob {
+                                stream: 0,
+                                seq,
+                                due: SimTime::ZERO,
+                                bytes: 4096,
+                            },
+                        );
                     }
                     Completion::IoComplete(job) if with_disks => {
                         let pos = rng.gen_range(0..m.params.disk.positions);
@@ -678,7 +722,10 @@ mod tests {
     #[test]
     fn single_disk_calibrates_near_3_6_mb_s() {
         let mb = disk_only_throughput(vec![0], 0, 30);
-        assert!((3.2..4.0).contains(&mb), "single-disk {mb} MB/s (paper: 3.6)");
+        assert!(
+            (3.2..4.0).contains(&mb),
+            "single-disk {mb} MB/s (paper: 3.6)"
+        );
     }
 
     #[test]
@@ -699,7 +746,10 @@ mod tests {
     #[test]
     fn one_disk_plus_fddi_interferes_moderately() {
         let mb = ttcp_throughput(vec![0], true, 20);
-        assert!((5.0..7.0).contains(&mb), "fddi-with-1-disk {mb} MB/s (paper: 5.9)");
+        assert!(
+            (5.0..7.0).contains(&mb),
+            "fddi-with-1-disk {mb} MB/s (paper: 5.9)"
+        );
     }
 
     #[test]
@@ -710,7 +760,10 @@ mod tests {
             two_hba < one_hba * 0.7,
             "two HBAs {two_hba} must crater vs one {one_hba} (paper: 2.3 vs 4.7)"
         );
-        assert!((1.5..3.5).contains(&two_hba), "two-HBA fddi {two_hba} (paper: 2.3)");
+        assert!(
+            (1.5..3.5).contains(&two_hba),
+            "two-HBA fddi {two_hba} (paper: 2.3)"
+        );
     }
 
     #[test]
@@ -752,7 +805,15 @@ mod tests {
     fn utilizations_are_sane() {
         let mut m = Machine::new(MachineParams::default(), vec![0], 1);
         let mut q = EventQueue::new();
-        m.submit_io(&mut q, IoJob { disk: 0, stream: 0, bytes: BLOCK, pos: 100 });
+        m.submit_io(
+            &mut q,
+            IoJob {
+                disk: 0,
+                stream: 0,
+                bytes: BLOCK,
+                pos: 100,
+            },
+        );
         let mut end = SimTime::ZERO;
         while let Some((t, ev)) = q.pop() {
             end = t;

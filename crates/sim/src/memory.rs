@@ -117,7 +117,10 @@ mod tests {
     fn formula_matches_hand_computation() {
         let m = MemoryModel::default();
         let expect = 1.0 / (1.0 / 25.0 + 1.0 / 18.0 + 2.0 / 53.0);
-        assert!((m.path_rate(&[Pass::Write, Pass::Copy, Pass::Read, Pass::Read]) - expect).abs() < 1e-12);
+        assert!(
+            (m.path_rate(&[Pass::Write, Pass::Copy, Pass::Read, Pass::Read]) - expect).abs()
+                < 1e-12
+        );
     }
 
     #[test]

@@ -117,12 +117,7 @@ impl MsuWorkload {
     /// given trace files round-robin, all started simultaneously ("this
     /// unrealistic scenario is a limitation of our automated test
     /// setup").
-    pub fn vbr(
-        n: usize,
-        files: &[Vec<(u64, u32)>],
-        duration_secs: u64,
-        seed: u64,
-    ) -> MsuWorkload {
+    pub fn vbr(n: usize, files: &[Vec<(u64, u32)>], duration_secs: u64, seed: u64) -> MsuWorkload {
         assert!(!files.is_empty(), "need at least one trace file");
         // Loop each trace to cover the duration.
         let looped: Vec<std::sync::Arc<Vec<(u64, u32)>>> = files
@@ -234,9 +229,7 @@ pub fn run_with_params(w: &MsuWorkload, params: MachineParams) -> MsuResult {
         .map(|(i, spec)| {
             let total_bytes = match &spec.kind {
                 StreamKind::Cbr { .. } => u64::MAX,
-                StreamKind::Trace { packets } => {
-                    packets.iter().map(|&(_, b)| b as u64).sum()
-                }
+                StreamKind::Trace { packets } => packets.iter().map(|&(_, b)| b as u64).sum(),
             };
             StreamState {
                 spec: spec.clone(),
@@ -272,8 +265,7 @@ pub fn run_with_params(w: &MsuWorkload, params: MachineParams) -> MsuResult {
         }
         let candidates: Vec<usize> = (0..streams.len())
             .filter(|&s| {
-                streams[s].spec.disk == disk
-                    && now >= SimTime::from_us(streams[s].spec.start_us)
+                streams[s].spec.disk == disk && now >= SimTime::from_us(streams[s].spec.start_us)
             })
             .collect();
         if candidates.is_empty() {

@@ -74,7 +74,9 @@ impl BlockAllocator {
                 return Ok(idx);
             }
         }
-        Err(Error::internal("free count positive but no clear bit found"))
+        Err(Error::internal(
+            "free count positive but no clear bit found",
+        ))
     }
 
     /// Allocates `n` blocks; on failure nothing is allocated.

@@ -114,7 +114,13 @@ impl BlockDevice for FileDisk {
     }
 
     fn read_block(&mut self, idx: u64, buf: &mut [u8]) -> Result<()> {
-        check_args("file-disk", idx, buf.len(), self.block_size, self.num_blocks)?;
+        check_args(
+            "file-disk",
+            idx,
+            buf.len(),
+            self.block_size,
+            self.num_blocks,
+        )?;
         self.file
             .seek(SeekFrom::Start(idx * self.block_size as u64))?;
         self.file.read_exact(buf)?;
@@ -122,7 +128,13 @@ impl BlockDevice for FileDisk {
     }
 
     fn write_block(&mut self, idx: u64, buf: &[u8]) -> Result<()> {
-        check_args("file-disk", idx, buf.len(), self.block_size, self.num_blocks)?;
+        check_args(
+            "file-disk",
+            idx,
+            buf.len(),
+            self.block_size,
+            self.num_blocks,
+        )?;
         self.file
             .seek(SeekFrom::Start(idx * self.block_size as u64))?;
         self.file.write_all(buf)?;
@@ -162,13 +174,25 @@ impl BlockDevice for MemDisk {
     }
 
     fn read_block(&mut self, idx: u64, buf: &mut [u8]) -> Result<()> {
-        check_args("mem-disk", idx, buf.len(), self.block_size, self.num_blocks())?;
+        check_args(
+            "mem-disk",
+            idx,
+            buf.len(),
+            self.block_size,
+            self.num_blocks(),
+        )?;
         buf.copy_from_slice(&self.blocks[idx as usize]);
         Ok(())
     }
 
     fn write_block(&mut self, idx: u64, buf: &[u8]) -> Result<()> {
-        check_args("mem-disk", idx, buf.len(), self.block_size, self.num_blocks())?;
+        check_args(
+            "mem-disk",
+            idx,
+            buf.len(),
+            self.block_size,
+            self.num_blocks(),
+        )?;
         self.blocks[idx as usize].copy_from_slice(buf);
         Ok(())
     }
@@ -338,7 +362,10 @@ mod tests {
         assert!(FileDisk::create(&path, 0, 8).is_err());
         assert!(FileDisk::create(&path, 4096, 0).is_err());
         std::fs::write(&path, [0u8; 100]).unwrap();
-        assert!(FileDisk::open(&path, 4096).is_err(), "length not block-aligned");
+        assert!(
+            FileDisk::open(&path, 4096).is_err(),
+            "length not block-aligned"
+        );
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -95,11 +95,9 @@ impl MsuFs {
         if meta.len() < 8 {
             return Err(Error::storage("metadata region truncated"));
         }
-        let bitmap_len =
-            u32::from_le_bytes(meta[0..4].try_into().expect("4 bytes")) as usize;
+        let bitmap_len = u32::from_le_bytes(meta[0..4].try_into().expect("4 bytes")) as usize;
         let catalog_at = 8 + bitmap_len;
-        let catalog_len =
-            u32::from_le_bytes(meta[4..8].try_into().expect("4 bytes")) as usize;
+        let catalog_len = u32::from_le_bytes(meta[4..8].try_into().expect("4 bytes")) as usize;
         if meta.len() < catalog_at + catalog_len {
             return Err(Error::storage("metadata region inconsistent lengths"));
         }
@@ -215,18 +213,12 @@ impl MsuFs {
             !meta.reserved.is_empty()
         };
         let (rel, grew) = if has_reserved {
-            let meta = self
-                .catalog
-                .get_mut(name)
-                .expect("existence checked above");
+            let meta = self.catalog.get_mut(name).expect("existence checked above");
             (meta.reserved.remove(0), false)
         } else {
             (self.alloc.alloc()?, true)
         };
-        let meta = self
-            .catalog
-            .get_mut(name)
-            .expect("existence checked above");
+        let meta = self.catalog.get_mut(name).expect("existence checked above");
         meta.blocks.push(rel);
         meta.len_bytes += payload_bytes;
         let idx = meta.blocks.len() as u64 - 1;
@@ -242,13 +234,12 @@ impl MsuFs {
         let meta = self.catalog.get(name).ok_or_else(|| Error::NoSuchContent {
             name: name.to_owned(),
         })?;
-        let rel = *meta
-            .blocks
-            .get(page_idx as usize)
-            .ok_or_else(|| Error::storage(format!(
+        let rel = *meta.blocks.get(page_idx as usize).ok_or_else(|| {
+            Error::storage(format!(
                 "page {page_idx} out of range for {name:?} ({} pages)",
                 meta.blocks.len()
-            )))?;
+            ))
+        })?;
         let abs = self.sb.first_data_block() + rel;
         self.dev.read_block(abs, buf)
     }
@@ -256,9 +247,12 @@ impl MsuFs {
     /// Finalizes a recording: records duration and IB-tree root, returns
     /// unused reserved blocks to the allocator, and persists.
     pub fn finalize(&mut self, name: &str, duration_us: u64, root: Vec<RootEntry>) -> Result<()> {
-        let meta = self.catalog.get_mut(name).ok_or_else(|| Error::NoSuchContent {
-            name: name.to_owned(),
-        })?;
+        let meta = self
+            .catalog
+            .get_mut(name)
+            .ok_or_else(|| Error::NoSuchContent {
+                name: name.to_owned(),
+            })?;
         if meta.finalized {
             return Err(Error::storage(format!("file {name:?} already finalized")));
         }
@@ -476,7 +470,9 @@ mod tests {
 
         // Seek through the fs too.
         let pos = reader
-            .seek(MediaTime(20_000 * 25), |idx, buf| fs.read_page("vbr", idx, buf))
+            .seek(MediaTime(20_000 * 25), |idx, buf| {
+                fs.read_page("vbr", idx, buf)
+            })
             .unwrap();
         let page = reader
             .page(pos.page, |idx, buf| fs.read_page("vbr", idx, buf))

@@ -432,10 +432,14 @@ mod tests {
     #[test]
     fn internal_pages_appear_every_max_keys_pages() {
         let geo = Geometry::tiny(); // max_keys = 4
-        // Large records: ~2 per page (page cap 1024-40=984; record 13+400).
+                                    // Large records: ~2 per page (page cap 1024-40=984; record 13+400).
         let recs: Vec<_> = (0..60).map(|i| rec(i * 100, 400)).collect();
         let (pages, root, stats) = build(geo, &recs);
-        assert!(stats.pages >= 12, "want a multi-internal tree, got {}", stats.pages);
+        assert!(
+            stats.pages >= 12,
+            "want a multi-internal tree, got {}",
+            stats.pages
+        );
         assert!(root.len() >= 2, "multiple internal pages expected");
         // Root entries ascend and point at pages that embed internals.
         for w in root.windows(2) {

@@ -103,7 +103,11 @@ impl Geometry {
     pub fn record_capacity(&self, hosts_internal: bool) -> usize {
         self.page_size
             - PAGE_HEADER_LEN
-            - if hosts_internal { self.internal_size } else { 0 }
+            - if hosts_internal {
+                self.internal_size
+            } else {
+                0
+            }
     }
 }
 
@@ -226,8 +230,7 @@ impl DataPageBuilder {
     /// Whether an internal page could still be embedded at finish time
     /// (enough tail space is unused).
     pub fn can_embed_internal(&self) -> bool {
-        self.hosts_internal
-            || self.geo.record_capacity(true) >= self.records.len()
+        self.hosts_internal || self.geo.record_capacity(true) >= self.records.len()
     }
 
     /// Tries to add a record; returns `false` (and leaves the page
@@ -279,8 +282,7 @@ impl DataPageBuilder {
         buf[16..24].copy_from_slice(&self.first_key.unwrap_or(u64::MAX).to_le_bytes());
         buf[24..32].copy_from_slice(&self.last_key.to_le_bytes());
         // Bytes 32..40 reserved.
-        buf[PAGE_HEADER_LEN..PAGE_HEADER_LEN + self.records.len()]
-            .copy_from_slice(&self.records);
+        buf[PAGE_HEADER_LEN..PAGE_HEADER_LEN + self.records.len()].copy_from_slice(&self.records);
         if let Some(internal) = internal {
             let at = self.geo.page_size - self.geo.internal_size;
             buf[at..].copy_from_slice(&internal.encode(&self.geo)?);
@@ -318,8 +320,7 @@ impl DataPage {
         }
         let flags = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes"));
         let count = u32::from_le_bytes(buf[8..12].try_into().expect("4 bytes"));
-        let record_bytes =
-            u32::from_le_bytes(buf[12..16].try_into().expect("4 bytes")) as usize;
+        let record_bytes = u32::from_le_bytes(buf[12..16].try_into().expect("4 bytes")) as usize;
         let first_key = u64::from_le_bytes(buf[16..24].try_into().expect("8 bytes"));
         let last_key = u64::from_le_bytes(buf[24..32].try_into().expect("8 bytes"));
         let embeds = flags & FLAG_HAS_INTERNAL != 0;

@@ -219,7 +219,10 @@ mod tests {
         let mut s = store(1, 32);
         s.create("f", FileKind::Raw, 2 * BS as u64).unwrap();
         for i in 0..2u8 {
-            assert_eq!(s.append_page("f", &vec![i; BS], BS as u64).unwrap(), i as u64);
+            assert_eq!(
+                s.append_page("f", &vec![i; BS], BS as u64).unwrap(),
+                i as u64
+            );
             assert_eq!(s.disk_of(i as u64), 0);
         }
     }

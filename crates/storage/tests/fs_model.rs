@@ -24,9 +24,15 @@ enum Op {
 
 fn arb_op() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0u8..6, 0u8..6).prop_map(|(name, reserve_pages)| Op::Create { name, reserve_pages }),
-        (0u8..6, any::<u8>(), 1u16..=BS as u16)
-            .prop_map(|(name, fill, valid)| Op::Append { name, fill, valid }),
+        (0u8..6, 0u8..6).prop_map(|(name, reserve_pages)| Op::Create {
+            name,
+            reserve_pages
+        }),
+        (0u8..6, any::<u8>(), 1u16..=BS as u16).prop_map(|(name, fill, valid)| Op::Append {
+            name,
+            fill,
+            valid
+        }),
         (0u8..6).prop_map(|name| Op::Finalize { name }),
         (0u8..6).prop_map(|name| Op::Delete { name }),
         Just(Op::Remount),

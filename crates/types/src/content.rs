@@ -130,7 +130,12 @@ impl ContentTypeSpec {
     }
 
     /// Convenience constructor for an atomic variable-rate type.
-    pub fn variable(name: &str, protocol: ProtocolId, bandwidth: BitRate, storage: ByteRate) -> Self {
+    pub fn variable(
+        name: &str,
+        protocol: ProtocolId,
+        bandwidth: BitRate,
+        storage: ByteRate,
+    ) -> Self {
         ContentTypeSpec {
             name: name.to_owned(),
             body: TypeBody::Atomic {
@@ -265,7 +270,8 @@ mod tests {
 
     #[test]
     fn constant_type_uses_same_rate_for_both() {
-        let t = ContentTypeSpec::constant("mpeg1", ProtocolId::ConstantRate, BitRate::from_kbps(1_500));
+        let t =
+            ContentTypeSpec::constant("mpeg1", ProtocolId::ConstantRate, BitRate::from_kbps(1_500));
         assert_eq!(t.bandwidth().unwrap(), BitRate::from_kbps(1_500));
         assert_eq!(t.storage_rate().unwrap().bytes_per_sec(), 1_500_000 / 8);
         assert!(!t.stores_schedule());
@@ -281,7 +287,10 @@ mod tests {
             ByteRate::from_bytes_per_sec(80_000),
         );
         // Bandwidth (peak) exceeds storage (average): the paper's rule.
-        assert!(t.bandwidth().unwrap().as_byte_rate().bytes_per_sec() > t.storage_rate().unwrap().bytes_per_sec());
+        assert!(
+            t.bandwidth().unwrap().as_byte_rate().bytes_per_sec()
+                > t.storage_rate().unwrap().bytes_per_sec()
+        );
         assert!(t.stores_schedule());
     }
 
@@ -302,7 +311,10 @@ mod tests {
         let seminar = types.iter().find(|t| t.name == "seminar").unwrap();
         if let TypeBody::Composite { components } = &seminar.body {
             for c in components {
-                let comp = types.iter().find(|t| &t.name == c).expect("component exists");
+                let comp = types
+                    .iter()
+                    .find(|t| &t.name == c)
+                    .expect("component exists");
                 assert!(!comp.is_composite(), "no nested composites");
             }
         } else {

@@ -225,11 +225,13 @@ mod tests {
 
     #[test]
     fn wire_codes_are_distinct() {
-        let samples = [Error::SessionClosed,
+        let samples = [
+            Error::SessionClosed,
             Error::NoSuchContent { name: "x".into() },
             Error::ResourcesExhausted { what: "bw".into() },
             Error::internal("x"),
-            Error::storage("y")];
+            Error::storage("y"),
+        ];
         let mut codes: Vec<u16> = samples.iter().map(Error::wire_code).collect();
         codes.sort_unstable();
         codes.dedup();

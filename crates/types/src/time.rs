@@ -172,7 +172,12 @@ impl fmt::Debug for BitRate {
 impl fmt::Display for BitRate {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.0 >= 1_000_000 && self.0.is_multiple_of(100_000) {
-            write!(f, "{}.{}Mbit/s", self.0 / 1_000_000, (self.0 / 100_000) % 10)
+            write!(
+                f,
+                "{}.{}Mbit/s",
+                self.0 / 1_000_000,
+                (self.0 / 100_000) % 10
+            )
         } else if self.0 >= 1_000 {
             write!(f, "{}kbit/s", self.0 / 1_000)
         } else {

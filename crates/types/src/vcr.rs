@@ -97,7 +97,10 @@ mod tests {
 
     #[test]
     fn display() {
-        assert_eq!(VcrCommand::Seek(MediaTime::from_millis(2500)).to_string(), "seek 2.500s");
+        assert_eq!(
+            VcrCommand::Seek(MediaTime::from_millis(2500)).to_string(),
+            "seek 2.500s"
+        );
         assert_eq!(VcrCommand::Quit.to_string(), "quit");
     }
 }

@@ -14,6 +14,7 @@
 //!    control connection *to* the client, over which the client sends VCR
 //!    commands ([`MsuToClient`] / [`ClientToMsu`]).
 
+use super::stats::StatsSnapshot;
 use super::{Reader, Wire, WireError};
 use crate::content::{ContentEntry, ContentTypeSpec, ProtocolId};
 use crate::ids::{DiskId, GroupId, MsuId, SessionId, StreamId};
@@ -227,6 +228,13 @@ pub enum ClientRequest {
     },
     /// Asks for the scheduler's resource view (MSUs, disks, load).
     ServerStatus,
+    /// Asks for live metrics snapshots. With `msu: None` the Coordinator
+    /// returns its own snapshot plus one per reachable MSU; with
+    /// `Some(id)` only that MSU's.
+    Stats {
+        /// Restrict the report to one MSU.
+        msu: Option<MsuId>,
+    },
     /// Ends the session; the Coordinator deallocates the session's ports.
     Bye,
 }
@@ -303,6 +311,10 @@ impl Wire for ClientRequest {
                 content.encode(buf);
             }
             ClientRequest::ServerStatus => buf.push(13),
+            ClientRequest::Stats { msu } => {
+                buf.push(14);
+                msu.encode(buf);
+            }
         }
     }
 
@@ -353,6 +365,9 @@ impl Wire for ClientRequest {
                 content: String::decode(r)?,
             },
             13 => ClientRequest::ServerStatus,
+            14 => ClientRequest::Stats {
+                msu: Option::<MsuId>::decode(r)?,
+            },
             tag => {
                 return Err(WireError::BadTag {
                     what: "client request",
@@ -542,6 +557,12 @@ pub enum CoordReply {
         /// Live stream reservations.
         active_streams: u32,
     },
+    /// Reply to [`ClientRequest::Stats`]: one snapshot per component
+    /// that answered (MSUs that are down are simply absent).
+    Stats {
+        /// Coordinator and/or MSU snapshots.
+        snapshots: Vec<StatsSnapshot>,
+    },
 }
 
 impl Wire for CoordReply {
@@ -584,6 +605,10 @@ impl Wire for CoordReply {
                 msus.encode(buf);
                 active_streams.encode(buf);
             }
+            CoordReply::Stats { snapshots } => {
+                buf.push(9);
+                snapshots.encode(buf);
+            }
         }
     }
 
@@ -615,6 +640,9 @@ impl Wire for CoordReply {
             8 => CoordReply::Status {
                 msus: Vec::<MsuStatus>::decode(r)?,
                 active_streams: u32::decode(r)?,
+            },
+            9 => CoordReply::Stats {
+                snapshots: Vec::<StatsSnapshot>::decode(r)?,
             },
             tag => {
                 return Err(WireError::BadTag {
@@ -712,6 +740,11 @@ pub enum MsuToCoord {
         /// `None` on success.
         error: Option<String>,
     },
+    /// Reply to [`CoordToMsu::GetStats`]: this MSU's live metrics.
+    Stats {
+        /// The snapshot.
+        snapshot: StatsSnapshot,
+    },
 }
 
 impl Wire for MsuToCoord {
@@ -757,6 +790,10 @@ impl Wire for MsuToCoord {
                 buf.push(6);
                 error.encode(buf);
             }
+            MsuToCoord::Stats { snapshot } => {
+                buf.push(7);
+                snapshot.encode(buf);
+            }
         }
     }
 
@@ -786,6 +823,9 @@ impl Wire for MsuToCoord {
             },
             6 => MsuToCoord::FileCopied {
                 error: Option::<String>::decode(r)?,
+            },
+            7 => MsuToCoord::Stats {
+                snapshot: StatsSnapshot::decode(r)?,
             },
             tag => {
                 return Err(WireError::BadTag {
@@ -886,6 +926,8 @@ pub enum CoordToMsu {
     },
     /// Liveness probe.
     Ping,
+    /// Asks the MSU for a metrics snapshot ([`MsuToCoord::Stats`]).
+    GetStats,
     /// Orderly shutdown: finish nothing, stop everything.
     Shutdown,
 }
@@ -967,6 +1009,7 @@ impl Wire for CoordToMsu {
                 dst_disk.encode(buf);
                 file.encode(buf);
             }
+            CoordToMsu::GetStats => buf.push(8),
         }
     }
 
@@ -1014,6 +1057,7 @@ impl Wire for CoordToMsu {
                 dst_disk: DiskId::decode(r)?,
                 file: String::decode(r)?,
             },
+            8 => CoordToMsu::GetStats,
             tag => {
                 return Err(WireError::BadTag {
                     what: "coord-to-msu",
@@ -1401,7 +1445,9 @@ mod tests {
             },
             CoordEnvelope {
                 req_id: 0,
-                body: CoordToMsu::Cancel { stream: StreamId(6) },
+                body: CoordToMsu::Cancel {
+                    stream: StreamId(6),
+                },
             },
             CoordEnvelope {
                 req_id: 14,
@@ -1449,6 +1495,51 @@ mod tests {
         round_trip(&ClientToMsu::Vcr {
             group: GroupId(1),
             cmd: VcrCommand::Seek(MediaTime::from_secs(90)),
+        });
+    }
+
+    #[test]
+    fn stats_messages_round_trip() {
+        use crate::wire::stats::{HistBucket, MetricEntry, MetricValue};
+        let snap = StatsSnapshot {
+            source: "msu-1".into(),
+            uptime_us: 42_000_000,
+            metrics: vec![
+                MetricEntry {
+                    name: "net.packets_sent".into(),
+                    value: MetricValue::Counter(1000),
+                },
+                MetricEntry {
+                    name: "net.lateness_us".into(),
+                    value: MetricValue::Histogram {
+                        buckets: vec![
+                            HistBucket { le: 1000, count: 7 },
+                            HistBucket {
+                                le: u64::MAX,
+                                count: 8,
+                            },
+                        ],
+                        count: 8,
+                        sum: 12345,
+                    },
+                },
+            ],
+        };
+        round_trip(&ClientRequest::Stats { msu: None });
+        round_trip(&ClientRequest::Stats {
+            msu: Some(MsuId(3)),
+        });
+        round_trip(&CoordReply::Stats {
+            snapshots: vec![snap.clone()],
+        });
+        round_trip(&CoordReply::Stats { snapshots: vec![] });
+        round_trip(&MsuEnvelope {
+            req_id: 77,
+            body: MsuToCoord::Stats { snapshot: snap },
+        });
+        round_trip(&CoordEnvelope {
+            req_id: 77,
+            body: CoordToMsu::GetStats,
         });
     }
 

@@ -22,6 +22,7 @@
 
 pub mod data;
 pub mod messages;
+pub mod stats;
 
 use core::fmt;
 use std::io::{self, Read, Write};
@@ -359,9 +360,9 @@ pub fn read_frame<R: Read, T: Wire>(r: &mut R) -> io::Result<Option<T>> {
     }
     let mut payload = vec![0u8; len as usize];
     r.read_exact(&mut payload)?;
-    T::from_bytes(&payload).map(Some).map_err(|e| {
-        io::Error::new(io::ErrorKind::InvalidData, e)
-    })
+    T::from_bytes(&payload)
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
 }
 
 // Wire impls for the small types defined elsewhere in this crate.

@@ -13,12 +13,10 @@ use std::net::SocketAddr;
 
 fn arb_addr() -> impl Strategy<Value = SocketAddr> {
     prop_oneof![
-        (any::<[u8; 4]>(), any::<u16>()).prop_map(|(ip, port)| {
-            SocketAddr::new(std::net::IpAddr::V4(ip.into()), port)
-        }),
-        (any::<[u8; 16]>(), any::<u16>()).prop_map(|(ip, port)| {
-            SocketAddr::new(std::net::IpAddr::V6(ip.into()), port)
-        }),
+        (any::<[u8; 4]>(), any::<u16>())
+            .prop_map(|(ip, port)| { SocketAddr::new(std::net::IpAddr::V4(ip.into()), port) }),
+        (any::<[u8; 16]>(), any::<u16>())
+            .prop_map(|(ip, port)| { SocketAddr::new(std::net::IpAddr::V6(ip.into()), port) }),
     ]
 }
 
@@ -31,7 +29,13 @@ fn arb_protocol() -> impl Strategy<Value = ProtocolId> {
 }
 
 fn arb_type_spec() -> impl Strategy<Value = ContentTypeSpec> {
-    let atomic = (any::<String>(), arb_protocol(), any::<u64>(), any::<u64>(), any::<bool>())
+    let atomic = (
+        any::<String>(),
+        arb_protocol(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<bool>(),
+    )
         .prop_map(|(name, protocol, a, b, constant)| ContentTypeSpec {
             name,
             body: TypeBody::Atomic {
@@ -46,7 +50,10 @@ fn arb_type_spec() -> impl Strategy<Value = ContentTypeSpec> {
                 },
             },
         });
-    let composite = (any::<String>(), proptest::collection::vec(any::<String>(), 0..4))
+    let composite = (
+        any::<String>(),
+        proptest::collection::vec(any::<String>(), 0..4),
+    )
         .prop_map(|(name, components)| ContentTypeSpec {
             name,
             body: TypeBody::Composite { components },
@@ -104,14 +111,20 @@ fn arb_client_request() -> impl Strategy<Value = ClientRequest> {
         any::<String>().prop_map(|name| ClientRequest::UnregisterPort { name }),
         (any::<String>(), any::<String>())
             .prop_map(|(content, port)| ClientRequest::Play { content, port }),
-        (any::<String>(), any::<String>(), any::<String>(), any::<u32>()).prop_map(
-            |(content, port, type_name, est_secs)| ClientRequest::Record {
-                content,
-                port,
-                type_name,
-                est_secs,
-            }
-        ),
+        (
+            any::<String>(),
+            any::<String>(),
+            any::<String>(),
+            any::<u32>()
+        )
+            .prop_map(
+                |(content, port, type_name, est_secs)| ClientRequest::Record {
+                    content,
+                    port,
+                    type_name,
+                    est_secs,
+                }
+            ),
         any::<String>().prop_map(|content| ClientRequest::Delete { content }),
         arb_type_spec().prop_map(|spec| ClientRequest::AddType { spec }),
         (any::<String>(), any::<String>(), any::<String>()).prop_map(|(content, ff, fb)| {
@@ -155,8 +168,8 @@ fn arb_coord_to_msu() -> impl Strategy<Value = CoordToMsu> {
             arb_addr(),
             proptest::option::of((any::<String>(), any::<String>())),
         )
-            .prop_map(
-                |(s, g, gs, d, file, protocol, pacing, a, b, trick)| CoordToMsu::ScheduleRead {
+            .prop_map(|(s, g, gs, d, file, protocol, pacing, a, b, trick)| {
+                CoordToMsu::ScheduleRead {
                     stream: StreamId(s),
                     group: GroupId(g),
                     group_size: gs,
@@ -171,8 +184,10 @@ fn arb_coord_to_msu() -> impl Strategy<Value = CoordToMsu> {
                         fast_backward: fb,
                     }),
                 }
-            ),
-        any::<u64>().prop_map(|s| CoordToMsu::Cancel { stream: StreamId(s) }),
+            }),
+        any::<u64>().prop_map(|s| CoordToMsu::Cancel {
+            stream: StreamId(s)
+        }),
         (any::<u64>(), any::<u64>(), any::<String>()).prop_map(|(a, b, file)| {
             CoordToMsu::CopyFile {
                 src_disk: DiskId(a),
@@ -180,8 +195,10 @@ fn arb_coord_to_msu() -> impl Strategy<Value = CoordToMsu> {
                 file,
             }
         }),
-        (any::<u64>(), any::<String>())
-            .prop_map(|(d, file)| CoordToMsu::DeleteFile { disk: DiskId(d), file }),
+        (any::<u64>(), any::<String>()).prop_map(|(d, file)| CoordToMsu::DeleteFile {
+            disk: DiskId(d),
+            file
+        }),
         Just(CoordToMsu::Ping),
         Just(CoordToMsu::Shutdown),
     ]
@@ -206,9 +223,11 @@ fn arb_msu_to_coord() -> impl Strategy<Value = MsuToCoord> {
                     .collect(),
                 previous: previous.map(MsuId),
             }),
-        proptest::option::of(any::<String>())
-            .prop_map(|error| MsuToCoord::ReadScheduled { error }),
-        (proptest::option::of(arb_addr()), proptest::option::of(any::<String>()))
+        proptest::option::of(any::<String>()).prop_map(|error| MsuToCoord::ReadScheduled { error }),
+        (
+            proptest::option::of(arb_addr()),
+            proptest::option::of(any::<String>())
+        )
             .prop_map(|(udp_sink, error)| MsuToCoord::WriteScheduled { udp_sink, error }),
         (any::<u64>(), arb_done_reason(), any::<u64>(), any::<u64>()).prop_map(
             |(s, reason, bytes, duration_us)| MsuToCoord::StreamDone {
@@ -226,10 +245,15 @@ fn arb_msu_to_coord() -> impl Strategy<Value = MsuToCoord> {
 
 fn arb_coord_reply() -> impl Strategy<Value = CoordReply> {
     prop_oneof![
-        any::<u64>().prop_map(|s| CoordReply::Welcome { session: SessionId(s) }),
+        any::<u64>().prop_map(|s| CoordReply::Welcome {
+            session: SessionId(s)
+        }),
         Just(CoordReply::Ok),
         Just(CoordReply::Queued),
-        (any::<u64>(), proptest::collection::vec((any::<u64>(), any::<String>(), any::<u64>()), 0..4))
+        (
+            any::<u64>(),
+            proptest::collection::vec((any::<u64>(), any::<String>(), any::<u64>()), 0..4)
+        )
             .prop_map(|(g, streams)| CoordReply::PlayStarted {
                 group: GroupId(g),
                 streams: streams

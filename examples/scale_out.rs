@@ -33,7 +33,11 @@ fn main() {
     }
     let mut plays = Vec::new();
     for (i, port) in ports.iter().enumerate() {
-        plays.push(viewer.play("news", &format!("tv{i}"), &[port]).expect("play"));
+        plays.push(
+            viewer
+                .play("news", &format!("tv{i}"), &[port])
+                .expect("play"),
+        );
     }
     println!("  active streams: {}", cluster.coord.active_streams());
 
@@ -46,7 +50,9 @@ fn main() {
         one.quit().expect("quit");
     });
     let started = Instant::now();
-    let mut queued = viewer.play("news", "tv-extra", &[&extra]).expect("queued play");
+    let mut queued = viewer
+        .play("news", "tv-extra", &[&extra])
+        .expect("queued play");
     println!(
         "  queued request completed after {:?} (> 0.5 s of waiting)",
         started.elapsed()
@@ -56,7 +62,9 @@ fn main() {
     println!("other titles on the second disk/MSU admit instantly:");
     let lport = viewer.open_port("tv-lecture", "mpeg1").expect("port");
     let started = Instant::now();
-    let mut lecture = viewer.play("lecture", "tv-lecture", &[&lport]).expect("play");
+    let mut lecture = viewer
+        .play("lecture", "tv-lecture", &[&lport])
+        .expect("play");
     println!("  \"lecture\" admitted in {:?}", started.elapsed());
 
     println!("tearing down…");

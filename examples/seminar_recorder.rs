@@ -31,7 +31,9 @@ fn main() {
 
     println!("replaying the seminar to a composite display port…");
     let vport = client.open_port("screen", "nv-video").expect("video port");
-    let aport = client.open_port("speaker", "vat-audio").expect("audio port");
+    let aport = client
+        .open_port("speaker", "vat-audio")
+        .expect("audio port");
     client
         .register_composite("seminar-out", "seminar", &[&vport, &aport])
         .expect("composite port");
@@ -39,7 +41,11 @@ fn main() {
     let mut play = client
         .play("colloquium", "seminar-out", &[&vport, &aport])
         .expect("play");
-    println!("  stream group {} with {} members", play.group, play.streams.len());
+    println!(
+        "  stream group {} with {} members",
+        play.group,
+        play.streams.len()
+    );
     let (vs, as_) = (play.streams[0], play.streams[1]);
     let reason = play.wait_end(Duration::from_secs(60)).expect("end");
     std::thread::sleep(Duration::from_millis(300));

@@ -61,7 +61,10 @@ fn main() {
     play.vcr(VcrCommand::Play).expect("normal");
     play.seek(MediaTime::from_millis(5_000)).expect("seek");
     let reason = play.wait_end(Duration::from_secs(30)).expect("end");
-    println!("viewer: ended ({reason:?}); {} packets total", port.stats(stream).packets);
+    println!(
+        "viewer: ended ({reason:?}); {} packets total",
+        port.stats(stream).packets
+    );
 
     cluster.shutdown();
     println!("done.");

@@ -34,7 +34,10 @@ fn record_then_play_round_trips_bytes() {
     let entry = toc.iter().find(|e| e.name == "movie").expect("cataloged");
     assert_eq!(entry.bytes, original.len() as u64);
     let dur_s = entry.duration_us as f64 / 1e6;
-    assert!((1.5..3.0).contains(&dur_s), "duration {dur_s}s for 2s content");
+    assert!(
+        (1.5..3.0).contains(&dur_s),
+        "duration {dur_s}s for 2s content"
+    );
 
     // Play it back and collect every byte.
     let port = client.open_port("tv", "mpeg1").unwrap();
@@ -53,7 +56,11 @@ fn record_then_play_round_trips_bytes() {
     assert_eq!(stats.reordered, 0);
     // Soft real time on loopback: comfortably within the paper's 150 ms
     // worst case.
-    assert!(stats.max_late_us < 150_000, "max late {}us", stats.max_late_us);
+    assert!(
+        stats.max_late_us < 150_000,
+        "max late {}us",
+        stats.max_late_us
+    );
 
     cluster.shutdown();
 }
@@ -215,7 +222,11 @@ fn deletion_requires_admin_and_frees_the_name() {
     let mut user = cluster.client("bob", false).unwrap();
     assert!(user.delete("tmp").is_err(), "non-admin delete must fail");
     admin.delete("tmp").unwrap();
-    assert!(admin.list_content().unwrap().iter().all(|e| e.name != "tmp"));
+    assert!(admin
+        .list_content()
+        .unwrap()
+        .iter()
+        .all(|e| e.name != "tmp"));
     // The name is reusable.
     content::upload_mpeg(&mut admin, "tmp", 1, 4).unwrap();
     cluster.shutdown();
@@ -313,7 +324,11 @@ fn two_msus_share_load() {
     }
     let mut plays = Vec::new();
     for (i, port) in ports.iter().enumerate() {
-        plays.push(client.play(&format!("c{i}"), &format!("tv{i}"), &[port]).unwrap());
+        plays.push(
+            client
+                .play(&format!("c{i}"), &format!("tv{i}"), &[port])
+                .unwrap(),
+        );
     }
     for mut p in plays {
         let r = p.wait_end(Duration::from_secs(30)).unwrap();

@@ -34,7 +34,10 @@ fn vbr_content_round_trips_with_stored_schedule() {
     let toc = client.list_content().unwrap();
     let e = toc.iter().find(|e| e.name == "nvclip").unwrap();
     let dur_s = e.duration_us as f64 / 1e6;
-    assert!((1.5..2.5).contains(&dur_s), "stored duration {dur_s}s for 2s trace");
+    assert!(
+        (1.5..2.5).contains(&dur_s),
+        "stored duration {dur_s}s for 2s trace"
+    );
 
     let port = client.open_port("screen", "nv-video").unwrap();
     let started = Instant::now();
@@ -51,7 +54,11 @@ fn vbr_content_round_trips_with_stored_schedule() {
         s.eos.then_some(s)
     });
     assert_eq!(stats.bytes, total, "every RTP byte came back");
-    assert_eq!(stats.packets as usize, trace.len(), "packet framing preserved");
+    assert_eq!(
+        stats.packets as usize,
+        trace.len(),
+        "packet framing preserved"
+    );
     assert_eq!(stats.lost, 0);
     cluster.shutdown();
 }
@@ -334,7 +341,9 @@ fn rtcp_control_packets_interleave_through_recording_and_playback() {
     let cluster = Cluster::builder().msus(1).build().unwrap();
     let mut client = cluster.client("alice", false).unwrap();
     let port = client.open_port("cam", "nv-video").unwrap();
-    let mut rec = client.record("with-rtcp", "cam", "nv-video", 10, &[&port]).unwrap();
+    let mut rec = client
+        .record("with-rtcp", "cam", "nv-video", 10, &[&port])
+        .unwrap();
 
     // 30 RTP media packets (90 kHz timestamps, 33 ms apart) with an
     // RTCP report interleaved every 10th packet.
@@ -351,7 +360,8 @@ fn rtcp_control_packets_interleave_through_recording_and_playback() {
         pkt.extend_from_slice(&[i as u8; 200]);
         rec.send(0, PacketKind::Media, &pkt).unwrap();
         if i % 10 == 9 {
-            rec.send(0, PacketKind::Control, b"rtcp sender report").unwrap();
+            rec.send(0, PacketKind::Control, b"rtcp sender report")
+                .unwrap();
             rtcp_sent += 1;
         }
         std::thread::sleep(Duration::from_millis(2));
@@ -373,8 +383,15 @@ fn rtcp_control_packets_interleave_through_recording_and_playback() {
         let s = out.stats(stream);
         s.eos.then_some(s)
     });
-    assert_eq!(stats.packets, 30 + rtcp_sent, "media + control all replayed");
-    assert_eq!(stats.control_packets, rtcp_sent, "RTCP came back as control");
+    assert_eq!(
+        stats.packets,
+        30 + rtcp_sent,
+        "media + control all replayed"
+    );
+    assert_eq!(
+        stats.control_packets, rtcp_sent,
+        "RTCP came back as control"
+    );
     cluster.shutdown();
 }
 
@@ -403,13 +420,21 @@ fn in_progress_recordings_are_not_playable() {
 
     // Not in the table of contents, not playable (paper §2.2: content
     // finalizes when the recording session completes).
-    assert!(client.list_content().unwrap().iter().all(|e| e.name != "wip"));
+    assert!(client
+        .list_content()
+        .unwrap()
+        .iter()
+        .all(|e| e.name != "wip"));
     let tv = client.open_port("tv", "mpeg1").unwrap();
     assert!(client.play("wip", "tv", &[&tv]).is_err());
 
     rec.finish(Duration::from_secs(20)).unwrap();
     wait_for(Duration::from_secs(10), || {
-        client.list_content().unwrap().into_iter().find(|e| e.name == "wip")
+        client
+            .list_content()
+            .unwrap()
+            .into_iter()
+            .find(|e| e.name == "wip")
     });
     cluster.shutdown();
 }

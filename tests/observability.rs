@@ -1,0 +1,141 @@
+//! Observability integration: a real Coordinator + MSU serve a stream
+//! while a client pulls live metrics snapshots over the wire and checks
+//! that the counters actually moved.
+
+use calliope::cluster::Cluster;
+use calliope::content;
+use calliope_types::wire::messages::DoneReason;
+use calliope_types::wire::stats::MetricValue;
+use std::time::Duration;
+
+#[test]
+fn stats_over_the_wire_reflect_a_played_stream() {
+    // Honors RUST_LOG so a failing run can be narrated; no-op otherwise.
+    calliope_obs::init_logging();
+    let cluster = Cluster::builder().msus(1).build().unwrap();
+    let msu_id = cluster.msus[0].id();
+    let mut client = cluster.client("alice", false).unwrap();
+
+    // One record admission (the upload) and one play admission.
+    let original = content::upload_mpeg(&mut client, "movie", 1, 42).unwrap();
+    let port = client.open_port("tv", "mpeg1").unwrap();
+    let mut play = client.play("movie", "tv", &[&port]).unwrap();
+    let stream = play.streams[0];
+    let reason = play.wait_end(Duration::from_secs(30)).unwrap();
+    assert_eq!(reason, DoneReason::Completed);
+
+    // Full fan-out: the Coordinator's snapshot plus one per MSU.
+    let snaps = client.stats(None).unwrap();
+    assert_eq!(snaps.len(), 2, "coordinator + 1 MSU: {snaps:#?}");
+
+    let coord = snaps
+        .iter()
+        .find(|s| s.source == "coordinator")
+        .expect("coordinator snapshot present");
+    assert_eq!(
+        coord.counter("admission.granted"),
+        2,
+        "record + play admissions"
+    );
+    assert_eq!(coord.counter("coord.streams_started"), 2);
+    assert_eq!(coord.counter("admission.rejected"), 0);
+    let wait = coord
+        .get("admission.queue_wait_us")
+        .expect("queue-wait histogram registered");
+    let MetricValue::Histogram { count, .. } = wait else {
+        panic!("admission.queue_wait_us must be a histogram, got {wait:?}");
+    };
+    assert_eq!(*count, 2, "every admission records its queue wait");
+    assert!(wait.quantile(0.99).is_some());
+
+    let msu = snaps
+        .iter()
+        .find(|s| s.source == msu_id.to_string())
+        .unwrap_or_else(|| panic!("{msu_id} snapshot present in {snaps:#?}"));
+    assert!(
+        msu.counter("net.packets_sent") > 0,
+        "{msu_id} sent packets for {stream}"
+    );
+    assert_eq!(
+        msu.counter("net.bytes_sent"),
+        original.len() as u64,
+        "{msu_id} accounted every byte of {stream}"
+    );
+    assert!(
+        msu.counter("net.packets_recorded") > 0,
+        "upload was counted"
+    );
+    let disk_read = msu
+        .get("disk.read_service_us")
+        .expect("disk service-time histogram registered");
+    let MetricValue::Histogram { count, .. } = disk_read else {
+        panic!("disk.read_service_us must be a histogram");
+    };
+    assert!(*count > 0, "playback touched the disk");
+    match msu.get("spsc.play_ring_depth") {
+        Some(MetricValue::Gauge { high_water, .. }) => {
+            assert!(*high_water > 0, "play ring was used");
+        }
+        other => panic!("spsc.play_ring_depth must be a gauge, got {other:?}"),
+    }
+
+    // Targeted form: just the one MSU.
+    let one = client.stats(Some(msu_id)).unwrap();
+    assert_eq!(one.len(), 1);
+    assert_eq!(one[0].source, msu_id.to_string());
+
+    // The client's own receive-side view exports the same shape.
+    let local = port.snapshot_stats();
+    assert_eq!(local.source, "client:tv");
+    assert!(local.counter("recv.packets") > 0);
+    assert_eq!(local.counter("recv.bytes"), original.len() as u64);
+    assert!(local.counter(&format!("stream.{}.packets", stream.0)) > 0);
+
+    cluster.shutdown();
+}
+
+#[test]
+fn per_stream_counters_appear_and_vanish_with_the_stream() {
+    let cluster = Cluster::builder().msus(1).build().unwrap();
+    let msu_id = cluster.msus[0].id();
+    let mut client = cluster.client("bob", false).unwrap();
+    content::upload_mpeg(&mut client, "clip", 2, 7).unwrap();
+    let port = client.open_port("tv", "mpeg1").unwrap();
+    let mut play = client.play("clip", "tv", &[&port]).unwrap();
+    let stream = play.streams[0];
+
+    // While playing, the MSU snapshot carries per-stream counters.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let key = format!("stream.{}.packets", stream.0);
+    loop {
+        let snap = &client.stats(Some(msu_id)).unwrap()[0];
+        if snap.counter(&key) > 0 {
+            assert!(snap
+                .get(&format!("stream.{}.deadline_misses", stream.0))
+                .is_some());
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "no per-stream counters for {stream} on {msu_id}: {snap:#?}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    play.wait_end(Duration::from_secs(30)).unwrap();
+    // Torn down: the per-stream series is gone, the port-wide totals stay.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let snap = &client.stats(Some(msu_id)).unwrap()[0];
+        if snap.get(&key).is_none() {
+            assert!(snap.counter("net.packets_sent") > 0);
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "{stream} counters survived teardown on {msu_id}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    cluster.shutdown();
+}

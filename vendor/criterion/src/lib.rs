@@ -1,0 +1,219 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the criterion 0.5 API surface this workspace's benches
+//! use — `criterion_group!`/`criterion_main!`, benchmark groups,
+//! `Bencher::iter`/`iter_batched`, throughput annotation — backed by
+//! a simple calibrated timing loop that prints per-iteration time
+//! (and throughput when set) to stdout. No statistics, no HTML
+//! reports.
+
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// How `iter_batched` amortizes setup cost (ignored: every batch is
+/// one iteration here).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// Fresh input per iteration.
+    PerIteration,
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Parses CLI arguments (accepted and ignored for compatibility).
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _parent: self,
+            throughput: None,
+            sample_size: 10,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, None, 10, &mut f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used to report rates.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Sets the number of timing samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Times one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.throughput, self.sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    throughput: Option<Throughput>,
+    samples: usize,
+    f: &mut F,
+) {
+    // Warm-up + calibration pass.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    // Aim for ~20ms per sample, capped to keep total runtime sane.
+    let iters_per_sample = (Duration::from_millis(20).as_nanos() / per_iter.as_nanos()).max(1);
+    let iters_per_sample = iters_per_sample.min(1_000_000) as u64;
+
+    let mut best = Duration::MAX;
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per = b.elapsed / (iters_per_sample as u32);
+        if per < best {
+            best = per;
+        }
+    }
+    let ns = best.as_nanos() as f64;
+    match throughput {
+        Some(Throughput::Bytes(bytes)) if ns > 0.0 => {
+            let rate = bytes as f64 / (ns / 1e9) / 1e6;
+            println!("  {name}: {ns:.0} ns/iter ({rate:.1} MB/s)");
+        }
+        Some(Throughput::Elements(n)) if ns > 0.0 => {
+            let rate = n as f64 / (ns / 1e9);
+            println!("  {name}: {ns:.0} ns/iter ({rate:.0} elem/s)");
+        }
+        _ => println!("  {name}: {ns:.0} ns/iter"),
+    }
+}
+
+/// Times closures for one benchmark.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over this sample's iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` with a fresh `setup` product per iteration;
+    /// setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Declares a benchmark group runner, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.throughput(Throughput::Bytes(8));
+        g.sample_size(2);
+        let mut count = 0u64;
+        g.bench_function("noop", |b| b.iter(|| count += 1));
+        g.finish();
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn iter_batched_consumes_inputs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t2");
+        g.sample_size(2);
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,327 @@
+//! Offline stand-in for the `tracing` crate.
+//!
+//! A minimal structured-logging facade with the familiar macro
+//! surface — `trace!`/`debug!`/`info!`/`warn!`/`error!` (optionally
+//! with `target:`), and `span!`/`info_span!`/`debug_span!` whose
+//! guards maintain a per-thread span stack included with every event.
+//!
+//! Events route to a process-global [`Subscriber`]. When no subscriber
+//! is installed (the default), the global level gate stays at OFF and
+//! every macro reduces to a single relaxed atomic load and branch —
+//! no formatting, no allocation.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// A verbosity level. Ordered: `TRACE < DEBUG < INFO < WARN < ERROR`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Level(pub u8);
+
+impl Level {
+    /// Finest-grained events.
+    pub const TRACE: Level = Level(0);
+    /// Developer diagnostics.
+    pub const DEBUG: Level = Level(1);
+    /// Notable lifecycle events.
+    pub const INFO: Level = Level(2);
+    /// Unexpected but handled situations.
+    pub const WARN: Level = Level(3);
+    /// Failures.
+    pub const ERROR: Level = Level(4);
+
+    /// The level's canonical upper-case name.
+    pub fn name(&self) -> &'static str {
+        match self.0 {
+            0 => "TRACE",
+            1 => "DEBUG",
+            2 => "INFO",
+            3 => "WARN",
+            _ => "ERROR",
+        }
+    }
+
+    /// Parses `"info"`, `"WARN"`, … (`None` for `"off"` / unknown).
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.to_ascii_lowercase().as_str() {
+            "trace" => Some(Level::TRACE),
+            "debug" => Some(Level::DEBUG),
+            "info" => Some(Level::INFO),
+            "warn" | "warning" => Some(Level::WARN),
+            "error" => Some(Level::ERROR),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Debug for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Sentinel for "nothing enabled".
+const OFF: u8 = u8::MAX;
+
+/// The global level gate: events below this level short-circuit in
+/// the macros before any formatting happens.
+static MIN_LEVEL: AtomicU8 = AtomicU8::new(OFF);
+
+static SUBSCRIBER: OnceLock<Box<dyn Subscriber>> = OnceLock::new();
+
+/// Receives events and span lifecycle notifications.
+pub trait Subscriber: Send + Sync {
+    /// Fine-grained (per-target) filtering, called after the global
+    /// gate passes.
+    fn enabled(&self, target: &str, level: Level) -> bool {
+        let _ = (target, level);
+        true
+    }
+
+    /// One event. `spans` is the current thread's span stack,
+    /// outermost first, each rendered as `name{fields}`.
+    fn event(&self, target: &str, level: Level, spans: &[String], message: fmt::Arguments<'_>);
+}
+
+/// Installs the process-global subscriber and opens the level gate to
+/// `min_level` (`None` keeps everything off). Returns false if a
+/// subscriber was already installed.
+pub fn set_subscriber(sub: Box<dyn Subscriber>, min_level: Option<Level>) -> bool {
+    let ok = SUBSCRIBER.set(sub).is_ok();
+    if ok {
+        MIN_LEVEL.store(min_level.map_or(OFF, |l| l.0), Ordering::Release);
+    }
+    ok
+}
+
+/// The fast path: is anything at `level` possibly enabled?
+#[inline(always)]
+pub fn enabled(level: Level) -> bool {
+    level.0 >= MIN_LEVEL.load(Ordering::Relaxed) && MIN_LEVEL.load(Ordering::Relaxed) != OFF
+}
+
+thread_local! {
+    static SPAN_STACK: std::cell::RefCell<Vec<String>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Routes one event to the subscriber (called by the macros after the
+/// level gate).
+pub fn dispatch(target: &str, level: Level, message: fmt::Arguments<'_>) {
+    if let Some(sub) = SUBSCRIBER.get() {
+        if sub.enabled(target, level) {
+            SPAN_STACK.with(|s| sub.event(target, level, &s.borrow(), message));
+        }
+    }
+}
+
+/// A named region of execution. Created by [`span!`]; push it on the
+/// current thread with [`Span::enter`].
+pub struct Span {
+    rendered: Option<String>,
+}
+
+impl Span {
+    /// A live span (used by the `span!` macro).
+    pub fn new(_level: Level, _target: &'static str, name: &str, fields: String) -> Span {
+        let rendered = if fields.is_empty() {
+            name.to_owned()
+        } else {
+            format!("{name}{{{fields}}}")
+        };
+        Span {
+            rendered: Some(rendered),
+        }
+    }
+
+    /// A disabled span: entering it is free.
+    pub fn none() -> Span {
+        Span { rendered: None }
+    }
+
+    /// Pushes the span onto this thread's stack until the guard drops.
+    pub fn enter(&self) -> Entered<'_> {
+        if let Some(r) = &self.rendered {
+            SPAN_STACK.with(|s| s.borrow_mut().push(r.clone()));
+            Entered {
+                live: true,
+                _span: std::marker::PhantomData,
+            }
+        } else {
+            Entered {
+                live: false,
+                _span: std::marker::PhantomData,
+            }
+        }
+    }
+}
+
+/// Guard returned by [`Span::enter`].
+pub struct Entered<'a> {
+    live: bool,
+    _span: std::marker::PhantomData<&'a Span>,
+}
+
+impl Drop for Entered<'_> {
+    fn drop(&mut self) {
+        if self.live {
+            SPAN_STACK.with(|s| {
+                s.borrow_mut().pop();
+            });
+        }
+    }
+}
+
+/// Creates a [`Span`] at an explicit level:
+/// `span!(Level::INFO, "play", stream = id)`.
+#[macro_export]
+macro_rules! span {
+    ($lvl:expr, $name:expr $(, $k:ident = $v:expr)* $(,)?) => {{
+        if $crate::enabled($lvl) {
+            #[allow(unused_mut)]
+            let mut __fields = String::new();
+            $({
+                use std::fmt::Write as _;
+                if !__fields.is_empty() { __fields.push(' '); }
+                let _ = write!(__fields, concat!(stringify!($k), "={}"), $v);
+            })*
+            $crate::Span::new($lvl, module_path!(), $name, __fields)
+        } else {
+            $crate::Span::none()
+        }
+    }};
+}
+
+/// `span!` at INFO.
+#[macro_export]
+macro_rules! info_span {
+    ($($arg:tt)+) => { $crate::span!($crate::Level::INFO, $($arg)+) };
+}
+
+/// `span!` at DEBUG.
+#[macro_export]
+macro_rules! debug_span {
+    ($($arg:tt)+) => { $crate::span!($crate::Level::DEBUG, $($arg)+) };
+}
+
+/// `span!` at TRACE.
+#[macro_export]
+macro_rules! trace_span {
+    ($($arg:tt)+) => { $crate::span!($crate::Level::TRACE, $($arg)+) };
+}
+
+/// Emits one event at an explicit level, with optional `target:`.
+#[macro_export]
+macro_rules! event {
+    ($lvl:expr, target: $target:expr, $($arg:tt)+) => {{
+        let __lvl = $lvl;
+        if $crate::enabled(__lvl) {
+            $crate::dispatch($target, __lvl, format_args!($($arg)+));
+        }
+    }};
+    ($lvl:expr, $($arg:tt)+) => {
+        $crate::event!($lvl, target: module_path!(), $($arg)+)
+    };
+}
+
+/// TRACE-level event.
+#[macro_export]
+macro_rules! trace {
+    ($($arg:tt)+) => { $crate::event!($crate::Level::TRACE, $($arg)+) };
+}
+
+/// DEBUG-level event.
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)+) => { $crate::event!($crate::Level::DEBUG, $($arg)+) };
+}
+
+/// INFO-level event.
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)+) => { $crate::event!($crate::Level::INFO, $($arg)+) };
+}
+
+/// WARN-level event.
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)+) => { $crate::event!($crate::Level::WARN, $($arg)+) };
+}
+
+/// ERROR-level event.
+#[macro_export]
+macro_rules! error {
+    ($($arg:tt)+) => { $crate::event!($crate::Level::ERROR, $($arg)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Mutex;
+
+    struct Capture {
+        events: Mutex<Vec<String>>,
+        count: AtomicUsize,
+    }
+
+    impl Subscriber for &'static Capture {
+        fn event(&self, target: &str, level: Level, spans: &[String], msg: fmt::Arguments<'_>) {
+            self.count.fetch_add(1, Ordering::Relaxed);
+            self.events
+                .lock()
+                .unwrap()
+                .push(format!("{level} {target} [{}] {msg}", spans.join(">")));
+        }
+    }
+
+    // The subscriber is process-global, so exercise everything in one
+    // test body.
+    #[test]
+    fn events_spans_and_gating() {
+        assert!(!enabled(Level::ERROR), "default is off");
+        info!("this is dropped before formatting");
+
+        static CAP: Capture = Capture {
+            events: Mutex::new(Vec::new()),
+            count: AtomicUsize::new(0),
+        };
+        assert!(set_subscriber(Box::new(&CAP), Some(Level::DEBUG)));
+        assert!(enabled(Level::DEBUG));
+        assert!(enabled(Level::ERROR));
+        assert!(!enabled(Level::TRACE));
+
+        trace!("still dropped: below the gate");
+        assert_eq!(CAP.count.load(Ordering::Relaxed), 0);
+
+        info!("plain {}", 1);
+        warn!(target: "custom", "targeted");
+        {
+            let span = span!(Level::INFO, "session", id = 42);
+            let _g = span.enter();
+            debug!("inside");
+            {
+                let inner = info_span!("stream", sid = 7);
+                let _g2 = inner.enter();
+                error!("deep");
+            }
+        }
+        info!("outside again");
+
+        let events = CAP.events.lock().unwrap().clone();
+        assert_eq!(events.len(), 5);
+        assert!(events[0].contains("INFO") && events[0].contains("plain 1"));
+        assert!(events[1].contains("custom"));
+        assert!(events[2].contains("[session{id=42}] inside"));
+        assert!(events[3].contains("session{id=42}>stream{sid=7}"));
+        assert!(events[4].contains("[] outside"));
+
+        // Second install is refused.
+        assert!(!set_subscriber(Box::new(&CAP), Some(Level::TRACE)));
+    }
+}
