@@ -1,0 +1,165 @@
+//! E11 — batched elevator I/O vs. per-stream sequential reads.
+//!
+//! The disk thread's duty cycle gathers every eligible stream's next
+//! pages (read-ahead 2), SCAN-orders them, and issues physically
+//! adjacent blocks as single vectored transfers. This bench replays
+//! that access pattern against a real file-backed disk and compares it
+//! with the old per-stream order (one `read_block` syscall per page,
+//! head bouncing between stream regions), at 4, 16, and 64 streams.
+//!
+//! A second, metered pass reports what the elevator saves in head
+//! travel and how many blocks rode a coalesced transfer
+//! (`IoStats::batched_blocks`).
+
+use calliope_storage::block::{BlockDevice, FileDisk, MeteredDevice};
+use calliope_storage::{coalesce_runs, ElevatorState};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+const BS: usize = 4096;
+const READ_AHEAD: u64 = 2;
+
+fn pages_per_stream() -> u64 {
+    if calliope_bench::quick() {
+        16
+    } else {
+        64
+    }
+}
+
+/// Start block of each stream's contiguous region. The region order is
+/// a fixed permutation of the stream order, so serving streams
+/// round-robin (arrival order) bounces the head exactly as interleaved
+/// playback does.
+fn layout(streams: u64) -> Vec<u64> {
+    let pages = pages_per_stream();
+    (0..streams).map(|i| (i * 37 % streams) * pages).collect()
+}
+
+fn disk_path(streams: u64) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "calliope-batched-io-{}-{streams}.img",
+        std::process::id()
+    ))
+}
+
+fn make_disk(streams: u64) -> FileDisk {
+    let blocks = streams * pages_per_stream();
+    let path = disk_path(streams);
+    let mut disk = FileDisk::create(&path, BS, blocks).expect("create bench disk");
+    // Materialize every block so neither driver reads a sparse hole.
+    let block = vec![0xC5u8; BS];
+    for b in 0..blocks {
+        disk.write_block(b, &block).expect("fill bench disk");
+    }
+    disk.sync().expect("sync bench disk");
+    disk
+}
+
+/// The old duty cycle: visit streams in arrival order, read each
+/// stream's next pages one block at a time. Like the batched driver,
+/// every claim lands in its own (pool) buffer.
+fn play_sequential(dev: &mut impl BlockDevice, streams: u64, bufs: &mut [Vec<u8>]) {
+    let regions = layout(streams);
+    let pages = pages_per_stream();
+    let mut cycle_page = 0;
+    while cycle_page < pages {
+        for s in 0..streams as usize {
+            for k in 0..READ_AHEAD as usize {
+                dev.read_block(
+                    regions[s] + cycle_page + k as u64,
+                    &mut bufs[s * READ_AHEAD as usize + k],
+                )
+                .expect("read");
+            }
+        }
+        cycle_page += READ_AHEAD;
+    }
+}
+
+/// The new duty cycle: gather all streams' claims, SCAN-order them,
+/// and issue adjacent blocks as one vectored transfer.
+fn play_batched(dev: &mut impl BlockDevice, streams: u64, bufs: &mut [Vec<u8>]) {
+    let regions = layout(streams);
+    let pages = pages_per_stream();
+    let mut elevator = ElevatorState::new();
+    let mut addrs: Vec<u64> = Vec::with_capacity((streams * READ_AHEAD) as usize);
+    let mut cycle_page = 0;
+    while cycle_page < pages {
+        addrs.clear();
+        for region in &regions {
+            for k in 0..READ_AHEAD {
+                addrs.push(region + cycle_page + k);
+            }
+        }
+        let order = elevator.plan(&addrs);
+        let mut at = 0;
+        for run in coalesce_runs(&addrs, &order) {
+            let (chunk, _) = bufs[at..].split_at_mut(run.len());
+            let mut refs: Vec<&mut [u8]> = chunk.iter_mut().map(|b| b.as_mut_slice()).collect();
+            dev.read_blocks_into(run.start, &mut refs).expect("read");
+            at += run.len();
+        }
+        cycle_page += READ_AHEAD;
+    }
+}
+
+fn bench_playback(c: &mut Criterion) {
+    for streams in [4u64, 16, 64] {
+        let mut disk = make_disk(streams);
+        let bytes = streams * pages_per_stream() * BS as u64;
+        let mut bufs: Vec<Vec<u8>> = (0..streams * READ_AHEAD).map(|_| vec![0u8; BS]).collect();
+
+        let mut g = c.benchmark_group(&format!("batched-io/{streams}-streams"));
+        g.throughput(Throughput::Bytes(bytes));
+        g.bench_function("per-stream-sequential", |b| {
+            b.iter(|| play_sequential(&mut disk, streams, &mut bufs))
+        });
+        g.bench_function("elevator-batched", |b| {
+            b.iter(|| play_batched(&mut disk, streams, &mut bufs))
+        });
+        g.finish();
+
+        let _ = std::fs::remove_file(disk_path(streams));
+    }
+}
+
+/// One metered pass per driver: seek distance, transfer count, and
+/// blocks that rode a coalesced transfer.
+fn report_metered(c: &mut Criterion) {
+    let _ = c; // accounting pass, nothing to time
+    println!("metered pass (MeteredDevice over FileDisk):");
+    println!(
+        "  {:>7} | {:>12} {:>10} | {:>12} {:>10} {:>8} | {:>6}",
+        "streams", "seq seek", "seq xfers", "elev seek", "elev xfers", "batched", "saved"
+    );
+    for streams in [4u64, 16, 64] {
+        let mut bufs: Vec<Vec<u8>> = (0..streams * READ_AHEAD).map(|_| vec![0u8; BS]).collect();
+        let mut dev = MeteredDevice::new(make_disk(streams));
+        play_sequential(&mut dev, streams, &mut bufs);
+        let seq = dev.stats();
+        dev.reset_stats();
+        play_batched(&mut dev, streams, &mut bufs);
+        let elev = dev.stats();
+        assert!(
+            elev.seek_distance < seq.seek_distance,
+            "elevator must strictly lower seek distance \
+             ({} vs {} at {streams} streams)",
+            elev.seek_distance,
+            seq.seek_distance
+        );
+        println!(
+            "  {:>7} | {:>12} {:>10} | {:>12} {:>10} {:>8} | {:>5.1}%",
+            streams,
+            seq.seek_distance,
+            seq.transfers(),
+            elev.seek_distance,
+            elev.transfers(),
+            elev.batched_blocks,
+            100.0 * (1.0 - elev.seek_distance as f64 / seq.seek_distance.max(1) as f64)
+        );
+        let _ = std::fs::remove_file(disk_path(streams));
+    }
+}
+
+criterion_group!(benches, bench_playback, report_metered);
+criterion_main!(benches);

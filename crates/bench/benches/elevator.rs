@@ -7,6 +7,8 @@
 use calliope_bench::banner;
 use calliope_sim::diskpolicy::compare;
 use calliope_sim::machine::DiskParams;
+use calliope_storage::block::{BlockDevice, MemDisk, MeteredDevice};
+use calliope_storage::{coalesce_runs, ElevatorState};
 
 fn main() {
     banner("E7", "Elevator vs. round-robin disk scheduling", "§2.3.3");
@@ -57,4 +59,72 @@ fn main() {
         );
     }
     println!("   the 256 KB design choice is what makes head scheduling unnecessary)");
+
+    // The same contrast at the real device layer: 24 streams, each
+    // claiming two adjacent pages per duty cycle, served round-robin as
+    // single-block reads vs. SCAN-ordered coalesced batches.
+    // MeteredDevice counts the blocks that rode a multi-block transfer
+    // (`IoStats::batched_blocks`).
+    let (rr, el) = metered_duty_cycles(24, 16);
+    println!();
+    println!("real device layer (MeteredDevice over MemDisk, 24 streams, read-ahead 2):");
+    println!(
+        "  round-robin:      seek {:>8} blocks, {:>4} transfers, {:>4} batched blocks",
+        rr.seek_distance,
+        rr.transfers(),
+        rr.batched_blocks
+    );
+    println!(
+        "  elevator-batched: seek {:>8} blocks, {:>4} transfers, {:>4} batched blocks",
+        el.seek_distance,
+        el.transfers(),
+        el.batched_blocks
+    );
+}
+
+/// Plays `cycles` duty cycles of 24 interleaved streams both ways and
+/// returns `(round_robin, elevator_batched)` device stats.
+fn metered_duty_cycles(
+    streams: u64,
+    cycles: u64,
+) -> (
+    calliope_storage::block::IoStats,
+    calliope_storage::block::IoStats,
+) {
+    const BS: usize = 4096;
+    const READ_AHEAD: u64 = 2;
+    let pages = cycles * READ_AHEAD;
+    let regions: Vec<u64> = (0..streams).map(|i| (i * 7 % streams) * pages).collect();
+    let mut dev = MeteredDevice::new(MemDisk::new(BS, streams * pages));
+    let mut bufs: Vec<Vec<u8>> = (0..streams * READ_AHEAD).map(|_| vec![0u8; BS]).collect();
+
+    for cycle in 0..cycles {
+        for region in &regions {
+            for k in 0..READ_AHEAD {
+                let b = region + cycle * READ_AHEAD + k;
+                dev.read_block(b, &mut bufs[0]).expect("read");
+            }
+        }
+    }
+    let rr = dev.stats();
+    dev.reset_stats();
+
+    let mut elevator = ElevatorState::new();
+    for cycle in 0..cycles {
+        let mut addrs = Vec::with_capacity((streams * READ_AHEAD) as usize);
+        for region in &regions {
+            for k in 0..READ_AHEAD {
+                addrs.push(region + cycle * READ_AHEAD + k);
+            }
+        }
+        let order = elevator.plan(&addrs);
+        let mut at = 0;
+        for run in coalesce_runs(&addrs, &order) {
+            let (chunk, _) = bufs[at..].split_at_mut(run.len());
+            let mut refs: Vec<&mut [u8]> = chunk.iter_mut().map(|b| b.as_mut_slice()).collect();
+            dev.read_blocks_into(run.start, &mut refs).expect("read");
+            at += run.len();
+        }
+    }
+    (rr, dev.stats())
 }

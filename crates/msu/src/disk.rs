@@ -13,7 +13,8 @@
 //! seek, trick-switch) arrive as commands with reply channels.
 
 use crate::metrics::{MsuMetrics, DISK_CYCLE_BUDGET_US};
-use crate::spsc::{Consumer, PopError, Producer, PushError};
+use crate::pool::{PageData, PagePool};
+use crate::spsc::{Consumer, PopError, Producer};
 use crate::stream::{raw_seek, ActiveFile, PageBuf, StreamCtl, StreamPhase, StreamShared};
 use crate::trick::{self, TrickMode};
 use calliope_proto::record::PacketRecord;
@@ -21,7 +22,7 @@ use calliope_proto::schedule::CbrSchedule;
 use calliope_storage::catalog::FileKind;
 use calliope_storage::ibtree::{IbTreeReader, IbTreeWriter};
 use calliope_storage::page::Geometry;
-use calliope_storage::MsuFs;
+use calliope_storage::{coalesce_runs, ElevatorState, MsuFs};
 use calliope_types::error::{Error, Result};
 use calliope_types::time::MediaTime;
 use calliope_types::wire::data::PacketKind;
@@ -193,6 +194,23 @@ struct ReadIo {
     normal: ActiveFile,
 }
 
+/// Per-stream read-ahead ceiling: with the ring at capacity 4, up to two
+/// pages ride each duty cycle while two are still being drained —
+/// double buffering (§2.2.1) with one cycle of slack.
+pub const MAX_READ_AHEAD: usize = 2;
+
+/// One page "ticket" claimed from a stream's control block during the
+/// gather phase; the I/O happens later, elevator-ordered and coalesced.
+struct Claim {
+    id: StreamId,
+    gen: u64,
+    index: u64,
+    skip: usize,
+    valid: usize,
+    /// Absolute device block address (the elevator's sort key).
+    abs: u64,
+}
+
 enum WriteSink {
     Ib {
         writer: IbTreeWriter,
@@ -221,6 +239,8 @@ pub fn run(
     metrics: Arc<MsuMetrics>,
 ) {
     let geo = geometry_for(&fs);
+    let pool = PagePool::new(fs.block_size());
+    let mut elevator = ElevatorState::new();
     let mut reads: HashMap<StreamId, ReadIo> = HashMap::new();
     let mut writes: HashMap<StreamId, WriteIo> = HashMap::new();
     let mut order: Vec<StreamId> = Vec::new();
@@ -231,7 +251,15 @@ pub fn run(
         loop {
             match rx.try_recv() {
                 Ok(DiskCmd::Shutdown) => return,
-                Ok(cmd) => handle_cmd(&mut fs, geo, cmd, &mut reads, &mut writes, &mut order),
+                Ok(cmd) => handle_cmd(
+                    &mut fs,
+                    geo,
+                    &pool,
+                    cmd,
+                    &mut reads,
+                    &mut writes,
+                    &mut order,
+                ),
                 Err(crossbeam::channel::TryRecvError::Empty) => break,
                 Err(crossbeam::channel::TryRecvError::Disconnected) => return,
             }
@@ -240,35 +268,161 @@ pub fn run(
         let mut progressed = false;
         let cycle_start = Instant::now();
 
-        // Duty cycle: serve read streams round-robin, one page each.
+        // Duty cycle, gather phase: claim every eligible stream's next
+        // pages (up to the ring's slack, capped at MAX_READ_AHEAD) so the
+        // whole cycle's I/O can be elevator-ordered and coalesced. The
+        // claims advance `next_page` under the lock; the reads happen
+        // outside it — a concurrent seek bumps `gen` and the network
+        // thread discards the stale pages.
+        let mut claims: Vec<Claim> = Vec::new();
+        let mut failed: Vec<(StreamId, String)> = Vec::new();
         if !order.is_empty() {
             for probe in 0..order.len() {
                 let id = order[(rr + probe) % order.len()];
                 let Some(io) = reads.get_mut(&id) else {
                     continue;
                 };
-                match serve_read(&mut fs, geo, io, &metrics) {
-                    Ok(true) => {
-                        rr = (rr + probe + 1) % order.len();
-                        if !io.primed {
-                            io.primed = true;
-                            if io.group.prime(id) {
-                                let _ = events.send(DiskEvent::GroupReleased(io.group.id));
-                            }
-                        }
-                        progressed = true;
+                if io.producer.is_closed() {
+                    continue;
+                }
+                let slack = io.producer.slack().min(MAX_READ_AHEAD);
+                if slack == 0 {
+                    continue;
+                }
+                let mut ctl = io.shared.ctl.lock();
+                if ctl.phase == StreamPhase::Done {
+                    continue;
+                }
+                for _ in 0..slack {
+                    if ctl.eof || ctl.next_page >= ctl.file.pages {
+                        ctl.eof = true;
                         break;
                     }
-                    Ok(false) => {}
-                    Err(e) => {
-                        io.shared.ctl.lock().phase = StreamPhase::Done;
-                        let _ = events.send(DiskEvent::StreamFailed {
-                            stream: id,
-                            msg: e.to_string(),
-                        });
+                    let page_idx = ctl.next_page;
+                    ctl.next_page += 1;
+                    if ctl.next_page >= ctl.file.pages {
+                        ctl.eof = true;
+                    }
+                    let skip = std::mem::take(&mut ctl.pending_skip);
+                    let valid = match ctl.file.kind {
+                        FileKind::Raw => {
+                            let start = page_idx * fs.block_size() as u64;
+                            (ctl.file.len_bytes - start.min(ctl.file.len_bytes))
+                                .min(fs.block_size() as u64) as usize
+                        }
+                        FileKind::IbTree => fs.block_size(),
+                    };
+                    match fs.page_block(&ctl.file.name, page_idx) {
+                        Ok(abs) => claims.push(Claim {
+                            id,
+                            gen: ctl.gen,
+                            index: page_idx,
+                            skip,
+                            valid,
+                            abs,
+                        }),
+                        Err(e) => {
+                            ctl.phase = StreamPhase::Done;
+                            failed.push((id, e.to_string()));
+                            break;
+                        }
                     }
                 }
             }
+            rr = (rr + 1) % order.len();
+        }
+
+        // Issue phase: SCAN-order the batch, merge physically adjacent
+        // blocks into single transfers, and read into pooled buffers.
+        if !claims.is_empty() {
+            let addrs: Vec<u64> = claims.iter().map(|c| c.abs).collect();
+            let head_before = elevator.head;
+            let issue = elevator.plan(&addrs);
+            let planned: Vec<u64> = issue.iter().map(|&i| addrs[i]).collect();
+            let gather_travel = ElevatorState::travel(head_before, &addrs);
+            let scan_travel = ElevatorState::travel(head_before, &planned);
+            metrics
+                .disk_seek_saved_blocks
+                .add(gather_travel.saturating_sub(scan_travel));
+            metrics.disk_batch_pages.record(claims.len() as u64);
+            metrics.disk_batched_pages_total.add(claims.len() as u64);
+
+            let mut results: Vec<Option<PageData>> = (0..claims.len()).map(|_| None).collect();
+            for run in coalesce_runs(&addrs, &issue) {
+                metrics.disk_coalesced_runs.add(1);
+                if run.len() >= 2 {
+                    metrics.disk_batched_pages.add(run.len() as u64);
+                }
+                let read_start = Instant::now();
+                let mut bufs: Vec<crate::pool::PooledBuf> =
+                    (0..run.len()).map(|_| pool.get()).collect();
+                let res = {
+                    let mut refs: Vec<&mut [u8]> =
+                        bufs.iter_mut().map(|b| b.as_mut_slice()).collect();
+                    fs.read_blocks_abs(run.start, &mut refs)
+                };
+                match res {
+                    Ok(()) => {
+                        metrics
+                            .disk_read_us
+                            .record(read_start.elapsed().as_micros() as u64);
+                        for (buf, &ci) in bufs.into_iter().zip(&run.members) {
+                            results[ci] = Some(buf.freeze());
+                        }
+                    }
+                    Err(e) => {
+                        // Unread pooled buffers return via drop. Fail every
+                        // stream with a page in this run, once each.
+                        for &ci in &run.members {
+                            let id = claims[ci].id;
+                            if !failed.iter().any(|(f, _)| *f == id) {
+                                failed.push((id, e.to_string()));
+                            }
+                        }
+                    }
+                }
+            }
+            let exhausted = pool.drain_heap_fallbacks();
+            if exhausted > 0 {
+                metrics.pool_exhausted.add(exhausted);
+            }
+
+            // Deliver phase: push per stream in claim order — claims were
+            // taken in ascending page order per stream, so rings stay
+            // ordered no matter how the elevator reordered the I/O.
+            for (ci, claim) in claims.iter().enumerate() {
+                let Some(data) = results[ci].take() else {
+                    continue;
+                };
+                let Some(io) = reads.get_mut(&claim.id) else {
+                    continue;
+                };
+                let page = PageBuf {
+                    gen: claim.gen,
+                    index: claim.index,
+                    skip: claim.skip,
+                    valid: claim.valid,
+                    data,
+                };
+                // We claimed at most the ring's slack and are the sole
+                // producer, so Full is impossible; Closed pages recycle
+                // via drop.
+                if io.producer.push(page).is_ok() {
+                    progressed = true;
+                    if !io.primed {
+                        io.primed = true;
+                        if io.group.prime(claim.id) {
+                            let _ = events.send(DiskEvent::GroupReleased(io.group.id));
+                        }
+                    }
+                }
+            }
+        }
+        for (id, msg) in failed {
+            if let Some(io) = reads.get(&id) {
+                io.shared.ctl.lock().phase = StreamPhase::Done;
+            }
+            let _ = events.send(DiskEvent::StreamFailed { stream: id, msg });
         }
 
         // Drain recording rings.
@@ -326,7 +480,15 @@ pub fn run(
             // stay responsive without spinning.
             match rx.recv_timeout(Duration::from_millis(2)) {
                 Ok(DiskCmd::Shutdown) => return,
-                Ok(cmd) => handle_cmd(&mut fs, geo, cmd, &mut reads, &mut writes, &mut order),
+                Ok(cmd) => handle_cmd(
+                    &mut fs,
+                    geo,
+                    &pool,
+                    cmd,
+                    &mut reads,
+                    &mut writes,
+                    &mut order,
+                ),
                 Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
                 Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
             }
@@ -363,6 +525,7 @@ fn stat_file(fs: &MsuFs, name: &str) -> Result<ActiveFile> {
 fn handle_cmd(
     fs: &mut MsuFs,
     geo: Geometry,
+    pool: &PagePool,
     cmd: DiskCmd,
     reads: &mut HashMap<StreamId, ReadIo>,
     writes: &mut HashMap<StreamId, WriteIo>,
@@ -415,6 +578,17 @@ fn handle_cmd(
         } => {
             let id = shared.id;
             let normal = shared.ctl.lock().file.clone();
+            // Size the pool here, on the control path, so the duty cycle
+            // never allocates: every stream can have a full ring of pages
+            // outstanding plus the one the network thread popped and is
+            // still transmitting from.
+            let need: u64 = reads
+                .values()
+                .map(|io| io.producer.capacity() as u64 + 1)
+                .sum::<u64>()
+                + producer.capacity() as u64
+                + 1;
+            pool.ensure_capacity(need);
             reads.insert(
                 id,
                 ReadIo {
@@ -496,68 +670,6 @@ fn handle_cmd(
             writes.remove(&stream);
         }
         DiskCmd::Shutdown => unreachable!("handled by the caller"),
-    }
-}
-
-/// Serves at most one page for a read stream. Returns `Ok(true)` if a
-/// page was read.
-fn serve_read(
-    fs: &mut MsuFs,
-    _geo: Geometry,
-    io: &mut ReadIo,
-    metrics: &Arc<MsuMetrics>,
-) -> Result<bool> {
-    if io.producer.is_full() || io.producer.is_closed() {
-        return Ok(false);
-    }
-    // Take a read "ticket" under the lock; do the I/O outside it. A
-    // concurrent seek bumps `gen`, making this page stale (the network
-    // thread discards it), so racing the I/O is harmless.
-    let (file, page_idx, gen, skip, valid) = {
-        let mut ctl = io.shared.ctl.lock();
-        if ctl.phase == StreamPhase::Done || ctl.eof {
-            return Ok(false);
-        }
-        if ctl.next_page >= ctl.file.pages {
-            ctl.eof = true;
-            return Ok(false);
-        }
-        let page_idx = ctl.next_page;
-        ctl.next_page += 1;
-        if ctl.next_page >= ctl.file.pages {
-            ctl.eof = true;
-        }
-        let skip = std::mem::take(&mut ctl.pending_skip);
-        let valid = match ctl.file.kind {
-            FileKind::Raw => {
-                let start = page_idx * fs.block_size() as u64;
-                (ctl.file.len_bytes - start.min(ctl.file.len_bytes)).min(fs.block_size() as u64)
-                    as usize
-            }
-            FileKind::IbTree => fs.block_size(),
-        };
-        (ctl.file.name.clone(), page_idx, ctl.gen, skip, valid)
-    };
-
-    let mut data = vec![0u8; fs.block_size()];
-    let read_start = Instant::now();
-    fs.read_page(&file, page_idx, &mut data)?;
-    metrics
-        .disk_read_us
-        .record(read_start.elapsed().as_micros() as u64);
-    let buf = PageBuf {
-        gen,
-        index: page_idx,
-        skip,
-        valid,
-        data,
-    };
-    match io.producer.push(buf) {
-        Ok(()) => Ok(true),
-        // Full: we checked `is_full` above and we are the only producer,
-        // so this is unreachable in practice; treat as "no progress".
-        Err(PushError::Full(_)) => Ok(false),
-        Err(PushError::Closed(_)) => Ok(false),
     }
 }
 
@@ -743,7 +855,7 @@ fn do_trick(fs: &mut MsuFs, io: &mut ReadIo, mode: TrickMode) -> Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spsc;
+    use crate::spsc::{self, PushError};
     use crate::stream::GroupShared;
     use calliope_storage::block::MemDisk;
     use calliope_types::time::BitRate;
@@ -1115,6 +1227,96 @@ mod tests {
         let file = file.unwrap();
         assert!(file.pages > 0);
         assert!(!file.root.is_empty(), "IB-tree root recorded");
+    }
+
+    #[test]
+    fn concurrent_streams_all_complete_with_zero_heap_fallbacks() {
+        // The batched duty cycle must serve every stream (no starvation
+        // under elevator reordering) and, once the pool is sized at
+        // admission, steady-state playback must never fall back to the
+        // heap for a page buffer.
+        let fs = test_fs();
+        let (tx, rx) = unbounded();
+        let (etx, erx) = unbounded();
+        let metrics = MsuMetrics::new();
+        let h = std::thread::spawn({
+            let m = Arc::clone(&metrics);
+            move || run(fs, rx, etx, m)
+        });
+
+        let content: Vec<u8> = (0..BS * 8).map(|i| (i % 241) as u8).collect();
+        write_raw_content(&tx, "movie", &content);
+        match erx.recv_timeout(Duration::from_secs(5)).unwrap() {
+            DiskEvent::RecordFinished { .. } => {}
+            other => panic!("{other:?}"),
+        }
+        let file: Result<ActiveFile> = rpc(&tx, |reply| DiskCmd::Stat {
+            name: "movie".into(),
+            reply,
+        });
+        let file = file.unwrap();
+
+        const STREAMS: u64 = 6;
+        let mut drains = Vec::new();
+        for sid in 0..STREAMS {
+            let shared = make_stream(sid + 10, file.clone());
+            let group = GroupShared::new(GroupId(sid + 10), 1);
+            let (p, mut c) = spsc::ring(4);
+            tx.send(DiskCmd::AddRead {
+                shared,
+                group,
+                producer: p,
+                schedule: Some(CbrSchedule::new(BitRate::from_kbps(800), 1000)),
+                trick: TrickNames::default(),
+            })
+            .unwrap();
+            let want = content.clone();
+            drains.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                let deadline = Instant::now() + Duration::from_secs(10);
+                while got.len() < want.len() {
+                    match c.pop() {
+                        Ok(buf) => got.extend_from_slice(&buf.data[buf.skip..buf.valid]),
+                        Err(PopError::Empty) => {
+                            assert!(
+                                Instant::now() < deadline,
+                                "stream starved with {} of {} bytes",
+                                got.len(),
+                                want.len()
+                            );
+                            std::thread::sleep(Duration::from_micros(500));
+                        }
+                        Err(PopError::Closed) => break,
+                    }
+                }
+                assert_eq!(got, want);
+            }));
+        }
+        for d in drains {
+            d.join().unwrap();
+        }
+        let mut released = 0;
+        while let Ok(ev) = erx.recv_timeout(Duration::from_millis(200)) {
+            match ev {
+                DiskEvent::GroupReleased(_) => released += 1,
+                other => panic!("{other:?}"),
+            }
+        }
+        assert_eq!(released, STREAMS, "every group primed and released");
+
+        let snap = metrics.registry.snapshot("disk-test");
+        assert_eq!(
+            snap.counter("disk.pool_exhausted"),
+            0,
+            "steady-state playback heap-allocated a page"
+        );
+        assert_eq!(
+            snap.counter("disk.batched_pages_total"),
+            STREAMS * file.pages,
+            "every page went through the batched path exactly once"
+        );
+        tx.send(DiskCmd::Shutdown).unwrap();
+        h.join().unwrap();
     }
 
     #[test]

@@ -39,10 +39,12 @@ pub mod metrics;
 pub mod net;
 pub mod pacer;
 pub mod packetize;
+pub mod pool;
 pub mod server;
 pub mod spsc;
 pub mod stream;
 pub mod trick;
 
 pub use config::MsuConfig;
+pub use pool::{PageData, PagePool, PooledBuf};
 pub use server::MsuServer;

@@ -13,6 +13,9 @@ use std::sync::Arc;
 /// granularity. A pass that runs longer than this records the overrun.
 pub const DISK_CYCLE_BUDGET_US: u64 = 10_000;
 
+/// Bucket bounds for per-duty-cycle batch sizes (pages).
+pub const BATCH_PAGES_BUCKETS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128];
+
 /// Pre-registered metric handles for one MSU.
 pub struct MsuMetrics {
     /// The registry backing every handle (snapshot source).
@@ -35,6 +38,20 @@ pub struct MsuMetrics {
     pub disk_write_us: Arc<Histogram>,
     /// Amount by which a disk duty-cycle pass exceeded its budget, µs.
     pub disk_cycle_overrun_us: Arc<Histogram>,
+    /// Pages issued per duty-cycle batch (elevator-ordered).
+    pub disk_batch_pages: Arc<Histogram>,
+    /// Coalesced transfers issued (each covers one or more pages).
+    pub disk_coalesced_runs: Arc<Counter>,
+    /// Pages that rode a multi-page coalesced transfer; the coalesce
+    /// ratio is this over `disk.batched_pages_total`.
+    pub disk_batched_pages: Arc<Counter>,
+    /// Every page issued through the batched path (ratio denominator).
+    pub disk_batched_pages_total: Arc<Counter>,
+    /// Head travel (blocks) the elevator saved vs. serving the same
+    /// batch in round-robin gather order.
+    pub disk_seek_saved_blocks: Arc<Counter>,
+    /// Times the page pool was empty and a read fell back to the heap.
+    pub pool_exhausted: Arc<Counter>,
     /// Play-ring (page queue) depth; high-water is the interesting part.
     pub play_ring_depth: Arc<Gauge>,
     /// Record-ring depth; high-water is the interesting part.
@@ -57,6 +74,12 @@ impl MsuMetrics {
             disk_read_us: registry.histogram("disk.read_service_us", LATENCY_US_BUCKETS),
             disk_write_us: registry.histogram("disk.write_service_us", LATENCY_US_BUCKETS),
             disk_cycle_overrun_us: registry.histogram("disk.cycle_overrun_us", LATENCY_US_BUCKETS),
+            disk_batch_pages: registry.histogram("disk.batch_pages", BATCH_PAGES_BUCKETS),
+            disk_coalesced_runs: registry.counter("disk.coalesced_runs"),
+            disk_batched_pages: registry.counter("disk.batched_pages"),
+            disk_batched_pages_total: registry.counter("disk.batched_pages_total"),
+            disk_seek_saved_blocks: registry.counter("disk.seek_saved_blocks"),
+            pool_exhausted: registry.counter("disk.pool_exhausted"),
             play_ring_depth: registry.gauge("spsc.play_ring_depth"),
             record_ring_depth: registry.gauge("spsc.record_ring_depth"),
             streams_active: registry.gauge("streams.active"),

@@ -72,10 +72,34 @@ pub enum NetCmd {
     Shutdown,
 }
 
+/// Where a queued packet's payload lives.
+enum PktPayload {
+    /// A range of a refcounted disk page — queuing it made no copy, and
+    /// the page returns to its pool when the last packet referencing it
+    /// is sent.
+    Shared(crate::pool::PageData, std::ops::Range<usize>),
+    /// An owned buffer: packets stitched across a page boundary, parsed
+    /// IB-tree records, and the end-of-stream flush.
+    Owned(Vec<u8>),
+}
+
+impl PktPayload {
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            PktPayload::Shared(page, r) => &page[r.clone()],
+            PktPayload::Owned(v) => v,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+}
+
 struct QueuedPkt {
     offset: MediaTime,
     kind: PacketKind,
-    payload: Vec<u8>,
+    payload: PktPayload,
 }
 
 struct PlayIo {
@@ -102,6 +126,9 @@ pub fn run(
     metrics: Arc<MsuMetrics>,
 ) {
     let mut plays: HashMap<StreamId, PlayIo> = HashMap::new();
+    // One datagram scratch buffer for every stream: header + payload are
+    // encoded into it in place, so steady-state sends never allocate.
+    let mut scratch: Vec<u8> = Vec::with_capacity(65_536);
     loop {
         loop {
             match rx.try_recv() {
@@ -115,7 +142,7 @@ pub fn run(
         let now = Instant::now();
         let mut done: Vec<StreamId> = Vec::new();
         for (id, io) in plays.iter_mut() {
-            if service_play(&socket, io, now, &events, &metrics) {
+            if service_play(&socket, io, now, &events, &metrics, &mut scratch) {
                 done.push(*id);
             }
         }
@@ -192,6 +219,7 @@ fn service_play(
     now: Instant,
     events: &Sender<NetEvent>,
     metrics: &Arc<MsuMetrics>,
+    scratch: &mut Vec<u8>,
 ) -> bool {
     // Snapshot the control block.
     let (phase, gen, start_seq, skip_until_us, eof, pacer, kind): (
@@ -246,7 +274,16 @@ fn service_play(
                     FileKind::Raw => {
                         let pk = io.packetizer.as_mut().expect("raw files have a packetizer");
                         let start = buf.skip.min(buf.valid);
-                        for (offset, payload) in pk.feed(&buf.data[start..buf.valid]) {
+                        for (offset, pb) in pk.feed_ranges(&buf.data[start..buf.valid]) {
+                            // In-page packets share the pooled page; only
+                            // boundary-straddling packets own their bytes.
+                            let payload = match pb {
+                                crate::packetize::PacketBytes::Range(r) => PktPayload::Shared(
+                                    buf.data.clone(),
+                                    start + r.start..start + r.end,
+                                ),
+                                crate::packetize::PacketBytes::Stitched(v) => PktPayload::Owned(v),
+                            };
                             io.queue.push_back(QueuedPkt {
                                 offset,
                                 kind: PacketKind::Media,
@@ -262,7 +299,7 @@ fn service_play(
                                         io.queue.push_back(QueuedPkt {
                                             offset: r.offset,
                                             kind: r.kind,
-                                            payload: r.payload,
+                                            payload: PktPayload::Owned(r.payload),
                                         });
                                     }
                                 }
@@ -297,10 +334,10 @@ fn service_play(
             kind: pkt.kind,
         };
         io.wire_seq = io.wire_seq.wrapping_add(1);
-        let datagram = header.encode_packet(&pkt.payload);
+        header.encode_packet_into(pkt.payload.as_slice(), scratch);
         // A transient send failure drops the packet (UDP semantics); the
         // client's sequence numbers expose the loss.
-        let _ = socket.send_to(&datagram, io.dest);
+        let _ = socket.send_to(scratch, io.dest);
         io.shared.stats.note_packet(pkt.payload.len(), late_us);
         metrics.packets_sent.inc();
         metrics.bytes_sent.add(pkt.payload.len() as u64);
@@ -327,7 +364,7 @@ fn service_play(
                     io.queue.push_back(QueuedPkt {
                         offset,
                         kind: PacketKind::Media,
-                        payload,
+                        payload: PktPayload::Owned(payload),
                     });
                     return false;
                 }
@@ -465,28 +502,54 @@ mod tests {
         })
     }
 
-    fn recv_all(
-        socket: &UdpSocket,
-        until_eos: bool,
-        timeout: Duration,
-    ) -> Vec<(DataHeader, Vec<u8>)> {
+    /// Packets captured off the wire: headers plus one shared byte
+    /// arena, so collecting N packets costs one growing buffer rather
+    /// than N per-packet heap copies.
+    struct RecvLog {
+        arena: Vec<u8>,
+        entries: Vec<(DataHeader, std::ops::Range<usize>)>,
+    }
+
+    impl RecvLog {
+        fn iter(&self) -> impl Iterator<Item = (&DataHeader, &[u8])> {
+            self.entries
+                .iter()
+                .map(|(h, r)| (h, &self.arena[r.clone()]))
+        }
+
+        fn last(&self) -> Option<(&DataHeader, &[u8])> {
+            self.entries
+                .last()
+                .map(|(h, r)| (h, &self.arena[r.clone()]))
+        }
+
+        fn is_empty(&self) -> bool {
+            self.entries.is_empty()
+        }
+    }
+
+    fn recv_all(socket: &UdpSocket, until_eos: bool, timeout: Duration) -> RecvLog {
         socket
             .set_read_timeout(Some(Duration::from_millis(100)))
             .unwrap();
-        let mut out = Vec::new();
+        let mut log = RecvLog {
+            arena: Vec::new(),
+            entries: Vec::new(),
+        };
         let deadline = Instant::now() + timeout;
         let mut buf = vec![0u8; 65536];
         while Instant::now() < deadline {
             if let Ok(n) = socket.recv(&mut buf) {
                 let (h, p) = DataHeader::decode_packet(&buf[..n]).unwrap();
-                let eos = h.kind == PacketKind::EndOfStream;
-                out.push((h, p.to_vec()));
-                if eos && until_eos {
+                let at = log.arena.len();
+                log.arena.extend_from_slice(p);
+                log.entries.push((h, at..at + p.len()));
+                if h.kind == PacketKind::EndOfStream && until_eos {
                     break;
                 }
             }
         }
-        out
+        log
     }
 
     #[test]
@@ -532,7 +595,7 @@ mod tests {
                 index: i,
                 skip: 0,
                 valid,
-                data: vec![i as u8 + 1; page],
+                data: vec![i as u8 + 1; page].into(),
             };
             let mut b = buf;
             loop {
@@ -614,7 +677,7 @@ mod tests {
             index: 0,
             skip: 0,
             valid: 1000,
-            data: vec![5; 4096],
+            data: vec![5; 4096].into(),
         })
         .unwrap();
         group.prime(StreamId(9)); // only one of two members primed
@@ -680,7 +743,7 @@ mod tests {
             index: 0,
             skip: 0,
             valid: 1000,
-            data: vec![0xAA; 4096],
+            data: vec![0xAA; 4096].into(),
         })
         .unwrap();
         p.push(PageBuf {
@@ -688,7 +751,7 @@ mod tests {
             index: 1,
             skip: 0,
             valid: 1000,
-            data: vec![0xBB; 4096],
+            data: vec![0xBB; 4096].into(),
         })
         .unwrap();
         group.prime(StreamId(11));

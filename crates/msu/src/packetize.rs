@@ -18,6 +18,17 @@ use calliope_storage::page::{DataPage, Geometry};
 use calliope_types::error::Result;
 use calliope_types::time::MediaTime;
 
+/// Where a completed packet's bytes live, relative to the slice passed
+/// to [`CbrPacketizer::feed_ranges`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PacketBytes {
+    /// Stitched across a page boundary: the carried tail of earlier
+    /// pages plus this page's head, materialized into one buffer.
+    Stitched(Vec<u8>),
+    /// Entirely inside the input slice — no copy was made.
+    Range(std::ops::Range<usize>),
+}
+
 /// Chops a raw byte stream into fixed-size packets with calculated
 /// delivery offsets.
 #[derive(Debug)]
@@ -56,18 +67,52 @@ impl CbrPacketizer {
 
     /// Feeds the valid bytes of one page, returning completed packets
     /// as `(delivery offset, payload)` pairs.
+    ///
+    /// Copies every payload out; the zero-copy hot path is
+    /// [`CbrPacketizer::feed_ranges`].
     pub fn feed(&mut self, bytes: &[u8]) -> Vec<(MediaTime, Vec<u8>)> {
-        self.carry.extend_from_slice(bytes);
+        self.feed_ranges(bytes)
+            .into_iter()
+            .map(|(off, pb)| match pb {
+                PacketBytes::Stitched(v) => (off, v),
+                PacketBytes::Range(r) => (off, bytes[r].to_vec()),
+            })
+            .collect()
+    }
+
+    /// Feeds the valid bytes of one page without copying packet bodies:
+    /// a packet lying entirely inside `bytes` comes back as a
+    /// [`PacketBytes::Range`] into it (the caller wraps the range around
+    /// its refcounted page); only a packet stitched across a page
+    /// boundary materializes the carried head into an owned buffer.
+    pub fn feed_ranges(&mut self, bytes: &[u8]) -> Vec<(MediaTime, PacketBytes)> {
         let pkt = self.schedule.packet_bytes as usize;
-        let mut out = Vec::with_capacity(self.carry.len() / pkt);
+        let mut out = Vec::with_capacity((self.carry.len() + bytes.len()) / pkt);
         let mut at = 0;
-        while self.carry.len() - at >= pkt {
-            let payload = self.carry[at..at + pkt].to_vec();
-            out.push((self.schedule.offset_of(self.next_seq), payload));
+        if !self.carry.is_empty() {
+            if self.carry.len() + bytes.len() < pkt {
+                self.carry.extend_from_slice(bytes);
+                return out;
+            }
+            let take = pkt - self.carry.len();
+            let mut head = std::mem::take(&mut self.carry);
+            head.extend_from_slice(&bytes[..take]);
+            out.push((
+                self.schedule.offset_of(self.next_seq),
+                PacketBytes::Stitched(head),
+            ));
+            self.next_seq += 1;
+            at = take;
+        }
+        while bytes.len() - at >= pkt {
+            out.push((
+                self.schedule.offset_of(self.next_seq),
+                PacketBytes::Range(at..at + pkt),
+            ));
             self.next_seq += 1;
             at += pkt;
         }
-        self.carry.drain(..at);
+        self.carry.extend_from_slice(&bytes[at..]);
         out
     }
 
@@ -144,6 +189,33 @@ mod tests {
         assert_eq!(p.next_seq(), 100);
         let pkts = p.feed(&vec![0u8; 4096]);
         assert_eq!(pkts[0].0, sched().offset_of(100));
+    }
+
+    #[test]
+    fn feed_ranges_avoids_copies_for_aligned_packets() {
+        let mut p = CbrPacketizer::new(sched());
+        // First page: two whole packets in place, 1000 bytes carried.
+        let page1 = vec![1u8; 4096 * 2 + 1000];
+        let pkts = p.feed_ranges(&page1);
+        assert_eq!(
+            pkts.iter().map(|(_, pb)| pb.clone()).collect::<Vec<_>>(),
+            vec![PacketBytes::Range(0..4096), PacketBytes::Range(4096..8192)]
+        );
+        // Second page: the straddling packet is stitched (the only copy),
+        // the rest are ranges again.
+        let page2 = vec![2u8; 4096 * 2 - 1000];
+        let pkts = p.feed_ranges(&page2);
+        assert_eq!(pkts.len(), 2);
+        match &pkts[0].1 {
+            PacketBytes::Stitched(head) => {
+                assert_eq!(head.len(), 4096);
+                assert!(head[..1000].iter().all(|&b| b == 1));
+                assert!(head[1000..].iter().all(|&b| b == 2));
+            }
+            other => panic!("expected stitched head, got {other:?}"),
+        }
+        assert_eq!(pkts[1].1, PacketBytes::Range(3096..7192));
+        assert!(p.flush().is_none(), "no tail left behind");
     }
 
     #[test]

@@ -1,0 +1,326 @@
+//! A fixed-size recycling page pool.
+//!
+//! The MSU "does its own memory management" (paper §2.3.3): in steady
+//! state the disk process should never allocate. [`PagePool`] owns a
+//! set of block-size buffers; the disk thread checks one out
+//! ([`PagePool::get`]), fills it from disk, and freezes it into a
+//! refcounted [`PageData`] that travels through the SPSC ring to the
+//! network thread. When the last reference drops — the page was fully
+//! packetized, or the ring was drained on stream teardown — the buffer
+//! returns to the pool automatically.
+//!
+//! The pool is grown only on the control path ([`PagePool::ensure_capacity`]
+//! at stream admission), so the steady-state data path is allocation-free.
+//! If the pool is nonetheless empty at `get` (a sizing bug, or transient
+//! pressure), it falls back to the heap and counts the event rather than
+//! stalling the duty cycle.
+
+use parking_lot::Mutex;
+use std::ops::Deref;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Point-in-time accounting of a pool.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Buffer size, bytes.
+    pub page_size: usize,
+    /// Total buffers the pool owns (free + checked out).
+    pub capacity: u64,
+    /// Buffers currently on the free list.
+    pub free: u64,
+    /// Buffers currently checked out.
+    pub outstanding: u64,
+    /// Times `get` found the free list empty and heap-allocated.
+    pub heap_fallbacks: u64,
+}
+
+struct PoolInner {
+    page_size: usize,
+    free: Mutex<Vec<Vec<u8>>>,
+    capacity: AtomicU64,
+    outstanding: AtomicU64,
+    heap_fallbacks: AtomicU64,
+}
+
+impl PoolInner {
+    fn recycle(&self, buf: Vec<u8>) {
+        self.outstanding.fetch_sub(1, Ordering::Relaxed);
+        self.free.lock().push(buf);
+    }
+}
+
+/// A shared handle to a pool of block-size buffers.
+#[derive(Clone)]
+pub struct PagePool {
+    inner: Arc<PoolInner>,
+}
+
+impl std::fmt::Debug for PagePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PagePool")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl PagePool {
+    /// An empty pool of `page_size`-byte buffers (grow it with
+    /// [`PagePool::ensure_capacity`]).
+    pub fn new(page_size: usize) -> PagePool {
+        PagePool {
+            inner: Arc::new(PoolInner {
+                page_size,
+                free: Mutex::new(Vec::new()),
+                capacity: AtomicU64::new(0),
+                outstanding: AtomicU64::new(0),
+                heap_fallbacks: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// A pool pre-populated with `pages` buffers.
+    pub fn with_capacity(page_size: usize, pages: u64) -> PagePool {
+        let pool = PagePool::new(page_size);
+        pool.ensure_capacity(pages);
+        pool
+    }
+
+    /// Buffer size, bytes.
+    pub fn page_size(&self) -> usize {
+        self.inner.page_size
+    }
+
+    /// Grows the pool until it owns at least `pages` buffers. Called on
+    /// the control path (stream admission) — never on the duty cycle.
+    pub fn ensure_capacity(&self, pages: u64) {
+        let mut free = self.inner.free.lock();
+        while self.inner.capacity.load(Ordering::Relaxed) < pages {
+            free.push(vec![0u8; self.inner.page_size]);
+            self.inner.capacity.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Checks a buffer out of the pool. Falls back to the heap (and
+    /// counts it) when the free list is empty; the fallback buffer joins
+    /// the pool when recycled, so sustained pressure grows the pool to
+    /// the workload's true footprint instead of thrashing the allocator.
+    pub fn get(&self) -> PooledBuf {
+        let buf = self.inner.free.lock().pop();
+        let buf = match buf {
+            Some(b) => b,
+            None => {
+                self.inner.heap_fallbacks.fetch_add(1, Ordering::Relaxed);
+                self.inner.capacity.fetch_add(1, Ordering::Relaxed);
+                vec![0u8; self.inner.page_size]
+            }
+        };
+        self.inner.outstanding.fetch_add(1, Ordering::Relaxed);
+        PooledBuf {
+            buf,
+            pool: Some(self.inner.clone()),
+        }
+    }
+
+    /// Current accounting.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            page_size: self.inner.page_size,
+            capacity: self.inner.capacity.load(Ordering::Relaxed),
+            free: self.inner.free.lock().len() as u64,
+            outstanding: self.inner.outstanding.load(Ordering::Relaxed),
+            heap_fallbacks: self.inner.heap_fallbacks.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Returns and resets the heap-fallback count — the disk thread
+    /// drains this into its `pool_exhausted` metric once per cycle.
+    pub fn drain_heap_fallbacks(&self) -> u64 {
+        self.inner.heap_fallbacks.swap(0, Ordering::Relaxed)
+    }
+}
+
+/// A uniquely-owned, mutable buffer checked out of a [`PagePool`].
+///
+/// Fill it, then [`PooledBuf::freeze`] it into a shareable [`PageData`].
+/// Dropping it unfrozen returns the buffer to the pool.
+pub struct PooledBuf {
+    buf: Vec<u8>,
+    pool: Option<Arc<PoolInner>>,
+}
+
+impl PooledBuf {
+    /// The whole buffer, writable.
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+
+    /// Freezes the buffer into an immutable, refcounted page.
+    pub fn freeze(mut self) -> PageData {
+        PageData(Arc::new(SharedPage {
+            buf: std::mem::take(&mut self.buf),
+            pool: self.pool.take(),
+        }))
+    }
+}
+
+impl Drop for PooledBuf {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.take() {
+            pool.recycle(std::mem::take(&mut self.buf));
+        }
+    }
+}
+
+struct SharedPage {
+    buf: Vec<u8>,
+    pool: Option<Arc<PoolInner>>,
+}
+
+impl Drop for SharedPage {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.take() {
+            pool.recycle(std::mem::take(&mut self.buf));
+        }
+    }
+}
+
+/// An immutable, refcounted page. Clones share the same buffer — the
+/// packetizer hands out `(PageData, Range)` pairs instead of copying —
+/// and the buffer returns to its pool when the last clone drops.
+#[derive(Clone)]
+pub struct PageData(Arc<SharedPage>);
+
+impl Deref for PageData {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0.buf
+    }
+}
+
+impl std::fmt::Debug for PageData {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PageData({} bytes)", self.0.buf.len())
+    }
+}
+
+impl From<Vec<u8>> for PageData {
+    /// Wraps a plain heap buffer (tests, control paths). Not pooled: the
+    /// buffer is freed normally when the last clone drops.
+    fn from(buf: Vec<u8>) -> PageData {
+        PageData(Arc::new(SharedPage { buf, pool: None }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkout_freeze_and_recycle() {
+        let pool = PagePool::with_capacity(64, 2);
+        assert_eq!(pool.stats().free, 2);
+        let mut a = pool.get();
+        a.as_mut_slice()[0] = 0xAB;
+        let page = a.freeze();
+        assert_eq!(page[0], 0xAB);
+        assert_eq!(page.len(), 64);
+        let s = pool.stats();
+        assert_eq!((s.free, s.outstanding), (1, 1));
+        // Clones share the buffer; recycling waits for the last one.
+        let clone = page.clone();
+        drop(page);
+        assert_eq!(pool.stats().outstanding, 1);
+        drop(clone);
+        let s = pool.stats();
+        assert_eq!((s.free, s.outstanding, s.capacity), (2, 0, 2));
+        assert_eq!(s.heap_fallbacks, 0);
+    }
+
+    #[test]
+    fn unfrozen_checkout_returns_on_drop() {
+        let pool = PagePool::with_capacity(16, 1);
+        drop(pool.get());
+        assert_eq!(pool.stats().free, 1);
+        assert_eq!(pool.stats().outstanding, 0);
+    }
+
+    #[test]
+    fn exhaustion_falls_back_to_heap_and_adopts_the_buffer() {
+        let pool = PagePool::with_capacity(16, 1);
+        let a = pool.get();
+        let b = pool.get(); // free list empty: heap fallback
+        let s = pool.stats();
+        assert_eq!(s.heap_fallbacks, 1);
+        assert_eq!(s.outstanding, 2);
+        assert_eq!(s.capacity, 2, "fallback buffer joins the pool");
+        drop(a.freeze());
+        drop(b.freeze());
+        let s = pool.stats();
+        assert_eq!((s.free, s.outstanding, s.capacity), (2, 0, 2));
+        assert_eq!(pool.drain_heap_fallbacks(), 1);
+        assert_eq!(pool.stats().heap_fallbacks, 0);
+    }
+
+    #[test]
+    fn ensure_capacity_is_idempotent() {
+        let pool = PagePool::new(8);
+        pool.ensure_capacity(4);
+        pool.ensure_capacity(2);
+        pool.ensure_capacity(4);
+        assert_eq!(pool.stats().capacity, 4);
+        assert_eq!(pool.stats().free, 4);
+    }
+
+    #[test]
+    fn no_leak_no_double_recycle_under_churn() {
+        // Every checkout is returned exactly once, whatever the path
+        // (drop unfrozen, drop frozen, drop the last of many clones) —
+        // free + outstanding always equals capacity, and at teardown
+        // every buffer is back on the free list.
+        let pool = PagePool::with_capacity(32, 4);
+        for round in 0..100 {
+            let mut pages = Vec::new();
+            for i in 0..4 {
+                let mut b = pool.get();
+                b.as_mut_slice()[0] = i as u8;
+                if (round + i) % 3 == 0 {
+                    drop(b); // unfrozen return
+                } else {
+                    pages.push(b.freeze());
+                }
+            }
+            let clones: Vec<PageData> = pages.to_vec();
+            let s = pool.stats();
+            assert_eq!(s.capacity, s.free + s.outstanding, "round {round}");
+            drop(pages);
+            drop(clones);
+        }
+        let s = pool.stats();
+        assert_eq!(s.outstanding, 0, "no leak");
+        assert_eq!(s.free, s.capacity, "every buffer returned");
+        assert_eq!(s.heap_fallbacks, 0, "pool never thrashed");
+    }
+
+    #[test]
+    fn unpooled_pages_from_vec_are_plain() {
+        let page: PageData = vec![1u8, 2, 3].into();
+        assert_eq!(&page[..], &[1, 2, 3]);
+        drop(page.clone());
+        drop(page);
+    }
+
+    #[test]
+    fn pool_is_shared_across_clones_and_threads() {
+        let pool = PagePool::with_capacity(8, 2);
+        let p2 = pool.clone();
+        let h = std::thread::spawn(move || {
+            let b = p2.get().freeze();
+            assert_eq!(b.len(), 8);
+        });
+        h.join().unwrap();
+        assert_eq!(pool.stats().outstanding, 0);
+        assert_eq!(pool.stats().free, 2);
+    }
+}

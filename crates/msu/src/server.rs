@@ -679,7 +679,9 @@ fn schedule_read(
         stats: Default::default(),
     });
 
-    let (producer, consumer) = spsc::ring(2); // double buffering
+    // Four slots: two in flight for double buffering plus slack for the
+    // disk thread's elevator read-ahead (MAX_READ_AHEAD pages per cycle).
+    let (producer, consumer) = spsc::ring(4);
     shared.disk_txs[local]
         .send(DiskCmd::AddRead {
             shared: Arc::clone(&stream_shared),

@@ -138,6 +138,17 @@ impl<T: Send> Producer<T> {
         self.len() >= self.ring.slots.len()
     }
 
+    /// The ring's fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.ring.slots.len()
+    }
+
+    /// Free slots right now (capacity minus occupancy) — the disk
+    /// process's read-ahead allowance.
+    pub fn slack(&self) -> usize {
+        self.capacity() - self.len()
+    }
+
     /// True if the consumer has been dropped.
     pub fn is_closed(&self) -> bool {
         self.ring.closed.load(Ordering::Acquire)

@@ -58,8 +58,9 @@ pub struct PageBuf {
     pub skip: usize,
     /// Valid bytes (raw files: the final page is usually short).
     pub valid: usize,
-    /// The page itself.
-    pub data: Vec<u8>,
+    /// The page itself — pool-backed and refcounted, so handing it to
+    /// the network thread (and cloning it into packets) never copies.
+    pub data: crate::pool::PageData,
 }
 
 /// The mutable control block of a play stream.

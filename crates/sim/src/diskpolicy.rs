@@ -15,6 +15,7 @@
 //! exactly the paper's argument.
 
 use crate::machine::DiskParams;
+use calliope_storage::elevator::ElevatorState;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -58,8 +59,9 @@ pub fn simulate(
     let mut pending: Vec<u64> = (0..users)
         .map(|_| rng.gen_range(0..disk.positions))
         .collect();
-    let mut head = 0u64;
-    let mut up = true;
+    // The elevator state is the shared implementation the real MSU disk
+    // process batches with; here it picks one request at a time.
+    let mut elevator = ElevatorState::new();
     let mut rr = 0usize;
 
     let horizon_ms = secs as f64 * 1_000.0;
@@ -68,41 +70,26 @@ pub fn simulate(
     let mut seek_sum = 0u64;
 
     while now_ms < horizon_ms {
+        let head_before = elevator.head;
         let idx = match policy {
             Policy::RoundRobin => {
                 let i = rr;
                 rr = (rr + 1) % users;
                 i
             }
-            Policy::Elevator => {
-                // Nearest request in the sweep direction; reverse at the
-                // end of the stroke.
-                let choose = |up: bool, head: u64, pending: &[u64]| -> Option<usize> {
-                    pending
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, &p)| if up { p >= head } else { p <= head })
-                        .min_by_key(|(_, &p)| p.abs_diff(head))
-                        .map(|(i, _)| i)
-                };
-                match choose(up, head, &pending) {
-                    Some(i) => i,
-                    None => {
-                        up = !up;
-                        choose(up, head, &pending).expect("requests always pending")
-                    }
-                }
-            }
+            // Nearest request in the sweep direction; reverse at the end
+            // of the stroke. `next` also moves the head to the request.
+            Policy::Elevator => elevator.next(&pending).expect("requests always pending"),
         };
         let pos = pending[idx];
-        let dist = head.abs_diff(pos);
+        let dist = head_before.abs_diff(pos);
         seek_sum += dist;
         let service = disk.seek_ms(dist)
             + rng.gen_range(0.0..2.0 * disk.avg_rotation_ms())
             + disk.transfer_ms(block_bytes)
             + disk.overhead_ms;
         now_ms += service;
-        head = pos;
+        elevator.head = pos; // round-robin moves the head by hand
         transfers += 1;
         // Closed loop: the user immediately asks for another block.
         pending[idx] = rng.gen_range(0..disk.positions);

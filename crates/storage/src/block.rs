@@ -10,7 +10,7 @@
 
 use calliope_types::error::{Error, Result};
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::io::{IoSliceMut, Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
 /// A raw, fixed-block-size storage device.
@@ -29,11 +29,47 @@ pub trait BlockDevice: Send {
     /// size).
     fn read_block(&mut self, idx: u64, buf: &mut [u8]) -> Result<()>;
 
+    /// Reads the physically contiguous blocks `start .. start +
+    /// bufs.len()` into `bufs`, one block per buffer. Implementations
+    /// that can coalesce the run into a single transfer (one seek, one
+    /// syscall) should; the default falls back to per-block reads.
+    fn read_blocks_into(&mut self, start: u64, bufs: &mut [&mut [u8]]) -> Result<()> {
+        for (i, buf) in bufs.iter_mut().enumerate() {
+            self.read_block(start + i as u64, buf)?;
+        }
+        Ok(())
+    }
+
     /// Writes `buf` (block-size bytes) to block `idx`.
     fn write_block(&mut self, idx: u64, buf: &[u8]) -> Result<()>;
 
     /// Flushes any buffered writes to stable storage.
     fn sync(&mut self) -> Result<()>;
+}
+
+fn check_batch(
+    dev: &str,
+    start: u64,
+    bufs: &[&mut [u8]],
+    block_size: usize,
+    num_blocks: u64,
+) -> Result<()> {
+    let n = bufs.len() as u64;
+    if start.checked_add(n).is_none_or(|end| end > num_blocks) {
+        return Err(Error::storage(format!(
+            "{dev}: blocks {start}..{} out of range (device has {num_blocks})",
+            start.saturating_add(n)
+        )));
+    }
+    for buf in bufs {
+        if buf.len() != block_size {
+            return Err(Error::storage(format!(
+                "{dev}: batch buffer is {} bytes, block size is {block_size}",
+                buf.len()
+            )));
+        }
+    }
+    Ok(())
 }
 
 fn check_args(dev: &str, idx: u64, len: usize, block_size: usize, num_blocks: u64) -> Result<()> {
@@ -141,6 +177,33 @@ impl BlockDevice for FileDisk {
         Ok(())
     }
 
+    fn read_blocks_into(&mut self, start: u64, bufs: &mut [&mut [u8]]) -> Result<()> {
+        check_batch("file-disk", start, bufs, self.block_size, self.num_blocks)?;
+        if bufs.is_empty() {
+            return Ok(());
+        }
+        self.file
+            .seek(SeekFrom::Start(start * self.block_size as u64))?;
+        let total = self.block_size * bufs.len();
+        let done = {
+            let mut slices: Vec<IoSliceMut<'_>> =
+                bufs.iter_mut().map(|b| IoSliceMut::new(b)).collect();
+            let n = self.file.read_vectored(&mut slices)?;
+            if n == total {
+                return Ok(());
+            }
+            // A short vectored read (rare for regular files) may have left
+            // block `n / block_size` half-filled; re-read from there on.
+            n / self.block_size
+        };
+        for (i, buf) in bufs.iter_mut().enumerate().skip(done) {
+            self.file
+                .seek(SeekFrom::Start((start + i as u64) * self.block_size as u64))?;
+            self.file.read_exact(buf)?;
+        }
+        Ok(())
+    }
+
     fn sync(&mut self) -> Result<()> {
         self.file.sync_data()?;
         Ok(())
@@ -216,6 +279,9 @@ pub struct IoStats {
     pub seek_distance: u64,
     /// Number of `sync` calls.
     pub syncs: u64,
+    /// Blocks transferred as part of coalesced multi-block batches
+    /// (batches of two or more blocks; single-block reads don't count).
+    pub batched_blocks: u64,
 }
 
 impl IoStats {
@@ -282,6 +348,27 @@ impl<D: BlockDevice> BlockDevice for MeteredDevice<D> {
         self.inner.read_block(idx, buf)?;
         self.stats.reads += 1;
         self.note_transfer(idx);
+        Ok(())
+    }
+
+    fn read_blocks_into(&mut self, start: u64, bufs: &mut [&mut [u8]]) -> Result<()> {
+        self.inner.read_blocks_into(start, bufs)?;
+        let n = bufs.len() as u64;
+        if n == 0 {
+            return Ok(());
+        }
+        self.stats.reads += n;
+        if n >= 2 {
+            self.stats.batched_blocks += n;
+        }
+        // One head movement for the whole run, then a sequential sweep.
+        if let Some(head) = self.head {
+            if start != head {
+                self.stats.seeks += 1;
+                self.stats.seek_distance += head.abs_diff(start);
+            }
+        }
+        self.head = Some(start + n);
         Ok(())
     }
 
@@ -386,6 +473,81 @@ mod tests {
         assert_eq!(s.seek_distance, 8 + 9);
         assert_eq!(s.transfers(), 5);
         d.reset_stats();
+        assert_eq!(d.stats(), IoStats::default());
+    }
+
+    /// Writes block `i` filled with byte `i`, then batch-reads a run and
+    /// checks contents plus the error paths of `read_blocks_into`.
+    fn exercise_batch(dev: &mut dyn BlockDevice) {
+        let bs = dev.block_size();
+        let nb = dev.num_blocks();
+        for i in 0..nb {
+            dev.write_block(i, &vec![i as u8; bs]).unwrap();
+        }
+        let mut bufs: Vec<Vec<u8>> = (0..4).map(|_| vec![0u8; bs]).collect();
+        {
+            let mut refs: Vec<&mut [u8]> = bufs.iter_mut().map(|b| b.as_mut_slice()).collect();
+            dev.read_blocks_into(2, &mut refs).unwrap();
+        }
+        for (k, buf) in bufs.iter().enumerate() {
+            assert_eq!(buf, &vec![(2 + k) as u8; bs], "block {}", 2 + k);
+        }
+        // Empty batches are a no-op; bad ranges and short buffers fail.
+        dev.read_blocks_into(0, &mut []).unwrap();
+        {
+            let mut refs: Vec<&mut [u8]> = bufs.iter_mut().map(|b| b.as_mut_slice()).collect();
+            assert!(dev.read_blocks_into(nb - 2, &mut refs).is_err());
+            assert!(dev.read_blocks_into(u64::MAX, &mut refs).is_err());
+        }
+        let mut short = vec![0u8; bs - 1];
+        let mut refs: Vec<&mut [u8]> = vec![short.as_mut_slice()];
+        assert!(dev.read_blocks_into(0, &mut refs).is_err());
+    }
+
+    #[test]
+    fn mem_disk_batched_read() {
+        let mut d = MemDisk::new(512, 8);
+        exercise_batch(&mut d);
+    }
+
+    #[test]
+    fn file_disk_batched_read() {
+        let path = tempdir().join("batch.img");
+        let mut d = FileDisk::create(&path, 4096, 8).unwrap();
+        exercise_batch(&mut d);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn metered_device_batched_accounting() {
+        let mut d = MeteredDevice::new(MemDisk::new(512, 32));
+        let buf = vec![0u8; 512];
+        d.write_block(0, &buf).unwrap(); // head now at 1
+        let mut bufs: Vec<Vec<u8>> = (0..4).map(|_| vec![0u8; 512]).collect();
+        let mut refs: Vec<&mut [u8]> = bufs.iter_mut().map(|b| b.as_mut_slice()).collect();
+        d.read_blocks_into(10, &mut refs).unwrap();
+        let s = d.stats();
+        assert_eq!(s.reads, 4, "each block of the batch is one read");
+        assert_eq!(s.batched_blocks, 4);
+        assert_eq!(s.seeks, 1, "one seek for the whole run");
+        assert_eq!(s.seek_distance, 9);
+        // The head rests past the run: a follow-on sequential read is free.
+        let mut out = vec![0u8; 512];
+        d.read_block(14, &mut out).unwrap();
+        assert_eq!(d.stats().seeks, 1);
+        // A single-block "batch" is not counted as batched.
+        let mut one: Vec<&mut [u8]> = vec![out.as_mut_slice()];
+        d.read_blocks_into(15, &mut one).unwrap();
+        assert_eq!(d.stats().batched_blocks, 4);
+        assert_eq!(d.stats().seeks, 1, "15 was sequential after 14");
+    }
+
+    #[test]
+    fn metered_device_failed_batch_not_counted() {
+        let mut d = MeteredDevice::new(MemDisk::new(512, 4));
+        let mut bufs: Vec<Vec<u8>> = (0..8).map(|_| vec![0u8; 512]).collect();
+        let mut refs: Vec<&mut [u8]> = bufs.iter_mut().map(|b| b.as_mut_slice()).collect();
+        assert!(d.read_blocks_into(0, &mut refs).is_err());
         assert_eq!(d.stats(), IoStats::default());
     }
 

@@ -1,0 +1,359 @@
+//! Elevator (SCAN) disk-head scheduling, shared by the simulator and
+//! the real MSU disk process.
+//!
+//! The paper's §2.3.3 measures the policy with "a simple program that
+//! simulated 24 concurrent users reading random 256 KByte disk blocks"
+//! (that program lives in `calliope-sim::diskpolicy` and drives this
+//! module's [`ElevatorState::next`]); the real MSU duty cycle uses
+//! [`ElevatorState::plan`] to order each duty-cycle batch before the
+//! reads are issued, and [`coalesce_runs`] to merge physically adjacent
+//! blocks into single multi-block transfers.
+//!
+//! The semantics are classic SCAN: the head sweeps in one direction,
+//! serving the nearest pending request ahead of it, and reverses only
+//! when nothing remains in the current direction.
+
+/// The persistent head state of one disk's elevator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ElevatorState {
+    /// Current head position (block address).
+    pub head: u64,
+    /// Sweep direction: `true` = toward higher addresses.
+    pub up: bool,
+}
+
+impl Default for ElevatorState {
+    fn default() -> Self {
+        ElevatorState { head: 0, up: true }
+    }
+}
+
+impl ElevatorState {
+    /// A fresh elevator parked at block 0, sweeping upward.
+    pub fn new() -> ElevatorState {
+        ElevatorState::default()
+    }
+
+    /// Index of the nearest pending request in the current sweep
+    /// direction, or `None` if the current direction is exhausted.
+    /// Ties go to the earliest index, matching the round-robin
+    /// registration order.
+    pub fn select(&self, pending: &[u64]) -> Option<usize> {
+        pending
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| {
+                if self.up {
+                    p >= self.head
+                } else {
+                    p <= self.head
+                }
+            })
+            .min_by_key(|(_, &p)| p.abs_diff(self.head))
+            .map(|(i, _)| i)
+    }
+
+    /// Picks the next request to serve, reversing the sweep if the
+    /// current direction is exhausted, and moves the head there.
+    /// Returns `None` only when `pending` is empty.
+    pub fn next(&mut self, pending: &[u64]) -> Option<usize> {
+        if pending.is_empty() {
+            return None;
+        }
+        let idx = match self.select(pending) {
+            Some(i) => i,
+            None => {
+                self.up = !self.up;
+                self.select(pending).expect("non-empty pending set")
+            }
+        };
+        self.head = pending[idx];
+        Some(idx)
+    }
+
+    /// Orders a whole batch of requests into SCAN issue order, starting
+    /// from the current head position and direction. Returns the
+    /// permutation of `addrs` indices in issue order and leaves the
+    /// head parked at the last request served.
+    ///
+    /// The result always decomposes into at most two monotone runs: the
+    /// remainder of the current sweep, then (if anything was behind the
+    /// head) one reversed sweep back — the invariant the property tests
+    /// assert.
+    pub fn plan(&mut self, addrs: &[u64]) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..addrs.len()).collect();
+        // Ahead of the head in the current direction, sorted along the
+        // sweep; then everything behind, swept back the other way.
+        let up = self.up;
+        let head = self.head;
+        let ahead = |a: u64| if up { a >= head } else { a <= head };
+        order.sort_by(|&i, &j| {
+            let (a, b) = (addrs[i], addrs[j]);
+            match (ahead(a), ahead(b)) {
+                (true, false) => std::cmp::Ordering::Less,
+                (false, true) => std::cmp::Ordering::Greater,
+                (true, true) => {
+                    if up {
+                        a.cmp(&b).then(i.cmp(&j))
+                    } else {
+                        b.cmp(&a).then(i.cmp(&j))
+                    }
+                }
+                (false, false) => {
+                    if up {
+                        b.cmp(&a).then(i.cmp(&j))
+                    } else {
+                        a.cmp(&b).then(i.cmp(&j))
+                    }
+                }
+            }
+        });
+        if let Some(&last) = order.last() {
+            // If the batch ended on the reversed sweep, the elevator is
+            // now travelling the other way.
+            if !ahead(addrs[last]) {
+                self.up = !self.up;
+            }
+            self.head = addrs[last];
+        }
+        order
+    }
+
+    /// Total head travel, in blocks, of visiting `addrs` in the given
+    /// order starting from `head` (the figure the round-robin duty
+    /// cycle pays and the elevator saves).
+    pub fn travel(head: u64, addrs: &[u64]) -> u64 {
+        let mut at = head;
+        let mut sum = 0;
+        for &a in addrs {
+            sum += at.abs_diff(a);
+            at = a;
+        }
+        sum
+    }
+}
+
+/// One physically contiguous run inside a batch: `count` blocks
+/// starting at `start`, with `members[i]` the batch index of the
+/// request for block `start + i`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Run {
+    /// First block address of the run.
+    pub start: u64,
+    /// Batch indices of the requests, in block order.
+    pub members: Vec<usize>,
+}
+
+impl Run {
+    /// Number of blocks in the run.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when the run is empty (never produced by [`coalesce_runs`]).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+/// Splits an issue-ordered batch into maximal runs of physically
+/// adjacent block addresses — each run can be issued as one multi-block
+/// transfer. `order` indexes into `addrs` (as produced by
+/// [`ElevatorState::plan`]). Adjacency counts in both directions: a
+/// downward sweep visits a contiguous range high-to-low, and the run
+/// grows downward so `members[i]` always maps to block `start + i`.
+pub fn coalesce_runs(addrs: &[u64], order: &[usize]) -> Vec<Run> {
+    let mut runs: Vec<Run> = Vec::new();
+    for &idx in order {
+        let addr = addrs[idx];
+        match runs.last_mut() {
+            Some(run) if addr == run.start + run.members.len() as u64 => {
+                run.members.push(idx);
+            }
+            Some(run) if run.start > 0 && addr == run.start - 1 => {
+                run.start -= 1;
+                run.members.insert(0, idx);
+            }
+            _ => runs.push(Run {
+                start: addr,
+                members: vec![idx],
+            }),
+        }
+    }
+    runs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Splits an issue order into maximal monotone runs of addresses.
+    fn monotone_runs(addrs: &[u64], order: &[usize]) -> usize {
+        if order.len() < 2 {
+            return order.len();
+        }
+        let mut runs = 1;
+        let mut dir: Option<bool> = None;
+        for w in order.windows(2) {
+            let (a, b) = (addrs[w[0]], addrs[w[1]]);
+            if a == b {
+                continue;
+            }
+            let up = b > a;
+            match dir {
+                None => dir = Some(up),
+                Some(d) if d != up => {
+                    runs += 1;
+                    dir = Some(up);
+                }
+                Some(_) => {}
+            }
+        }
+        runs
+    }
+
+    #[test]
+    fn plan_serves_ahead_then_sweeps_back() {
+        let mut el = ElevatorState { head: 50, up: true };
+        let addrs = [60, 10, 55, 90, 40];
+        let order = el.plan(&addrs);
+        let visited: Vec<u64> = order.iter().map(|&i| addrs[i]).collect();
+        assert_eq!(visited, vec![55, 60, 90, 40, 10]);
+        assert_eq!(el.head, 10);
+        assert!(!el.up, "batch ended on the downward sweep");
+    }
+
+    #[test]
+    fn plan_all_behind_reverses_once() {
+        let mut el = ElevatorState {
+            head: 100,
+            up: true,
+        };
+        let addrs = [30, 70, 10];
+        let order = el.plan(&addrs);
+        let visited: Vec<u64> = order.iter().map(|&i| addrs[i]).collect();
+        assert_eq!(visited, vec![70, 30, 10]);
+        assert!(!el.up);
+    }
+
+    #[test]
+    fn next_matches_plan_for_a_fixed_batch() {
+        // Serving a fixed pending set one at a time with `next` visits
+        // the same sequence `plan` computes up front.
+        let addrs = vec![5u64, 93, 40, 41, 12, 77];
+        let mut planner = ElevatorState { head: 30, up: true };
+        let order = planner.plan(&addrs);
+
+        let mut stepper = ElevatorState { head: 30, up: true };
+        let mut pending = addrs.clone();
+        let mut visited = Vec::new();
+        while !pending.is_empty() {
+            let i = stepper.next(&pending).unwrap();
+            visited.push(pending.remove(i));
+        }
+        let planned: Vec<u64> = order.iter().map(|&i| addrs[i]).collect();
+        assert_eq!(visited, planned);
+    }
+
+    #[test]
+    fn coalesce_merges_adjacent_blocks() {
+        let addrs = [10, 11, 12, 40, 41, 7];
+        let order: Vec<usize> = (0..addrs.len()).collect();
+        let runs = coalesce_runs(&addrs, &order);
+        assert_eq!(runs.len(), 3);
+        assert_eq!(runs[0].start, 10);
+        assert_eq!(runs[0].members, vec![0, 1, 2]);
+        assert_eq!(runs[1].start, 40);
+        assert_eq!(runs[1].members, vec![3, 4]);
+        assert_eq!(runs[2].start, 7);
+        assert!(!runs[2].is_empty());
+        assert_eq!(runs[2].len(), 1);
+    }
+
+    #[test]
+    fn coalesce_merges_descending_sweeps() {
+        // A downward sweep (41, 40, 12, 11, 10) is two contiguous
+        // transfers even though the addresses descend.
+        let addrs = [41, 40, 12, 11, 10];
+        let order: Vec<usize> = (0..addrs.len()).collect();
+        let runs = coalesce_runs(&addrs, &order);
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].start, 40);
+        assert_eq!(runs[0].members, vec![1, 0]);
+        assert_eq!(runs[1].start, 10);
+        assert_eq!(runs[1].members, vec![4, 3, 2]);
+    }
+
+    #[test]
+    fn travel_sums_head_movement() {
+        assert_eq!(ElevatorState::travel(10, &[20, 5, 6]), 10 + 15 + 1);
+        assert_eq!(ElevatorState::travel(0, &[]), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_plan_is_a_permutation_in_at_most_two_sweeps(
+            addrs in proptest::collection::vec(0u64..10_000, 1..64),
+            head in 0u64..10_000,
+            up in any::<bool>(),
+        ) {
+            let mut el = ElevatorState { head, up };
+            let order = el.plan(&addrs);
+            // Every request is served exactly once.
+            let mut seen = vec![false; addrs.len()];
+            for &i in &order {
+                prop_assert!(!seen[i], "request {i} issued twice");
+                seen[i] = true;
+            }
+            prop_assert!(seen.iter().all(|&s| s));
+            // The issue order is at most two monotone sweeps: the
+            // remainder of the current stroke plus one reversal.
+            prop_assert!(monotone_runs(&addrs, &order) <= 2);
+        }
+
+        #[test]
+        fn prop_plan_travel_is_bounded_by_one_round_trip(
+            addrs in proptest::collection::vec(0u64..10_000, 1..64),
+            head in 0u64..10_000,
+        ) {
+            // SCAN's travel is at most one stroke out plus one stroke
+            // back over the span of the batch — independent of batch
+            // size, which is the whole point of sweeping.
+            let mut el = ElevatorState { head, up: true };
+            let order = el.plan(&addrs);
+            let planned: Vec<u64> = order.iter().map(|&i| addrs[i]).collect();
+            let lo = *addrs.iter().min().unwrap();
+            let hi = *addrs.iter().max().unwrap();
+            let span = hi - lo + hi.abs_diff(head) + lo.abs_diff(head);
+            prop_assert!(ElevatorState::travel(head, &planned) <= span);
+        }
+
+        #[test]
+        fn prop_coalesced_runs_cover_the_batch_contiguously(
+            addrs in proptest::collection::vec(0u64..500, 1..64),
+            head in 0u64..500,
+        ) {
+            let mut el = ElevatorState { head, up: true };
+            let order = el.plan(&addrs);
+            let runs = coalesce_runs(&addrs, &order);
+            // Each run is one contiguous transfer (members[i] ↔ start+i)
+            // and every request lands in exactly one run. Within a run
+            // the block order may differ from the issue order — a
+            // downward sweep fills its run high-to-low — so compare as
+            // sets, not sequences.
+            let mut replay = Vec::new();
+            for run in &runs {
+                for (k, &m) in run.members.iter().enumerate() {
+                    prop_assert_eq!(addrs[m], run.start + k as u64);
+                    replay.push(m);
+                }
+            }
+            let mut sorted_replay = replay.clone();
+            sorted_replay.sort_unstable();
+            let mut sorted_order = order.clone();
+            sorted_order.sort_unstable();
+            prop_assert_eq!(sorted_replay, sorted_order);
+        }
+    }
+}

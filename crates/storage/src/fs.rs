@@ -244,6 +244,35 @@ impl MsuFs {
         self.dev.read_block(abs, buf)
     }
 
+    /// Returns the *absolute* device block address holding file page
+    /// `page_idx` — the coordinate the disk process's elevator sorts by.
+    pub fn page_block(&self, name: &str, page_idx: u64) -> Result<u64> {
+        let meta = self.catalog.get(name).ok_or_else(|| Error::NoSuchContent {
+            name: name.to_owned(),
+        })?;
+        let rel = *meta.blocks.get(page_idx as usize).ok_or_else(|| {
+            Error::storage(format!(
+                "page {page_idx} out of range for {name:?} ({} pages)",
+                meta.blocks.len()
+            ))
+        })?;
+        Ok(self.sb.first_data_block() + rel)
+    }
+
+    /// Reads the physically contiguous absolute blocks `start ..
+    /// start + bufs.len()` in one batched device transfer. Addresses
+    /// come from [`MsuFs::page_block`]; the caller (the disk process)
+    /// is responsible for only batching addresses inside the data
+    /// region — the device bounds-checks the rest.
+    pub fn read_blocks_abs(&mut self, start: u64, bufs: &mut [&mut [u8]]) -> Result<()> {
+        if start < self.sb.first_data_block() {
+            return Err(Error::storage(format!(
+                "batched read at block {start} overlaps the metadata region"
+            )));
+        }
+        self.dev.read_blocks_into(start, bufs)
+    }
+
     /// Finalizes a recording: records duration and IB-tree root, returns
     /// unused reserved blocks to the allocator, and persists.
     pub fn finalize(&mut self, name: &str, duration_us: u64, root: Vec<RootEntry>) -> Result<()> {
@@ -478,6 +507,32 @@ mod tests {
             .page(pos.page, |idx, buf| fs.read_page("vbr", idx, buf))
             .unwrap();
         assert_eq!(page.records[pos.record].offset, MediaTime(20_000 * 25));
+    }
+
+    #[test]
+    fn page_block_and_batched_abs_reads() {
+        let mut fs = fresh_fs(32);
+        fs.create("seq", FileKind::Raw, 4 * BS as u64).unwrap();
+        for i in 0..4u8 {
+            fs.append_page("seq", &vec![i; BS], BS as u64).unwrap();
+        }
+        // Fresh reservations are handed out in order, so the file's
+        // pages are physically contiguous and batchable.
+        let blocks: Vec<u64> = (0..4).map(|i| fs.page_block("seq", i).unwrap()).collect();
+        assert!(blocks.windows(2).all(|w| w[1] == w[0] + 1));
+        assert!(fs.page_block("seq", 4).is_err());
+        assert!(fs.page_block("nope", 0).is_err());
+
+        let mut bufs: Vec<Vec<u8>> = (0..4).map(|_| vec![0u8; BS]).collect();
+        let mut refs: Vec<&mut [u8]> = bufs.iter_mut().map(|b| b.as_mut_slice()).collect();
+        fs.read_blocks_abs(blocks[0], &mut refs).unwrap();
+        for (i, buf) in bufs.iter().enumerate() {
+            assert_eq!(buf, &vec![i as u8; BS]);
+        }
+        // The metadata region is off-limits to batched data reads.
+        let mut one = vec![0u8; BS];
+        let mut refs: Vec<&mut [u8]> = vec![one.as_mut_slice()];
+        assert!(fs.read_blocks_abs(0, &mut refs).is_err());
     }
 
     #[test]

@@ -74,9 +74,18 @@ impl DataHeader {
     /// Encodes the header followed by `payload` into a datagram buffer.
     pub fn encode_packet(&self, payload: &[u8]) -> Vec<u8> {
         let mut buf = Vec::with_capacity(DATA_HEADER_LEN + payload.len());
-        self.encode(&mut buf);
-        buf.extend_from_slice(payload);
+        self.encode_packet_into(payload, &mut buf);
         buf
+    }
+
+    /// Encodes the header followed by `payload` into `out`, clearing it
+    /// first. The send path reuses one scratch buffer across packets so
+    /// steady-state transmission never allocates.
+    pub fn encode_packet_into(&self, payload: &[u8], out: &mut Vec<u8>) {
+        out.clear();
+        out.reserve(DATA_HEADER_LEN + payload.len());
+        self.encode(out);
+        out.extend_from_slice(payload);
     }
 
     /// Splits a received datagram into header and payload.

@@ -132,11 +132,7 @@ pub mod channel {
                 }
                 match self.0.cap {
                     Some(cap) if st.queue.len() >= cap => {
-                        st = self
-                            .0
-                            .not_full
-                            .wait(st)
-                            .unwrap_or_else(|e| e.into_inner());
+                        st = self.0.not_full.wait(st).unwrap_or_else(|e| e.into_inner());
                     }
                     _ => break,
                 }
@@ -185,11 +181,7 @@ pub mod channel {
                 if st.senders == 0 {
                     return Err(RecvError);
                 }
-                st = self
-                    .0
-                    .not_empty
-                    .wait(st)
-                    .unwrap_or_else(|e| e.into_inner());
+                st = self.0.not_empty.wait(st).unwrap_or_else(|e| e.into_inner());
             }
         }
 
