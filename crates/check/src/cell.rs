@@ -1,0 +1,76 @@
+//! A shimmed `UnsafeCell` with a closure-based access API.
+//!
+//! Callers use [`UnsafeCell::with`]/[`UnsafeCell::with_mut`] instead of
+//! `get()`, which lets the checked build race-check every access with
+//! the model's vector clocks *before* the raw pointer is touched — a
+//! racy protocol fails the model run cleanly instead of executing
+//! undefined behavior. In a normal build both methods compile down to
+//! a direct `get()` call.
+
+#[cfg(calliope_check)]
+use crate::model::{cur_ctx, Registration};
+
+/// Drop-in for `std::cell::UnsafeCell` (access via closures).
+#[cfg_attr(not(calliope_check), repr(transparent))]
+pub struct UnsafeCell<T> {
+    inner: std::cell::UnsafeCell<T>,
+    #[cfg(calliope_check)]
+    reg: Registration,
+}
+
+impl<T> UnsafeCell<T> {
+    /// Wraps a value.
+    pub const fn new(value: T) -> UnsafeCell<T> {
+        UnsafeCell {
+            inner: std::cell::UnsafeCell::new(value),
+            #[cfg(calliope_check)]
+            reg: Registration::new(),
+        }
+    }
+
+    /// Runs `f` with a shared raw pointer to the contents.
+    ///
+    /// The usual `UnsafeCell` contract applies: the caller's protocol
+    /// must guarantee no concurrent mutable access. Under the model
+    /// cfg that claim is checked against the run's happens-before
+    /// relation first.
+    pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        #[cfg(calliope_check)]
+        if !std::thread::panicking() {
+            if let Some(ctx) = cur_ctx() {
+                ctx.run.cell_read(ctx.tid, &self.reg);
+            }
+        }
+        f(self.inner.get())
+    }
+
+    /// Runs `f` with an exclusive raw pointer to the contents.
+    ///
+    /// The caller's protocol must guarantee exclusivity; under the
+    /// model cfg that claim is checked first.
+    pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        #[cfg(calliope_check)]
+        if !std::thread::panicking() {
+            if let Some(ctx) = cur_ctx() {
+                ctx.run.cell_write(ctx.tid, &self.reg);
+            }
+        }
+        f(self.inner.get())
+    }
+
+    /// Exclusive access through `&mut self` (no protocol needed).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut()
+    }
+
+    /// Consumes the cell, returning the value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}
+
+impl<T> std::fmt::Debug for UnsafeCell<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("UnsafeCell(..)")
+    }
+}

@@ -1,0 +1,996 @@
+//! The deterministic model-check scheduler (compiled only under
+//! `--cfg calliope_check`).
+//!
+//! A model run executes the test closure on real OS threads that are
+//! *serialized*: every shimmed operation (atomic access, mutex
+//! lock/unlock, spawn, join, yield) parks until a global baton says it
+//! is this thread's turn, executes its effect under one state lock, and
+//! then selects which thread runs the next operation. Each point where
+//! more than one choice exists — several runnable threads, or several
+//! stores a weak load may observe — is a *decision*; the [`Checker`]
+//! re-runs the closure, depth-first, until every decision branch has
+//! been explored (or a bound is hit).
+//!
+//! Weak memory is modeled with per-location store histories and vector
+//! clocks: an `Acquire`/`Relaxed` load may observe any store newer than
+//! the loader's coherence floor (the newest store it already observed
+//! or that happened-before it); `SeqCst` is totalized — a `SeqCst`
+//! access observes the newest store. Read-modify-writes always read the
+//! newest store (C11 modification order) and continue release
+//! sequences. `UnsafeCell` accesses are checked for data races with the
+//! same clocks, before the access is performed, so a racy test fails
+//! cleanly instead of executing undefined behavior.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Most threads a single model run may register (thread 0 plus spawns).
+pub const MAX_THREADS: usize = 8;
+
+/// Per-thread logical clocks, indexed by thread id.
+type VClock = [u32; MAX_THREADS];
+
+const ZERO_CLOCK: VClock = [0; MAX_THREADS];
+
+fn join_clock(into: &mut VClock, from: &VClock) {
+    for i in 0..MAX_THREADS {
+        into[i] = into[i].max(from[i]);
+    }
+}
+
+/// `true` when every component of `a` is `<=` the matching one of `b`
+/// *at the writer's index* — the standard happened-before test for a
+/// store with snapshot `a` written by `tid`, judged against clock `b`.
+fn store_hb(a: &VClock, tid: usize, b: &VClock) -> bool {
+    a[tid] <= b[tid]
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Panic payload used to unwind model threads on teardown; never shown
+/// to the user.
+pub(crate) struct ModelAbort;
+
+/// One store in a location's modification order.
+struct StoreRec {
+    val: u64,
+    tid: usize,
+    /// Writer's clock when the store executed (for happened-before).
+    clock: VClock,
+    /// Release clock an acquire load of this store joins (empty for a
+    /// relaxed store that heads no release sequence).
+    rel: VClock,
+}
+
+/// One atomic location: its modification order plus per-thread
+/// coherence floors (newest store index each thread has observed).
+struct LocState {
+    stores: Vec<StoreRec>,
+    last_seen: [usize; MAX_THREADS],
+}
+
+/// One `UnsafeCell`: last write and last read per thread, for clock
+/// based race detection.
+#[derive(Default)]
+struct CellState {
+    write: Option<(usize, VClock)>,
+    reads: [Option<VClock>; MAX_THREADS],
+}
+
+/// One shimmed mutex.
+#[derive(Default)]
+struct MutexState {
+    owner: Option<usize>,
+    rel: VClock,
+    waiters: Vec<usize>,
+    acquisitions: u64,
+}
+
+/// A decision point: which branch is being taken this execution, how
+/// many exist, and the state-hash key guarding its subtree.
+struct Decision {
+    chosen: usize,
+    total: usize,
+    key: u64,
+}
+
+/// DFS bookkeeping that survives across executions of one check.
+#[derive(Default)]
+struct Explorer {
+    path: Vec<Decision>,
+    explored: HashSet<u64>,
+    pruned: u64,
+    replay: bool,
+}
+
+impl Explorer {
+    /// Advances to the next unexplored branch; `false` when the whole
+    /// tree is done. Subtree keys are recorded postorder: a decision's
+    /// key enters the explored set only once every branch under it has
+    /// run, so an execution can never prune against its own ancestors.
+    fn backtrack(&mut self) -> bool {
+        if self.replay {
+            return false;
+        }
+        loop {
+            match self.path.last_mut() {
+                None => return false,
+                Some(d) if d.chosen + 1 < d.total => {
+                    d.chosen += 1;
+                    return true;
+                }
+                Some(d) => {
+                    self.explored.insert(d.key);
+                    self.path.pop();
+                }
+            }
+        }
+    }
+}
+
+struct Failure {
+    message: String,
+    payload: Option<Box<dyn Any + Send>>,
+    path: Vec<usize>,
+}
+
+/// Everything mutable about one execution, behind the run's one lock.
+struct RunState {
+    nthreads: usize,
+    current: usize,
+    runnable: [bool; MAX_THREADS],
+    finished: [bool; MAX_THREADS],
+    clocks: [VClock; MAX_THREADS],
+    final_clocks: [VClock; MAX_THREADS],
+    op_counts: [u64; MAX_THREADS],
+    join_waits: [Option<usize>; MAX_THREADS],
+    locs: Vec<LocState>,
+    cells: Vec<CellState>,
+    mutexes: Vec<MutexState>,
+    /// OS threads (wrappers) still alive; the checker waits for zero.
+    live: usize,
+    decisions_taken: usize,
+    steps: u64,
+    cur_hash: u64,
+    preemptions_left: u32,
+    max_steps: u64,
+    aborting: bool,
+    failure: Option<Failure>,
+    explorer: Explorer,
+}
+
+impl RunState {
+    fn new(explorer: Explorer, preemption_bound: u32, max_steps: u64) -> RunState {
+        RunState {
+            nthreads: 1,
+            current: 0,
+            runnable: {
+                let mut r = [false; MAX_THREADS];
+                r[0] = true;
+                r
+            },
+            finished: [false; MAX_THREADS],
+            clocks: [ZERO_CLOCK; MAX_THREADS],
+            final_clocks: [ZERO_CLOCK; MAX_THREADS],
+            op_counts: [0; MAX_THREADS],
+            join_waits: [None; MAX_THREADS],
+            locs: Vec::new(),
+            cells: Vec::new(),
+            mutexes: Vec::new(),
+            live: 1,
+            decisions_taken: 0,
+            steps: 0,
+            cur_hash: 0,
+            preemptions_left: preemption_bound,
+            max_steps,
+            aborting: false,
+            failure: None,
+            explorer,
+        }
+    }
+}
+
+/// One live model run, shared by the checker and every model thread.
+pub(crate) struct Run {
+    id: u64,
+    state: Mutex<RunState>,
+    cond: Condvar,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+/// A model thread's identity: the run it belongs to and its id there.
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub(crate) run: Arc<Run>,
+    pub(crate) tid: usize,
+}
+
+/// The current thread's model context, if it is a model thread.
+pub(crate) fn cur_ctx() -> Option<Ctx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+/// Lazily-assigned per-run id of a shimmed object (atomic, mutex or
+/// cell). `run_id == 0` means unregistered.
+pub(crate) struct Registration(Mutex<(u64, usize)>);
+
+impl Registration {
+    pub(crate) const fn new() -> Registration {
+        Registration(Mutex::new((0, 0)))
+    }
+}
+
+impl std::fmt::Debug for Registration {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Registration")
+    }
+}
+
+fn unpoison<'a, T>(
+    r: Result<MutexGuard<'a, T>, std::sync::PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    r.unwrap_or_else(|e| e.into_inner())
+}
+
+const KIND_LOAD: u64 = 1;
+const KIND_STORE: u64 = 2;
+const KIND_RMW: u64 = 3;
+const KIND_LOCK: u64 = 4;
+const KIND_UNLOCK: u64 = 5;
+const KIND_SPAWN: u64 = 6;
+const KIND_JOIN: u64 = 7;
+const KIND_FINISH: u64 = 8;
+const KIND_YIELD: u64 = 9;
+const KIND_SCHED: u64 = 16;
+
+fn is_acquire(o: Ordering) -> bool {
+    matches!(o, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn is_release(o: Ordering) -> bool {
+    matches!(o, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+impl Run {
+    fn lock(&self) -> MutexGuard<'_, RunState> {
+        unpoison(self.state.lock())
+    }
+
+    /// Parks until it is `tid`'s turn, then charges one step and one
+    /// clock tick. Every shimmed operation starts here.
+    fn enter(&self, tid: usize) -> MutexGuard<'_, RunState> {
+        let mut st = self.lock();
+        loop {
+            if st.aborting {
+                drop(st);
+                std::panic::panic_any(ModelAbort);
+            }
+            if st.current == tid {
+                break;
+            }
+            st = unpoison(self.cond.wait(st));
+        }
+        st.steps += 1;
+        if st.steps > st.max_steps {
+            let cap = st.max_steps;
+            self.fail(
+                st,
+                format!(
+                    "model execution exceeded {cap} steps — livelock, or an unbounded retry \
+                     loop in the test closure"
+                ),
+                None,
+            );
+        }
+        st.clocks[tid][tid] += 1;
+        st.op_counts[tid] += 1;
+        st
+    }
+
+    /// Folds one executed operation into the execution's multiset state
+    /// hash. Interleavings of *independent* operations produce the same
+    /// multiset (same elements, order-insensitive sum), so equivalent
+    /// schedules collide on purpose and are pruned; dependent
+    /// operations differ in their observed effect (`a`) and stay
+    /// distinct. The element deliberately excludes the location id:
+    /// per-run ids are assigned in first-touch order, which varies
+    /// across interleavings, and `(tid, op_count)` already pins the
+    /// program-order op while `a` (a location-local index) pins what it
+    /// observed.
+    fn record(&self, st: &mut RunState, tid: usize, kind: u64, a: u64) {
+        let e = splitmix(
+            splitmix(kind ^ ((tid as u64) << 56) ^ (st.op_counts[tid] << 32)) ^ splitmix(a),
+        );
+        st.cur_hash = st.cur_hash.wrapping_add(e);
+    }
+
+    /// Picks among `n` branches at the current decision point,
+    /// following the replayed path prefix first, then depth-first.
+    fn decide(&self, st: &mut RunState, n: usize, kind: u64) -> usize {
+        let depth = st.decisions_taken;
+        st.decisions_taken += 1;
+        if depth < st.explorer.path.len() {
+            let chosen = st.explorer.path[depth].chosen;
+            debug_assert!(
+                st.explorer.replay || chosen < n,
+                "non-deterministic replay: decision {depth} had {n} branches, chose {chosen}"
+            );
+            return chosen.min(n - 1);
+        }
+        let key = splitmix(st.cur_hash ^ ((st.preemptions_left as u64) << 8) ^ kind);
+        if st.explorer.explored.contains(&key) {
+            st.explorer.pruned += 1;
+            st.aborting = true;
+            self.cond.notify_all();
+            // The caller's guard unwinds (poisoning is tolerated
+            // everywhere via `unpoison`).
+            std::panic::panic_any(ModelAbort);
+        }
+        st.explorer.path.push(Decision {
+            chosen: 0,
+            total: n,
+            key,
+        });
+        0
+    }
+
+    /// Records a failed execution (assertion, race, deadlock, step cap)
+    /// and tears the run down. Never returns.
+    fn fail(
+        &self,
+        mut st: MutexGuard<'_, RunState>,
+        message: String,
+        payload: Option<Box<dyn Any + Send>>,
+    ) -> ! {
+        if st.failure.is_none() {
+            let path = st.explorer.path.iter().map(|d| d.chosen).collect();
+            st.failure = Some(Failure {
+                message,
+                payload,
+                path,
+            });
+        }
+        st.aborting = true;
+        self.cond.notify_all();
+        drop(st);
+        std::panic::panic_any(ModelAbort);
+    }
+
+    /// Chooses which thread performs the next operation. Called at the
+    /// end of every operation by the thread that just ran it.
+    fn select_next(&self, st: &mut MutexGuard<'_, RunState>) {
+        let cur = st.current;
+        let mut opts: Vec<usize> = (0..st.nthreads)
+            .filter(|&t| st.runnable[t] && !st.finished[t])
+            .collect();
+        if opts.is_empty() {
+            if (0..st.nthreads).any(|t| !st.finished[t]) && !st.aborting {
+                let blocked: Vec<usize> = (0..st.nthreads).filter(|&t| !st.finished[t]).collect();
+                if st.failure.is_none() {
+                    let path = st.explorer.path.iter().map(|d| d.chosen).collect();
+                    st.failure = Some(Failure {
+                        message: format!("deadlock: threads {blocked:?} are blocked forever"),
+                        payload: None,
+                        path,
+                    });
+                }
+                st.aborting = true;
+                self.cond.notify_all();
+                std::panic::panic_any(ModelAbort);
+            }
+            return;
+        }
+        // The continuation (no preemption) is listed first so branch 0
+        // is always the cheapest schedule.
+        if let Some(pos) = opts.iter().position(|&t| t == cur) {
+            opts.remove(pos);
+            opts.insert(0, cur);
+        }
+        let cur_runnable = opts[0] == cur;
+        let next = if opts.len() == 1 {
+            opts[0]
+        } else if cur_runnable && st.preemptions_left == 0 {
+            // Preemption budget spent: forced continuation. This is the
+            // CHESS-style bound that keeps exploration tractable.
+            cur
+        } else {
+            let i = self.decide(st, opts.len(), KIND_SCHED);
+            let t = opts[i];
+            if cur_runnable && t != cur {
+                st.preemptions_left -= 1;
+            }
+            t
+        };
+        st.current = next;
+    }
+
+    /// Finishes an operation: selects the next runner and wakes it.
+    fn leave(&self, mut st: MutexGuard<'_, RunState>) {
+        self.select_next(&mut st);
+        self.cond.notify_all();
+    }
+
+    /// Resolves a shimmed object to its per-run id, registering it (and
+    /// seeding its initial store from `init`) on first touch. Must be
+    /// called with the baton held so registration order is a pure
+    /// function of the decision path.
+    fn resolve_loc(&self, st: &mut RunState, reg: &Registration, init: u64) -> usize {
+        let mut slot = unpoison(reg.0.lock());
+        if slot.0 != self.id {
+            let id = st.locs.len();
+            st.locs.push(LocState {
+                stores: vec![StoreRec {
+                    val: init,
+                    tid: 0,
+                    clock: ZERO_CLOCK,
+                    rel: ZERO_CLOCK,
+                }],
+                last_seen: [0; MAX_THREADS],
+            });
+            *slot = (self.id, id);
+        }
+        slot.1
+    }
+
+    fn resolve_mutex(&self, st: &mut RunState, reg: &Registration) -> usize {
+        let mut slot = unpoison(reg.0.lock());
+        if slot.0 != self.id {
+            let id = st.mutexes.len();
+            st.mutexes.push(MutexState::default());
+            *slot = (self.id, id);
+        }
+        slot.1
+    }
+
+    fn resolve_cell(&self, reg: &Registration) -> usize {
+        let mut st = self.lock();
+        let mut slot = unpoison(reg.0.lock());
+        if slot.0 != self.id {
+            let id = st.cells.len();
+            st.cells.push(CellState::default());
+            *slot = (self.id, id);
+        }
+        slot.1
+    }
+
+    /// Newest store index the loader is *forced* past: the newest store
+    /// it has already observed, or that happened-before it (reading
+    /// anything older would violate coherence).
+    fn hb_floor(st: &RunState, tid: usize, loc: usize) -> usize {
+        let ls = &st.locs[loc];
+        let mut floor = ls.last_seen[tid];
+        for j in (floor..ls.stores.len()).rev() {
+            let rec = &ls.stores[j];
+            if store_hb(&rec.clock, rec.tid, &st.clocks[tid]) {
+                floor = floor.max(j);
+                break;
+            }
+        }
+        floor
+    }
+
+    pub(crate) fn atomic_load(
+        &self,
+        tid: usize,
+        reg: &Registration,
+        init: u64,
+        ord: Ordering,
+    ) -> u64 {
+        let mut st = self.enter(tid);
+        let loc = self.resolve_loc(&mut st, reg, init);
+        let latest = st.locs[loc].stores.len() - 1;
+        let idx = if ord == Ordering::SeqCst {
+            // Totalized: a SeqCst load observes the newest store.
+            latest
+        } else {
+            let floor = Self::hb_floor(&st, tid, loc);
+            if floor == latest {
+                latest
+            } else {
+                floor + self.decide(&mut st, latest - floor + 1, KIND_LOAD)
+            }
+        };
+        let (val, rel) = {
+            let rec = &st.locs[loc].stores[idx];
+            (rec.val, rec.rel)
+        };
+        st.locs[loc].last_seen[tid] = st.locs[loc].last_seen[tid].max(idx);
+        if is_acquire(ord) {
+            join_clock(&mut st.clocks[tid], &rel);
+        }
+        self.record(&mut st, tid, KIND_LOAD, idx as u64);
+        self.leave(st);
+        val
+    }
+
+    pub(crate) fn atomic_store(
+        &self,
+        tid: usize,
+        reg: &Registration,
+        init: u64,
+        val: u64,
+        ord: Ordering,
+        set_real: impl FnOnce(u64),
+    ) {
+        let mut st = self.enter(tid);
+        let loc = self.resolve_loc(&mut st, reg, init);
+        let rel = if is_release(ord) {
+            st.clocks[tid]
+        } else {
+            ZERO_CLOCK
+        };
+        let clock = st.clocks[tid];
+        let idx = st.locs[loc].stores.len();
+        st.locs[loc].stores.push(StoreRec {
+            val,
+            tid,
+            clock,
+            rel,
+        });
+        st.locs[loc].last_seen[tid] = idx;
+        set_real(val);
+        self.record(&mut st, tid, KIND_STORE, idx as u64);
+        self.leave(st);
+    }
+
+    /// Read-modify-write: always reads the newest store (C11
+    /// modification order) and continues any release sequence it joins.
+    pub(crate) fn atomic_rmw(
+        &self,
+        tid: usize,
+        reg: &Registration,
+        init: u64,
+        ord: Ordering,
+        f: impl FnOnce(u64) -> u64,
+        set_real: impl FnOnce(u64),
+    ) -> u64 {
+        let mut st = self.enter(tid);
+        let loc = self.resolve_loc(&mut st, reg, init);
+        let latest = st.locs[loc].stores.len() - 1;
+        let (old, prev_rel) = {
+            let rec = &st.locs[loc].stores[latest];
+            (rec.val, rec.rel)
+        };
+        if is_acquire(ord) {
+            join_clock(&mut st.clocks[tid], &prev_rel);
+        }
+        let new = f(old);
+        let mut rel = if is_release(ord) {
+            st.clocks[tid]
+        } else {
+            ZERO_CLOCK
+        };
+        // An RMW continues the release sequence of the store it read,
+        // whatever its own ordering.
+        join_clock(&mut rel, &prev_rel);
+        let clock = st.clocks[tid];
+        let idx = latest + 1;
+        st.locs[loc].stores.push(StoreRec {
+            val: new,
+            tid,
+            clock,
+            rel,
+        });
+        st.locs[loc].last_seen[tid] = idx;
+        set_real(new);
+        self.record(&mut st, tid, KIND_RMW, idx as u64);
+        self.leave(st);
+        old
+    }
+
+    pub(crate) fn mutex_lock(&self, tid: usize, reg: &Registration) {
+        let mut st = self.enter(tid);
+        let mid = self.resolve_mutex(&mut st, reg);
+        loop {
+            if st.mutexes[mid].owner.is_none() {
+                st.mutexes[mid].owner = Some(tid);
+                st.mutexes[mid].acquisitions += 1;
+                let rel = st.mutexes[mid].rel;
+                join_clock(&mut st.clocks[tid], &rel);
+                let n = st.mutexes[mid].acquisitions;
+                self.record(&mut st, tid, KIND_LOCK, n);
+                self.leave(st);
+                return;
+            }
+            st.runnable[tid] = false;
+            st.mutexes[mid].waiters.push(tid);
+            self.select_next(&mut st);
+            self.cond.notify_all();
+            loop {
+                if st.aborting {
+                    drop(st);
+                    std::panic::panic_any(ModelAbort);
+                }
+                if st.runnable[tid] && st.current == tid {
+                    break;
+                }
+                st = unpoison(self.cond.wait(st));
+            }
+        }
+    }
+
+    pub(crate) fn mutex_unlock(&self, tid: usize, reg: &Registration) {
+        let mut st = self.enter(tid);
+        let mid = self.resolve_mutex(&mut st, reg);
+        debug_assert_eq!(st.mutexes[mid].owner, Some(tid), "unlock by non-owner");
+        st.mutexes[mid].owner = None;
+        st.mutexes[mid].rel = st.clocks[tid];
+        let waiters = std::mem::take(&mut st.mutexes[mid].waiters);
+        for w in waiters {
+            st.runnable[w] = true;
+        }
+        let n = st.mutexes[mid].acquisitions;
+        self.record(&mut st, tid, KIND_UNLOCK, n);
+        self.leave(st);
+    }
+
+    /// Race-checks a read of a shimmed cell. The caller performs the
+    /// actual access *after* this returns; a detected race fails the
+    /// run before any undefined behavior can execute.
+    pub(crate) fn cell_read(&self, tid: usize, reg: &Registration) {
+        let cell = self.resolve_cell(reg);
+        let mut st = self.lock();
+        // FastTrack-style epoch: the access gets its own clock tick, so
+        // a clock another thread inherited (spawn) or acquired *before*
+        // this access can never appear to cover it.
+        st.clocks[tid][tid] += 1;
+        if let Some((wtid, wclock)) = st.cells[cell].write {
+            if wtid != tid && !store_hb(&wclock, wtid, &st.clocks[tid]) {
+                self.fail(
+                    st,
+                    format!(
+                        "data race: thread {tid} reads an UnsafeCell concurrently written by \
+                         thread {wtid}"
+                    ),
+                    None,
+                );
+            }
+        }
+        st.cells[cell].reads[tid] = Some(st.clocks[tid]);
+        drop(st);
+    }
+
+    /// Race-checks a write of a shimmed cell (against the last write
+    /// and every thread's last read).
+    pub(crate) fn cell_write(&self, tid: usize, reg: &Registration) {
+        let cell = self.resolve_cell(reg);
+        let mut st = self.lock();
+        // See cell_read: the access needs its own epoch.
+        st.clocks[tid][tid] += 1;
+        if let Some((wtid, wclock)) = st.cells[cell].write {
+            if wtid != tid && !store_hb(&wclock, wtid, &st.clocks[tid]) {
+                self.fail(
+                    st,
+                    format!(
+                        "data race: thread {tid} writes an UnsafeCell concurrently written by \
+                         thread {wtid}"
+                    ),
+                    None,
+                );
+            }
+        }
+        for r in 0..st.nthreads {
+            if r == tid {
+                continue;
+            }
+            if let Some(rclock) = st.cells[cell].reads[r] {
+                if !store_hb(&rclock, r, &st.clocks[tid]) {
+                    self.fail(
+                        st,
+                        format!(
+                            "data race: thread {tid} writes an UnsafeCell concurrently read by \
+                             thread {r}"
+                        ),
+                        None,
+                    );
+                }
+            }
+        }
+        let clock = st.clocks[tid];
+        st.cells[cell].write = Some((tid, clock));
+        st.cells[cell].reads = [None; MAX_THREADS];
+        drop(st);
+    }
+
+    pub(crate) fn yield_op(&self, tid: usize) {
+        let mut st = self.enter(tid);
+        self.record(&mut st, tid, KIND_YIELD, 0);
+        self.leave(st);
+    }
+
+    /// Registers a child thread and starts its OS wrapper. The child
+    /// inherits the parent's clock (spawn is a release edge).
+    pub(crate) fn spawn_thread<T, F>(
+        self: &Arc<Self>,
+        tid: usize,
+        f: F,
+    ) -> (usize, std::thread::JoinHandle<Option<T>>)
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let mut st = self.enter(tid);
+        let child = st.nthreads;
+        if child >= MAX_THREADS {
+            self.fail(
+                st,
+                format!("model run spawned more than {MAX_THREADS} threads"),
+                None,
+            );
+        }
+        st.nthreads += 1;
+        st.clocks[child] = st.clocks[tid];
+        st.runnable[child] = true;
+        st.live += 1;
+        let run = Arc::clone(self);
+        let handle = std::thread::spawn(move || run.thread_main(child, f));
+        self.record(&mut st, tid, KIND_SPAWN, child as u64);
+        self.leave(st);
+        (child, handle)
+    }
+
+    /// Body of every model thread (including thread 0): installs the
+    /// TLS context, runs the closure, and performs finish bookkeeping.
+    pub(crate) fn thread_main<T, F>(self: Arc<Self>, tid: usize, f: F) -> Option<T>
+    where
+        F: FnOnce() -> T,
+    {
+        CTX.with(|c| {
+            *c.borrow_mut() = Some(Ctx {
+                run: Arc::clone(&self),
+                tid,
+            })
+        });
+        // Decrement `live` even if a panic escapes below (e.g. from the
+        // drop of a value whose destructor performs model operations
+        // while the run is aborting) — the checker waits for `live` to
+        // reach zero, so a missed decrement wedges the whole check.
+        struct LiveGuard(Arc<Run>);
+        impl Drop for LiveGuard {
+            fn drop(&mut self) {
+                CTX.with(|c| *c.borrow_mut() = None);
+                let mut st = self.0.lock();
+                st.live -= 1;
+                self.0.cond.notify_all();
+            }
+        }
+        let guard = LiveGuard(Arc::clone(&self));
+        let result = catch_unwind(AssertUnwindSafe(f));
+        let out = match result {
+            Ok(v) => {
+                // A model panic can still happen inside finish_thread
+                // (deadlock detection); guard it too.
+                match catch_unwind(AssertUnwindSafe(|| self.finish_thread(tid))) {
+                    Ok(()) => Some(v),
+                    Err(_) => {
+                        // The run is tearing down, but `v`'s destructor
+                        // may itself perform model operations (e.g. a
+                        // ring endpoint), which re-raise the abort —
+                        // contain it so this wrapper still exits
+                        // through the live-count bookkeeping.
+                        let _ = catch_unwind(AssertUnwindSafe(move || drop(v)));
+                        None
+                    }
+                }
+            }
+            Err(payload) => {
+                if !payload.is::<ModelAbort>() {
+                    let mut st = self.lock();
+                    if st.failure.is_none() {
+                        let message = panic_message(&*payload);
+                        let path = st.explorer.path.iter().map(|d| d.chosen).collect();
+                        st.failure = Some(Failure {
+                            message,
+                            payload: Some(payload),
+                            path,
+                        });
+                    }
+                    st.aborting = true;
+                    self.cond.notify_all();
+                }
+                None
+            }
+        };
+        drop(guard);
+        out
+    }
+
+    fn finish_thread(&self, tid: usize) {
+        let mut st = self.enter(tid);
+        st.finished[tid] = true;
+        st.runnable[tid] = false;
+        st.final_clocks[tid] = st.clocks[tid];
+        // Joiners parked on this thread become runnable again; their
+        // join op re-checks `finished`.
+        for t in 0..st.nthreads {
+            if !st.finished[t] && !st.runnable[t] && st.join_waits[t] == Some(tid) {
+                st.runnable[t] = true;
+            }
+        }
+        self.record(&mut st, tid, KIND_FINISH, 0);
+        self.leave(st);
+    }
+
+    /// Blocks (in model time) until `target` has finished, then joins
+    /// its final clock (thread join is an acquire edge).
+    pub(crate) fn join_thread(&self, tid: usize, target: usize) {
+        let mut st = self.enter(tid);
+        if !st.finished[target] {
+            st.runnable[tid] = false;
+            st.join_waits[tid] = Some(target);
+            self.select_next(&mut st);
+            self.cond.notify_all();
+            loop {
+                if st.aborting {
+                    drop(st);
+                    std::panic::panic_any(ModelAbort);
+                }
+                if st.runnable[tid] && st.current == tid {
+                    break;
+                }
+                st = unpoison(self.cond.wait(st));
+            }
+            st.join_waits[tid] = None;
+        }
+        let fc = st.final_clocks[target];
+        join_clock(&mut st.clocks[tid], &fc);
+        self.record(&mut st, tid, KIND_JOIN, target as u64);
+        self.leave(st);
+    }
+}
+
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "model thread panicked".to_string()
+    }
+}
+
+/// Outcome of a whole model check.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Report {
+    /// Distinct executions run to completion (including pruned ones).
+    pub schedules: u64,
+    /// Executions abandoned because their state prefix had already been
+    /// fully explored.
+    pub pruned: u64,
+    /// True when exploration stopped at `max_schedules` rather than
+    /// exhausting the decision tree.
+    pub truncated: bool,
+}
+
+/// A configured model checker. [`model`] runs one with defaults.
+#[derive(Clone, Copy, Debug)]
+pub struct Checker {
+    /// Stop after this many executions (sets [`Report::truncated`]).
+    pub max_schedules: u64,
+    /// Fail an execution that runs more than this many shimmed ops.
+    pub max_steps: u64,
+    /// CHESS-style bound: how many times the scheduler may switch away
+    /// from a thread that could have kept running. Exhaustive within
+    /// the bound; raise it for deeper interleavings.
+    pub preemption_bound: u32,
+}
+
+impl Default for Checker {
+    fn default() -> Checker {
+        Checker {
+            max_schedules: 100_000,
+            max_steps: 20_000,
+            preemption_bound: 3,
+        }
+    }
+}
+
+static RUN_IDS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+impl Checker {
+    /// Explores the closure's interleavings depth-first until the tree
+    /// is exhausted or a bound trips. Panics (with a replayable
+    /// decision trace on stderr) if any interleaving fails.
+    pub fn check<F>(&self, f: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        assert!(
+            cur_ctx().is_none(),
+            "model() cannot be nested inside a model run"
+        );
+        let f = Arc::new(f);
+        let mut explorer = Explorer::default();
+        if let Ok(replay) = std::env::var("CALLIOPE_CHECK_REPLAY") {
+            let choices: Vec<usize> = replay
+                .split(',')
+                .filter(|s| !s.trim().is_empty())
+                .map(|s| s.trim().parse().expect("CALLIOPE_CHECK_REPLAY: bad entry"))
+                .collect();
+            explorer.path = choices
+                .into_iter()
+                .map(|c| Decision {
+                    chosen: c,
+                    total: c + 1,
+                    key: 0,
+                })
+                .collect();
+            explorer.replay = true;
+        }
+        let mut schedules = 0u64;
+        let mut truncated = false;
+        loop {
+            schedules += 1;
+            let run = Arc::new(Run {
+                // relaxed: a fresh-id counter; nothing is ordered by it.
+                id: RUN_IDS.fetch_add(1, Ordering::Relaxed),
+                state: Mutex::new(RunState::new(
+                    explorer,
+                    self.preemption_bound,
+                    self.max_steps,
+                )),
+                cond: Condvar::new(),
+            });
+            {
+                let run0 = Arc::clone(&run);
+                let f0 = Arc::clone(&f);
+                // Thread 0 is a real OS thread too, so the checker can
+                // supervise from outside the run.
+                std::thread::spawn(move || run0.thread_main(0, move || f0()));
+            }
+            let mut st = run.lock();
+            while st.live > 0 {
+                st = unpoison(run.cond.wait(st));
+            }
+            explorer = std::mem::take(&mut st.explorer);
+            let failure = st.failure.take();
+            drop(st);
+            if let Some(fail) = failure {
+                let path: Vec<String> = fail.path.iter().map(|c| c.to_string()).collect();
+                eprintln!(
+                    "calliope-check: failing interleaving found after {schedules} schedule(s)\n\
+                     calliope-check: {}\n\
+                     calliope-check: replay with CALLIOPE_CHECK_REPLAY={}",
+                    fail.message,
+                    path.join(",")
+                );
+                match fail.payload {
+                    Some(p) => resume_unwind(p),
+                    None => panic!("{}", fail.message),
+                }
+            }
+            if !explorer.backtrack() {
+                break;
+            }
+            if schedules >= self.max_schedules {
+                truncated = true;
+                break;
+            }
+        }
+        Report {
+            schedules,
+            pruned: explorer.pruned,
+            truncated,
+        }
+    }
+}
+
+/// Model-checks the closure with the default [`Checker`].
+pub fn model<F>(f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Checker::default().check(f)
+}

@@ -1,0 +1,86 @@
+//! Shimmed thread spawn/join.
+//!
+//! Outside a model run (and in normal builds) these are the std
+//! functions. Inside one, `spawn` registers a model thread whose every
+//! shimmed operation is scheduled by the checker, and `join` blocks in
+//! model time (the scheduler explores who runs while the joiner waits).
+
+#[cfg(not(calliope_check))]
+pub use std::thread::{spawn, yield_now, JoinHandle};
+
+#[cfg(calliope_check)]
+pub use checked::{spawn, yield_now, JoinHandle};
+
+#[cfg(calliope_check)]
+mod checked {
+    use crate::model::{cur_ctx, Ctx, Run};
+    use std::sync::Arc;
+
+    enum Inner<T> {
+        Std(std::thread::JoinHandle<T>),
+        Model {
+            run: Arc<Run>,
+            tid: usize,
+            os: std::thread::JoinHandle<Option<T>>,
+        },
+    }
+
+    /// Handle to a spawned thread (std or model, depending on where
+    /// `spawn` was called).
+    pub struct JoinHandle<T>(Inner<T>);
+
+    impl<T> JoinHandle<T> {
+        /// Waits for the thread to finish and returns its result.
+        pub fn join(self) -> std::thread::Result<T> {
+            match self.0 {
+                Inner::Std(h) => h.join(),
+                Inner::Model { run, tid, os } => {
+                    let ctx = cur_ctx().expect("model JoinHandle joined outside its run");
+                    run.join_thread(ctx.tid, tid);
+                    match os.join() {
+                        Ok(Some(v)) => Ok(v),
+                        // The model join only completes once the target
+                        // finished cleanly, so a missing value means the
+                        // run was torn down mid-join.
+                        Ok(None) => Err(Box::new("model thread aborted")),
+                        Err(e) => Err(e),
+                    }
+                }
+            }
+        }
+    }
+
+    impl<T> std::fmt::Debug for JoinHandle<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("JoinHandle(..)")
+        }
+    }
+
+    /// Drop-in for `std::thread::spawn`.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        match cur_ctx() {
+            Some(Ctx { run, tid }) => {
+                let (child, os) = run.spawn_thread(tid, f);
+                JoinHandle(Inner::Model {
+                    run,
+                    tid: child,
+                    os,
+                })
+            }
+            None => JoinHandle(Inner::Std(std::thread::spawn(f))),
+        }
+    }
+
+    /// Drop-in for `std::thread::yield_now`: a scheduling point inside
+    /// a model run, the real yield outside.
+    pub fn yield_now() {
+        match cur_ctx() {
+            Some(ctx) if !std::thread::panicking() => ctx.run.yield_op(ctx.tid),
+            _ => std::thread::yield_now(),
+        }
+    }
+}

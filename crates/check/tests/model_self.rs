@@ -1,0 +1,315 @@
+//! Self-tests for the model checker: litmus shapes with known-good and
+//! known-bad outcomes. These prove the checker explores real
+//! interleavings and weak-memory behaviors (they are the "does the
+//! tool catch a seeded bug" evidence the rest of the workspace leans
+//! on). Compiled only under `--cfg calliope_check`.
+#![cfg(calliope_check)]
+
+use calliope_check::sync::atomic::{AtomicU64, Ordering};
+use calliope_check::sync::{Arc, Mutex};
+use calliope_check::{model, thread, Checker};
+use std::collections::HashSet;
+use std::sync::Mutex as StdMutex;
+
+/// Store-buffer litmus: with relaxed loads both threads may read 0 —
+/// the classic weak-memory outcome no sequentially-consistent
+/// interleaving produces. Seeing it proves the checker explores more
+/// than thread orderings.
+#[test]
+fn store_buffer_relaxed_observes_both_zero() {
+    let outcomes: &'static StdMutex<HashSet<(u64, u64)>> =
+        Box::leak(Box::new(StdMutex::new(HashSet::new())));
+    let report = model(move || {
+        let x = Arc::new(AtomicU64::new(0));
+        let y = Arc::new(AtomicU64::new(0));
+        let (x2, y2) = (x.clone(), y.clone());
+        let t = thread::spawn(move || {
+            x2.store(1, Ordering::Relaxed);
+            y2.load(Ordering::Relaxed)
+        });
+        x.store(0, Ordering::Relaxed); // re-anchor program order
+        y.store(1, Ordering::Relaxed);
+        let a = x.load(Ordering::Relaxed);
+        let b = t.join().unwrap();
+        outcomes.lock().unwrap().insert((a, b));
+    });
+    assert!(report.schedules > 1, "must explore multiple interleavings");
+    // The weak outcome: each thread misses the other's store.
+    // (Thread 0 re-stored 0 to x, so a == 0 means "missed x2's 1".)
+    let seen = outcomes.lock().unwrap();
+    assert!(
+        seen.contains(&(0, 0)),
+        "relaxed loads must be able to miss both stores, saw {seen:?}"
+    );
+}
+
+/// The same shape under SeqCst must never produce the weak outcome:
+/// SeqCst accesses are totalized to the newest store.
+#[test]
+fn store_buffer_seqcst_forbids_both_zero() {
+    let report = model(|| {
+        let x = Arc::new(AtomicU64::new(0));
+        let y = Arc::new(AtomicU64::new(0));
+        let (x2, y2) = (x.clone(), y.clone());
+        let t = thread::spawn(move || {
+            x2.store(1, Ordering::SeqCst);
+            y2.load(Ordering::SeqCst)
+        });
+        y.store(1, Ordering::SeqCst);
+        let a = x.load(Ordering::SeqCst);
+        let b = t.join().unwrap();
+        assert!(
+            a == 1 || b == 1,
+            "SeqCst store buffering must not lose both stores"
+        );
+    });
+    assert!(report.schedules > 1);
+}
+
+/// Message passing done right: a release store publishing data, an
+/// acquire load consuming it. Every interleaving must see the payload
+/// once the flag is up.
+#[test]
+fn message_passing_release_acquire_is_sound() {
+    let report = model(|| {
+        let data = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicU64::new(0));
+        let (d2, f2) = (data.clone(), flag.clone());
+        let t = thread::spawn(move || {
+            if f2.load(Ordering::Acquire) == 1 {
+                assert_eq!(
+                    d2.load(Ordering::Relaxed),
+                    7,
+                    "acquire of the flag must make the payload visible"
+                );
+            }
+        });
+        data.store(7, Ordering::Relaxed);
+        flag.store(1, Ordering::Release);
+        t.join().unwrap();
+    });
+    assert!(report.schedules > 1);
+}
+
+/// Message passing done wrong: publishing the flag with a relaxed
+/// store lets the consumer see the flag but stale data. The checker
+/// must find that interleaving — this is the seeded-bug test.
+#[test]
+#[should_panic(expected = "seeded relaxed-publish bug")]
+fn message_passing_relaxed_publish_is_caught() {
+    model(|| {
+        let data = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicU64::new(0));
+        let (d2, f2) = (data.clone(), flag.clone());
+        let t = thread::spawn(move || {
+            if f2.load(Ordering::Acquire) == 1 {
+                assert_eq!(d2.load(Ordering::Relaxed), 7, "seeded relaxed-publish bug");
+            }
+        });
+        data.store(7, Ordering::Relaxed);
+        flag.store(1, Ordering::Relaxed); // bug: no release edge
+        t.join().unwrap();
+    });
+}
+
+/// Lost-update: two relaxed read-modify-writes never lose an
+/// increment, because RMWs read the newest store in modification
+/// order.
+#[test]
+fn rmw_increments_are_never_lost() {
+    let report = model(|| {
+        let c = Arc::new(AtomicU64::new(0));
+        let c2 = c.clone();
+        let t = thread::spawn(move || {
+            c2.fetch_add(1, Ordering::Relaxed);
+        });
+        c.fetch_add(1, Ordering::Relaxed);
+        t.join().unwrap();
+        assert_eq!(c.load(Ordering::SeqCst), 2);
+    });
+    assert!(report.schedules > 1);
+}
+
+/// A plain store racing an increment CAN lose the increment — the
+/// checker must find the interleaving where the store clobbers it.
+#[test]
+#[should_panic(expected = "store/increment race lost the increment")]
+fn store_vs_rmw_lost_update_is_caught() {
+    model(|| {
+        let c = Arc::new(AtomicU64::new(0));
+        let c2 = c.clone();
+        let t = thread::spawn(move || {
+            c2.fetch_add(1, Ordering::SeqCst);
+        });
+        c.store(5, Ordering::SeqCst);
+        t.join().unwrap();
+        assert_eq!(
+            c.load(Ordering::SeqCst),
+            6,
+            "store/increment race lost the increment"
+        );
+    });
+}
+
+/// ABBA lock ordering must be reported as a deadlock.
+#[test]
+#[should_panic(expected = "deadlock")]
+fn abba_deadlock_is_detected() {
+    model(|| {
+        let a = Arc::new(Mutex::new(0u32));
+        let b = Arc::new(Mutex::new(0u32));
+        let (a2, b2) = (a.clone(), b.clone());
+        let t = thread::spawn(move || {
+            let ga = a2.lock();
+            let gb = b2.lock();
+            drop(gb);
+            drop(ga);
+        });
+        let gb = b.lock();
+        let ga = a.lock();
+        drop(ga);
+        drop(gb);
+        t.join().unwrap();
+    });
+}
+
+/// Mutexes serialize and synchronize: concurrent guarded increments
+/// never lose updates.
+#[test]
+fn mutex_guards_updates() {
+    let report = model(|| {
+        let m = Arc::new(Mutex::new(0u64));
+        let m2 = m.clone();
+        let t = thread::spawn(move || {
+            *m2.lock() += 1;
+        });
+        *m.lock() += 1;
+        t.join().unwrap();
+        assert_eq!(*m.lock(), 2);
+    });
+    assert!(report.schedules > 1);
+}
+
+/// Unsynchronized UnsafeCell access is flagged as a data race before
+/// the access executes.
+#[test]
+#[should_panic(expected = "data race")]
+fn unsafe_cell_race_is_detected() {
+    struct Racy(calliope_check::cell::UnsafeCell<u64>);
+    // SAFETY: deliberately wrong — the cell is shared with no
+    // synchronization protocol at all; the checker must catch it.
+    unsafe impl Sync for Racy {}
+    model(|| {
+        let cell = Arc::new(Racy(calliope_check::cell::UnsafeCell::new(0)));
+        let c2 = cell.clone();
+        let t = thread::spawn(move || {
+            c2.0.with_mut(|p|
+                // SAFETY: not actually safe — that is the point.
+                unsafe { *p = 1 });
+        });
+        cell.0.with_mut(|p|
+            // SAFETY: not actually safe — that is the point.
+            unsafe { *p = 2 });
+        t.join().unwrap();
+    });
+}
+
+/// The state-hash pruning fires on commuting operations (two threads
+/// touching different locations) without losing any outcome.
+#[test]
+fn pruning_collapses_independent_interleavings() {
+    let report = model(|| {
+        let x = Arc::new(AtomicU64::new(0));
+        let y = Arc::new(AtomicU64::new(0));
+        let y2 = y.clone();
+        let t = thread::spawn(move || {
+            y2.store(1, Ordering::SeqCst);
+            y2.store(2, Ordering::SeqCst);
+        });
+        x.store(1, Ordering::SeqCst);
+        x.store(2, Ordering::SeqCst);
+        t.join().unwrap();
+        assert_eq!(x.load(Ordering::SeqCst), 2);
+        assert_eq!(y.load(Ordering::SeqCst), 2);
+    });
+    assert!(report.schedules > 1);
+    assert!(
+        report.pruned > 0,
+        "independent stores must collide in the state hash, got {report:?}"
+    );
+}
+
+/// A bounded checker reports truncation instead of running forever.
+#[test]
+fn max_schedules_truncates() {
+    let checker = Checker {
+        max_schedules: 3,
+        ..Checker::default()
+    };
+    let report = checker.check(|| {
+        let x = Arc::new(AtomicU64::new(0));
+        let x2 = x.clone();
+        let t = thread::spawn(move || {
+            for _ in 0..4 {
+                x2.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        for _ in 0..4 {
+            x.fetch_add(1, Ordering::SeqCst);
+        }
+        t.join().unwrap();
+    });
+    assert!(report.truncated);
+    assert_eq!(report.schedules, 3);
+}
+
+/// Three threads, spawn/join edges only: the checker handles more than
+/// one child and join synchronization carries the children's writes.
+#[test]
+fn spawn_join_synchronizes() {
+    let report = model(|| {
+        let x = Arc::new(AtomicU64::new(0));
+        let y = Arc::new(AtomicU64::new(0));
+        let (x2, y2) = (x.clone(), y.clone());
+        let t1 = thread::spawn(move || x2.store(3, Ordering::Relaxed));
+        let t2 = thread::spawn(move || y2.store(4, Ordering::Relaxed));
+        t1.join().unwrap();
+        t2.join().unwrap();
+        // Join is an acquire edge: the relaxed stores must be visible.
+        assert_eq!(x.load(Ordering::Relaxed), 3);
+        assert_eq!(y.load(Ordering::Relaxed), 4);
+    });
+    assert!(report.schedules > 1);
+}
+
+/// Regression: a spawned thread RETURNS a value whose destructor
+/// performs model operations (like a queue endpoint). When a pruned
+/// execution aborts mid-teardown, that destructor re-raises the abort
+/// from inside the wrapper's cleanup path; the checker must still
+/// account the wrapper as exited or the whole check wedges waiting for
+/// it. This shape used to hang forever.
+#[test]
+fn returned_value_with_model_drop_does_not_wedge() {
+    struct Endpoint(Arc<AtomicU64>);
+    impl Drop for Endpoint {
+        fn drop(&mut self) {
+            // A model op in a destructor: panics with the abort token
+            // if the run is tearing down.
+            self.0.store(99, Ordering::Release);
+        }
+    }
+    let report = model(|| {
+        let x = Arc::new(AtomicU64::new(0));
+        let x2 = x.clone();
+        let t = thread::spawn(move || {
+            let v = x2.load(Ordering::Acquire);
+            assert!(v == 0 || v == 1 || v == 2);
+            Endpoint(x2)
+        });
+        x.store(1, Ordering::Release);
+        x.store(2, Ordering::Release);
+        let ep = t.join().unwrap();
+        drop(ep);
+    });
+    assert!(report.schedules > 1);
+}

@@ -129,6 +129,8 @@ impl FakeMsu {
                                     },
                                 },
                             );
+                            // relaxed: a monotone test-visible counter; no other data is
+                            // published through it.
                             served.fetch_add(1, Ordering::Relaxed);
                         });
                     }
@@ -161,6 +163,8 @@ impl FakeMsu {
                                     },
                                 },
                             );
+                            // relaxed: a monotone test-visible counter; no other data is
+                            // published through it.
                             served.fetch_add(1, Ordering::Relaxed);
                         });
                     }
@@ -202,6 +206,7 @@ impl FakeMsu {
                             uptime_us: started.elapsed().as_micros() as u64,
                             metrics: vec![MetricEntry {
                                 name: "fake.streams_served".into(),
+                                // relaxed: stats snapshots tolerate a slightly stale count.
                                 value: MetricValue::Counter(served2.load(Ordering::Relaxed)),
                             }],
                         };
@@ -229,6 +234,7 @@ impl FakeMsu {
 
     /// Streams scheduled-and-terminated so far.
     pub fn served(&self) -> u64 {
+        // relaxed: observer-side read of a monotone counter.
         self.served.load(Ordering::Relaxed)
     }
 

@@ -81,6 +81,7 @@ impl MsuConns {
             .get(&msu)
             .cloned()
             .ok_or(Error::MsuUnavailable { msu })?;
+        // relaxed: a fresh-id counter; uniqueness is all that matters.
         let req_id = self.next_req.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = bounded(1);
         conn.pending.lock().insert(req_id, tx);

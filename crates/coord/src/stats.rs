@@ -91,6 +91,8 @@ impl CoordStats {
     /// this after warmup).
     pub fn reset(&self) {
         *self.started.lock() = Instant::now();
+        // relaxed: a utilization accumulator; readers tolerate tearing
+        // between reset and the first accumulation.
         self.busy_ns.store(0, Ordering::Relaxed);
         self.bytes.reset();
         self.requests.reset();
@@ -110,6 +112,7 @@ impl CoordStats {
     /// Records CPU time outside the request path (e.g. notification
     /// handling).
     pub fn note_busy(&self, busy: Duration) {
+        // relaxed: a utilization accumulator read only for reporting.
         self.busy_ns
             .fetch_add(busy.as_nanos() as u64, Ordering::Relaxed);
     }
@@ -163,6 +166,7 @@ impl CoordStats {
             return Rates::default();
         }
         Rates {
+            // relaxed: a point-in-time report; staleness is acceptable.
             cpu_utilization: self.busy_ns.load(Ordering::Relaxed) as f64 / 1e9 / e,
             network_utilization: self.bytes.get() as f64 / INTRA_SERVER_BYTES_PER_SEC / e,
             request_rate: self.requests.get() as f64 / e,

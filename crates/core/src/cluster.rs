@@ -95,6 +95,7 @@ impl ClusterBuilder {
 
 fn scratch_dir() -> PathBuf {
     static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    // relaxed: a fresh-id counter for scratch directory names.
     let n = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     std::env::temp_dir().join(format!("calliope-cluster-{}-{n}", std::process::id()))
 }

@@ -58,6 +58,15 @@ pub struct StreamInfo {
     pub done_sent: AtomicBool,
 }
 
+impl std::fmt::Debug for StreamInfo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamInfo")
+            .field("disk", &self.disk)
+            .field("is_record", &self.is_record)
+            .finish_non_exhaustive()
+    }
+}
+
 /// Per-group control-plane state.
 pub struct GroupInfo {
     /// Shared release state.
@@ -66,6 +75,14 @@ pub struct GroupInfo {
     pub client_ctrl: SocketAddr,
     /// The established control connection, if any.
     pub conn: Mutex<Option<TcpStream>>,
+}
+
+impl std::fmt::Debug for GroupInfo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GroupInfo")
+            .field("client_ctrl", &self.client_ctrl)
+            .finish_non_exhaustive()
+    }
 }
 
 /// Control-plane state shared by every MSU thread.
@@ -84,6 +101,14 @@ pub struct ServerShared {
     pub metrics: Arc<MsuMetrics>,
     /// Set when the server is shutting down.
     pub stop: Arc<AtomicBool>,
+}
+
+impl std::fmt::Debug for ServerShared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerShared")
+            .field("disks", &self.disk_txs.len())
+            .finish_non_exhaustive()
+    }
 }
 
 impl ServerShared {
@@ -125,6 +150,9 @@ impl ServerShared {
             for (id, info) in reg.iter() {
                 let s = &info.shared.stats;
                 let prefix = format!("stream.{}", id.0);
+                // relaxed: stats snapshots tolerate slightly stale
+                // counters; the four loads below need no ordering
+                // with respect to each other or the stream state.
                 snap.metrics.push(MetricEntry {
                     name: format!("{prefix}.packets"),
                     value: MetricValue::Counter(s.packets.load(Ordering::Relaxed)),
@@ -225,6 +253,7 @@ impl ServerShared {
                 }
                 continue;
             }
+            // relaxed: progress polling; any recent value will do.
             let bytes = info.shared.stats.bytes.load(Ordering::Relaxed);
             self.finish_stream(info, reason.clone(), bytes, 0);
         }

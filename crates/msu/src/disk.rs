@@ -182,6 +182,27 @@ pub enum DiskCmd {
     Shutdown,
 }
 
+impl std::fmt::Debug for DiskCmd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            DiskCmd::Stat { .. } => "Stat",
+            DiskCmd::Create { .. } => "Create",
+            DiskCmd::Delete { .. } => "Delete",
+            DiskCmd::FreeBytes { .. } => "FreeBytes",
+            DiskCmd::ReadPage { .. } => "ReadPage",
+            DiskCmd::AppendPage { .. } => "AppendPage",
+            DiskCmd::Finalize { .. } => "Finalize",
+            DiskCmd::AddRead { .. } => "AddRead",
+            DiskCmd::AddWrite { .. } => "AddWrite",
+            DiskCmd::Seek { .. } => "Seek",
+            DiskCmd::Trick { .. } => "Trick",
+            DiskCmd::Remove { .. } => "Remove",
+            DiskCmd::Shutdown => "Shutdown",
+        };
+        write!(f, "DiskCmd::{name}")
+    }
+}
+
 struct ReadIo {
     shared: Arc<StreamShared>,
     group: Arc<crate::stream::GroupShared>,

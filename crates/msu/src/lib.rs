@@ -31,6 +31,14 @@
 //! Pure logic — pacing ([`pacer`]), packetization ([`packetize`]), and
 //! trick-play position mapping ([`trick`]) — is separated from the
 //! threads so it can be tested exhaustively without sockets or disks.
+//!
+//! The concurrent kernels ([`spsc`], [`pool`]) build on the
+//! `calliope-check` shim types, so compiling with
+//! `RUSTFLAGS="--cfg calliope_check"` turns their tests into exhaustive
+//! model-checking runs (see `tests/model.rs`).
+
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(missing_debug_implementations)]
 
 pub mod config;
 pub mod control;

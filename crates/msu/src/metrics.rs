@@ -60,6 +60,12 @@ pub struct MsuMetrics {
     pub streams_active: Arc<Gauge>,
 }
 
+impl std::fmt::Debug for MsuMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MsuMetrics").finish_non_exhaustive()
+    }
+}
+
 impl MsuMetrics {
     /// Builds the registry and resolves every handle.
     pub fn new() -> Arc<MsuMetrics> {

@@ -72,6 +72,17 @@ pub enum NetCmd {
     Shutdown,
 }
 
+impl std::fmt::Debug for NetCmd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            NetCmd::AddPlay { .. } => "AddPlay",
+            NetCmd::Remove { .. } => "Remove",
+            NetCmd::Shutdown => "Shutdown",
+        };
+        write!(f, "NetCmd::{name}")
+    }
+}
+
 /// Where a queued packet's payload lives.
 enum PktPayload {
     /// A range of a refcounted disk page — queuing it made no copy, and
@@ -834,6 +845,7 @@ mod tests {
                 "arrival-derived schedule is monotone"
             );
         }
+        // relaxed: single-threaded test readback.
         assert_eq!(shared.stats.packets.load(Ordering::Relaxed), 5);
     }
 

@@ -15,10 +15,9 @@
 //! pressure), it falls back to the heap and counts the event rather than
 //! stalling the duty cycle.
 
-use parking_lot::Mutex;
+use calliope_check::sync::atomic::{AtomicU64, Ordering};
+use calliope_check::sync::{Arc, Mutex};
 use std::ops::Deref;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 
 /// Point-in-time accounting of a pool.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -45,6 +44,8 @@ struct PoolInner {
 
 impl PoolInner {
     fn recycle(&self, buf: Vec<u8>) {
+        // relaxed: statistics counter; the buffer handoff itself is
+        // synchronized by the free-list mutex below.
         self.outstanding.fetch_sub(1, Ordering::Relaxed);
         self.free.lock().push(buf);
     }
@@ -95,8 +96,12 @@ impl PagePool {
     /// the control path (stream admission) — never on the duty cycle.
     pub fn ensure_capacity(&self, pages: u64) {
         let mut free = self.inner.free.lock();
+        // relaxed: capacity is only written under the free-list mutex
+        // (held here and implied by get's fallback being a fresh
+        // allocation); the mutex orders the updates.
         while self.inner.capacity.load(Ordering::Relaxed) < pages {
             free.push(vec![0u8; self.inner.page_size]);
+            // relaxed: see above.
             self.inner.capacity.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -110,11 +115,15 @@ impl PagePool {
         let buf = match buf {
             Some(b) => b,
             None => {
+                // relaxed: statistics counters; no data is published
+                // through them.
                 self.inner.heap_fallbacks.fetch_add(1, Ordering::Relaxed);
+                // relaxed: see above.
                 self.inner.capacity.fetch_add(1, Ordering::Relaxed);
                 vec![0u8; self.inner.page_size]
             }
         };
+        // relaxed: statistics counter.
         self.inner.outstanding.fetch_add(1, Ordering::Relaxed);
         PooledBuf {
             buf,
@@ -126,9 +135,13 @@ impl PagePool {
     pub fn stats(&self) -> PoolStats {
         PoolStats {
             page_size: self.inner.page_size,
+            // relaxed: point-in-time statistics snapshot; the fields
+            // are not read as a consistent transaction.
             capacity: self.inner.capacity.load(Ordering::Relaxed),
             free: self.inner.free.lock().len() as u64,
+            // relaxed: see above.
             outstanding: self.inner.outstanding.load(Ordering::Relaxed),
+            // relaxed: see above.
             heap_fallbacks: self.inner.heap_fallbacks.load(Ordering::Relaxed),
         }
     }
@@ -136,6 +149,8 @@ impl PagePool {
     /// Returns and resets the heap-fallback count — the disk thread
     /// drains this into its `pool_exhausted` metric once per cycle.
     pub fn drain_heap_fallbacks(&self) -> u64 {
+        // relaxed: statistics counter; the swap itself is atomic, so no
+        // increment is lost, only arbitrarily ordered against others.
         self.inner.heap_fallbacks.swap(0, Ordering::Relaxed)
     }
 }
@@ -147,6 +162,12 @@ impl PagePool {
 pub struct PooledBuf {
     buf: Vec<u8>,
     pool: Option<Arc<PoolInner>>,
+}
+
+impl std::fmt::Debug for PooledBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PooledBuf({} bytes)", self.buf.len())
+    }
 }
 
 impl PooledBuf {

@@ -58,6 +58,15 @@ pub struct MsuServer {
     handles: Vec<JoinHandle<()>>,
 }
 
+impl std::fmt::Debug for MsuServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MsuServer")
+            .field("msu_id", &self.msu_id)
+            .field("threads", &self.handles.len())
+            .finish_non_exhaustive()
+    }
+}
+
 impl MsuServer {
     /// Starts an MSU per the configuration: opens disks, spawns the
     /// device threads, registers with the Coordinator, and begins
@@ -302,6 +311,8 @@ fn run_event_loop(shared: Arc<ServerShared>, rx: Receiver<ServerEvent>, stop: Ar
             ServerEvent::Net(NetEvent::PlayFinished { stream }) => {
                 let info = shared.registry.lock().get(&stream).cloned();
                 if let Some(info) = info {
+                    // relaxed: progress polling; staleness only
+                    // delays completion detection by one tick.
                     let bytes = info.shared.stats.bytes.load(Ordering::Relaxed);
                     let duration = info.shared.ctl.lock().file.duration_us;
                     let gid = info.shared.group;

@@ -15,10 +15,10 @@
 //! play stream's ring has capacity 2, so the disk process fills one
 //! 256 KB page while the network process drains the other (§2.2.1).
 
-use std::cell::UnsafeCell;
+use calliope_check::cell::UnsafeCell;
+use calliope_check::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use calliope_check::sync::Arc;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
 
 struct Ring<T> {
     slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
@@ -39,11 +39,41 @@ struct Ring<T> {
 // consumer has finished with it), and the consumer reads slot `tail`
 // only while `tail < head` (the producer has published it). `head` and
 // `tail` are published with Release and observed with Acquire, so slot
-// contents are visible before the index that hands them over.
+// contents are visible before the index that hands them over. This
+// protocol is model-checked in tests/model.rs.
 unsafe impl<T: Send> Send for Ring<T> {}
 // SAFETY: see above — shared access is mediated entirely through the
 // atomic indices.
 unsafe impl<T: Send> Sync for Ring<T> {}
+
+impl<T> Drop for Ring<T> {
+    fn drop(&mut self) {
+        // When the model checker aborts an execution mid-schedule, a
+        // thread may have been stopped between moving a value out of a
+        // slot and retiring the slot (the `tail` store), so the indices
+        // no longer describe slot ownership. Running destructors from
+        // them would double-drop; leaking the aborted execution's
+        // values is harmless.
+        if cfg!(calliope_check) && std::thread::panicking() {
+            return;
+        }
+        // Both endpoints are gone (the Arc count hit zero), so whatever
+        // sits in [tail, head) was pushed but never popped — e.g. the
+        // producer raced a push past the consumer's closing drain. Each
+        // such slot holds an initialized value that must be dropped
+        // here, exactly once, or it leaks.
+        let head = *self.head.get_mut();
+        let tail = *self.tail.get_mut();
+        let cap = self.slots.len();
+        for i in tail..head {
+            self.slots[i % cap].with_mut(|p|
+                // SAFETY: `tail <= i < head` means the producer
+                // initialized this slot and the consumer never read it;
+                // `&mut self` proves no endpoint can touch it again.
+                unsafe { (*p).assume_init_drop() });
+        }
+    }
+}
 
 /// Creates a ring of the given capacity, returning the two endpoints.
 ///
@@ -92,39 +122,61 @@ pub struct Producer<T: Send> {
     ring: Arc<Ring<T>>,
 }
 
+impl<T: Send> std::fmt::Debug for Producer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Producer")
+            .field("len", &self.len())
+            .field("capacity", &self.capacity())
+            .field("closed", &self.is_closed())
+            .finish_non_exhaustive()
+    }
+}
+
 impl<T: Send> Producer<T> {
     /// Attempts to enqueue; non-blocking.
     pub fn push(&mut self, value: T) -> Result<(), PushError<T>> {
         if self.ring.closed.load(Ordering::Acquire) {
             return Err(PushError::Closed(value));
         }
+        // relaxed: `head` is producer-owned; only this thread writes it.
         let head = self.ring.head.load(Ordering::Relaxed);
         let tail = self.ring.tail.load(Ordering::Acquire);
         if head - tail >= self.ring.slots.len() {
             return Err(PushError::Full(value));
         }
         let slot = &self.ring.slots[head % self.ring.slots.len()];
-        // SAFETY: `head - tail < capacity`, so the consumer has finished
-        // with this slot (it only reads slots below `head`), and only
-        // this producer writes slots. The Release store below publishes
-        // the write.
-        unsafe {
-            (*slot.get()).write(value);
-        }
-        self.ring.head.store(head + 1, Ordering::Release);
+        slot.with_mut(|p|
+            // SAFETY: `head - tail < capacity`, so the consumer has
+            // finished with this slot (it only reads slots below
+            // `head`), and only this producer writes slots. The Release
+            // store below publishes the write.
+            unsafe { (*p).write(value) });
+        // The watermark must be raised *before* the head store
+        // publishes the new depth: the consumer's Acquire load of
+        // `head` is the only synchronizing edge, so a mark written
+        // after it could lag a depth the consumer already observed
+        // (`len() == 2` but `high_water() == 1`). Caught by the
+        // watermark_is_at_least_any_observed_depth model test.
+        // relaxed: ordered before the Release store of `head` by
+        // program order; the consumer reads it only after acquiring
+        // `head`, which carries this write along.
         self.ring
             .watermark
             .fetch_max(head + 1 - tail, Ordering::Relaxed);
+        self.ring.head.store(head + 1, Ordering::Release);
         Ok(())
     }
 
     /// Deepest occupancy the ring has ever reached.
     pub fn high_water(&self) -> usize {
+        // relaxed: monotone statistic; the producer orders updates
+        // before the `head` release-store (see `push`).
         self.ring.watermark.load(Ordering::Relaxed)
     }
 
     /// Number of items currently buffered.
     pub fn len(&self) -> usize {
+        // relaxed: `head` is producer-owned; only this thread writes it.
         self.ring.head.load(Ordering::Relaxed) - self.ring.tail.load(Ordering::Acquire)
     }
 
@@ -166,9 +218,19 @@ pub struct Consumer<T: Send> {
     ring: Arc<Ring<T>>,
 }
 
+impl<T: Send> std::fmt::Debug for Consumer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Consumer")
+            .field("len", &self.len())
+            .field("closed", &self.is_closed())
+            .finish_non_exhaustive()
+    }
+}
+
 impl<T: Send> Consumer<T> {
     /// Attempts to dequeue; non-blocking.
     pub fn pop(&mut self) -> Result<T, PopError> {
+        // relaxed: `tail` is consumer-owned; only this thread writes it.
         let tail = self.ring.tail.load(Ordering::Relaxed);
         let head = self.ring.head.load(Ordering::Acquire);
         if tail == head {
@@ -185,17 +247,20 @@ impl<T: Send> Consumer<T> {
             };
         }
         let slot = &self.ring.slots[tail % self.ring.slots.len()];
-        // SAFETY: `tail < head`, so the producer published this slot with
-        // its Release store of `head` (matched by the Acquire load
-        // above), and only this consumer reads slots. The value is moved
-        // out exactly once because `tail` advances past the slot below.
-        let value = unsafe { (*slot.get()).assume_init_read() };
+        let value = slot.with(|p|
+            // SAFETY: `tail < head`, so the producer published this slot
+            // with its Release store of `head` (matched by the Acquire
+            // load above), and only this consumer reads slots. The value
+            // is moved out exactly once because `tail` advances past the
+            // slot below.
+            unsafe { (*p).assume_init_read() });
         self.ring.tail.store(tail + 1, Ordering::Release);
         Ok(value)
     }
 
     /// Number of items currently buffered.
     pub fn len(&self) -> usize {
+        // relaxed: `tail` is consumer-owned; only this thread writes it.
         self.ring.head.load(Ordering::Acquire) - self.ring.tail.load(Ordering::Relaxed)
     }
 
@@ -211,12 +276,21 @@ impl<T: Send> Consumer<T> {
 
     /// Deepest occupancy the ring has ever reached.
     pub fn high_water(&self) -> usize {
+        // relaxed: the producer orders watermark updates before the
+        // `head` release-store (see `push`), so any depth this consumer
+        // has observed is already reflected here.
         self.ring.watermark.load(Ordering::Relaxed)
     }
 }
 
 impl<T: Send> Drop for Consumer<T> {
     fn drop(&mut self) {
+        // See Ring::drop: during a model-abort unwind the indices may
+        // not describe slot ownership, so draining could re-read a slot
+        // whose value was already moved out.
+        if cfg!(calliope_check) && std::thread::panicking() {
+            return;
+        }
         self.ring.closed.store(true, Ordering::Release);
         // Drain remaining items so their destructors run.
         while self.pop().is_ok() {}

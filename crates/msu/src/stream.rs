@@ -126,10 +126,14 @@ pub struct StreamStats {
 impl StreamStats {
     /// Records one sent packet.
     pub fn note_packet(&self, bytes: usize, late_us: u64) {
+        // relaxed: independent monotone counters on the send hot
+        // path; readers (stats snapshots) tolerate staleness and
+        // need no ordering between them.
         self.packets.fetch_add(1, Ordering::Relaxed);
         self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
         self.max_late_us.fetch_max(late_us, Ordering::Relaxed);
         if late_us > DEADLINE_MISS_US {
+            // relaxed: same monotone-counter contract as above.
             self.deadline_misses.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -245,6 +249,7 @@ mod tests {
         s.note_packet(4096, 500);
         s.note_packet(4096, 12_000);
         s.note_packet(4096, 3_000);
+        // relaxed: single-threaded test readback.
         assert_eq!(s.packets.load(Ordering::Relaxed), 3);
         assert_eq!(s.bytes.load(Ordering::Relaxed), 3 * 4096);
         assert_eq!(s.max_late_us.load(Ordering::Relaxed), 12_000);

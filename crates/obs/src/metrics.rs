@@ -6,9 +6,9 @@
 //! The only mutex in the module guards the name→metric map, touched at
 //! registration and snapshot time.
 
+use calliope_check::sync::atomic::{AtomicU64, Ordering};
 use calliope_types::wire::stats::{HistBucket, MetricEntry, MetricValue, StatsSnapshot};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -31,23 +31,29 @@ impl Counter {
     /// Adds one.
     #[inline]
     pub fn inc(&self) {
+        // relaxed: a statistic — atomicity (no lost increments) is all
+        // that is needed; nothing is published through the counter.
+        // Model-checked in tests/model.rs.
         self.value.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Adds `n`.
     #[inline]
     pub fn add(&self, n: u64) {
+        // relaxed: see `inc`.
         self.value.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> u64 {
+        // relaxed: snapshot readers tolerate slightly stale values.
         self.value.load(Ordering::Relaxed)
     }
 
     /// Zeroes the counter. Not linearizable against concurrent `inc`s;
     /// meant for benchmark warmup boundaries, not steady-state use.
     pub fn reset(&self) {
+        // relaxed: see the doc comment — benchmark boundaries only.
         self.value.store(0, Ordering::Relaxed);
     }
 }
@@ -63,29 +69,37 @@ impl Gauge {
     /// Sets the current level, raising the high-water mark if exceeded.
     #[inline]
     pub fn set(&self, v: u64) {
+        // relaxed: last-writer-wins level; readers tolerate staleness.
         self.value.store(v, Ordering::Relaxed);
+        // relaxed: fetch_max is atomic, so the mark is monotone even
+        // when setters race. Model-checked in tests/model.rs.
         self.high_water.fetch_max(v, Ordering::Relaxed);
     }
 
     /// Raises only the high-water mark (for externally tracked levels).
     #[inline]
     pub fn observe_peak(&self, v: u64) {
+        // relaxed: see `set`.
         self.high_water.fetch_max(v, Ordering::Relaxed);
     }
 
     /// Current level.
     pub fn get(&self) -> u64 {
+        // relaxed: snapshot readers tolerate slightly stale values.
         self.value.load(Ordering::Relaxed)
     }
 
     /// Highest level ever set.
     pub fn high_water(&self) -> u64 {
+        // relaxed: snapshot readers tolerate slightly stale values.
         self.high_water.load(Ordering::Relaxed)
     }
 
     /// Zeroes the level and the high-water mark (benchmark warmup).
     pub fn reset(&self) {
+        // relaxed: benchmark warmup boundaries only, like Counter.
         self.value.store(0, Ordering::Relaxed);
+        // relaxed: see above.
         self.high_water.store(0, Ordering::Relaxed);
     }
 }
@@ -121,20 +135,26 @@ impl Histogram {
             .iter()
             .position(|&b| v <= b)
             .unwrap_or(self.bounds.len());
+        // relaxed: statistics — atomicity per cell is enough; bucket and
+        // sum are not read as a consistent pair.
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        // relaxed: see above.
         self.sum.fetch_add(v, Ordering::Relaxed);
     }
 
     /// Total samples recorded.
     pub fn count(&self) -> u64 {
+        // relaxed: snapshot readers tolerate slightly stale values.
         self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
     }
 
     /// Zeroes every bucket and the sum (benchmark warmup).
     pub fn reset(&self) {
         for b in &self.buckets {
+            // relaxed: benchmark warmup boundaries only.
             b.store(0, Ordering::Relaxed);
         }
+        // relaxed: see above.
         self.sum.store(0, Ordering::Relaxed);
     }
 
@@ -143,6 +163,7 @@ impl Histogram {
         let mut cum = 0u64;
         let mut out = Vec::with_capacity(self.buckets.len());
         for (i, b) in self.buckets.iter().enumerate() {
+            // relaxed: snapshot readers tolerate slightly stale values.
             cum += b.load(Ordering::Relaxed);
             out.push(HistBucket {
                 le: self.bounds.get(i).copied().unwrap_or(u64::MAX),

@@ -1,0 +1,65 @@
+//! Model-checking suite for the metrics primitives. Compiled only
+//! under `RUSTFLAGS="--cfg calliope_check"` — the relaxed atomics
+//! inside `Counter`/`Gauge`/`Histogram` are `calliope_check` shims, so
+//! these tests explore every interleaving (and every weak-memory
+//! outcome) of concurrent updates.
+//!
+//! Run with: `RUSTFLAGS="--cfg calliope_check" cargo test -p calliope-obs --test model`
+#![cfg(calliope_check)]
+
+use calliope_check::{model, thread};
+use calliope_obs::metrics::Registry;
+
+/// Concurrent relaxed increments never lose a count: `fetch_add` is an
+/// atomic read-modify-write even at `Relaxed`, and the model checker's
+/// RMWs read the newest store in modification order.
+#[test]
+fn counter_increments_are_never_lost() {
+    let report = model(|| {
+        let reg = Registry::new();
+        let c = reg.counter("hits");
+        let c2 = reg.counter("hits");
+        let t = thread::spawn(move || {
+            c2.inc();
+            c2.add(2);
+        });
+        c.inc();
+        t.join().unwrap();
+        assert_eq!(c.get(), 4, "an increment was lost");
+    });
+    assert!(report.schedules > 1, "must explore multiple interleavings");
+}
+
+/// Racing `set` calls keep the high-water mark at the true maximum —
+/// the `fetch_max` cannot miss the larger value whatever the order.
+#[test]
+fn gauge_high_water_is_the_true_maximum() {
+    let report = model(|| {
+        let reg = Registry::new();
+        let g = reg.gauge("depth");
+        let g2 = reg.gauge("depth");
+        let t = thread::spawn(move || g2.set(7));
+        g.set(3);
+        t.join().unwrap();
+        assert_eq!(g.high_water(), 7, "high-water mark missed the peak");
+        let v = g.get();
+        assert!(v == 3 || v == 7, "level must be one of the written values");
+    });
+    assert!(report.schedules > 1);
+}
+
+/// Concurrent histogram records land exactly once each: bucket counts
+/// and the sample count are conserved.
+#[test]
+fn histogram_records_are_conserved() {
+    let report = model(|| {
+        let reg = Registry::new();
+        let h = reg.histogram("svc", &[10, 100]);
+        let h2 = reg.histogram("svc", &[10, 100]);
+        let t = thread::spawn(move || h2.record(5));
+        h.record(50);
+        t.join().unwrap();
+        assert_eq!(h.count(), 2, "a sample was lost");
+    });
+    assert!(report.schedules > 1);
+}

@@ -298,6 +298,15 @@ pub struct MeteredDevice<D: BlockDevice> {
     head: Option<u64>,
 }
 
+impl<D: BlockDevice> std::fmt::Debug for MeteredDevice<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MeteredDevice")
+            .field("stats", &self.stats)
+            .field("head", &self.head)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<D: BlockDevice> MeteredDevice<D> {
     /// Wraps `inner` with fresh counters.
     pub fn new(inner: D) -> Self {

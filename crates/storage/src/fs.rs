@@ -33,6 +33,14 @@ pub struct MsuFs {
     catalog: Catalog,
 }
 
+impl std::fmt::Debug for MsuFs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MsuFs")
+            .field("sb", &self.sb)
+            .finish_non_exhaustive()
+    }
+}
+
 impl MsuFs {
     /// Formats a device with the default metadata reservation.
     pub fn format(dev: Box<dyn BlockDevice>) -> Result<MsuFs> {

@@ -24,6 +24,9 @@
 //!   (§2.3.3 discusses the trade-off at length); [`striped`] implements
 //!   the striped layout the authors considered, as an ablation.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(missing_debug_implementations)]
+
 pub mod alloc;
 pub mod block;
 pub mod catalog;

@@ -22,6 +22,14 @@ pub struct StripedStore {
     disks: Vec<MsuFs>,
 }
 
+impl std::fmt::Debug for StripedStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StripedStore")
+            .field("disks", &self.disks.len())
+            .finish_non_exhaustive()
+    }
+}
+
 impl StripedStore {
     /// Builds a store over `disks` (at least one; all must share a block
     /// size).

@@ -1,0 +1,127 @@
+//! Property suite for the elevator's batch planning and run
+//! coalescing: whatever batch the duty cycle hands the disk process,
+//! the coalesced multi-block transfers must cover exactly the
+//! requested blocks (no loss, no duplication), never overlap, and the
+//! SCAN issue order must stay monotone within each sweep direction.
+
+use calliope_storage::elevator::{coalesce_runs, ElevatorState};
+use proptest::prelude::*;
+
+/// A batch of distinct block addresses (duty cycles never read the
+/// same block twice in one cycle).
+fn unique_addrs() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..10_000, 0..48).prop_map(|mut v| {
+        v.sort_unstable();
+        v.dedup();
+        v
+    })
+}
+
+proptest! {
+    /// Every request appears in exactly one run, and within a run the
+    /// members map one-to-one onto the consecutive blocks
+    /// `start .. start + len` — the contract that lets the disk
+    /// process issue a run as a single multi-block transfer and hand
+    /// each page back to the right stream. Holds even for degenerate
+    /// batches with repeated addresses.
+    #[test]
+    fn runs_cover_exactly_the_batch(
+        addrs in proptest::collection::vec(0u64..10_000, 0..48),
+        head in 0u64..10_000,
+        up in any::<bool>(),
+    ) {
+        let mut el = ElevatorState { head, up };
+        let order = el.plan(&addrs);
+        let runs = coalesce_runs(&addrs, &order);
+        let mut seen = vec![0usize; addrs.len()];
+        for run in &runs {
+            prop_assert!(!run.is_empty(), "coalesce_runs produced an empty run");
+            for (k, &m) in run.members.iter().enumerate() {
+                prop_assert_eq!(
+                    addrs[m],
+                    run.start + k as u64,
+                    "member {} of run at {} does not map to its block",
+                    k,
+                    run.start
+                );
+                seen[m] += 1;
+            }
+        }
+        for (i, &count) in seen.iter().enumerate() {
+            prop_assert_eq!(count, 1, "request {} appears {} times", i, count);
+        }
+    }
+
+    /// With distinct addresses the runs partition the batch: no two
+    /// runs' block ranges intersect, so no block is transferred twice.
+    #[test]
+    fn runs_do_not_overlap(
+        addrs in unique_addrs(),
+        head in 0u64..10_000,
+        up in any::<bool>(),
+    ) {
+        let mut el = ElevatorState { head, up };
+        let order = el.plan(&addrs);
+        let mut runs = coalesce_runs(&addrs, &order);
+        runs.sort_by_key(|r| r.start);
+        for w in runs.windows(2) {
+            prop_assert!(
+                w[0].start + w[0].len() as u64 <= w[1].start,
+                "runs [{}, +{}) and [{}, +{}) overlap",
+                w[0].start, w[0].len(), w[1].start, w[1].len()
+            );
+        }
+    }
+
+    /// SCAN issue order is monotone per sweep: the plan decomposes
+    /// into at most two monotone segments, and when both sweeps are
+    /// present the first follows the elevator's current direction and
+    /// the second is the reversal — never a zig-zag.
+    #[test]
+    fn plan_is_monotone_per_sweep(
+        addrs in proptest::collection::vec(0u64..10_000, 0..48),
+        head in 0u64..10_000,
+        up in any::<bool>(),
+    ) {
+        let mut el = ElevatorState { head, up };
+        let order = el.plan(&addrs);
+        prop_assert_eq!(order.len(), addrs.len());
+        // Direction changes along the issue order, equal neighbors
+        // (duplicate addresses) ignored.
+        let mut dirs: Vec<bool> = Vec::new();
+        for w in order.windows(2) {
+            let (a, b) = (addrs[w[0]], addrs[w[1]]);
+            if a == b {
+                continue;
+            }
+            let d = b > a;
+            if dirs.last() != Some(&d) {
+                dirs.push(d);
+            }
+        }
+        prop_assert!(dirs.len() <= 2, "issue order zig-zags: {:?}", dirs);
+        if dirs.len() == 2 {
+            prop_assert_eq!(dirs[0], up, "first sweep fights the head direction");
+            prop_assert_eq!(dirs[1], !up, "second sweep must be the reversal");
+        }
+    }
+
+    /// Coalescing the plan never increases the number of transfers
+    /// beyond the number of requests, and a fully contiguous batch
+    /// collapses to a single run.
+    #[test]
+    fn contiguous_batches_collapse(
+        start in 0u64..10_000,
+        len in 1usize..48,
+        head in 0u64..10_000,
+        up in any::<bool>(),
+    ) {
+        let addrs: Vec<u64> = (0..len as u64).map(|i| start + i).collect();
+        let mut el = ElevatorState { head, up };
+        let order = el.plan(&addrs);
+        let runs = coalesce_runs(&addrs, &order);
+        prop_assert!(runs.len() <= addrs.len());
+        prop_assert_eq!(runs.len(), 1, "contiguous batch split into {:?}", runs);
+        prop_assert_eq!(runs[0].start, start);
+    }
+}

@@ -112,6 +112,8 @@ impl IdAllocator {
 
     /// Returns a fresh raw id.
     pub fn next_raw(&self) -> u64 {
+        // relaxed: uniqueness is all that matters; ids carry no
+        // happens-before obligations.
         self.next.fetch_add(1, Ordering::Relaxed)
     }
 
