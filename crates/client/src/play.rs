@@ -13,6 +13,12 @@ use calliope_types::{GroupId, StreamId, VcrCommand};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
+/// How long a session whose MSU died abruptly waits for the
+/// Coordinator's replica failover to dial a replacement control
+/// connection before surfacing the failure. Orderly endings
+/// (`Completed`, `ClientQuit`, …) never wait.
+pub const FAILOVER_GRACE: Duration = Duration::from_secs(3);
+
 /// A live playback group.
 pub struct PlaySession {
     /// The stream group id.
@@ -20,6 +26,9 @@ pub struct PlaySession {
     /// Member streams, in component-port order.
     pub streams: Vec<StreamId>,
     ctrl: TcpStream,
+    /// The port's control-connection queue: a failover MSU dials the
+    /// same listener, so the replacement connection arrives here.
+    ctrl_conns: crossbeam::channel::Receiver<TcpStream>,
     ended: Option<DoneReason>,
 }
 
@@ -40,6 +49,7 @@ impl PlaySession {
             group,
             streams: starts.iter().map(|s| s.stream).collect(),
             ctrl,
+            ctrl_conns: ports[0].ctrl_conns(),
             ended: None,
         };
         // Wait for the group to be released ("the MSU waits … and starts
@@ -139,18 +149,79 @@ impl PlaySession {
 
     /// Blocks until the MSU reports the group ended (end of content or
     /// error), up to `timeout`.
+    ///
+    /// Abrupt endings — the control connection breaking without a
+    /// farewell, or `GroupEnded` with an I/O error — first wait up to
+    /// [`FAILOVER_GRACE`] for the Coordinator to re-admit the group on
+    /// a replica; when the replacement MSU dials in, playback continues
+    /// (restarted from the beginning) and this keeps blocking.
     pub fn wait_end(&mut self, timeout: Duration) -> Result<DoneReason> {
         if let Some(r) = &self.ended {
             return Ok(r.clone());
         }
         let deadline = Instant::now() + timeout;
         loop {
-            match self.read_msg(deadline)? {
-                MsuToClient::GroupEnded { reason, .. } => {
+            match self.read_msg(deadline) {
+                Ok(MsuToClient::GroupEnded {
+                    reason: DoneReason::IoError(msg),
+                    ..
+                }) => {
+                    // The stream's disk died under it; a replica may be
+                    // taking over right now.
+                    if self.adopt_replacement() {
+                        continue;
+                    }
+                    let reason = DoneReason::IoError(msg);
                     self.ended = Some(reason.clone());
                     return Ok(reason);
                 }
-                _ => continue,
+                Ok(MsuToClient::GroupEnded { reason, .. }) => {
+                    self.ended = Some(reason.clone());
+                    return Ok(reason);
+                }
+                Ok(_) => continue,
+                // The MSU died without a farewell (crash / kill): the
+                // connection broke or reset under us.
+                Err(Error::SessionClosed) | Err(Error::Io(_)) => {
+                    if self.adopt_replacement() {
+                        continue;
+                    }
+                    return Err(Error::SessionClosed);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Waits up to [`FAILOVER_GRACE`] for a replacement MSU to dial the
+    /// port's control listener and announce `GroupReady` for this
+    /// group. Returns true once playback has resumed on the new
+    /// connection.
+    fn adopt_replacement(&mut self) -> bool {
+        let deadline = Instant::now() + FAILOVER_GRACE;
+        loop {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return false;
+            }
+            let Ok(conn) = self.ctrl_conns.recv_timeout(left) else {
+                return false;
+            };
+            conn.set_read_timeout(Some(Duration::from_millis(200))).ok();
+            self.ctrl = conn;
+            tracing::info!("{}: adopted a replacement control connection", self.group);
+            // The failover reuses our group id; its GroupReady confirms
+            // the takeover. A connection that ends (or errors) instead
+            // was not our replacement — wait for another.
+            loop {
+                match self.read_msg(deadline) {
+                    Ok(MsuToClient::GroupReady { group, streams }) if group == self.group => {
+                        self.streams = streams;
+                        return true;
+                    }
+                    Ok(MsuToClient::GroupEnded { .. }) | Err(_) => break,
+                    Ok(_) => continue,
+                }
             }
         }
     }

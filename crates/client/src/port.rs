@@ -268,6 +268,15 @@ impl DisplayPort {
         self.ctrl_conns.recv_timeout(timeout).ok()
     }
 
+    /// A handle onto the control-connection queue, used by
+    /// [`PlaySession`](crate::play::PlaySession) to adopt the
+    /// replacement connection a failover MSU dials after the original
+    /// one died. Receivers share the queue, so at most one live group
+    /// should hold this per port.
+    pub(crate) fn ctrl_conns(&self) -> crossbeam::channel::Receiver<TcpStream> {
+        self.ctrl_conns.clone()
+    }
+
     /// Arrival statistics for one stream.
     pub fn stats(&self, stream: StreamId) -> PortStats {
         self.streams

@@ -28,6 +28,8 @@ pub struct FakeMsu {
     /// Identity assigned by the Coordinator.
     pub id: MsuId,
     stop: Arc<AtomicBool>,
+    wedged: Arc<AtomicBool>,
+    linger: Arc<AtomicBool>,
     served: Arc<AtomicU64>,
     handle: Option<JoinHandle<()>>,
 }
@@ -75,8 +77,12 @@ impl FakeMsu {
         tracing::info!("fake {id}: registered {disks} disks, per-request delay {delay:?}");
         let started = Instant::now();
         let stop = Arc::new(AtomicBool::new(false));
+        let wedged = Arc::new(AtomicBool::new(false));
+        let linger = Arc::new(AtomicBool::new(false));
         let served = Arc::new(AtomicU64::new(0));
         let stop2 = Arc::clone(&stop);
+        let wedged2 = Arc::clone(&wedged);
+        let linger2 = Arc::clone(&linger);
         let served2 = Arc::clone(&served);
         conn.set_read_timeout(Some(Duration::from_millis(100))).ok();
         // Requests are served concurrently, like a real MSU's scheduling
@@ -88,6 +94,13 @@ impl FakeMsu {
             loop {
                 if stop2.load(Ordering::Acquire) {
                     return;
+                }
+                // Wedged: keep the TCP connection open but stop serving
+                // requests (the heartbeat monitor's quarry — a TCP
+                // break alone cannot detect this failure mode).
+                if wedged2.load(Ordering::Acquire) {
+                    std::thread::sleep(Duration::from_millis(20));
+                    continue;
                 }
                 let env: Option<CoordEnvelope> = match read_frame(&mut conn) {
                     Ok(env) => env,
@@ -105,6 +118,7 @@ impl FakeMsu {
                         tracing::debug!("fake {id}: play {stream} scheduled; will terminate");
                         let writer = Arc::clone(&writer);
                         let served = Arc::clone(&served2);
+                        let linger = Arc::clone(&linger2);
                         std::thread::spawn(move || {
                             std::thread::sleep(delay);
                             let mut w = writer.lock();
@@ -115,6 +129,9 @@ impl FakeMsu {
                                     body: MsuToCoord::ReadScheduled { error: None },
                                 },
                             );
+                            if linger.load(Ordering::Acquire) {
+                                return; // stream stays "playing" forever
+                            }
                             // "…and then reports that the user has
                             // terminated the stream."
                             let _ = write_frame(
@@ -138,6 +155,7 @@ impl FakeMsu {
                         tracing::debug!("fake {id}: record {stream} scheduled; will terminate");
                         let writer = Arc::clone(&writer);
                         let served = Arc::clone(&served2);
+                        let linger = Arc::clone(&linger2);
                         std::thread::spawn(move || {
                             std::thread::sleep(delay);
                             let mut w = writer.lock();
@@ -151,6 +169,9 @@ impl FakeMsu {
                                     },
                                 },
                             );
+                            if linger.load(Ordering::Acquire) {
+                                return; // recording stays live forever
+                            }
                             let _ = write_frame(
                                 &mut *w,
                                 &MsuEnvelope {
@@ -227,6 +248,8 @@ impl FakeMsu {
         Ok(FakeMsu {
             id,
             stop,
+            wedged,
+            linger,
             served,
             handle: Some(handle),
         })
@@ -236,6 +259,20 @@ impl FakeMsu {
     pub fn served(&self) -> u64 {
         // relaxed: observer-side read of a monotone counter.
         self.served.load(Ordering::Relaxed)
+    }
+
+    /// Wedges the fake: the TCP connection stays open but no request —
+    /// including `Ping` — is ever answered again. Only the heartbeat
+    /// monitor can detect this.
+    pub fn wedge(&self) {
+        self.wedged.store(true, Ordering::Release);
+    }
+
+    /// Makes scheduled streams linger instead of terminating instantly:
+    /// requests are still acknowledged, but no `StreamDone` follows, so
+    /// grants stay live — the shape failover tests need.
+    pub fn set_linger(&self) {
+        self.linger.store(true, Ordering::Release);
     }
 
     /// Stops the fake MSU (the Coordinator will mark it down).

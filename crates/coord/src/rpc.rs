@@ -58,9 +58,28 @@ impl MsuConns {
         conn
     }
 
-    /// Drops an MSU's connection (it broke).
+    /// Drops an MSU's connection (it broke) and fast-fails every RPC
+    /// still waiting on it: dropping a pending `Sender` disconnects its
+    /// bounded channel, so the caller's `recv_timeout` errors
+    /// immediately instead of blocking out the full [`RPC_TIMEOUT`].
     pub fn remove(&self, msu: MsuId) {
-        self.conns.lock().remove(&msu);
+        let conn = self.conns.lock().remove(&msu);
+        if let Some(conn) = conn {
+            let waiters: Vec<_> = conn.pending.lock().drain().collect();
+            if !waiters.is_empty() {
+                tracing::debug!(
+                    "{msu} removed with {} in-flight rpc(s); failing them now",
+                    waiters.len()
+                );
+            }
+            // The drained Senders drop here, outside the pending lock.
+            drop(waiters);
+        }
+    }
+
+    /// The ids of every currently connected MSU.
+    pub fn ids(&self) -> Vec<MsuId> {
+        self.conns.lock().keys().copied().collect()
     }
 
     /// Number of connected MSUs.
@@ -75,6 +94,17 @@ impl MsuConns {
 
     /// Sends a request to an MSU and waits for the correlated reply.
     pub fn rpc(&self, msu: MsuId, body: CoordToMsu) -> Result<MsuToCoord> {
+        self.rpc_with_timeout(msu, body, RPC_TIMEOUT)
+    }
+
+    /// [`rpc`](Self::rpc) with a caller-chosen deadline; the heartbeat
+    /// probe uses a much shorter one than scheduling RPCs.
+    pub fn rpc_with_timeout(
+        &self,
+        msu: MsuId,
+        body: CoordToMsu,
+        timeout: Duration,
+    ) -> Result<MsuToCoord> {
         let conn = self
             .conns
             .lock()
@@ -93,7 +123,7 @@ impl MsuConns {
             conn.pending.lock().remove(&req_id);
             return Err(Error::MsuUnavailable { msu });
         }
-        match rx.recv_timeout(RPC_TIMEOUT) {
+        match rx.recv_timeout(timeout) {
             Ok(reply) => Ok(reply),
             Err(_) => {
                 conn.pending.lock().remove(&req_id);
@@ -205,6 +235,44 @@ mod tests {
         conns.install(MsuId(1), coord_side);
         // No pending id 77: routed reply vanishes.
         assert!(conns.route(MsuId(1), 77, MsuToCoord::Pong).is_none());
+    }
+
+    /// The fast-fail path: a caller blocked in `rpc` must error the
+    /// moment the connection is removed, not after the full 15 s
+    /// `RPC_TIMEOUT` — failover latency is bounded by this.
+    #[test]
+    fn remove_fails_inflight_rpcs_immediately() {
+        let conns = Arc::new(MsuConns::new());
+        let (coord_side, _msu_side) = pair();
+        conns.install(MsuId(1), coord_side);
+        let conns2 = Arc::clone(&conns);
+        let caller = std::thread::spawn(move || {
+            let t0 = std::time::Instant::now();
+            let res = conns2.rpc(MsuId(1), CoordToMsu::Ping);
+            (res, t0.elapsed())
+        });
+        // Let the caller get into recv_timeout, then break the conn.
+        std::thread::sleep(Duration::from_millis(100));
+        conns.remove(MsuId(1));
+        let (res, waited) = caller.join().unwrap();
+        assert!(matches!(res, Err(Error::MsuUnavailable { .. })));
+        assert!(
+            waited < Duration::from_secs(5),
+            "rpc blocked {waited:?} after remove; fast-fail is broken"
+        );
+    }
+
+    #[test]
+    fn ids_lists_connected_msus() {
+        let conns = MsuConns::new();
+        assert!(conns.ids().is_empty());
+        let (a, _ka) = pair();
+        let (b, _kb) = pair();
+        conns.install(MsuId(1), a);
+        conns.install(MsuId(2), b);
+        let mut ids = conns.ids();
+        ids.sort();
+        assert_eq!(ids, vec![MsuId(1), MsuId(2)]);
     }
 
     #[test]

@@ -160,12 +160,47 @@ impl Scheduler {
         disks
     }
 
-    /// Marks an MSU unavailable (its TCP connection broke).
-    pub fn mark_down(&self, msu: MsuId) {
+    /// Marks an MSU unavailable (its TCP connection broke or its
+    /// heartbeat lapsed) and reaps every grant held on its disks:
+    /// reserved network and disk bandwidth and disk space all return to
+    /// the pool, and the admission queue is woken so waiting requests
+    /// can land on the survivors. Returns the reaped reservations so
+    /// the server can fail playback streams over to live replicas and
+    /// clean up recording state.
+    pub fn mark_down(&self, msu: MsuId) -> Vec<(StreamId, Reservation)> {
         let mut t = self.tables.lock();
         if let Some(m) = t.msus.get_mut(&msu) {
             m.available = false;
         }
+        let reaped: Vec<(StreamId, Reservation)> = t
+            .grants
+            .iter()
+            .filter(|(_, r)| r.msu == msu)
+            .map(|(s, r)| (*s, r.clone()))
+            .collect();
+        for (stream, grant) in &reaped {
+            t.grants.remove(stream);
+            if let Some(m) = t.msus.get_mut(&grant.msu) {
+                m.net_used = m.net_used.saturating_sub(grant.bw);
+            }
+            if let Some(d) = t.disks.get_mut(&grant.disk) {
+                d.bw_used = d.bw_used.saturating_sub(grant.bw);
+                // A reaped recording never finishes, so the whole
+                // reservation comes back (the partial file is garbage).
+                d.free_bytes = (d.free_bytes + grant.space).min(d.capacity);
+            }
+            tracing::debug!("reaped {stream}'s grant on downed {msu}");
+        }
+        drop(t);
+        if !reaped.is_empty() {
+            self.wake();
+        }
+        reaped
+    }
+
+    /// The live reservation backing a stream, if any.
+    pub fn reservation_of(&self, stream: StreamId) -> Option<Reservation> {
+        self.tables.lock().grants.get(&stream).cloned()
     }
 
     /// True if the MSU is currently registered and reachable.
@@ -592,6 +627,84 @@ mod tests {
         );
         assert!(s.is_available(MsuId(1)));
         assert!(s.admit_play(&[(StreamId(1), locs, MPEG_BW)]).is_ok());
+    }
+
+    /// `mark_down` is a reaper: every grant on the dead MSU's disks is
+    /// released (bandwidth and space return to the pool) and
+    /// `grant_count()` drops back to baseline — no stranded
+    /// reservations.
+    #[test]
+    fn mark_down_reaps_grants_back_to_baseline() {
+        let s = scheduler_with_one_msu();
+        let baseline = s.grant_count();
+        for i in 0..6 {
+            s.admit_play(&[(StreamId(i), vec![(MsuId(1), DiskId(10))], MPEG_BW)])
+                .unwrap();
+        }
+        let free0 = s.disk(DiskId(10)).unwrap().free_bytes;
+        s.admit_record(&[(StreamId(50), MPEG_BW, 100_000_000)])
+            .unwrap();
+        assert_eq!(s.grant_count(), baseline + 7);
+
+        let reaped = s.mark_down(MsuId(1));
+        assert_eq!(reaped.len(), 7, "every grant on the MSU is reaped");
+        assert_eq!(s.grant_count(), baseline, "no stranded reservations");
+        assert_eq!(s.msu(MsuId(1)).unwrap().net_used, 0);
+        assert_eq!(s.disk(DiskId(10)).unwrap().bw_used, 0);
+        assert_eq!(
+            s.disk(DiskId(10)).unwrap().free_bytes,
+            free0,
+            "the reaped recording's space reservation came back in full"
+        );
+        // Releasing a reaped stream again is harmless (the StreamDone
+        // may still arrive later, or never).
+        s.release(StreamId(0), 0);
+        assert_eq!(s.grant_count(), baseline);
+        // A second mark_down reaps nothing: the path is idempotent.
+        assert!(s.mark_down(MsuId(1)).is_empty());
+    }
+
+    /// Reaping wakes the admission queue: `mark_down` bumps the
+    /// generation (a blocked waiter retries immediately), and the
+    /// freed bandwidth is usable once the MSU re-registers.
+    #[test]
+    fn mark_down_wakes_queued_admissions() {
+        let s = std::sync::Arc::new(scheduler_with_one_msu());
+        let locs = vec![(MsuId(1), DiskId(10))];
+        for i in 0..12 {
+            s.admit_play(&[(StreamId(i), locs.clone(), MPEG_BW)])
+                .unwrap();
+        }
+        assert!(s
+            .admit_play(&[(StreamId(99), locs.clone(), MPEG_BW)])
+            .is_err());
+        let gen = s.generation();
+        let s2 = std::sync::Arc::clone(&s);
+        let waiter = std::thread::spawn(move || {
+            let new_gen = s2.wait_for_change(gen, Duration::from_secs(5));
+            assert_ne!(new_gen, gen, "mark_down must bump the generation");
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(s.mark_down(MsuId(1)).len(), 12);
+        waiter.join().unwrap();
+        // While the MSU is down the retry still fails…
+        assert!(s
+            .admit_play(&[(StreamId(99), locs.clone(), MPEG_BW)])
+            .is_err());
+        // …but after recovery the reaped bandwidth is all back.
+        s.register_msu(
+            MsuId(1),
+            addr(),
+            &[(
+                DiskId(10),
+                2_000_000_000,
+                2_000_000_000,
+                ByteRate(2_400_000),
+            )],
+        );
+        assert!(s.admit_play(&[(StreamId(99), locs, MPEG_BW)]).is_ok());
+        assert!(s.reservation_of(StreamId(99)).is_some());
+        assert!(s.reservation_of(StreamId(0)).is_none());
     }
 
     #[test]

@@ -15,8 +15,8 @@ use calliope_types::content::{ContentKind, ContentTypeSpec, TypeBody};
 use calliope_types::error::{Error, Result};
 use calliope_types::ids::IdAllocator;
 use calliope_types::wire::messages::{
-    ClientRequest, CoordReply, CoordToMsu, DiskStatus, MsuEnvelope, MsuStatus, MsuToCoord,
-    PacingSpec, RecordStart, StreamStart, TrickFiles,
+    ClientRequest, CoordReply, CoordToMsu, DiskStatus, DoneReason, MsuEnvelope, MsuStatus,
+    MsuToCoord, PacingSpec, RecordStart, StreamStart, TrickFiles,
 };
 use calliope_types::wire::{read_frame, write_frame, Wire};
 use calliope_types::{DiskId, GroupId, MsuId, SessionId, StreamId};
@@ -37,6 +37,13 @@ pub struct CoordConfig {
     pub client_port: u16,
     /// MSU (intra-server) port (0 = ephemeral).
     pub msu_port: u16,
+    /// How often the heartbeat monitor pings each MSU. A TCP break
+    /// still marks an MSU down instantly; the heartbeat catches the
+    /// *wedged* MSU whose connection stays open but which stopped
+    /// serving. [`Duration::ZERO`] disables the monitor.
+    pub heartbeat_interval: Duration,
+    /// Consecutive missed beats before an MSU is declared down.
+    pub heartbeat_misses: u32,
 }
 
 impl Default for CoordConfig {
@@ -45,6 +52,8 @@ impl Default for CoordConfig {
             bind_ip: IpAddr::V4(Ipv4Addr::LOCALHOST),
             client_port: 0,
             msu_port: 0,
+            heartbeat_interval: Duration::from_millis(500),
+            heartbeat_misses: 3,
         }
     }
 }
@@ -69,6 +78,23 @@ struct RecordTrack {
     component: usize,
 }
 
+/// Everything needed to re-admit a playback stream on a replica after
+/// its disk or MSU fails.
+#[derive(Clone)]
+struct PlayTrack {
+    content: String,
+    component: usize,
+    group: GroupId,
+    client_data: SocketAddr,
+    client_ctrl: SocketAddr,
+    /// Bandwidth reserved for the stream, bytes/s.
+    bw: u64,
+    trick: Option<TrickFiles>,
+    /// Locations that already failed for this stream; a `None` disk
+    /// means the whole MSU. Never retried.
+    failed: Vec<(MsuId, Option<DiskId>)>,
+}
+
 struct Inner {
     db: Mutex<AdminDb>,
     sched: Scheduler,
@@ -78,6 +104,14 @@ struct Inner {
     recordings: Mutex<HashMap<StreamId, RecordTrack>>,
     /// Remaining components per recording content.
     record_remaining: Mutex<HashMap<String, usize>>,
+    /// Live playback streams, kept so a failed one can be re-admitted
+    /// on a replica (paper §2.2 fault tolerance).
+    plays: Mutex<HashMap<StreamId, PlayTrack>>,
+    /// Serializes grant retirement between the MSU reaper ([`fail_msu`])
+    /// and the `StreamDone` teardown path: a late `StreamDone` must
+    /// never release the grant of a stream the reaper already failed
+    /// over (that grant belongs to the stream's new home).
+    failures: Mutex<()>,
     stop: AtomicBool,
 }
 
@@ -107,6 +141,8 @@ impl CoordServer {
             ids: IdAllocator::new(),
             recordings: Mutex::new(HashMap::new()),
             record_remaining: Mutex::new(HashMap::new()),
+            plays: Mutex::new(HashMap::new()),
+            failures: Mutex::new(()),
             stop: AtomicBool::new(false),
         });
 
@@ -119,6 +155,13 @@ impl CoordServer {
             let inner = Arc::clone(&inner);
             handles.push(std::thread::spawn(move || {
                 accept_clients(inner, client_listener)
+            }));
+        }
+        if cfg.heartbeat_interval > Duration::ZERO {
+            let inner = Arc::clone(&inner);
+            let (interval, misses) = (cfg.heartbeat_interval, cfg.heartbeat_misses.max(1));
+            handles.push(std::thread::spawn(move || {
+                heartbeat_loop(&inner, interval, misses)
             }));
         }
 
@@ -232,8 +275,7 @@ fn msu_connection(inner: Arc<Inner>, mut stream: TcpStream) {
         )
         .is_err()
         {
-            inner.conns.remove(msu);
-            inner.sched.mark_down(msu);
+            fail_msu(&inner, msu);
             return;
         }
     }
@@ -265,55 +307,267 @@ fn msu_connection(inner: Arc<Inner>, mut stream: TcpStream) {
             // "The Coordinator detects when one of the MSUs fails by a
             // break in the TCP connection." (§2.2)
             tracing::warn!("{msu} connection broke; marked down");
-            inner.conns.remove(msu);
-            inner.sched.mark_down(msu);
+            fail_msu(&inner, msu);
             return;
         };
         inner.stats.note_bytes(env.to_bytes().len() + 4);
         if let Some(unsolicited) = inner.conns.route(msu, env.req_id, env.body) {
-            let t = Instant::now();
-            handle_msu_notification(&inner, unsolicited);
-            inner.stats.note_busy(t.elapsed());
+            // Handled off this thread: an `IoError` teardown may fail
+            // the stream over with an RPC to this very MSU (its other
+            // disk holds the replica), and only this reader thread can
+            // route that RPC's reply.
+            let inner = Arc::clone(&inner);
+            std::thread::spawn(move || {
+                let t = Instant::now();
+                handle_msu_notification(&inner, msu, unsolicited);
+                inner.stats.note_busy(t.elapsed());
+            });
         }
     }
 }
 
-fn handle_msu_notification(inner: &Inner, msg: MsuToCoord) {
-    if let MsuToCoord::StreamDone {
-        stream,
-        reason: _,
-        bytes,
-        duration_us,
-    } = msg
-    {
-        tracing::info!("teardown: {stream} done ({bytes} bytes, {duration_us} µs)");
-        inner.stats.note_stream_done();
-        // Recording? Finalize the catalog entry.
-        let track = inner.recordings.lock().remove(&stream);
-        if let Some(track) = track {
-            let mut db = inner.db.lock();
-            if let Ok(rec) = db.content_mut(&track.content) {
-                if let Some(c) = rec.components.get_mut(track.component) {
-                    c.bytes = bytes;
-                    c.duration_us = duration_us;
-                }
+/// The single failure path for an MSU: drop its connection (fast-
+/// failing in-flight RPCs), reap every grant it held, abandon its
+/// recordings, and try to move its playback streams to live replicas.
+/// Idempotent — the TCP-break detector and the heartbeat monitor both
+/// funnel through here.
+fn fail_msu(inner: &Inner, msu: MsuId) {
+    inner.conns.remove(msu);
+    let _order = inner.failures.lock();
+    let reaped = inner.sched.mark_down(msu);
+    if reaped.is_empty() {
+        return;
+    }
+    inner.stats.grants_reaped.add(reaped.len() as u64);
+    tracing::warn!("{msu} down: reaped {} grant(s)", reaped.len());
+    for (stream, _) in reaped {
+        let rec = inner.recordings.lock().remove(&stream);
+        if let Some(rec) = rec {
+            // A partial recording is unrecoverable garbage: drop the
+            // catalog entry so the name can be reused. (The blocks on
+            // the dead MSU are reclaimed when it reformats or the
+            // content name is re-recorded over them.)
+            inner.record_remaining.lock().remove(&rec.content);
+            let _ = inner.db.lock().remove_content(&rec.content);
+            tracing::warn!("recording {:?} lost with {msu}", rec.content);
+        } else if !fail_over(inner, stream, msu, None) {
+            tracing::warn!("{stream} lost with {msu}");
+        }
+    }
+}
+
+/// Pings every connected MSU once per `interval`; `max_misses`
+/// consecutive unanswered probes fail the MSU. This is the detector for
+/// *wedged* MSUs — process alive, TCP connection open, control loop
+/// stuck — which the §2.2 TCP-break detector cannot see.
+fn heartbeat_loop(inner: &Arc<Inner>, interval: Duration, max_misses: u32) {
+    let mut misses: HashMap<MsuId, u32> = HashMap::new();
+    loop {
+        // Sleep one interval in small slices so shutdown stays prompt.
+        let mut slept = Duration::ZERO;
+        while slept < interval {
+            if inner.stop.load(Ordering::Acquire) {
+                return;
             }
-            drop(db);
-            let mut remaining = inner.record_remaining.lock();
-            if let Some(n) = remaining.get_mut(&track.content) {
-                *n -= 1;
-                if *n == 0 {
-                    remaining.remove(&track.content);
-                    if let Ok(rec) = inner.db.lock().content_mut(&track.content) {
-                        rec.status = ContentStatus::Ready;
+            let slice = Duration::from_millis(20).min(interval - slept);
+            std::thread::sleep(slice);
+            slept += slice;
+        }
+        for msu in inner.conns.ids() {
+            if inner.stop.load(Ordering::Acquire) {
+                return;
+            }
+            match inner
+                .conns
+                .rpc_with_timeout(msu, CoordToMsu::Ping, interval)
+            {
+                Ok(_) => {
+                    misses.remove(&msu);
+                }
+                Err(_) => {
+                    inner.stats.heartbeat_misses.inc();
+                    let m = misses.entry(msu).or_insert(0);
+                    *m += 1;
+                    tracing::warn!("heartbeat: {msu} missed beat {m} of {max_misses}");
+                    if *m >= max_misses {
+                        misses.remove(&msu);
+                        fail_msu(inner, msu);
                     }
                 }
             }
-            inner.sched.release(stream, bytes);
-        } else {
-            inner.sched.release(stream, 0);
         }
     }
+}
+
+/// Re-admits a playback stream on a live replica after its disk or MSU
+/// failed (`failed_disk` of `None` condemns every disk of `failed_msu`).
+/// The stream and group ids are reused, so the replacement MSU dials
+/// the same client control listener and the client resumes on the new
+/// connection; playback restarts from the beginning of the title (the
+/// control protocol carries no resume offset). Returns true if a
+/// replica took the stream over.
+fn fail_over(
+    inner: &Inner,
+    stream: StreamId,
+    failed_msu: MsuId,
+    failed_disk: Option<DiskId>,
+) -> bool {
+    let track = {
+        let mut plays = inner.plays.lock();
+        let Some(t) = plays.get_mut(&stream) else {
+            return false;
+        };
+        t.failed.push((failed_msu, failed_disk));
+        t.clone()
+    };
+    let gone = |why: &str| {
+        tracing::warn!("failover: {stream} ({:?}) abandoned: {why}", track.content);
+        inner.plays.lock().remove(&stream);
+        false
+    };
+    // Replicas still believed healthy.
+    let (locations, spec) = {
+        let db = inner.db.lock();
+        let Ok(rec) = db.content(&track.content) else {
+            return gone("content deleted");
+        };
+        let Some(comp) = rec.components.get(track.component) else {
+            return gone("component vanished from the catalog");
+        };
+        let Ok(spec) = db.content_type(&comp.type_name) else {
+            return gone("content type vanished");
+        };
+        (comp.locations.clone(), spec.clone())
+    };
+    let is_failed = |l: &Location| {
+        track
+            .failed
+            .iter()
+            .any(|(m, d)| *m == l.msu && d.is_none_or(|d| d == l.disk))
+    };
+    let live: Vec<Location> = locations.into_iter().filter(|l| !is_failed(l)).collect();
+    if live.is_empty() {
+        return gone("no live replica");
+    }
+    let (Ok(protocol), Ok(pacing)) = (spec.protocol(), pacing_of(&spec)) else {
+        return gone("unusable type spec");
+    };
+    let wants: Vec<crate::sched::PlayWant> = vec![(
+        stream,
+        live.iter().map(|l| (l.msu, l.disk)).collect(),
+        track.bw,
+    )];
+    // No queueing here: a failing stream either moves now or ends.
+    let picks = match inner.sched.admit_play(&wants) {
+        Ok(p) => p,
+        Err(e) => return gone(&format!("no replica admitted ({e})")),
+    };
+    let (_, msu, disk) = picks[0];
+    let loc = live
+        .iter()
+        .find(|l| l.msu == msu && l.disk == disk)
+        .expect("pick came from the live-replica list");
+    let result = inner.conns.rpc(
+        msu,
+        CoordToMsu::ScheduleRead {
+            stream,
+            group: track.group,
+            // A fresh group entry on the new MSU must release without
+            // waiting for siblings that are not moving with us; if the
+            // old group entry survived (same-MSU disk failover), the
+            // size is ignored.
+            group_size: 1,
+            disk,
+            file: loc.file.clone(),
+            protocol,
+            pacing,
+            client_data: track.client_data,
+            client_ctrl: track.client_ctrl,
+            trick: track.trick.clone(),
+        },
+    );
+    match result {
+        Ok(MsuToCoord::ReadScheduled { error: None }) => {
+            inner.stats.failovers.inc();
+            inner.stats.note_stream_started();
+            tracing::info!(
+                "failover: {stream} ({:?}) resumed on {msu} disk {disk}",
+                track.content
+            );
+            true
+        }
+        _ => {
+            inner.sched.release(stream, 0);
+            gone("replacement MSU refused the stream")
+        }
+    }
+}
+
+/// Handles an unsolicited message `from` one MSU's reader thread
+/// (dispatched off that thread — see `msu_connection`).
+fn handle_msu_notification(inner: &Inner, from: MsuId, msg: MsuToCoord) {
+    let MsuToCoord::StreamDone {
+        stream,
+        reason,
+        bytes,
+        duration_us,
+    } = msg
+    else {
+        return;
+    };
+    tracing::info!("teardown: {stream} done ({reason:?}, {bytes} bytes, {duration_us} µs)");
+    // Recording? Finalize the catalog entry.
+    let track = inner.recordings.lock().remove(&stream);
+    if let Some(track) = track {
+        inner.stats.note_stream_done();
+        let mut db = inner.db.lock();
+        if let Ok(rec) = db.content_mut(&track.content) {
+            if let Some(c) = rec.components.get_mut(track.component) {
+                c.bytes = bytes;
+                c.duration_us = duration_us;
+            }
+        }
+        drop(db);
+        let mut remaining = inner.record_remaining.lock();
+        if let Some(n) = remaining.get_mut(&track.content) {
+            *n -= 1;
+            if *n == 0 {
+                remaining.remove(&track.content);
+                if let Ok(rec) = inner.db.lock().content_mut(&track.content) {
+                    rec.status = ContentStatus::Ready;
+                }
+            }
+        }
+        inner.sched.release(stream, bytes);
+        return;
+    }
+    // Playback teardown, serialized against the MSU reaper.
+    let _order = inner.failures.lock();
+    let Some(res) = inner.sched.reservation_of(stream) else {
+        // Already reaped by `fail_msu` (this report raced the reaper or
+        // arrived from a wedged MSU after the heartbeat gave up on it).
+        // The reaper owns the stream's fate — releasing here could take
+        // down the grant of a successful failover.
+        return;
+    };
+    if res.msu != from {
+        // Stale report: this MSU lost the stream (the reaper already
+        // moved it to a replica on another MSU while this notification
+        // waited its turn). The grant belongs to the replacement now.
+        tracing::debug!("{stream}: stale StreamDone from {from}; now on {}", res.msu);
+        return;
+    }
+    inner.stats.note_stream_done();
+    inner.sched.release(stream, 0);
+    if let DoneReason::IoError(msg) = &reason {
+        // The disk under the stream died. The grant is released; try a
+        // replica before surfacing the error to the client.
+        tracing::warn!("{stream} failed on {} disk {} ({msg})", res.msu, res.disk);
+        if fail_over(inner, stream, res.msu, Some(res.disk)) {
+            return;
+        }
+    }
+    inner.plays.lock().remove(&stream);
 }
 
 // ---------------------------------------------------------------------
@@ -931,6 +1185,7 @@ fn handle_play(
     // Schedule each component on its MSU; roll back everything on any
     // failure.
     let mut scheduled: Vec<StreamStart> = Vec::new();
+    let mut tracks: Vec<(StreamId, PlayTrack)> = Vec::new();
     for (i, (stream_id, msu, disk)) in picks.iter().enumerate() {
         let comp = &components[i];
         let loc = comp
@@ -958,7 +1213,7 @@ fn handle_play(
                 pacing,
                 client_data: atoms[i].1,
                 client_ctrl: group_ctrl,
-                trick: send_trick,
+                trick: send_trick.clone(),
             },
         );
         let err = match result {
@@ -982,12 +1237,27 @@ fn handle_play(
             return Err(e);
         }
         inner.stats.note_stream_started();
+        tracks.push((
+            *stream_id,
+            PlayTrack {
+                content: content_name.clone(),
+                component: i,
+                group,
+                client_data: atoms[i].1,
+                client_ctrl: group_ctrl,
+                bw: wants[i].2,
+                trick: send_trick,
+                failed: Vec::new(),
+            },
+        ));
         scheduled.push(StreamStart {
             stream: *stream_id,
             port_name: port_name.clone(),
             msu: *msu,
         });
     }
+    // Only fully scheduled groups become failover candidates.
+    inner.plays.lock().extend(tracks);
     let _ = sess.id; // sessions own ports; streams outlive the check
     tracing::info!(
         "play: {content_name:?} admitted as {group} ({} streams)",
@@ -1465,6 +1735,254 @@ mod tests {
                 "request {i}: {reply:?}"
             );
         }
+        coord.shutdown();
+    }
+
+    /// Polls until `f` holds or the timeout elapses.
+    fn wait_for(timeout: Duration, mut f: impl FnMut() -> bool) -> bool {
+        let deadline = Instant::now() + timeout;
+        while Instant::now() < deadline {
+            if f() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        f()
+    }
+
+    /// Inserts a ready one-component mpeg1 title with a replica at each
+    /// given location, as if recorded and replicated.
+    fn insert_replicated_content(coord: &CoordServer, name: &str, locations: Vec<Location>) {
+        coord
+            .inner
+            .db
+            .lock()
+            .insert_content(ContentRecord {
+                name: name.into(),
+                type_name: "mpeg1".into(),
+                components: vec![Component {
+                    type_name: "mpeg1".into(),
+                    locations,
+                    bytes: 1_000_000,
+                    duration_us: 5_000_000,
+                }],
+                status: ContentStatus::Ready,
+                trick: None,
+            })
+            .unwrap();
+    }
+
+    fn register_port(client: &mut TestClient) {
+        let data: SocketAddr = "127.0.0.1:5000".parse().unwrap();
+        assert!(matches!(
+            client.request(ClientRequest::RegisterPort {
+                name: "p".into(),
+                type_name: "mpeg1".into(),
+                data_addr: data,
+                ctrl_addr: data,
+            }),
+            CoordReply::Ok
+        ));
+    }
+
+    #[test]
+    fn heartbeat_marks_a_wedged_msu_down() {
+        let coord = CoordServer::start(CoordConfig {
+            heartbeat_interval: Duration::from_millis(50),
+            heartbeat_misses: 2,
+            ..CoordConfig::default()
+        })
+        .unwrap();
+        let fake = FakeMsu::start(coord.msu_addr, 1, Duration::from_millis(1)).unwrap();
+        assert!(wait_for(Duration::from_secs(2), || coord.msu_count() == 1));
+        let id = fake.id;
+        // Healthy: beats are answered, the MSU stays available.
+        std::thread::sleep(Duration::from_millis(300));
+        assert!(coord.inner.sched.is_available(id));
+        // Wedge it: the TCP connection stays open but nothing answers.
+        // The §2.2 TCP-break detector never fires; the heartbeat must.
+        fake.wedge();
+        assert!(
+            wait_for(Duration::from_secs(5), || !coord
+                .inner
+                .sched
+                .is_available(id)),
+            "heartbeat did not mark the wedged MSU down"
+        );
+        assert!(coord.stats().heartbeat_misses.get() >= 2);
+        fake.stop();
+        coord.shutdown();
+    }
+
+    /// The §2.2 recovery path end to end at the control-plane level:
+    /// an MSU dies mid-play, the reaper reclaims its grant, and the
+    /// stream is re-admitted on the MSU holding the replica.
+    #[test]
+    fn msu_death_fails_playback_over_to_a_replica() {
+        let coord = start_coord();
+        let fakes = [
+            FakeMsu::start(coord.msu_addr, 1, Duration::from_millis(5)).unwrap(),
+            FakeMsu::start(coord.msu_addr, 1, Duration::from_millis(5)).unwrap(),
+        ];
+        for f in &fakes {
+            f.set_linger();
+        }
+        assert!(wait_for(Duration::from_secs(2), || coord.msu_count() == 2));
+        let locations: Vec<Location> = fakes
+            .iter()
+            .map(|f| Location {
+                msu: f.id,
+                disk: coord.inner.sched.msu(f.id).unwrap().disks[0],
+                file: "movie".into(),
+            })
+            .collect();
+        insert_replicated_content(&coord, "movie", locations);
+
+        let mut client = TestClient::connect(coord.client_addr, "alice", false);
+        register_port(&mut client);
+        let (victim, stream) = match client.request(ClientRequest::Play {
+            content: "movie".into(),
+            port: "p".into(),
+        }) {
+            CoordReply::PlayStarted { streams, .. } => (streams[0].msu, streams[0].stream),
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(coord.active_streams(), 1);
+
+        let mut fakes = Vec::from(fakes);
+        let idx = fakes.iter().position(|f| f.id == victim).unwrap();
+        let survivor = fakes[1 - idx].id;
+        fakes.remove(idx).stop();
+
+        assert!(
+            wait_for(Duration::from_secs(5), || coord.stats().failovers.get()
+                == 1),
+            "stream did not fail over to the replica"
+        );
+        assert_eq!(coord.stats().grants_reaped.get(), 1);
+        let res = coord
+            .inner
+            .sched
+            .reservation_of(stream)
+            .expect("grant moved, not dropped");
+        assert_eq!(res.msu, survivor);
+        assert_eq!(coord.active_streams(), 1, "exactly the moved grant remains");
+        coord.shutdown();
+    }
+
+    /// Disk-level failover: the MSU reports `StreamDone(IoError)` and
+    /// the Coordinator re-admits the stream on the replica disk of the
+    /// same MSU. A second I/O error exhausts the replicas and the
+    /// stream ends with nothing stranded.
+    #[test]
+    fn disk_io_error_fails_over_to_the_replica_disk() {
+        let coord = start_coord();
+        let fake = FakeMsu::start(coord.msu_addr, 2, Duration::from_millis(5)).unwrap();
+        fake.set_linger();
+        assert!(wait_for(Duration::from_secs(2), || coord.msu_count() == 1));
+        let locations: Vec<Location> = coord
+            .inner
+            .sched
+            .msu(fake.id)
+            .unwrap()
+            .disks
+            .iter()
+            .map(|d| Location {
+                msu: fake.id,
+                disk: *d,
+                file: "movie".into(),
+            })
+            .collect();
+        insert_replicated_content(&coord, "movie", locations);
+
+        let mut client = TestClient::connect(coord.client_addr, "alice", false);
+        register_port(&mut client);
+        let stream = match client.request(ClientRequest::Play {
+            content: "movie".into(),
+            port: "p".into(),
+        }) {
+            CoordReply::PlayStarted { streams, .. } => streams[0].stream,
+            other => panic!("{other:?}"),
+        };
+        let first = coord.inner.sched.reservation_of(stream).unwrap().disk;
+
+        handle_msu_notification(
+            &coord.inner,
+            fake.id,
+            MsuToCoord::StreamDone {
+                stream,
+                reason: DoneReason::IoError("injected: read failed".into()),
+                bytes: 0,
+                duration_us: 0,
+            },
+        );
+        assert_eq!(coord.stats().failovers.get(), 1);
+        let second = coord
+            .inner
+            .sched
+            .reservation_of(stream)
+            .expect("grant moved, not dropped")
+            .disk;
+        assert_ne!(second, first, "failover must pick the other disk");
+
+        handle_msu_notification(
+            &coord.inner,
+            fake.id,
+            MsuToCoord::StreamDone {
+                stream,
+                reason: DoneReason::IoError("injected: read failed".into()),
+                bytes: 0,
+                duration_us: 0,
+            },
+        );
+        assert_eq!(
+            coord.stats().failovers.get(),
+            1,
+            "no third replica to move to"
+        );
+        assert_eq!(coord.active_streams(), 0, "no stranded reservation");
+        assert!(
+            coord.inner.plays.lock().is_empty(),
+            "no stranded play track"
+        );
+        fake.stop();
+        coord.shutdown();
+    }
+
+    /// A recording has no replica to move to: reaping its MSU abandons
+    /// the partial recording and scrubs every table it touched.
+    #[test]
+    fn reaped_recordings_are_abandoned_cleanly() {
+        let coord = start_coord();
+        let fake = FakeMsu::start(coord.msu_addr, 1, Duration::from_millis(5)).unwrap();
+        fake.set_linger();
+        assert!(wait_for(Duration::from_secs(2), || coord.msu_count() == 1));
+        let mut client = TestClient::connect(coord.client_addr, "alice", false);
+        register_port(&mut client);
+        assert!(matches!(
+            client.request(ClientRequest::Record {
+                content: "talk".into(),
+                port: "p".into(),
+                type_name: "mpeg1".into(),
+                est_secs: 60,
+            }),
+            CoordReply::RecordStarted { .. }
+        ));
+        assert_eq!(coord.active_streams(), 1);
+        assert!(coord.inner.db.lock().content("talk").is_ok());
+
+        fake.stop();
+        assert!(
+            wait_for(Duration::from_secs(5), || coord.active_streams() == 0),
+            "reaper did not reclaim the recording grant"
+        );
+        assert!(
+            coord.inner.db.lock().content("talk").is_err(),
+            "partial recording must leave the catalog"
+        );
+        assert!(coord.inner.recordings.lock().is_empty());
+        assert!(coord.inner.record_remaining.lock().is_empty());
+        assert_eq!(coord.stats().grants_reaped.get(), 1);
         coord.shutdown();
     }
 }

@@ -54,6 +54,14 @@ pub struct CoordStats {
     /// Time spent parked in the §2.2 admission queue, µs, including the
     /// zero-wait fast path so percentiles reflect real client latency.
     pub queue_wait_us: Arc<Histogram>,
+    /// Heartbeat probes that went unanswered (one per missed beat, not
+    /// per downed MSU).
+    pub heartbeat_misses: Arc<Counter>,
+    /// Playback streams successfully re-admitted on a replica after
+    /// their disk or MSU failed.
+    pub failovers: Arc<Counter>,
+    /// Reservations reaped from downed MSUs by `mark_down`.
+    pub grants_reaped: Arc<Counter>,
 }
 
 impl Default for CoordStats {
@@ -73,6 +81,9 @@ impl CoordStats {
         let admissions = registry.counter("admission.granted");
         let rejections = registry.counter("admission.rejected");
         let queue_wait_us = registry.histogram("admission.queue_wait_us", LATENCY_US_BUCKETS);
+        let heartbeat_misses = registry.counter("coord.heartbeat_misses");
+        let failovers = registry.counter("coord.failovers");
+        let grants_reaped = registry.counter("coord.grants_reaped");
         CoordStats {
             registry,
             started: Mutex::new(Instant::now()),
@@ -84,6 +95,9 @@ impl CoordStats {
             admissions,
             rejections,
             queue_wait_us,
+            heartbeat_misses,
+            failovers,
+            grants_reaped,
         }
     }
 
@@ -101,6 +115,9 @@ impl CoordStats {
         self.admissions.reset();
         self.rejections.reset();
         self.queue_wait_us.reset();
+        self.heartbeat_misses.reset();
+        self.failovers.reset();
+        self.grants_reaped.reset();
     }
 
     /// Records one processed request and the CPU time it took.

@@ -1,0 +1,228 @@
+//! Model-checking suites for the Coordinator's failure-handling
+//! protocol: the reaper (`fail_msu`) racing unsolicited `StreamDone`
+//! reports, idempotence across concurrent failure paths, and the
+//! no-grants-on-a-downed-MSU invariant. Compiled only under
+//! `RUSTFLAGS="--cfg calliope_check"`, where the `calliope_check` shim
+//! types route every lock/atomic operation through a deterministic
+//! scheduler that explores thread interleavings exhaustively (up to a
+//! preemption bound).
+//!
+//! The models mirror the real structure: a `failures` mutex serializes
+//! composite failure-handling sequences, while the scheduler table has
+//! its own lock (individual operations are atomic, sequences are not).
+//!
+//! Run with:
+//! `RUSTFLAGS="--cfg calliope_check" cargo test -p calliope-coord --test model`
+#![cfg(calliope_check)]
+
+use calliope_check::sync::{Arc, Mutex};
+use calliope_check::{model, thread};
+
+/// Per-stream bandwidth of the modelled grant.
+const BW: u64 = 10;
+/// Per-MSU capacity.
+const CAP: u64 = 20;
+
+/// A two-MSU grant table: free bandwidth per MSU plus the single
+/// modelled stream's reservation (`Some(msu)` when granted).
+struct Table {
+    free: [u64; 2],
+    res: Option<usize>,
+    failovers: u32,
+}
+
+/// `fail_over` analog: release already happened; re-admit on any MSU
+/// that is not the failed one and has capacity.
+fn fail_over(t: &mut Table, failed: usize) {
+    for msu in 0..2 {
+        if msu != failed && t.free[msu] >= BW {
+            t.free[msu] -= BW;
+            t.res = Some(msu);
+            t.failovers += 1;
+            return;
+        }
+    }
+}
+
+/// The race fixed in `handle_msu_notification`: MSU 0 dies holding the
+/// stream's grant. The reaper (`fail_msu`) reaps the grant and fails the
+/// stream over to MSU 1 — while MSU 0's last `StreamDone { IoError }`
+/// report is still in flight. Without the source-MSU guard, a late
+/// report would release the *replica's* fresh grant and fail over again;
+/// with it, exactly one failover happens and the replica's grant
+/// survives, in every interleaving.
+#[test]
+fn late_stream_done_never_double_releases() {
+    let report = model(|| {
+        let failures = Arc::new(Mutex::new(()));
+        let table = Arc::new(Mutex::new(Table {
+            free: [CAP - BW, CAP], // stream granted on MSU 0
+            res: Some(0),
+            failovers: 0,
+        }));
+
+        // Reaper: fail_msu(0).
+        let (f2, t2) = (Arc::clone(&failures), Arc::clone(&table));
+        let reaper = thread::spawn(move || {
+            let _order = f2.lock();
+            let reaped = {
+                let mut t = t2.lock();
+                // mark_down: reap every grant held by MSU 0.
+                if t.res == Some(0) {
+                    t.free[0] += BW;
+                    t.res = None;
+                    true
+                } else {
+                    false
+                }
+            };
+            if reaped {
+                fail_over(&mut t2.lock(), 0);
+            }
+        });
+
+        // Handler: StreamDone { IoError } *from* MSU 0.
+        {
+            let _order = failures.lock();
+            let holder = table.lock().res;
+            match holder {
+                // Reaped already — the reaper owns the stream's fate.
+                None => {}
+                // Stale report: the stream moved to another MSU.
+                Some(msu) if msu != 0 => {}
+                Some(_) => {
+                    {
+                        let mut t = table.lock();
+                        t.free[0] += BW;
+                        t.res = None;
+                    }
+                    fail_over(&mut table.lock(), 0);
+                }
+            }
+        }
+        reaper.join().unwrap();
+
+        let t = table.lock();
+        assert_eq!(t.res, Some(1), "the stream must end on the replica");
+        assert_eq!(t.failovers, 1, "exactly one failover, never two");
+        assert_eq!(t.free[0], CAP, "the dead MSU's bandwidth fully credited");
+        assert_eq!(t.free[1], CAP - BW, "the replica holds exactly one grant");
+    });
+    assert!(report.schedules > 1, "must explore multiple interleavings");
+}
+
+/// Two failure paths race to declare the same MSU dead — the heartbeat
+/// monitor and the connection reader both funnel into `fail_msu`. The
+/// mark-down must be idempotent: the MSU's grants are credited exactly
+/// once no matter which path wins.
+#[test]
+fn concurrent_failure_paths_reap_exactly_once() {
+    let report = model(|| {
+        let failures = Arc::new(Mutex::new(()));
+        let table = Arc::new(Mutex::new(Table {
+            free: [CAP - BW, CAP],
+            res: Some(0),
+            failovers: 0,
+        }));
+
+        let mut paths = Vec::new();
+        for _ in 0..2 {
+            let (f2, t2) = (Arc::clone(&failures), Arc::clone(&table));
+            paths.push(thread::spawn(move || {
+                let _order = f2.lock();
+                let reaped = {
+                    let mut t = t2.lock();
+                    if t.res == Some(0) {
+                        t.free[0] += BW;
+                        t.res = None;
+                        true
+                    } else {
+                        false
+                    }
+                };
+                if reaped {
+                    fail_over(&mut t2.lock(), 0);
+                }
+            }));
+        }
+        for p in paths {
+            p.join().unwrap();
+        }
+
+        let t = table.lock();
+        assert_eq!(t.failovers, 1, "the losing path must find nothing to reap");
+        assert_eq!(t.free[0], CAP, "credit applied exactly once");
+        assert_eq!(t.free[1], CAP - BW, "one grant on the replica, not two");
+    });
+    assert!(report.schedules > 1);
+}
+
+/// Admission racing the reaper: a play request is admitted while MSU 0
+/// is being marked down. Whichever order the scheduler explores, no
+/// stream may end up granted on a downed MSU — either admission already
+/// avoided it, or the reaper reaped the fresh grant and re-admitted it
+/// on the survivor.
+#[test]
+fn no_grant_survives_on_a_downed_msu() {
+    struct Adm {
+        up: [bool; 2],
+        free: [u64; 2],
+        res: Option<usize>,
+    }
+    let report = model(|| {
+        let failures = Arc::new(Mutex::new(()));
+        let table = Arc::new(Mutex::new(Adm {
+            up: [true, true],
+            free: [CAP, CAP],
+            res: None,
+        }));
+
+        // Admission: grant on the first live MSU with capacity (the
+        // real `admit_play` does this under the scheduler lock).
+        let t2 = Arc::clone(&table);
+        let admit = thread::spawn(move || {
+            let mut t = t2.lock();
+            for msu in 0..2 {
+                if t.up[msu] && t.free[msu] >= BW {
+                    t.free[msu] -= BW;
+                    t.res = Some(msu);
+                    break;
+                }
+            }
+        });
+
+        // Reaper: mark MSU 0 down, reap anything granted there, and
+        // re-admit it on a survivor.
+        {
+            let _order = failures.lock();
+            let reaped = {
+                let mut t = table.lock();
+                t.up[0] = false;
+                if t.res == Some(0) {
+                    t.free[0] += BW;
+                    t.res = None;
+                    true
+                } else {
+                    false
+                }
+            };
+            if reaped {
+                let mut t = table.lock();
+                for msu in 0..2 {
+                    if t.up[msu] && t.free[msu] >= BW {
+                        t.free[msu] -= BW;
+                        t.res = Some(msu);
+                        break;
+                    }
+                }
+            }
+        }
+        admit.join().unwrap();
+
+        let t = table.lock();
+        let holder = t.res.expect("the stream must end up granted somewhere");
+        assert!(t.up[holder], "a grant survived on a downed MSU");
+        assert_eq!(t.free[holder], CAP - BW);
+    });
+    assert!(report.schedules > 1);
+}

@@ -55,7 +55,7 @@ fn main() {
     let cfg = MsuConfig {
         coordinator,
         data_dir: data_dir.clone(),
-        disks: (0..disks).map(|_| DiskSpec { blocks }).collect(),
+        disks: (0..disks).map(|_| DiskSpec::healthy(blocks)).collect(),
         bind_ip,
         net_tick: Duration::from_millis(tick_ms.max(1)),
         previous_id: previous,

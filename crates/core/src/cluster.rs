@@ -9,10 +9,12 @@ use calliope_client::CalliopeClient;
 use calliope_coord::{CoordConfig, CoordServer};
 use calliope_msu::config::{DiskSpec, MsuConfig};
 use calliope_msu::MsuServer;
+use calliope_storage::{FaultControl, FaultPlan};
 use calliope_types::error::Result;
 use calliope_types::MsuId;
 use std::net::{IpAddr, Ipv4Addr};
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Builder for a [`Cluster`].
@@ -22,6 +24,9 @@ pub struct ClusterBuilder {
     disk_blocks: u64,
     net_tick: Duration,
     data_dir: Option<PathBuf>,
+    fault_plans: Vec<(usize, usize, FaultPlan)>,
+    heartbeat_interval: Duration,
+    heartbeat_misses: u32,
 }
 
 impl ClusterBuilder {
@@ -55,6 +60,22 @@ impl ClusterBuilder {
         self
     }
 
+    /// Arms fault injection on one disk: `msu`/`disk` are start-order
+    /// indices. An all-defaults [`FaultPlan`] injects nothing but still
+    /// enables the runtime kill switch ([`Cluster::fail_disk`]).
+    pub fn fault(mut self, msu: usize, disk: usize, plan: FaultPlan) -> Self {
+        self.fault_plans.push((msu, disk, plan));
+        self
+    }
+
+    /// Tunes the Coordinator's heartbeat monitor (`Duration::ZERO`
+    /// disables it; the default is the Coordinator's own default).
+    pub fn heartbeat(mut self, interval: Duration, misses: u32) -> Self {
+        self.heartbeat_interval = interval;
+        self.heartbeat_misses = misses;
+        self
+    }
+
     /// Starts everything.
     pub fn build(self) -> Result<Cluster> {
         let bind_ip = IpAddr::V4(Ipv4Addr::LOCALHOST);
@@ -64,6 +85,8 @@ impl ClusterBuilder {
             bind_ip,
             client_port: 0,
             msu_port: 0,
+            heartbeat_interval: self.heartbeat_interval,
+            heartbeat_misses: self.heartbeat_misses,
         })?;
         let mut msus = Vec::new();
         for i in 0..self.msus {
@@ -71,8 +94,13 @@ impl ClusterBuilder {
                 coordinator: coord.msu_addr,
                 data_dir: data_dir.join(format!("msu{i}")),
                 disks: (0..self.disks_per_msu)
-                    .map(|_| DiskSpec {
+                    .map(|d| DiskSpec {
                         blocks: self.disk_blocks,
+                        fault: self
+                            .fault_plans
+                            .iter()
+                            .find(|(m, k, _)| *m == i && *k == d)
+                            .map(|(_, _, plan)| plan.clone()),
                     })
                     .collect(),
                 bind_ip,
@@ -116,12 +144,16 @@ pub struct Cluster {
 impl Cluster {
     /// Starts building a cluster.
     pub fn builder() -> ClusterBuilder {
+        let coord_defaults = CoordConfig::default();
         ClusterBuilder {
             msus: 1,
             disks_per_msu: 2,
             disk_blocks: 64,
             net_tick: Duration::from_millis(10),
             data_dir: None,
+            fault_plans: Vec::new(),
+            heartbeat_interval: coord_defaults.heartbeat_interval,
+            heartbeat_misses: coord_defaults.heartbeat_misses,
         }
     }
 
@@ -139,16 +171,51 @@ impl Cluster {
         id
     }
 
+    /// Crashes MSU `i` abruptly: no `GroupEnded`, no `StreamDone` — the
+    /// Coordinator and the clients both discover the death the hard
+    /// way. Returns the identity for [`Cluster::restart_msu`].
+    pub fn crash_msu(&mut self, i: usize) -> MsuId {
+        let msu = self.msus.remove(i);
+        let id = msu.id();
+        msu.crash();
+        id
+    }
+
+    /// Chaos: wedges MSU `i`'s Coordinator control loop (TCP stays
+    /// open, nothing is answered). Only the heartbeat can notice.
+    pub fn wedge_msu(&self, i: usize) {
+        self.msus[i].wedge_control();
+    }
+
+    /// Chaos: MSU `i` silently drops all outgoing media packets.
+    pub fn blackhole_msu(&self, i: usize) {
+        self.msus[i].blackhole_udp();
+    }
+
+    /// Chaos: severs MSU `i`'s Coordinator connection; the MSU keeps
+    /// serving and re-registers under its previous identity (§2.2).
+    pub fn drop_msu_coord_conn(&self, i: usize) {
+        self.msus[i].drop_coord_conn();
+    }
+
+    /// Kills one fault-armed disk at runtime (every subsequent transfer
+    /// errors). Returns the control handle, or `None` if that disk was
+    /// built without a [`FaultPlan`].
+    pub fn fail_disk(&self, msu: usize, disk: usize) -> Option<Arc<FaultControl>> {
+        let ctl = self.msus[msu].fault_control(disk)?;
+        ctl.kill();
+        Some(ctl)
+    }
+
     /// Restarts a previously killed MSU from its on-disk state,
     /// re-registering under its previous identity (paper §2.2).
     pub fn restart_msu(&mut self, i: usize, previous: MsuId) -> Result<()> {
         let cfg = MsuConfig {
             coordinator: self.coord.msu_addr,
             data_dir: self.data_dir.join(format!("msu{i}")),
+            // A restarted MSU comes back with healthy disks.
             disks: (0..self.disks_per_msu)
-                .map(|_| DiskSpec {
-                    blocks: self.disk_blocks,
-                })
+                .map(|_| DiskSpec::healthy(self.disk_blocks))
                 .collect(),
             bind_ip: self.bind_ip,
             net_tick: self.net_tick,

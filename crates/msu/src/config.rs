@@ -10,6 +10,20 @@ pub struct DiskSpec {
     /// Number of 256 KB blocks. A 1995 Seagate Barracuda held 2 GB ≈
     /// 8192 blocks; tests use far fewer (the backing file is sparse).
     pub blocks: u64,
+    /// Fault-injection plan for chaos tests; `None` opens the disk
+    /// without the [`calliope_storage::FaultyDisk`] wrapper. Even an
+    /// all-defaults plan is useful: it arms the runtime kill switch.
+    pub fault: Option<calliope_storage::FaultPlan>,
+}
+
+impl DiskSpec {
+    /// A disk with no fault injection.
+    pub fn healthy(blocks: u64) -> DiskSpec {
+        DiskSpec {
+            blocks,
+            fault: None,
+        }
+    }
 }
 
 /// Configuration for one MSU.
@@ -38,7 +52,7 @@ impl MsuConfig {
         MsuConfig {
             coordinator,
             data_dir,
-            disks: vec![DiskSpec { blocks: 64 }, DiskSpec { blocks: 64 }],
+            disks: vec![DiskSpec::healthy(64), DiskSpec::healthy(64)],
             bind_ip: IpAddr::V4(Ipv4Addr::LOCALHOST),
             net_tick: Duration::from_millis(10),
             previous_id: None,

@@ -336,18 +336,30 @@ impl ServerShared {
 
 /// Dials the client's control listener for a group and runs the VCR
 /// loop until the connection drops or the group ends.
+///
+/// Every teardown this loop triggers is guarded by *instance* identity,
+/// not just group id: a replica failover re-admits the group under the
+/// same id, so by the time this (now-stale) handler notices its
+/// connection died, `shared.groups` may already hold the replacement.
+/// Tearing down by id alone would kill the replacement's streams.
 pub fn run_group_ctrl(shared: Arc<ServerShared>, group: Arc<GroupInfo>, group_id: GroupId) {
+    let is_current = |s: &ServerShared| matches!(s.groups.lock().get(&group_id), Some(g) if Arc::ptr_eq(g, &group));
+    let finish_ours = |s: &ServerShared, reason: DoneReason| {
+        if is_current(s) {
+            s.finish_group(group_id, reason);
+        }
+    };
     let conn = match TcpStream::connect(group.client_ctrl) {
         Ok(c) => c,
         Err(_) => {
-            shared.finish_group(group_id, DoneReason::Error("client unreachable".into()));
+            finish_ours(&shared, DoneReason::Error("client unreachable".into()));
             return;
         }
     };
     let mut read_half = match conn.try_clone() {
         Ok(c) => c,
         Err(_) => {
-            shared.finish_group(group_id, DoneReason::Error("socket clone failed".into()));
+            finish_ours(&shared, DoneReason::Error("socket clone failed".into()));
             return;
         }
     };
@@ -360,8 +372,9 @@ pub fn run_group_ctrl(shared: Arc<ServerShared>, group: Arc<GroupInfo>, group_id
         if shared.stop.load(Ordering::Acquire) {
             return;
         }
-        // The group may have ended (playback completed) while we waited.
-        if !shared.groups.lock().contains_key(&group_id) {
+        // The group may have ended (playback completed) — or been
+        // re-admitted as a new instance by a failover — while we waited.
+        if !is_current(&shared) {
             return;
         }
         let msg: Option<ClientToMsu> = match read_frame(&mut read_half) {
@@ -375,8 +388,11 @@ pub fn run_group_ctrl(shared: Arc<ServerShared>, group: Arc<GroupInfo>, group_id
             Err(_) => None,
         };
         let Some(ClientToMsu::Vcr { group: g, cmd }) = msg else {
-            // Client closed the control connection: treat as quit.
-            shared.finish_group(group_id, DoneReason::ClientQuit);
+            // Client closed the control connection: treat as quit —
+            // unless a failover already replaced this group instance
+            // (the client drops the old connection when it adopts the
+            // replacement; that must not kill the replacement).
+            finish_ours(&shared, DoneReason::ClientQuit);
             return;
         };
         if g != group_id {

@@ -58,6 +58,9 @@ pub struct MsuMetrics {
     pub record_ring_depth: Arc<Gauge>,
     /// Live streams in the control-plane registry.
     pub streams_active: Arc<Gauge>,
+    /// Disk I/O errors that killed a stream (each one surfaces to the
+    /// Coordinator as `StreamDone { reason: IoError }`).
+    pub io_errors: Arc<Counter>,
 }
 
 impl std::fmt::Debug for MsuMetrics {
@@ -89,6 +92,7 @@ impl MsuMetrics {
             play_ring_depth: registry.gauge("spsc.play_ring_depth"),
             record_ring_depth: registry.gauge("spsc.record_ring_depth"),
             streams_active: registry.gauge("streams.active"),
+            io_errors: registry.counter("msu.io_errors"),
             registry,
         };
         Arc::new(m)

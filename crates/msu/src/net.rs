@@ -129,12 +129,17 @@ struct PlayIo {
 }
 
 /// The network thread main loop.
+///
+/// `blackhole` is the chaos switch: while set, media packets are paced
+/// and accounted normally but never actually transmitted — the failure
+/// only the client can observe.
 pub fn run(
     socket: UdpSocket,
     tick: Duration,
     rx: Receiver<NetCmd>,
     events: Sender<NetEvent>,
     metrics: Arc<MsuMetrics>,
+    blackhole: Arc<AtomicBool>,
 ) {
     let mut plays: HashMap<StreamId, PlayIo> = HashMap::new();
     // One datagram scratch buffer for every stream: header + payload are
@@ -152,8 +157,9 @@ pub fn run(
 
         let now = Instant::now();
         let mut done: Vec<StreamId> = Vec::new();
+        let dropping = blackhole.load(Ordering::Acquire);
         for (id, io) in plays.iter_mut() {
-            if service_play(&socket, io, now, &events, &metrics, &mut scratch) {
+            if service_play(&socket, io, now, &events, &metrics, &mut scratch, dropping) {
                 done.push(*id);
             }
         }
@@ -224,6 +230,8 @@ fn handle_inline(cmd: NetCmd, plays: &mut HashMap<StreamId, PlayIo>, metrics: &A
 }
 
 /// Services one play stream; returns true when it should be dropped.
+/// `blackhole` suppresses the actual sends (chaos injection).
+#[allow(clippy::too_many_arguments)]
 fn service_play(
     socket: &UdpSocket,
     io: &mut PlayIo,
@@ -231,6 +239,7 @@ fn service_play(
     events: &Sender<NetEvent>,
     metrics: &Arc<MsuMetrics>,
     scratch: &mut Vec<u8>,
+    blackhole: bool,
 ) -> bool {
     // Snapshot the control block.
     let (phase, gen, start_seq, skip_until_us, eof, pacer, kind): (
@@ -347,8 +356,11 @@ fn service_play(
         io.wire_seq = io.wire_seq.wrapping_add(1);
         header.encode_packet_into(pkt.payload.as_slice(), scratch);
         // A transient send failure drops the packet (UDP semantics); the
-        // client's sequence numbers expose the loss.
-        let _ = socket.send_to(scratch, io.dest);
+        // client's sequence numbers expose the loss. A blackholed send
+        // is accounted as sent — the NIC doesn't know the port is dead.
+        if !blackhole {
+            let _ = socket.send_to(scratch, io.dest);
+        }
         io.shared.stats.note_packet(pkt.payload.len(), late_us);
         metrics.packets_sent.inc();
         metrics.bytes_sent.add(pkt.payload.len() as u64);
@@ -389,7 +401,9 @@ fn service_play(
                 offset: pacer.position(now),
                 kind: PacketKind::EndOfStream,
             };
-            let _ = socket.send_to(&header.encode_packet(&[]), io.dest);
+            if !blackhole {
+                let _ = socket.send_to(&header.encode_packet(&[]), io.dest);
+            }
             io.shared.ctl.lock().phase = StreamPhase::Done;
             let _ = events.send(NetEvent::PlayFinished {
                 stream: io.shared.id,
@@ -571,7 +585,16 @@ mod tests {
         let (tx, rx) = unbounded();
         let (etx, erx) = unbounded();
         let tick = Duration::from_millis(2);
-        let net = std::thread::spawn(move || run(send_sock, tick, rx, etx, MsuMetrics::new()));
+        let net = std::thread::spawn(move || {
+            run(
+                send_sock,
+                tick,
+                rx,
+                etx,
+                MsuMetrics::new(),
+                Arc::new(AtomicBool::new(false)),
+            )
+        });
 
         // 2.5 pages of content at a fast rate.
         let page = 4096usize;
@@ -661,6 +684,7 @@ mod tests {
                 rx,
                 etx,
                 MsuMetrics::new(),
+                Arc::new(AtomicBool::new(false)),
             )
         });
 
@@ -720,6 +744,7 @@ mod tests {
                 rx,
                 etx,
                 MsuMetrics::new(),
+                Arc::new(AtomicBool::new(false)),
             )
         });
 

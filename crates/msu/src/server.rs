@@ -21,7 +21,7 @@ use calliope_proto::module::registry as proto_registry;
 use calliope_proto::schedule::CbrSchedule;
 use calliope_storage::catalog::FileKind;
 use calliope_storage::page::Geometry;
-use calliope_storage::{FileDisk, MsuFs, BLOCK_SIZE};
+use calliope_storage::{BlockDevice, FaultControl, FaultyDisk, FileDisk, MsuFs, BLOCK_SIZE};
 use calliope_types::error::{Error, Result};
 use calliope_types::time::ByteRate;
 use calliope_types::wire::messages::{
@@ -56,6 +56,13 @@ pub struct MsuServer {
     msu_id: MsuId,
     disk_ids: Arc<Mutex<Vec<DiskId>>>,
     handles: Vec<JoinHandle<()>>,
+    /// Runtime fault handles, parallel to the config's disk order
+    /// (`Some` only where the config armed a fault plan).
+    fault_controls: Vec<Option<Arc<FaultControl>>>,
+    /// Chaos switch: the Coordinator control loop stops reading.
+    wedged: Arc<AtomicBool>,
+    /// Chaos switch: outgoing media packets are silently discarded.
+    blackhole: Arc<AtomicBool>,
 }
 
 impl std::fmt::Debug for MsuServer {
@@ -75,15 +82,34 @@ impl MsuServer {
         std::fs::create_dir_all(&cfg.data_dir)?;
         let stop = Arc::new(AtomicBool::new(false));
 
-        // Open or create the disks.
+        // Open or create the disks, wrapping each in the fault injector
+        // when its spec arms one.
         let mut filesystems = Vec::new();
         let mut reports = Vec::new();
+        let mut fault_controls: Vec<Option<Arc<FaultControl>>> = Vec::new();
         for (i, spec) in cfg.disks.iter().enumerate() {
             let path = cfg.data_dir.join(format!("disk{i}.img"));
-            let fs = if path.exists() {
-                MsuFs::open(Box::new(FileDisk::open(&path, BLOCK_SIZE)?))?
+            let exists = path.exists();
+            let raw = if exists {
+                FileDisk::open(&path, BLOCK_SIZE)?
             } else {
-                MsuFs::format(Box::new(FileDisk::create(&path, BLOCK_SIZE, spec.blocks)?))?
+                FileDisk::create(&path, BLOCK_SIZE, spec.blocks)?
+            };
+            let device: Box<dyn BlockDevice> = match &spec.fault {
+                Some(plan) => {
+                    let faulty = FaultyDisk::new(raw, plan.clone());
+                    fault_controls.push(Some(faulty.control()));
+                    Box::new(faulty)
+                }
+                None => {
+                    fault_controls.push(None);
+                    Box::new(raw)
+                }
+            };
+            let fs = if exists {
+                MsuFs::open(device)?
+            } else {
+                MsuFs::format(device)?
             };
             reports.push(DiskReport {
                 capacity_bytes: fs.capacity_bytes(),
@@ -95,6 +121,8 @@ impl MsuServer {
 
         // Channels and threads.
         let metrics = MsuMetrics::new();
+        let wedged = Arc::new(AtomicBool::new(false));
+        let blackhole = Arc::new(AtomicBool::new(false));
         let (events_tx, events_rx) = unbounded::<ServerEvent>();
         let mut disk_txs = Vec::new();
         let mut handles = Vec::new();
@@ -127,8 +155,9 @@ impl MsuServer {
             }));
             let tick = cfg.net_tick;
             let nm = Arc::clone(&metrics);
+            let bh = Arc::clone(&blackhole);
             handles.push(std::thread::spawn(move || {
-                net::run(send_socket, tick, net_rx, ntx, nm)
+                net::run(send_socket, tick, net_rx, ntx, nm, bh)
             }));
         }
 
@@ -168,8 +197,9 @@ impl MsuServer {
             let cfg = cfg.clone();
             let disk_ids = Arc::clone(&disk_ids);
             let events_tx = events_tx.clone();
+            let wedged = Arc::clone(&wedged);
             handles.push(std::thread::spawn(move || {
-                coordinator_loop(shared, cfg, conn, msu_id, disk_ids, events_tx, stop)
+                coordinator_loop(shared, cfg, conn, msu_id, disk_ids, events_tx, stop, wedged)
             }));
         }
 
@@ -179,6 +209,9 @@ impl MsuServer {
             msu_id,
             disk_ids,
             handles,
+            fault_controls,
+            wedged,
+            blackhole,
         })
     }
 
@@ -195,6 +228,68 @@ impl MsuServer {
     /// Number of live streams.
     pub fn stream_count(&self) -> usize {
         self.shared.registry.lock().len()
+    }
+
+    /// This MSU's metrics (counters like `msu.io_errors`).
+    pub fn metrics(&self) -> &MsuMetrics {
+        &self.shared.metrics
+    }
+
+    /// The runtime fault handle for local disk `disk` (config order).
+    /// `None` when that disk's spec armed no fault plan.
+    pub fn fault_control(&self, disk: usize) -> Option<Arc<FaultControl>> {
+        self.fault_controls.get(disk).and_then(Option::clone)
+    }
+
+    /// Chaos: wedges the Coordinator control loop. The TCP connection
+    /// stays open but no request — including `Ping` — is read or
+    /// answered again, so only the heartbeat monitor can detect the
+    /// failure (a TCP break alone cannot).
+    pub fn wedge_control(&self) {
+        self.wedged.store(true, Ordering::Release);
+    }
+
+    /// Chaos: severs the Coordinator connection. Streams keep playing
+    /// and the MSU re-registers with its previous identity (§2.2); the
+    /// Coordinator sees the TCP break and marks this MSU down at once.
+    pub fn drop_coord_conn(&self) {
+        if let Some(conn) = self.shared.coord_conn.lock().as_ref() {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+    }
+
+    /// Chaos: silently discards every outgoing media packet from here
+    /// on. Pacing, accounting, and control traffic continue as if the
+    /// network were healthy — it models a dead switch port, which only
+    /// the client can notice.
+    pub fn blackhole_udp(&self) {
+        self.blackhole.store(true, Ordering::Release);
+    }
+
+    /// Crashes the MSU: every thread is torn down abruptly, WITHOUT the
+    /// orderly `GroupEnded` / `StreamDone` farewells that
+    /// [`shutdown`](Self::shutdown) sends. Clients see their control
+    /// connections break and the Coordinator sees the TCP connection
+    /// die — the closest safe equivalent of `kill -9`.
+    pub fn crash(mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(conn) = self.shared.coord_conn.lock().take() {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+        let groups: Vec<Arc<GroupInfo>> =
+            self.shared.groups.lock().drain().map(|(_, g)| g).collect();
+        for g in groups {
+            if let Some(conn) = g.conn.lock().as_ref() {
+                let _ = conn.shutdown(std::net::Shutdown::Both);
+            }
+        }
+        for tx in &self.shared.disk_txs {
+            let _ = tx.send(DiskCmd::Shutdown);
+        }
+        let _ = self.shared.net_tx.send(NetCmd::Shutdown);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
     }
 
     /// Stops every thread and tears down all streams.
@@ -302,8 +397,11 @@ fn run_event_loop(shared: Arc<ServerShared>, rx: Receiver<ServerEvent>, stop: Ar
             ServerEvent::Disk(DiskEvent::StreamFailed { stream, msg }) => {
                 let info = shared.registry.lock().get(&stream).cloned();
                 if let Some(info) = info {
+                    shared.metrics.io_errors.inc();
                     let gid = info.shared.group;
-                    let reason = DoneReason::Error(msg);
+                    // IoError (not a generic Error) tells the
+                    // Coordinator this stream is a failover candidate.
+                    let reason = DoneReason::IoError(msg);
                     shared.finish_stream(&info, reason.clone(), 0, 0);
                     maybe_end_group(&shared, gid, reason);
                 }
@@ -340,6 +438,7 @@ fn maybe_end_group(shared: &ServerShared, gid: GroupId, reason: DoneReason) {
 
 /// Reads Coordinator requests, reconnecting (and re-registering with
 /// the previous identity) after connection loss.
+#[allow(clippy::too_many_arguments)]
 fn coordinator_loop(
     shared: Arc<ServerShared>,
     cfg: MsuConfig,
@@ -348,11 +447,17 @@ fn coordinator_loop(
     disk_ids: Arc<Mutex<Vec<DiskId>>>,
     events_tx: Sender<ServerEvent>,
     stop: Arc<AtomicBool>,
+    wedged: Arc<AtomicBool>,
 ) {
     conn.set_read_timeout(Some(Duration::from_millis(200))).ok();
     loop {
         if stop.load(Ordering::Acquire) {
             return;
+        }
+        // Wedged (chaos): keep the connection open but stop serving.
+        if wedged.load(Ordering::Acquire) {
+            std::thread::sleep(Duration::from_millis(20));
+            continue;
         }
         let env: Option<CoordEnvelope> = match read_frame(&mut conn) {
             Ok(env) => env,

@@ -1,0 +1,367 @@
+//! Deterministic fault injection for block devices.
+//!
+//! [`FaultyDisk`] wraps any [`BlockDevice`] and fails I/O according to a
+//! seed-driven [`FaultPlan`]: the Nth read or write errors, every
+//! transfer can be slowed by a fixed latency, touching a block at or
+//! beyond a threshold kills the device outright, and a per-million
+//! probability injects random (but seed-reproducible) errors. A shared
+//! [`FaultControl`] handle lets a test kill the device at runtime —
+//! from outside the disk thread — and observe how many faults fired.
+//!
+//! The point is to test the failure paths the paper hand-waves ("the
+//! Coordinator detects when one of the MSUs fails", §2.2) without
+//! `kill -9`: an injected read error must surface as
+//! `StreamDone { reason: IoError }`, flow client-visible, and trigger
+//! replica failover when a copy of the content survives elsewhere.
+
+use crate::block::BlockDevice;
+use calliope_types::error::{Error, Result};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A deterministic fault schedule for one device.
+///
+/// All triggers are optional; the default plan injects nothing, so a
+/// `FaultyDisk` with a default plan behaves exactly like its inner
+/// device (useful when only runtime [`FaultControl::kill`] is wanted).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed for the probabilistic trigger; two devices with the same
+    /// seed and workload fail identically.
+    pub seed: u64,
+    /// Fail the Nth block read (1-based, counted per block so batched
+    /// reads participate). `None` disables the trigger.
+    pub fail_read_nth: Option<u64>,
+    /// Fail the Nth block write (1-based).
+    pub fail_write_nth: Option<u64>,
+    /// Added to every read before it is issued.
+    pub read_latency: Duration,
+    /// Added to every write before it is issued.
+    pub write_latency: Duration,
+    /// The first access touching a block index `>= K` kills the device
+    /// permanently (models a head crash partway across the platter).
+    pub dead_after_block: Option<u64>,
+    /// Probability, in parts per million, that any given block transfer
+    /// fails. Draws come from the seeded generator, so a run is
+    /// reproducible.
+    pub fail_ppm: u32,
+}
+
+impl FaultPlan {
+    /// A plan whose only trigger is the Nth read failing.
+    pub fn fail_read(nth: u64) -> FaultPlan {
+        FaultPlan {
+            fail_read_nth: Some(nth),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// A plan whose only trigger is the Nth write failing.
+    pub fn fail_write(nth: u64) -> FaultPlan {
+        FaultPlan {
+            fail_write_nth: Some(nth),
+            ..FaultPlan::default()
+        }
+    }
+}
+
+/// Shared runtime handle to a [`FaultyDisk`].
+///
+/// Cloned out of the wrapper at construction time so tests (or the
+/// `Cluster` chaos harness) can kill the device from another thread
+/// while the MSU's disk process owns the device itself.
+#[derive(Debug, Default)]
+pub struct FaultControl {
+    dead: AtomicBool,
+    read_errors: AtomicU64,
+    write_errors: AtomicU64,
+}
+
+impl FaultControl {
+    /// Kills the device: every subsequent transfer fails.
+    pub fn kill(&self) {
+        self.dead.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the device has died (by plan or by [`kill`](Self::kill)).
+    pub fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::SeqCst)
+    }
+
+    /// Number of reads that have failed with an injected error.
+    pub fn read_errors(&self) -> u64 {
+        self.read_errors.load(Ordering::SeqCst)
+    }
+
+    /// Number of writes that have failed with an injected error.
+    pub fn write_errors(&self) -> u64 {
+        self.write_errors.load(Ordering::SeqCst)
+    }
+}
+
+/// A [`BlockDevice`] wrapper that injects faults per a [`FaultPlan`].
+pub struct FaultyDisk<D: BlockDevice> {
+    inner: D,
+    plan: FaultPlan,
+    ctl: Arc<FaultControl>,
+    reads: u64,
+    writes: u64,
+    rng: u64,
+}
+
+impl<D: BlockDevice> std::fmt::Debug for FaultyDisk<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultyDisk")
+            .field("plan", &self.plan)
+            .field("ctl", &self.ctl)
+            .field("reads", &self.reads)
+            .field("writes", &self.writes)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<D: BlockDevice> FaultyDisk<D> {
+    /// Wraps `inner` under `plan`.
+    pub fn new(inner: D, plan: FaultPlan) -> FaultyDisk<D> {
+        // xorshift* must not start at zero; fold in a constant.
+        let rng = plan.seed ^ 0x9E37_79B9_7F4A_7C15;
+        FaultyDisk {
+            inner,
+            plan,
+            ctl: Arc::new(FaultControl::default()),
+            reads: 0,
+            writes: 0,
+            rng,
+        }
+    }
+
+    /// The shared control handle (kill switch + error counters).
+    pub fn control(&self) -> Arc<FaultControl> {
+        Arc::clone(&self.ctl)
+    }
+
+    /// Consumes the wrapper, returning the inner device.
+    pub fn into_inner(self) -> D {
+        self.inner
+    }
+
+    /// One xorshift64* draw.
+    fn draw(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Common per-transfer checks; `count` blocks starting at `start`.
+    /// Returns the injected error, if any fired.
+    fn check(&mut self, is_read: bool, start: u64, count: u64) -> Result<()> {
+        if self.ctl.is_dead() {
+            return self.fail(is_read, "device is dead");
+        }
+        if let Some(k) = self.plan.dead_after_block {
+            if start.saturating_add(count) > k {
+                self.ctl.kill();
+                return self.fail(is_read, &format!("device died crossing block {k}"));
+            }
+        }
+        let (counter, nth, latency) = if is_read {
+            self.reads += count;
+            (self.reads, self.plan.fail_read_nth, self.plan.read_latency)
+        } else {
+            self.writes += count;
+            (
+                self.writes,
+                self.plan.fail_write_nth,
+                self.plan.write_latency,
+            )
+        };
+        if let Some(n) = nth {
+            // The Nth block transfer falls inside this (possibly
+            // batched) operation.
+            if counter >= n && counter - count < n {
+                let what = if is_read { "read" } else { "write" };
+                return self.fail(is_read, &format!("injected fault on {what} #{n}"));
+            }
+        }
+        if self.plan.fail_ppm > 0 && self.draw() % 1_000_000 < u64::from(self.plan.fail_ppm) {
+            return self.fail(is_read, "injected random fault");
+        }
+        if !latency.is_zero() {
+            std::thread::sleep(latency);
+        }
+        Ok(())
+    }
+
+    fn fail(&self, is_read: bool, msg: &str) -> Result<()> {
+        let c = if is_read {
+            &self.ctl.read_errors
+        } else {
+            &self.ctl.write_errors
+        };
+        c.fetch_add(1, Ordering::SeqCst);
+        Err(Error::storage(format!("faulty-disk: {msg}")))
+    }
+}
+
+impl<D: BlockDevice> BlockDevice for FaultyDisk<D> {
+    fn block_size(&self) -> usize {
+        self.inner.block_size()
+    }
+
+    fn num_blocks(&self) -> u64 {
+        self.inner.num_blocks()
+    }
+
+    fn read_block(&mut self, idx: u64, buf: &mut [u8]) -> Result<()> {
+        self.check(true, idx, 1)?;
+        self.inner.read_block(idx, buf)
+    }
+
+    fn read_blocks_into(&mut self, start: u64, bufs: &mut [&mut [u8]]) -> Result<()> {
+        if !bufs.is_empty() {
+            self.check(true, start, bufs.len() as u64)?;
+        }
+        self.inner.read_blocks_into(start, bufs)
+    }
+
+    fn write_block(&mut self, idx: u64, buf: &[u8]) -> Result<()> {
+        self.check(false, idx, 1)?;
+        self.inner.write_block(idx, buf)
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        if self.ctl.is_dead() {
+            self.ctl.read_errors.fetch_add(1, Ordering::SeqCst);
+            return Err(Error::storage("faulty-disk: device is dead"));
+        }
+        self.inner.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::MemDisk;
+
+    fn disk(plan: FaultPlan) -> FaultyDisk<MemDisk> {
+        FaultyDisk::new(MemDisk::new(512, 32), plan)
+    }
+
+    #[test]
+    fn default_plan_is_transparent() {
+        let mut d = disk(FaultPlan::default());
+        let buf = vec![7u8; 512];
+        let mut out = vec![0u8; 512];
+        for i in 0..8 {
+            d.write_block(i, &buf).unwrap();
+            d.read_block(i, &mut out).unwrap();
+            assert_eq!(out, buf);
+        }
+        d.sync().unwrap();
+        let ctl = d.control();
+        assert_eq!(ctl.read_errors(), 0);
+        assert_eq!(ctl.write_errors(), 0);
+        assert!(!ctl.is_dead());
+    }
+
+    #[test]
+    fn nth_read_fails_and_is_counted() {
+        let mut d = disk(FaultPlan::fail_read(3));
+        let mut out = vec![0u8; 512];
+        d.read_block(0, &mut out).unwrap();
+        d.read_block(1, &mut out).unwrap();
+        assert!(d.read_block(2, &mut out).is_err(), "third read must fail");
+        // Only that one read fails; the plan is a schedule, not a state.
+        d.read_block(3, &mut out).unwrap();
+        assert_eq!(d.control().read_errors(), 1);
+    }
+
+    #[test]
+    fn nth_write_fails() {
+        let mut d = disk(FaultPlan::fail_write(2));
+        let buf = vec![0u8; 512];
+        d.write_block(0, &buf).unwrap();
+        assert!(d.write_block(1, &buf).is_err());
+        d.write_block(2, &buf).unwrap();
+        assert_eq!(d.control().write_errors(), 1);
+    }
+
+    #[test]
+    fn batched_read_fails_when_nth_falls_inside() {
+        let mut d = disk(FaultPlan::fail_read(3));
+        let mut bufs: Vec<Vec<u8>> = (0..4).map(|_| vec![0u8; 512]).collect();
+        let mut refs: Vec<&mut [u8]> = bufs.iter_mut().map(|b| b.as_mut_slice()).collect();
+        // Blocks 1..=4 of the read count; #3 is inside this batch.
+        assert!(d.read_blocks_into(0, &mut refs).is_err());
+        // The counter advanced past the trigger: later batches succeed.
+        d.read_blocks_into(0, &mut refs).unwrap();
+    }
+
+    #[test]
+    fn crossing_the_dead_block_kills_the_device() {
+        let mut d = disk(FaultPlan {
+            dead_after_block: Some(16),
+            ..FaultPlan::default()
+        });
+        let mut out = vec![0u8; 512];
+        d.read_block(15, &mut out).unwrap();
+        assert!(d.read_block(16, &mut out).is_err());
+        let ctl = d.control();
+        assert!(ctl.is_dead());
+        // Death is permanent: even in-range blocks now fail.
+        assert!(d.read_block(0, &mut out).is_err());
+        assert!(d.write_block(0, &[0u8; 512]).is_err());
+        assert!(d.sync().is_err());
+    }
+
+    #[test]
+    fn runtime_kill_switch_fails_everything() {
+        let d = disk(FaultPlan::default());
+        let ctl = d.control();
+        let mut d = d;
+        let mut out = vec![0u8; 512];
+        d.read_block(0, &mut out).unwrap();
+        ctl.kill();
+        assert!(d.read_block(0, &mut out).is_err());
+        assert!(d.write_block(0, &[0u8; 512]).is_err());
+        assert!(ctl.read_errors() >= 1);
+    }
+
+    #[test]
+    fn random_faults_are_seed_deterministic() {
+        let run = |seed: u64| -> Vec<bool> {
+            let mut d = disk(FaultPlan {
+                seed,
+                fail_ppm: 200_000, // 20% per transfer
+                ..FaultPlan::default()
+            });
+            let mut out = vec![0u8; 512];
+            (0..64)
+                .map(|_| d.read_block(0, &mut out).is_err())
+                .collect()
+        };
+        let a = run(7);
+        assert_eq!(a, run(7), "same seed must replay the same faults");
+        assert!(a.iter().any(|&e| e), "20% over 64 draws should fire");
+        assert!(a.iter().any(|&e| !e), "and should not fire every time");
+        assert_ne!(a, run(8), "different seeds should diverge");
+    }
+
+    #[test]
+    fn latency_is_applied() {
+        let mut d = disk(FaultPlan {
+            read_latency: Duration::from_millis(5),
+            ..FaultPlan::default()
+        });
+        let mut out = vec![0u8; 512];
+        let t0 = std::time::Instant::now();
+        for i in 0..4 {
+            d.read_block(i, &mut out).unwrap();
+        }
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+    }
+}

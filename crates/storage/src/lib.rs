@@ -31,6 +31,7 @@ pub mod alloc;
 pub mod block;
 pub mod catalog;
 pub mod elevator;
+pub mod faults;
 pub mod fs;
 pub mod ibtree;
 pub mod layout;
@@ -40,6 +41,7 @@ pub mod striped;
 pub use block::{BlockDevice, FileDisk, IoStats, MemDisk, MeteredDevice};
 pub use catalog::{FileKind, FileMeta};
 pub use elevator::{coalesce_runs, ElevatorState, Run};
+pub use faults::{FaultControl, FaultPlan, FaultyDisk};
 pub use fs::MsuFs;
 pub use ibtree::{IbTreeReader, IbTreeWriter, SeekPos};
 pub use layout::BLOCK_SIZE;

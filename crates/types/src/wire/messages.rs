@@ -36,6 +36,10 @@ pub enum DoneReason {
     MsuShutdown,
     /// Something went wrong; the message describes it.
     Error(String),
+    /// The MSU hit a disk I/O error serving the stream. Distinct from
+    /// `Error` so the Coordinator can attempt replica failover and the
+    /// client knows the content itself may still be playable elsewhere.
+    IoError(String),
 }
 
 impl Wire for DoneReason {
@@ -49,6 +53,10 @@ impl Wire for DoneReason {
                 buf.push(4);
                 msg.encode(buf);
             }
+            DoneReason::IoError(msg) => {
+                buf.push(5);
+                msg.encode(buf);
+            }
         }
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
@@ -58,6 +66,7 @@ impl Wire for DoneReason {
             2 => Ok(DoneReason::Cancelled),
             3 => Ok(DoneReason::MsuShutdown),
             4 => Ok(DoneReason::Error(String::decode(r)?)),
+            5 => Ok(DoneReason::IoError(String::decode(r)?)),
             tag => Err(WireError::BadTag {
                 what: "done reason",
                 tag,
@@ -1551,6 +1560,7 @@ mod tests {
             DoneReason::Cancelled,
             DoneReason::MsuShutdown,
             DoneReason::Error("boom".into()),
+            DoneReason::IoError("read block 7 failed".into()),
         ] {
             round_trip(&reason);
         }

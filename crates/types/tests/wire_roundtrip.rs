@@ -79,6 +79,7 @@ fn arb_done_reason() -> impl Strategy<Value = DoneReason> {
         Just(DoneReason::Cancelled),
         Just(DoneReason::MsuShutdown),
         any::<String>().prop_map(DoneReason::Error),
+        any::<String>().prop_map(DoneReason::IoError),
     ]
 }
 
@@ -269,6 +270,36 @@ fn arb_coord_reply() -> impl Strategy<Value = CoordReply> {
         proptest::collection::vec(arb_type_spec(), 0..4)
             .prop_map(|types| CoordReply::TypeList { types }),
     ]
+}
+
+/// The heartbeat and fault-reporting messages round-trip exactly: the
+/// Coordinator's liveness probe (`Ping`/`Pong`) and the disk-failure
+/// stream ending (`StreamDone { reason: IoError }`) that triggers
+/// replica failover.
+#[test]
+fn heartbeat_and_io_error_round_trip() {
+    let ping = CoordEnvelope {
+        req_id: 42,
+        body: CoordToMsu::Ping,
+    };
+    assert_eq!(CoordEnvelope::from_bytes(&ping.to_bytes()).unwrap(), ping);
+
+    let pong = MsuEnvelope {
+        req_id: 42,
+        body: MsuToCoord::Pong,
+    };
+    assert_eq!(MsuEnvelope::from_bytes(&pong.to_bytes()).unwrap(), pong);
+
+    let done = MsuEnvelope {
+        req_id: 0,
+        body: MsuToCoord::StreamDone {
+            stream: StreamId(7),
+            reason: DoneReason::IoError("read failed: injected fault".into()),
+            bytes: 1024,
+            duration_us: 5_000_000,
+        },
+    };
+    assert_eq!(MsuEnvelope::from_bytes(&done.to_bytes()).unwrap(), done);
 }
 
 proptest! {

@@ -1,0 +1,194 @@
+//! Chaos tests: injected disk faults, abrupt MSU crashes, and wedged
+//! control loops, driven through the public cluster API. The
+//! Coordinator must detect each failure (heartbeat or broken
+//! connection), reap the dead party's grants, and — when a replica
+//! exists — fail playback over without the client doing anything.
+
+use calliope::cluster::Cluster;
+use calliope::content;
+use calliope_storage::FaultPlan;
+use calliope_types::error::Error;
+use calliope_types::wire::messages::DoneReason;
+use std::time::{Duration, Instant};
+
+fn wait_for<T>(timeout: Duration, mut f: impl FnMut() -> Option<T>) -> T {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if let Some(v) = f() {
+            return v;
+        }
+        assert!(Instant::now() < deadline, "timed out");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// A disk dies mid-playback but the title has a replica on the sibling
+/// disk: the MSU reports `StreamDone { IoError }`, the Coordinator
+/// re-admits the stream on the replica, the MSU dials the client's
+/// control listener again, and playback completes — the viewer never
+/// sees an error.
+#[test]
+fn disk_death_fails_over_to_the_replica_disk() {
+    // The MSU reads ahead as fast as the disk allows (delivery, not
+    // reading, is what gets paced), so a healthy disk would hand over
+    // the whole clip before the kill switch lands. 300 ms per transfer
+    // keeps reads outstanding past the kill, deterministically.
+    let slow = FaultPlan {
+        read_latency: Duration::from_millis(300),
+        ..FaultPlan::default()
+    };
+    let cluster = Cluster::builder()
+        .msus(1)
+        .disks_per_msu(2)
+        .fault(0, 0, slow.clone())
+        .fault(0, 1, slow)
+        .build()
+        .unwrap();
+    let mut admin = cluster.client("root", true).unwrap();
+    let original = content::upload_mpeg(&mut admin, "movie", 8, 11).unwrap();
+    admin.replicate("movie").unwrap();
+
+    let port = admin.open_port("tv", "mpeg1").unwrap();
+    let mut play = admin.play("movie", "tv", &[&port]).unwrap();
+    let stream = play.streams[0];
+    wait_for(Duration::from_secs(10), || {
+        (port.stats(stream).packets > 2).then_some(())
+    });
+
+    // Kill the disk actually serving the stream (registration order in
+    // the status matches the builder's disk order).
+    let (msus, _) = admin.server_status().unwrap();
+    let victim = msus[0]
+        .disks
+        .iter()
+        .position(|d| d.bw_used > 0)
+        .expect("one disk holds the stream's bandwidth grant");
+    cluster.fail_disk(0, victim).expect("disk is fault-armed");
+
+    // The client blocks straight through the failover; playback
+    // restarts from the beginning on the replica and completes.
+    let reason = play.wait_end(Duration::from_secs(60)).unwrap();
+    assert_eq!(reason, DoneReason::Completed);
+    assert_eq!(cluster.coord.stats().failovers.get(), 1);
+
+    // The full clip arrived after the restart (plus whatever the first
+    // attempt delivered before the disk died).
+    let stats = wait_for(Duration::from_secs(5), || {
+        let s = port.stats(stream);
+        s.eos.then_some(s)
+    });
+    assert!(
+        stats.bytes >= original.len() as u64,
+        "replayed clip shorter than the original: {} < {}",
+        stats.bytes,
+        original.len()
+    );
+    // Everything drains: no stranded grants.
+    wait_for(Duration::from_secs(10), || {
+        (cluster.coord.active_streams() == 0).then_some(())
+    });
+    cluster.shutdown();
+}
+
+/// The only copy's disk dies: no replica to move to, so the failure
+/// surfaces to the client as a clean I/O error — after the failover
+/// grace expires — and the Coordinator releases every grant.
+#[test]
+fn disk_death_without_a_replica_is_a_clean_error() {
+    let cluster = Cluster::builder()
+        .msus(1)
+        .disks_per_msu(1)
+        // Slow reads down so the clip is still being read — not already
+        // fully buffered — when the kill switch lands.
+        .fault(
+            0,
+            0,
+            FaultPlan {
+                read_latency: Duration::from_millis(300),
+                ..FaultPlan::default()
+            },
+        )
+        .build()
+        .unwrap();
+    let mut client = cluster.client("alice", false).unwrap();
+    content::upload_mpeg(&mut client, "solo", 8, 12).unwrap();
+
+    let port = client.open_port("tv", "mpeg1").unwrap();
+    let mut play = client.play("solo", "tv", &[&port]).unwrap();
+    let stream = play.streams[0];
+    wait_for(Duration::from_secs(10), || {
+        (port.stats(stream).packets > 2).then_some(())
+    });
+    cluster.fail_disk(0, 0).expect("disk is fault-armed");
+
+    let reason = play.wait_end(Duration::from_secs(30)).unwrap();
+    assert!(
+        matches!(reason, DoneReason::IoError(_)),
+        "expected an I/O error, got {reason:?}"
+    );
+    assert_eq!(cluster.coord.stats().failovers.get(), 0);
+    assert_eq!(
+        cluster.msus[0].metrics().io_errors.get(),
+        1,
+        "msu.io_errors"
+    );
+
+    // No stranded grants: the stream's bandwidth came back.
+    wait_for(Duration::from_secs(10), || {
+        (cluster.coord.active_streams() == 0).then_some(())
+    });
+    let (msus, _) = client.server_status().unwrap();
+    assert_eq!(msus[0].net_used, 0);
+    assert!(msus[0].available, "an MSU survives its disk");
+    cluster.shutdown();
+}
+
+/// An MSU crashes abruptly — no farewell to anyone. The Coordinator
+/// notices the broken connection, reaps the grant, finds no replica,
+/// and the client's session closes after the failover grace.
+#[test]
+fn msu_crash_without_a_replica_reaps_the_grants() {
+    let mut cluster = Cluster::builder().msus(1).build().unwrap();
+    let mut client = cluster.client("alice", false).unwrap();
+    content::upload_mpeg(&mut client, "doomed", 4, 13).unwrap();
+
+    let port = client.open_port("tv", "mpeg1").unwrap();
+    let mut play = client.play("doomed", "tv", &[&port]).unwrap();
+    let stream = play.streams[0];
+    wait_for(Duration::from_secs(10), || {
+        (port.stats(stream).packets > 2).then_some(())
+    });
+
+    let _id = cluster.crash_msu(0);
+    let err = play.wait_end(Duration::from_secs(30));
+    assert!(
+        matches!(err, Err(Error::SessionClosed)),
+        "expected SessionClosed, got {err:?}"
+    );
+    wait_for(Duration::from_secs(10), || {
+        (cluster.coord.msu_count() == 0).then_some(())
+    });
+    assert_eq!(cluster.coord.stats().grants_reaped.get(), 1);
+    assert_eq!(cluster.coord.active_streams(), 0, "no stranded grants");
+    cluster.shutdown();
+}
+
+/// A wedged MSU answers nothing but keeps its TCP connection open — a
+/// failure mode only the heartbeat can see. With a fast heartbeat the
+/// Coordinator marks it down within a few intervals.
+#[test]
+fn heartbeat_reaps_a_wedged_msu() {
+    let cluster = Cluster::builder()
+        .msus(2)
+        .heartbeat(Duration::from_millis(50), 2)
+        .build()
+        .unwrap();
+    assert_eq!(cluster.coord.msu_count(), 2);
+
+    cluster.wedge_msu(1);
+    wait_for(Duration::from_secs(10), || {
+        (cluster.coord.msu_count() == 1).then_some(())
+    });
+    assert!(cluster.coord.stats().heartbeat_misses.get() >= 2);
+    cluster.shutdown();
+}
