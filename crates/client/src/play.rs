@@ -9,7 +9,7 @@
 use calliope_types::error::{Error, Result};
 use calliope_types::wire::messages::{ClientToMsu, DoneReason, MsuToClient, StreamStart};
 use calliope_types::wire::{read_frame, write_frame};
-use calliope_types::{GroupId, StreamId, VcrCommand};
+use calliope_types::{GroupId, StreamId, TraceCtx, VcrCommand};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
@@ -25,6 +25,9 @@ pub struct PlaySession {
     pub group: GroupId,
     /// Member streams, in component-port order.
     pub streams: Vec<StreamId>,
+    /// Trace contexts minted at admission, parallel to `streams` —
+    /// the ids to grep Coordinator and MSU logs for.
+    pub traces: Vec<TraceCtx>,
     ctrl: TcpStream,
     /// The port's control-connection queue: a failover MSU dials the
     /// same listener, so the replacement connection arrives here.
@@ -48,6 +51,7 @@ impl PlaySession {
         let mut session = PlaySession {
             group,
             streams: starts.iter().map(|s| s.stream).collect(),
+            traces: starts.iter().map(|s| s.trace).collect(),
             ctrl,
             ctrl_conns: ports[0].ctrl_conns(),
             ended: None,
@@ -57,7 +61,12 @@ impl PlaySession {
         let deadline = Instant::now() + timeout;
         loop {
             match session.read_msg(deadline)? {
-                MsuToClient::GroupReady { group: g, .. } if g == group => return Ok(session),
+                MsuToClient::GroupReady {
+                    group: g, trace, ..
+                } if g == group => {
+                    tracing::info!("{group}: ready, playback starting [{trace}]");
+                    return Ok(session);
+                }
                 MsuToClient::GroupEnded { reason, .. } => {
                     return Err(Error::Protocol {
                         msg: format!("group ended before ready: {reason:?}"),
@@ -215,7 +224,12 @@ impl PlaySession {
             // was not our replacement — wait for another.
             loop {
                 match self.read_msg(deadline) {
-                    Ok(MsuToClient::GroupReady { group, streams }) if group == self.group => {
+                    Ok(MsuToClient::GroupReady {
+                        group,
+                        streams,
+                        trace,
+                    }) if group == self.group => {
+                        tracing::info!("{group}: failover takeover confirmed [{trace}]");
                         self.streams = streams;
                         return true;
                     }

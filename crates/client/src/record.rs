@@ -11,7 +11,7 @@ use calliope_types::error::{Error, Result};
 use calliope_types::wire::data::{DataHeader, PacketKind};
 use calliope_types::wire::messages::{ClientToMsu, DoneReason, MsuToClient, RecordStart};
 use calliope_types::wire::{read_frame, write_frame};
-use calliope_types::{GroupId, MediaTime, StreamId, VcrCommand};
+use calliope_types::{GroupId, MediaTime, StreamId, TraceCtx, VcrCommand};
 use std::net::{SocketAddr, TcpStream, UdpSocket};
 use std::time::{Duration, Instant};
 
@@ -21,6 +21,8 @@ pub struct RecordSession {
     pub group: GroupId,
     /// Per-component stream ids and their MSU sinks, in port order.
     pub sinks: Vec<(StreamId, SocketAddr)>,
+    /// Trace contexts minted at admission, parallel to `sinks`.
+    pub traces: Vec<TraceCtx>,
     socket: UdpSocket,
     ctrl: TcpStream,
     seq: Vec<u32>,
@@ -49,6 +51,7 @@ impl RecordSession {
             group,
             seq: vec![0; starts.len()],
             sinks: starts.iter().map(|s| (s.stream, s.udp_sink)).collect(),
+            traces: starts.iter().map(|s| s.trace).collect(),
             socket,
             ctrl,
             ended: None,

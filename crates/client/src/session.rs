@@ -258,6 +258,17 @@ impl CalliopeClient {
         }
     }
 
+    /// Fetches the Coordinator's merged cluster view: the aggregate
+    /// snapshot (`source == "cluster"`) plus the latest
+    /// heartbeat-piggybacked snapshot from each live MSU. Served from
+    /// the Coordinator's cache, so it never blocks on an MSU.
+    pub fn cluster_stats(&mut self) -> Result<(StatsSnapshot, Vec<StatsSnapshot>)> {
+        match self.request(ClientRequest::ClusterStats)? {
+            CoordReply::ClusterStats { cluster, msus } => Ok((cluster, msus)),
+            other => Err(Error::internal(format!("unexpected reply {other:?}"))),
+        }
+    }
+
     /// Replicates content onto another disk (admin, paper §2.3.3):
     /// buys per-title bandwidth with disk space.
     pub fn replicate(&mut self, content: &str) -> Result<()> {

@@ -23,6 +23,20 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+/// The fake's one-counter stats snapshot, answered on both `GetStats`
+/// and (piggybacked) `Ping`.
+fn fake_snapshot(id: MsuId, started: Instant, served: &AtomicU64) -> StatsSnapshot {
+    StatsSnapshot {
+        source: id.to_string(),
+        uptime_us: started.elapsed().as_micros() as u64,
+        metrics: vec![MetricEntry {
+            name: "fake.streams_served".into(),
+            // relaxed: stats snapshots tolerate a slightly stale count.
+            value: MetricValue::Counter(served.load(Ordering::Relaxed)),
+        }],
+    }
+}
+
 /// A running fake MSU.
 pub struct FakeMsu {
     /// Identity assigned by the Coordinator.
@@ -114,8 +128,10 @@ impl FakeMsu {
                 };
                 let Some(env) = env else { return };
                 match env.body {
-                    CoordToMsu::ScheduleRead { stream, .. } => {
-                        tracing::debug!("fake {id}: play {stream} scheduled; will terminate");
+                    CoordToMsu::ScheduleRead { stream, trace, .. } => {
+                        tracing::debug!(
+                            "fake {id}: play {stream} scheduled; will terminate [{trace}]"
+                        );
                         let writer = Arc::clone(&writer);
                         let served = Arc::clone(&served2);
                         let linger = Arc::clone(&linger2);
@@ -143,6 +159,7 @@ impl FakeMsu {
                                         reason: DoneReason::ClientQuit,
                                         bytes: 0,
                                         duration_us: 0,
+                                        trace,
                                     },
                                 },
                             );
@@ -151,8 +168,10 @@ impl FakeMsu {
                             served.fetch_add(1, Ordering::Relaxed);
                         });
                     }
-                    CoordToMsu::ScheduleWrite { stream, .. } => {
-                        tracing::debug!("fake {id}: record {stream} scheduled; will terminate");
+                    CoordToMsu::ScheduleWrite { stream, trace, .. } => {
+                        tracing::debug!(
+                            "fake {id}: record {stream} scheduled; will terminate [{trace}]"
+                        );
                         let writer = Arc::clone(&writer);
                         let served = Arc::clone(&served2);
                         let linger = Arc::clone(&linger2);
@@ -181,6 +200,7 @@ impl FakeMsu {
                                         reason: DoneReason::ClientQuit,
                                         bytes: 0,
                                         duration_us: 0,
+                                        trace,
                                     },
                                 },
                             );
@@ -190,12 +210,17 @@ impl FakeMsu {
                         });
                     }
                     CoordToMsu::Ping => {
+                        // The Pong piggybacks a snapshot, feeding the
+                        // Coordinator's cluster view at heartbeat cost.
+                        let snapshot = fake_snapshot(id, started, &served2);
                         let mut w = writer.lock();
                         let _ = write_frame(
                             &mut *w,
                             &MsuEnvelope {
                                 req_id: env.req_id,
-                                body: MsuToCoord::Pong,
+                                body: MsuToCoord::Pong {
+                                    snapshot: Some(snapshot),
+                                },
                             },
                         );
                     }
@@ -222,15 +247,7 @@ impl FakeMsu {
                     CoordToMsu::GetStats => {
                         // Even the fake MSU answers the metrics probe,
                         // so §3.3 runs can be watched live.
-                        let snapshot = StatsSnapshot {
-                            source: id.to_string(),
-                            uptime_us: started.elapsed().as_micros() as u64,
-                            metrics: vec![MetricEntry {
-                                name: "fake.streams_served".into(),
-                                // relaxed: stats snapshots tolerate a slightly stale count.
-                                value: MetricValue::Counter(served2.load(Ordering::Relaxed)),
-                            }],
-                        };
+                        let snapshot = fake_snapshot(id, started, &served2);
                         let mut w = writer.lock();
                         let _ = write_frame(
                             &mut *w,

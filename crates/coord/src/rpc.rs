@@ -193,10 +193,10 @@ mod tests {
             let env = env.unwrap();
             assert_eq!(env.body, CoordToMsu::Ping);
             // Simulate the reply arriving on the reader thread.
-            conns3.route(MsuId(1), env.req_id, MsuToCoord::Pong);
+            conns3.route(MsuId(1), env.req_id, MsuToCoord::Pong { snapshot: None });
         });
         let reply = conns2.rpc(MsuId(1), CoordToMsu::Ping).unwrap();
-        assert_eq!(reply, MsuToCoord::Pong);
+        assert_eq!(reply, MsuToCoord::Pong { snapshot: None });
         responder.join().unwrap();
     }
 
@@ -223,6 +223,7 @@ mod tests {
                 reason: calliope_types::wire::messages::DoneReason::Completed,
                 bytes: 10,
                 duration_us: 20,
+                trace: Default::default(),
             },
         );
         assert!(out.is_some());
@@ -234,7 +235,9 @@ mod tests {
         let (coord_side, _msu_side) = pair();
         conns.install(MsuId(1), coord_side);
         // No pending id 77: routed reply vanishes.
-        assert!(conns.route(MsuId(1), 77, MsuToCoord::Pong).is_none());
+        assert!(conns
+            .route(MsuId(1), 77, MsuToCoord::Pong { snapshot: None })
+            .is_none());
     }
 
     /// The fast-fail path: a caller blocked in `rpc` must error the

@@ -11,6 +11,7 @@ use crate::db::{AdminDb, Component, ContentRecord, ContentStatus, Location};
 use crate::rpc::MsuConns;
 use crate::sched::Scheduler;
 use crate::stats::CoordStats;
+use calliope_obs::{FlightCode, FlightRecorder};
 use calliope_types::content::{ContentKind, ContentTypeSpec, TypeBody};
 use calliope_types::error::{Error, Result};
 use calliope_types::ids::IdAllocator;
@@ -18,12 +19,13 @@ use calliope_types::wire::messages::{
     ClientRequest, CoordReply, CoordToMsu, DiskStatus, DoneReason, MsuEnvelope, MsuStatus,
     MsuToCoord, PacingSpec, RecordStart, StreamStart, TrickFiles,
 };
+use calliope_types::wire::stats::{HistBucket, MetricEntry, MetricValue, StatsSnapshot};
 use calliope_types::wire::{read_frame, write_frame, Wire};
-use calliope_types::{DiskId, GroupId, MsuId, SessionId, StreamId};
+use calliope_types::{DiskId, GroupId, MsuId, SessionId, SpanKind, StreamId, TraceCtx};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::net::{IpAddr, Ipv4Addr, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -90,6 +92,10 @@ struct PlayTrack {
     /// Bandwidth reserved for the stream, bytes/s.
     bw: u64,
     trick: Option<TrickFiles>,
+    /// The trace minted at admission. A failover re-admission keeps the
+    /// id (so one grep follows the stream across MSUs) but switches the
+    /// span kind to [`SpanKind::Failover`].
+    trace: TraceCtx,
     /// Locations that already failed for this stream; a `None` disk
     /// means the whole MSU. Never retried.
     failed: Vec<(MsuId, Option<DiskId>)>,
@@ -112,7 +118,22 @@ struct Inner {
     /// never release the grant of a stream the reaper already failed
     /// over (that grant belongs to the stream's new home).
     failures: Mutex<()>,
+    /// Next trace id. Starts at 1: id 0 is the untraced sentinel.
+    trace_ids: AtomicU64,
+    /// Latest stats snapshot from each MSU, piggybacked on heartbeat
+    /// `Pong`s. `ClusterStats` serves from this cache so it never
+    /// blocks a client on an MSU round trip.
+    cluster: Mutex<HashMap<MsuId, StatsSnapshot>>,
+    /// Always-on flight recorder for the control plane; dumped on
+    /// `fail_msu`, stream I/O errors, panics, and `SIGUSR1`.
+    flight: Arc<FlightRecorder>,
     stop: AtomicBool,
+}
+
+/// Mints a fresh end-to-end trace context.
+fn mint_trace(inner: &Inner, kind: SpanKind) -> TraceCtx {
+    // relaxed: trace ids only need to be unique; they order nothing.
+    TraceCtx::new(inner.trace_ids.fetch_add(1, Ordering::Relaxed), kind)
 }
 
 /// A running Coordinator.
@@ -133,16 +154,25 @@ impl CoordServer {
         let client_addr = client_listener.local_addr()?;
         let msu_addr = msu_listener.local_addr()?;
 
+        let stats = CoordStats::new();
+        let flight = Arc::new(
+            FlightRecorder::from_env()
+                .with_dropped_counter(stats.registry.counter("obs.flight_dropped")),
+        );
+        calliope_obs::flight::register("coord", Arc::clone(&flight));
         let inner = Arc::new(Inner {
             db: Mutex::new(AdminDb::with_builtin_types()),
             sched: Scheduler::new(),
             conns: MsuConns::new(),
-            stats: CoordStats::new(),
+            stats,
             ids: IdAllocator::new(),
             recordings: Mutex::new(HashMap::new()),
             record_remaining: Mutex::new(HashMap::new()),
             plays: Mutex::new(HashMap::new()),
             failures: Mutex::new(()),
+            trace_ids: AtomicU64::new(1),
+            cluster: Mutex::new(HashMap::new()),
+            flight,
             stop: AtomicBool::new(false),
         });
 
@@ -178,6 +208,12 @@ impl CoordServer {
         &self.inner.stats
     }
 
+    /// The control plane's flight recorder (post-mortem assertions and
+    /// operator dumps read it through here).
+    pub fn flight(&self) -> &Arc<FlightRecorder> {
+        &self.inner.flight
+    }
+
     /// Number of registered-and-reachable MSUs.
     pub fn msu_count(&self) -> usize {
         self.inner.conns.len()
@@ -190,6 +226,7 @@ impl CoordServer {
 
     /// Stops the listeners (existing sessions drain on their own).
     pub fn shutdown(mut self) {
+        calliope_obs::flight::unregister("coord");
         self.inner.stop.store(true, Ordering::Release);
         // Poke the listeners so `accept` returns.
         let _ = TcpStream::connect(self.client_addr);
@@ -333,8 +370,12 @@ fn msu_connection(inner: Arc<Inner>, mut stream: TcpStream) {
 /// funnel through here.
 fn fail_msu(inner: &Inner, msu: MsuId) {
     inner.conns.remove(msu);
+    inner.cluster.lock().remove(&msu);
     let _order = inner.failures.lock();
     let reaped = inner.sched.mark_down(msu);
+    inner
+        .flight
+        .record(0, FlightCode::FailMsu, msu.raw(), reaped.len() as u64);
     if reaped.is_empty() {
         return;
     }
@@ -354,6 +395,10 @@ fn fail_msu(inner: &Inner, msu: MsuId) {
             tracing::warn!("{stream} lost with {msu}");
         }
     }
+    // The post-mortem: everything above (admissions, schedules, the
+    // FailMsu event, any Failover re-admissions) in one dump, with no
+    // logging configured.
+    inner.flight.dump("coord", "fail_msu");
 }
 
 /// Pings every connected MSU once per `interval`; `max_misses`
@@ -381,13 +426,32 @@ fn heartbeat_loop(inner: &Arc<Inner>, interval: Duration, max_misses: u32) {
                 .conns
                 .rpc_with_timeout(msu, CoordToMsu::Ping, interval)
             {
-                Ok(_) => {
+                Ok(reply) => {
                     misses.remove(&msu);
+                    // An MSU piggybacks its stats snapshot on the Pong;
+                    // fold it into the cluster view so `ClusterStats`
+                    // answers without another round trip.
+                    if let MsuToCoord::Pong {
+                        snapshot: Some(snapshot),
+                    } = reply
+                    {
+                        inner.stats.snapshots_merged.inc();
+                        inner.flight.record(
+                            0,
+                            FlightCode::SnapshotMerged,
+                            msu.raw(),
+                            snapshot.metrics.len() as u64,
+                        );
+                        inner.cluster.lock().insert(msu, snapshot);
+                    }
                 }
                 Err(_) => {
                     inner.stats.heartbeat_misses.inc();
                     let m = misses.entry(msu).or_insert(0);
                     *m += 1;
+                    inner
+                        .flight
+                        .record(0, FlightCode::HeartbeatMiss, msu.raw(), *m as u64);
                     tracing::warn!("heartbeat: {msu} missed beat {m} of {max_misses}");
                     if *m >= max_misses {
                         misses.remove(&msu);
@@ -467,6 +531,10 @@ fn fail_over(
         .iter()
         .find(|l| l.msu == msu && l.disk == disk)
         .expect("pick came from the live-replica list");
+    // Same trace id as the original admission — one grep follows the
+    // stream from its first Play through the failure to the replica —
+    // but the span kind flips so the re-admission is distinguishable.
+    let trace = track.trace.into_failover();
     let result = inner.conns.rpc(
         msu,
         CoordToMsu::ScheduleRead {
@@ -484,14 +552,18 @@ fn fail_over(
             client_data: track.client_data,
             client_ctrl: track.client_ctrl,
             trick: track.trick.clone(),
+            trace,
         },
     );
     match result {
         Ok(MsuToCoord::ReadScheduled { error: None }) => {
             inner.stats.failovers.inc();
             inner.stats.note_stream_started();
+            inner
+                .flight
+                .record(trace.id, FlightCode::Failover, stream.raw(), disk.raw());
             tracing::info!(
-                "failover: {stream} ({:?}) resumed on {msu} disk {disk}",
+                "failover: {stream} ({:?}) resumed on {msu} disk {disk} [{trace}]",
                 track.content
             );
             true
@@ -511,11 +583,25 @@ fn handle_msu_notification(inner: &Inner, from: MsuId, msg: MsuToCoord) {
         reason,
         bytes,
         duration_us,
+        trace,
     } = msg
     else {
         return;
     };
-    tracing::info!("teardown: {stream} done ({reason:?}, {bytes} bytes, {duration_us} µs)");
+    let reason_tag = match &reason {
+        DoneReason::Completed => 0,
+        DoneReason::ClientQuit => 1,
+        DoneReason::Cancelled => 2,
+        DoneReason::MsuShutdown => 3,
+        DoneReason::Error(_) => 4,
+        DoneReason::IoError(_) => 5,
+    };
+    inner
+        .flight
+        .record(trace.id, FlightCode::StreamDone, stream.raw(), reason_tag);
+    tracing::info!(
+        "teardown: {stream} done ({reason:?}, {bytes} bytes, {duration_us} µs) [{trace}]"
+    );
     // Recording? Finalize the catalog entry.
     let track = inner.recordings.lock().remove(&stream);
     if let Some(track) = track {
@@ -562,8 +648,15 @@ fn handle_msu_notification(inner: &Inner, from: MsuId, msg: MsuToCoord) {
     if let DoneReason::IoError(msg) = &reason {
         // The disk under the stream died. The grant is released; try a
         // replica before surfacing the error to the client.
+        inner
+            .flight
+            .record(trace.id, FlightCode::IoError, stream.raw(), res.disk.raw());
         tracing::warn!("{stream} failed on {} disk {} ({msg})", res.msu, res.disk);
-        if fail_over(inner, stream, res.msu, Some(res.disk)) {
+        let moved = fail_over(inner, stream, res.msu, Some(res.disk));
+        // Dump after the failover attempt so the post-mortem includes
+        // the Failover event (or its absence — the replicas ran out).
+        inner.flight.dump("coord", "stream io error");
+        if moved {
             return;
         }
     }
@@ -892,6 +985,18 @@ fn handle_request(
             }
             Ok(CoordReply::Stats { snapshots })
         }
+        ClientRequest::ClusterStats => {
+            // Served entirely from the heartbeat-fed cache: a client
+            // polling `top --watch` never adds MSU round trips, and a
+            // wedged MSU cannot stall the report (its last snapshot
+            // simply goes stale until the reaper drops it).
+            let mut msus: Vec<StatsSnapshot> = inner.cluster.lock().values().cloned().collect();
+            msus.sort_by(|a, b| a.source.cmp(&b.source));
+            Ok(CoordReply::ClusterStats {
+                cluster: merge_snapshots(&msus),
+                msus,
+            })
+        }
         ClientRequest::AttachTrick { content, files } => {
             if !sess.admin {
                 return Err(Error::PermissionDenied { op: "attach-trick" });
@@ -917,6 +1022,102 @@ fn handle_request(
             });
             Ok(CoordReply::Ok)
         }
+    }
+}
+
+/// Folds per-MSU snapshots into one cluster-total snapshot tagged
+/// `source == "cluster"`: counters sum, histograms merge bucket-wise
+/// (so quantiles of the merged histogram reflect every MSU's samples),
+/// and gauges sum both value and high-water mark — the sum of marks is
+/// an upper bound on the cluster's true simultaneous high water, which
+/// per-MSU sampling cannot reconstruct exactly. Uptime is the maximum,
+/// the age of the longest-running MSU.
+fn merge_snapshots(snaps: &[StatsSnapshot]) -> StatsSnapshot {
+    use std::collections::btree_map::Entry;
+    let mut merged: std::collections::BTreeMap<String, MetricValue> =
+        std::collections::BTreeMap::new();
+    let mut uptime_us = 0;
+    for snap in snaps {
+        uptime_us = uptime_us.max(snap.uptime_us);
+        for m in &snap.metrics {
+            match merged.entry(m.name.clone()) {
+                Entry::Vacant(v) => {
+                    v.insert(m.value.clone());
+                }
+                Entry::Occupied(mut o) => merge_value(o.get_mut(), &m.value),
+            }
+        }
+    }
+    StatsSnapshot {
+        source: "cluster".into(),
+        uptime_us,
+        metrics: merged
+            .into_iter()
+            .map(|(name, value)| MetricEntry { name, value })
+            .collect(),
+    }
+}
+
+/// Accumulates one metric value into the cluster total. Mismatched
+/// kinds under one name keep the first value seen.
+fn merge_value(into: &mut MetricValue, from: &MetricValue) {
+    match (into, from) {
+        (MetricValue::Counter(a), MetricValue::Counter(b)) => *a += b,
+        (
+            MetricValue::Gauge { value, high_water },
+            MetricValue::Gauge {
+                value: v,
+                high_water: h,
+            },
+        ) => {
+            *value += v;
+            *high_water += h;
+        }
+        (
+            MetricValue::Histogram {
+                buckets,
+                count,
+                sum,
+            },
+            MetricValue::Histogram {
+                buckets: b2,
+                count: c2,
+                sum: s2,
+            },
+        ) => {
+            *count += c2;
+            *sum += s2;
+            if buckets.len() == b2.len() && buckets.iter().zip(b2).all(|(x, y)| x.le == y.le) {
+                for (x, y) in buckets.iter_mut().zip(b2) {
+                    x.count += y.count;
+                }
+            } else {
+                // Mixed bucket layouts (components of different
+                // versions): merge on the union of bounds. Both series
+                // are cumulative step functions, so the merged count at
+                // a bound is the sum of each series' value at or below
+                // that bound.
+                let mut bounds: Vec<u64> = buckets
+                    .iter()
+                    .map(|b| b.le)
+                    .chain(b2.iter().map(|b| b.le))
+                    .collect();
+                bounds.sort_unstable();
+                bounds.dedup();
+                let at = |bs: &[HistBucket], le: u64| {
+                    bs.iter().rev().find(|b| b.le <= le).map_or(0, |b| b.count)
+                };
+                let unioned: Vec<HistBucket> = bounds
+                    .into_iter()
+                    .map(|le| HistBucket {
+                        le,
+                        count: at(buckets, le) + at(b2, le),
+                    })
+                    .collect();
+                *buckets = unioned;
+            }
+        }
+        _ => {}
     }
 }
 
@@ -1164,8 +1365,10 @@ fn handle_play(
         });
     }
 
-    // Allocate ids and build the admission request.
+    // Allocate ids and build the admission request. The trace minted
+    // here rides every wire message the stream's life touches.
     let group: GroupId = inner.ids.next();
+    let trace = mint_trace(inner, SpanKind::Play);
     let streams: Vec<StreamId> = components.iter().map(|_| inner.ids.next()).collect();
     let wants: Vec<crate::sched::PlayWant> = components
         .iter()
@@ -1178,6 +1381,9 @@ fn handle_play(
         .collect::<Result<_>>()?;
 
     let picks = admit_with_queue(inner, stream, waits, || inner.sched.admit_play(&wants))?;
+    inner
+        .flight
+        .record(trace.id, FlightCode::Admit, group.raw(), picks.len() as u64);
     // The whole group shares one control connection: the first
     // component port's control listener.
     let group_ctrl = atoms[0].2;
@@ -1214,6 +1420,7 @@ fn handle_play(
                 client_data: atoms[i].1,
                 client_ctrl: group_ctrl,
                 trick: send_trick.clone(),
+                trace,
             },
         );
         let err = match result {
@@ -1237,6 +1444,9 @@ fn handle_play(
             return Err(e);
         }
         inner.stats.note_stream_started();
+        inner
+            .flight
+            .record(trace.id, FlightCode::Schedule, stream_id.raw(), disk.raw());
         tracks.push((
             *stream_id,
             PlayTrack {
@@ -1247,6 +1457,7 @@ fn handle_play(
                 client_ctrl: group_ctrl,
                 bw: wants[i].2,
                 trick: send_trick,
+                trace,
                 failed: Vec::new(),
             },
         ));
@@ -1254,13 +1465,14 @@ fn handle_play(
             stream: *stream_id,
             port_name: port_name.clone(),
             msu: *msu,
+            trace,
         });
     }
     // Only fully scheduled groups become failover candidates.
     inner.plays.lock().extend(tracks);
     let _ = sess.id; // sessions own ports; streams outlive the check
     tracing::info!(
-        "play: {content_name:?} admitted as {group} ({} streams)",
+        "play: {content_name:?} admitted as {group} ({} streams) [{trace}]",
         scheduled.len()
     );
     Ok(CoordReply::PlayStarted {
@@ -1301,6 +1513,7 @@ fn handle_record(
     }
 
     let group: GroupId = inner.ids.next();
+    let trace = mint_trace(inner, SpanKind::Record);
     let streams: Vec<StreamId> = specs.iter().map(|_| inner.ids.next()).collect();
     let wants: Vec<(StreamId, u64, u64)> = specs
         .iter()
@@ -1313,6 +1526,9 @@ fn handle_record(
         .collect::<Result<_>>()?;
 
     let picks = admit_with_queue(inner, stream, waits, || inner.sched.admit_record(&wants))?;
+    inner
+        .flight
+        .record(trace.id, FlightCode::Admit, group.raw(), picks.len() as u64);
     let group_ctrl = atoms[0].2;
 
     let mut starts: Vec<RecordStart> = Vec::new();
@@ -1346,6 +1562,7 @@ fn handle_record(
                 stores_schedule: spec.stores_schedule(),
                 cbr_rate,
                 client_ctrl: group_ctrl,
+                trace,
             },
         );
         let (sink, err) = match result {
@@ -1378,6 +1595,9 @@ fn handle_record(
             return Err(e);
         }
         inner.stats.note_stream_started();
+        inner
+            .flight
+            .record(trace.id, FlightCode::Schedule, stream_id.raw(), disk.raw());
         inner.recordings.lock().insert(
             *stream_id,
             RecordTrack {
@@ -1400,6 +1620,7 @@ fn handle_record(
             port_name: port_name.clone(),
             msu: *msu,
             udp_sink: sink.expect("error handled above"),
+            trace,
         });
     }
 
@@ -1416,7 +1637,7 @@ fn handle_record(
     })?;
     let _ = &sess.client_name;
     tracing::info!(
-        "record: {content_name:?} admitted as {group} ({} streams)",
+        "record: {content_name:?} admitted as {group} ({} streams) [{trace}]",
         starts.len()
     );
     Ok(CoordReply::RecordStarted {
@@ -1897,13 +2118,15 @@ mod tests {
 
         let mut client = TestClient::connect(coord.client_addr, "alice", false);
         register_port(&mut client);
-        let stream = match client.request(ClientRequest::Play {
+        let (stream, trace) = match client.request(ClientRequest::Play {
             content: "movie".into(),
             port: "p".into(),
         }) {
-            CoordReply::PlayStarted { streams, .. } => streams[0].stream,
+            CoordReply::PlayStarted { streams, .. } => (streams[0].stream, streams[0].trace),
             other => panic!("{other:?}"),
         };
+        assert!(trace.is_traced(), "admission must mint a trace");
+        assert_eq!(trace.kind, SpanKind::Play);
         let first = coord.inner.sched.reservation_of(stream).unwrap().disk;
 
         handle_msu_notification(
@@ -1914,9 +2137,25 @@ mod tests {
                 reason: DoneReason::IoError("injected: read failed".into()),
                 bytes: 0,
                 duration_us: 0,
+                trace,
             },
         );
         assert_eq!(coord.stats().failovers.get(), 1);
+        // The flight recorder holds the whole story under one trace id:
+        // admission, scheduling, the I/O error, and the re-admission.
+        let events = coord.flight().snapshot();
+        for code in [
+            calliope_obs::FlightCode::Admit,
+            calliope_obs::FlightCode::Schedule,
+            calliope_obs::FlightCode::IoError,
+            calliope_obs::FlightCode::Failover,
+        ] {
+            assert!(
+                events.iter().any(|e| e.code == code && e.trace == trace.id),
+                "missing {} for {trace} in {events:?}",
+                code.name()
+            );
+        }
         let second = coord
             .inner
             .sched
@@ -1933,6 +2172,7 @@ mod tests {
                 reason: DoneReason::IoError("injected: read failed".into()),
                 bytes: 0,
                 duration_us: 0,
+                trace: trace.into_failover(),
             },
         );
         assert_eq!(
@@ -1947,6 +2187,126 @@ mod tests {
         );
         fake.stop();
         coord.shutdown();
+    }
+
+    /// The cluster-total merge: counters sum, same-layout histograms
+    /// merge bucket-wise, mixed layouts merge on the union of bounds,
+    /// and gauges sum value and high-water.
+    #[test]
+    fn merge_snapshots_sums_counters_and_histograms() {
+        let h = |bounds: &[(u64, u64)], count, sum| MetricValue::Histogram {
+            buckets: bounds
+                .iter()
+                .map(|&(le, count)| HistBucket { le, count })
+                .collect(),
+            count,
+            sum,
+        };
+        let snap = |source: &str, uptime_us, metrics: Vec<(&str, MetricValue)>| StatsSnapshot {
+            source: source.into(),
+            uptime_us,
+            metrics: metrics
+                .into_iter()
+                .map(|(name, value)| MetricEntry {
+                    name: name.into(),
+                    value,
+                })
+                .collect(),
+        };
+        let a = snap(
+            "msu-1",
+            500,
+            vec![
+                ("net.packets_sent", MetricValue::Counter(10)),
+                (
+                    "net.send_lateness_us",
+                    h(&[(100, 4), (1000, 9), (u64::MAX, 10)], 10, 2_000),
+                ),
+                (
+                    "spsc.depth",
+                    MetricValue::Gauge {
+                        value: 2,
+                        high_water: 5,
+                    },
+                ),
+            ],
+        );
+        let b = snap(
+            "msu-2",
+            900,
+            vec![
+                ("net.packets_sent", MetricValue::Counter(32)),
+                (
+                    "net.send_lateness_us",
+                    h(&[(100, 1), (1000, 2), (u64::MAX, 3)], 3, 900),
+                ),
+                ("disk.reads", MetricValue::Counter(7)),
+            ],
+        );
+        let merged = merge_snapshots(&[a, b]);
+        assert_eq!(merged.source, "cluster");
+        assert_eq!(merged.uptime_us, 900);
+        assert_eq!(merged.counter("net.packets_sent"), 42);
+        assert_eq!(merged.counter("disk.reads"), 7);
+        match merged.get("net.send_lateness_us").unwrap() {
+            MetricValue::Histogram {
+                buckets,
+                count,
+                sum,
+            } => {
+                assert_eq!(*count, 13);
+                assert_eq!(*sum, 2_900);
+                assert_eq!(buckets[0], HistBucket { le: 100, count: 5 });
+                assert_eq!(
+                    buckets[1],
+                    HistBucket {
+                        le: 1000,
+                        count: 11
+                    }
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+        match merged.get("spsc.depth").unwrap() {
+            MetricValue::Gauge { value, high_water } => {
+                assert_eq!((*value, *high_water), (2, 5));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Mixed bucket layouts take the union-of-bounds path.
+        let c = snap(
+            "msu-3",
+            1,
+            vec![("net.send_lateness_us", h(&[(50, 2), (u64::MAX, 2)], 2, 60))],
+        );
+        let d = snap(
+            "msu-4",
+            1,
+            vec![(
+                "net.send_lateness_us",
+                h(&[(100, 3), (u64::MAX, 4)], 4, 500),
+            )],
+        );
+        match merge_snapshots(&[c, d])
+            .get("net.send_lateness_us")
+            .unwrap()
+        {
+            MetricValue::Histogram { buckets, count, .. } => {
+                assert_eq!(*count, 6);
+                assert_eq!(buckets[0], HistBucket { le: 50, count: 2 });
+                assert_eq!(buckets[1], HistBucket { le: 100, count: 5 });
+                assert_eq!(
+                    buckets[2],
+                    HistBucket {
+                        le: u64::MAX,
+                        count: 6
+                    }
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+        // The empty cluster is a valid, empty snapshot.
+        assert!(merge_snapshots(&[]).metrics.is_empty());
     }
 
     /// A recording has no replica to move to: reaping its MSU abandons

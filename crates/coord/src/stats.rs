@@ -62,6 +62,9 @@ pub struct CoordStats {
     pub failovers: Arc<Counter>,
     /// Reservations reaped from downed MSUs by `mark_down`.
     pub grants_reaped: Arc<Counter>,
+    /// MSU stats snapshots folded into the cluster view (one per
+    /// heartbeat `Pong` that piggybacked a snapshot).
+    pub snapshots_merged: Arc<Counter>,
 }
 
 impl Default for CoordStats {
@@ -84,6 +87,7 @@ impl CoordStats {
         let heartbeat_misses = registry.counter("coord.heartbeat_misses");
         let failovers = registry.counter("coord.failovers");
         let grants_reaped = registry.counter("coord.grants_reaped");
+        let snapshots_merged = registry.counter("coord.snapshots_merged");
         CoordStats {
             registry,
             started: Mutex::new(Instant::now()),
@@ -98,6 +102,7 @@ impl CoordStats {
             heartbeat_misses,
             failovers,
             grants_reaped,
+            snapshots_merged,
         }
     }
 
@@ -105,6 +110,10 @@ impl CoordStats {
     /// this after warmup).
     pub fn reset(&self) {
         *self.started.lock() = Instant::now();
+        // The registry's snapshot derives rates from its own uptime
+        // clock; restart it too, or post-reset rates are computed over
+        // the pre-reset elapsed time.
+        self.registry.reset_epoch();
         // relaxed: a utilization accumulator; readers tolerate tearing
         // between reset and the first accumulation.
         self.busy_ns.store(0, Ordering::Relaxed);
@@ -118,6 +127,7 @@ impl CoordStats {
         self.heartbeat_misses.reset();
         self.failovers.reset();
         self.grants_reaped.reset();
+        self.snapshots_merged.reset();
     }
 
     /// Records one processed request and the CPU time it took.

@@ -13,6 +13,7 @@
 //!   replicate <name>          copy content onto another disk (admin)
 //!   status                    scheduler resource view
 //!   stats [msu-N]             live metrics from the Coordinator and MSUs
+//!   top [--watch]             merged cluster view from heartbeat snapshots
 //! ```
 //!
 //! `play` accepts VCR commands on stdin while the stream runs:
@@ -20,7 +21,7 @@
 
 use calliope::content;
 use calliope_client::CalliopeClient;
-use calliope_types::wire::stats::MetricValue;
+use calliope_types::wire::stats::{MetricValue, StatsSnapshot};
 use calliope_types::{MediaTime, MsuId, VcrCommand};
 use std::io::BufRead;
 use std::net::{IpAddr, Ipv4Addr, SocketAddr};
@@ -29,7 +30,7 @@ use std::time::Duration;
 fn usage() -> ! {
     eprintln!(
         "usage: calliope-cli --coordinator HOST:PORT [--admin] \
-         <list|types|upload|upload-trick|play|delete|replicate|status|stats> [args…]"
+         <list|types|upload|upload-trick|play|delete|replicate|status|stats|top> [args…]"
     );
     std::process::exit(2);
 }
@@ -150,6 +151,14 @@ fn main() {
             };
             cmd_stats(&mut client, msu)
         }
+        "top" => {
+            let watch = match rest.get(1).map(String::as_str) {
+                None => false,
+                Some("--watch") => true,
+                Some(_) => usage(),
+            };
+            cmd_top(&mut client, watch)
+        }
         _ => usage(),
     };
     if let Err(e) = result {
@@ -192,44 +201,97 @@ fn fmt_us(v: u64) -> String {
     }
 }
 
+/// Prints one snapshot's metrics, histograms as interpolated quantiles.
+fn print_snapshot(snap: &StatsSnapshot) {
+    println!(
+        "=== {} (up {:.1}s) ===",
+        snap.source,
+        snap.uptime_us as f64 / 1e6
+    );
+    for m in &snap.metrics {
+        match &m.value {
+            MetricValue::Counter(v) => println!("  {:36} {v}", m.name),
+            MetricValue::Gauge { value, high_water } => {
+                println!("  {:36} {value} (high water {high_water})", m.name)
+            }
+            MetricValue::Histogram { count, .. } => {
+                let q = |p: f64| {
+                    m.value
+                        .quantile(p)
+                        .map(fmt_us)
+                        .unwrap_or_else(|| "-".into())
+                };
+                let mean = m.value.mean().unwrap_or(0.0);
+                println!(
+                    "  {:36} n={count} mean={mean:.0}µs p50={} p95={} p99={}",
+                    m.name,
+                    q(0.50),
+                    q(0.95),
+                    q(0.99)
+                );
+            }
+        }
+    }
+}
+
 fn cmd_stats(client: &mut CalliopeClient, msu: Option<MsuId>) -> calliope_types::Result<()> {
     let snaps = client.stats(msu)?;
     if snaps.is_empty() {
         println!("(no snapshots)");
     }
-    for snap in snaps {
-        println!(
-            "=== {} (up {:.1}s) ===",
-            snap.source,
-            snap.uptime_us as f64 / 1e6
-        );
-        for m in &snap.metrics {
-            match &m.value {
-                MetricValue::Counter(v) => println!("  {:36} {v}", m.name),
-                MetricValue::Gauge { value, high_water } => {
-                    println!("  {:36} {value} (high water {high_water})", m.name)
-                }
-                MetricValue::Histogram { count, .. } => {
-                    let p50 = m
-                        .value
-                        .quantile(0.50)
-                        .map(fmt_us)
-                        .unwrap_or_else(|| "-".into());
-                    let p99 = m
-                        .value
-                        .quantile(0.99)
-                        .map(fmt_us)
-                        .unwrap_or_else(|| "-".into());
-                    let mean = m.value.mean().unwrap_or(0.0);
-                    println!(
-                        "  {:36} n={count} mean={mean:.0}µs p50={p50} p99={p99}",
-                        m.name
-                    );
-                }
-            }
-        }
+    for snap in &snaps {
+        print_snapshot(snap);
     }
     Ok(())
+}
+
+/// One `top` summary row: uptime plus the send-lateness quantiles the
+/// operator scans first.
+fn top_row(snap: &StatsSnapshot) -> String {
+    let q = |p: f64| {
+        snap.get("net.send_lateness_us")
+            .and_then(|v| v.quantile(p))
+            .map(fmt_us)
+            .unwrap_or_else(|| "-".into())
+    };
+    format!(
+        "{:10} up {:>8.1}s  send lateness p50={} p95={} p99={}",
+        snap.source,
+        snap.uptime_us as f64 / 1e6,
+        q(0.50),
+        q(0.95),
+        q(0.99)
+    )
+}
+
+/// The cluster view: one summary row per MSU plus the merged aggregate,
+/// assembled by the Coordinator from heartbeat-piggybacked snapshots.
+/// `--watch` redraws once a second until interrupted.
+fn cmd_top(client: &mut CalliopeClient, watch: bool) -> calliope_types::Result<()> {
+    loop {
+        let (cluster, msus) = client.cluster_stats()?;
+        if watch {
+            // ANSI clear + home, like top(1).
+            print!("\x1b[2J\x1b[H");
+        }
+        if msus.is_empty() {
+            println!("(no MSU snapshots yet — first heartbeats pending)");
+        }
+        for snap in &msus {
+            println!("{}", top_row(snap));
+        }
+        if !msus.is_empty() {
+            println!("{}", top_row(&cluster));
+            println!();
+            print_snapshot(&cluster);
+        }
+        if !watch {
+            return Ok(());
+        }
+        use std::io::Write;
+        std::io::stdout().flush().ok();
+        std::thread::sleep(Duration::from_secs(1));
+    }
 }
 
 fn cmd_play(client: &mut CalliopeClient, name: &str) -> calliope_types::Result<()> {

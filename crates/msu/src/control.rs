@@ -19,6 +19,7 @@ use crate::metrics::MsuMetrics;
 use crate::net::NetCmd;
 use crate::stream::{GroupShared, StreamShared};
 use crate::trick::TrickMode;
+use calliope_obs::{FlightCode, FlightRecorder};
 use calliope_types::error::{Error, Result};
 use calliope_types::wire::messages::{
     ClientToMsu, DoneReason, MsuEnvelope, MsuToClient, MsuToCoord,
@@ -99,6 +100,8 @@ pub struct ServerShared {
     pub coord_conn: Mutex<Option<TcpStream>>,
     /// MSU-wide metric handles.
     pub metrics: Arc<MsuMetrics>,
+    /// Always-on flight recorder; dumped on I/O errors and panics.
+    pub flight: Arc<FlightRecorder>,
     /// Set when the server is shutting down.
     pub stop: Arc<AtomicBool>,
 }
@@ -198,8 +201,24 @@ impl ServerShared {
             return;
         }
         tracing::info!(
-            "teardown: {} done ({reason:?}), {bytes} bytes in {duration_us} µs",
-            info.shared.id
+            "teardown: {} done ({reason:?}), {bytes} bytes in {duration_us} µs [{}]",
+            info.shared.id,
+            info.shared.trace
+        );
+        // Same tag scheme as the Coordinator's StreamDone flight events.
+        let reason_tag = match &reason {
+            DoneReason::Completed => 0,
+            DoneReason::ClientQuit => 1,
+            DoneReason::Cancelled => 2,
+            DoneReason::MsuShutdown => 3,
+            DoneReason::Error(_) => 4,
+            DoneReason::IoError(_) => 5,
+        };
+        self.flight.record(
+            info.shared.trace.id,
+            FlightCode::StreamDone,
+            info.shared.id.raw(),
+            reason_tag,
         );
         info.shared.ctl.lock().phase = crate::stream::StreamPhase::Done;
         if let Some(stop) = &info.record_stop {
@@ -226,6 +245,7 @@ impl ServerShared {
                 reason,
                 bytes,
                 duration_us,
+                trace: info.shared.trace,
             },
         });
     }
@@ -285,6 +305,20 @@ impl ServerShared {
             });
         }
         tracing::info!("vcr: {cmd} on {group_id} ({} streams)", members.len());
+        let cmd_tag = match cmd {
+            VcrCommand::Play => 0,
+            VcrCommand::Pause => 1,
+            VcrCommand::Seek(_) => 2,
+            VcrCommand::FastForward => 3,
+            VcrCommand::FastBackward => 4,
+            VcrCommand::Quit => 5,
+        };
+        self.flight.record(
+            members[0].shared.trace.id,
+            FlightCode::Vcr,
+            group_id.raw(),
+            cmd_tag,
+        );
         let now = std::time::Instant::now();
         match cmd {
             VcrCommand::Pause => {
@@ -435,6 +469,7 @@ mod tests {
             net_tx,
             coord_conn: Mutex::new(None),
             metrics: MsuMetrics::new(),
+            flight: Arc::new(FlightRecorder::new(64)),
             stop: Arc::new(AtomicBool::new(false)),
         };
         let r: Result<u64> = shared.disk_rpc(0, |reply| DiskCmd::FreeBytes { reply });
@@ -451,6 +486,7 @@ mod tests {
             net_tx,
             coord_conn: Mutex::new(None),
             metrics: MsuMetrics::new(),
+            flight: Arc::new(FlightRecorder::new(64)),
             stop: Arc::new(AtomicBool::new(false)),
         };
         assert!(shared.apply_vcr(GroupId(9), VcrCommand::Pause).is_err());
@@ -466,11 +502,12 @@ mod tests {
             net_tx,
             coord_conn: Mutex::new(None),
             metrics: MsuMetrics::new(),
+            flight: Arc::new(FlightRecorder::new(64)),
             stop: Arc::new(AtomicBool::new(false)),
         };
         shared.send_to_coord(&MsuEnvelope {
             req_id: 0,
-            body: MsuToCoord::Pong,
+            body: MsuToCoord::Pong { snapshot: None },
         });
     }
 }

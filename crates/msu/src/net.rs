@@ -504,6 +504,7 @@ mod tests {
             id: StreamId(id),
             group: GroupId(id),
             disk: 0,
+            trace: Default::default(),
             ctl: Mutex::new(StreamCtl {
                 phase: StreamPhase::Priming,
                 gen: 0,

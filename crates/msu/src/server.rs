@@ -17,6 +17,7 @@ use crate::net::{self, NetCmd, NetEvent};
 use crate::spsc;
 use crate::stream::{ActiveFile, GroupShared, StreamCtl, StreamPhase, StreamShared};
 use crate::trick::TrickMode;
+use calliope_obs::{FlightCode, FlightRecorder};
 use calliope_proto::module::registry as proto_registry;
 use calliope_proto::schedule::CbrSchedule;
 use calliope_storage::catalog::FileKind;
@@ -29,7 +30,7 @@ use calliope_types::wire::messages::{
     PacingSpec, TrickFiles,
 };
 use calliope_types::wire::{read_frame, write_frame};
-use calliope_types::{DiskId, GroupId, MsuId, StreamId};
+use calliope_types::{DiskId, GroupId, MsuId, StreamId, TraceCtx};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -161,6 +162,10 @@ impl MsuServer {
             }));
         }
 
+        let flight = Arc::new(
+            FlightRecorder::from_env()
+                .with_dropped_counter(metrics.registry.counter("obs.flight_dropped")),
+        );
         let shared = Arc::new(ServerShared {
             registry: Mutex::new(HashMap::new()),
             groups: Mutex::new(HashMap::new()),
@@ -168,6 +173,7 @@ impl MsuServer {
             net_tx,
             coord_conn: Mutex::new(None),
             metrics,
+            flight,
             stop: Arc::clone(&stop),
         });
 
@@ -178,6 +184,9 @@ impl MsuServer {
             ids.len(),
             cfg.coordinator
         );
+        // The recorder joins the global dump set only once it has a
+        // Coordinator-assigned name to be dumped under.
+        calliope_obs::flight::register(&msu_id.to_string(), Arc::clone(&shared.flight));
         *shared.coord_conn.lock() = Some(conn.try_clone()?);
         let disk_ids = Arc::new(Mutex::new(ids));
 
@@ -235,6 +244,11 @@ impl MsuServer {
         &self.shared.metrics
     }
 
+    /// This MSU's flight recorder (tests inspect recorded events).
+    pub fn flight(&self) -> &Arc<FlightRecorder> {
+        &self.shared.flight
+    }
+
     /// The runtime fault handle for local disk `disk` (config order).
     /// `None` when that disk's spec armed no fault plan.
     pub fn fault_control(&self, disk: usize) -> Option<Arc<FaultControl>> {
@@ -272,6 +286,7 @@ impl MsuServer {
     /// connections break and the Coordinator sees the TCP connection
     /// die — the closest safe equivalent of `kill -9`.
     pub fn crash(mut self) {
+        calliope_obs::flight::unregister(&self.msu_id.to_string());
         self.stop.store(true, Ordering::Release);
         if let Some(conn) = self.shared.coord_conn.lock().take() {
             let _ = conn.shutdown(std::net::Shutdown::Both);
@@ -294,6 +309,7 @@ impl MsuServer {
 
     /// Stops every thread and tears down all streams.
     pub fn shutdown(mut self) {
+        calliope_obs::flight::unregister(&self.msu_id.to_string());
         self.stop.store(true, Ordering::Release);
         let groups: Vec<GroupId> = self.shared.groups.lock().keys().copied().collect();
         for g in groups {
@@ -361,6 +377,22 @@ fn run_event_loop(shared: Arc<ServerShared>, rx: Receiver<ServerEvent>, stop: Ar
                 let group = shared.groups.lock().get(&gid).cloned();
                 let Some(group) = group else { continue };
                 let streams: Vec<StreamId> = group.shared.members.lock().clone();
+                // The group rides under its first member's trace (all
+                // members were admitted together by one request).
+                let trace = {
+                    let reg = shared.registry.lock();
+                    streams
+                        .first()
+                        .and_then(|s| reg.get(s))
+                        .map(|i| i.shared.trace)
+                        .unwrap_or_default()
+                };
+                shared.flight.record(
+                    trace.id,
+                    FlightCode::GroupReady,
+                    gid.raw(),
+                    streams.len() as u64,
+                );
                 // The group-control thread may still be dialing; wait
                 // briefly for the connection to land.
                 for _ in 0..200 {
@@ -374,6 +406,7 @@ fn run_event_loop(shared: Arc<ServerShared>, rx: Receiver<ServerEvent>, stop: Ar
                     &MsuToClient::GroupReady {
                         group: gid,
                         streams,
+                        trace,
                     },
                 );
             }
@@ -398,12 +431,21 @@ fn run_event_loop(shared: Arc<ServerShared>, rx: Receiver<ServerEvent>, stop: Ar
                 let info = shared.registry.lock().get(&stream).cloned();
                 if let Some(info) = info {
                     shared.metrics.io_errors.inc();
+                    shared.flight.record(
+                        info.shared.trace.id,
+                        FlightCode::IoError,
+                        stream.raw(),
+                        info.shared.disk as u64,
+                    );
                     let gid = info.shared.group;
                     // IoError (not a generic Error) tells the
                     // Coordinator this stream is a failover candidate.
                     let reason = DoneReason::IoError(msg);
                     shared.finish_stream(&info, reason.clone(), 0, 0);
                     maybe_end_group(&shared, gid, reason);
+                    // A disk failure is exactly what the flight recorder
+                    // exists for: dump unconditionally, no env vars.
+                    shared.flight.dump("msu", "stream io error");
                 }
             }
             ServerEvent::Net(NetEvent::PlayFinished { stream }) => {
@@ -544,7 +586,11 @@ fn handle_coord_request(
 ) -> Option<MsuToCoord> {
     match body {
         CoordToMsu::RegisterAck { .. } => None, // handshake artifact; ignore
-        CoordToMsu::Ping => Some(MsuToCoord::Pong),
+        // The Pong piggybacks a full stats snapshot, feeding the
+        // Coordinator's cluster view at heartbeat cost — no extra RPC.
+        CoordToMsu::Ping => Some(MsuToCoord::Pong {
+            snapshot: Some(shared.snapshot_stats(&msu_id.to_string())),
+        }),
         CoordToMsu::GetStats => Some(MsuToCoord::Stats {
             snapshot: shared.snapshot_stats(&msu_id.to_string()),
         }),
@@ -575,6 +621,9 @@ fn handle_coord_request(
         CoordToMsu::Cancel { stream } => {
             let info = shared.registry.lock().get(&stream).cloned();
             if let Some(info) = info {
+                shared
+                    .flight
+                    .record(info.shared.trace.id, FlightCode::Cancel, stream.raw(), 0);
                 *info.quit_reason.lock() = Some(DoneReason::Cancelled);
                 let gid = info.shared.group;
                 shared.finish_stream(&info, DoneReason::Cancelled, 0, 0);
@@ -593,6 +642,7 @@ fn handle_coord_request(
             client_data,
             client_ctrl,
             trick,
+            trace,
         } => {
             let error = schedule_read(
                 shared,
@@ -606,6 +656,7 @@ fn handle_coord_request(
                 client_data,
                 client_ctrl,
                 trick,
+                trace,
             )
             .err()
             .map(|e| e.to_string());
@@ -622,6 +673,7 @@ fn handle_coord_request(
             stores_schedule,
             cbr_rate,
             client_ctrl,
+            trace,
         } => match schedule_write(
             shared,
             cfg,
@@ -637,6 +689,7 @@ fn handle_coord_request(
             stores_schedule,
             cbr_rate,
             client_ctrl,
+            trace,
         ) {
             Ok(sink) => Some(MsuToCoord::WriteScheduled {
                 udp_sink: Some(sink),
@@ -751,6 +804,7 @@ fn schedule_read(
     client_data: SocketAddr,
     client_ctrl: SocketAddr,
     trick: Option<TrickFiles>,
+    trace: TraceCtx,
 ) -> Result<()> {
     let local = local_disk(disk_ids, disk)?;
     let active: ActiveFile = shared.disk_rpc(local, |reply| DiskCmd::Stat {
@@ -780,6 +834,7 @@ fn schedule_read(
         id: stream,
         group,
         disk: local,
+        trace,
         ctl: Mutex::new(StreamCtl {
             phase: StreamPhase::Priming,
             gen: 0,
@@ -839,7 +894,12 @@ fn schedule_read(
         reg.len()
     };
     shared.metrics.streams_active.set(live as u64);
-    tracing::info!("play: {stream} ({group}) reading {file:?} from disk {local} to {client_data}");
+    shared
+        .flight
+        .record(trace.id, FlightCode::Schedule, stream.raw(), local as u64);
+    tracing::info!(
+        "play: {stream} ({group}) reading {file:?} from disk {local} to {client_data} [{trace}]"
+    );
     Ok(())
 }
 
@@ -859,6 +919,7 @@ fn schedule_write(
     stores_schedule: bool,
     cbr_rate: Option<calliope_types::time::BitRate>,
     client_ctrl: SocketAddr,
+    trace: TraceCtx,
 ) -> Result<SocketAddr> {
     let local = local_disk(disk_ids, disk)?;
     let kind = if stores_schedule {
@@ -884,6 +945,7 @@ fn schedule_write(
         id: stream,
         group,
         disk: local,
+        trace,
         ctl: Mutex::new(StreamCtl {
             phase: StreamPhase::Running,
             gen: 0,
@@ -944,7 +1006,10 @@ fn schedule_write(
         reg.len()
     };
     shared.metrics.streams_active.set(live as u64);
-    tracing::info!("record: {stream} ({group}) to disk {local}, sink {sink_addr}");
+    shared
+        .flight
+        .record(trace.id, FlightCode::Schedule, stream.raw(), local as u64);
+    tracing::info!("record: {stream} ({group}) to disk {local}, sink {sink_addr} [{trace}]");
 
     // A recording is "primed" as soon as its sink exists.
     if ginfo.shared.prime(stream) {

@@ -12,7 +12,7 @@ use crate::pacer::Pacer;
 use crate::trick::TrickMode;
 use calliope_proto::schedule::CbrSchedule;
 use calliope_storage::catalog::{FileKind, RootEntry};
-use calliope_types::{GroupId, StreamId};
+use calliope_types::{GroupId, StreamId, TraceCtx};
 use parking_lot::Mutex;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -98,6 +98,10 @@ pub struct StreamShared {
     pub group: GroupId,
     /// Local disk index holding the file.
     pub disk: usize,
+    /// End-to-end trace minted by the Coordinator at admission; echoed
+    /// on `StreamDone` and `GroupReady` so one id follows the stream
+    /// through every component's logs and flight recorders.
+    pub trace: TraceCtx,
     /// The control block.
     pub ctl: Mutex<StreamCtl>,
     /// Simple delivery statistics.

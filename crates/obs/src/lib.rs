@@ -13,9 +13,17 @@
 //!   filtering and compact or JSON line output on stderr. When no
 //!   filter is configured the subscriber is never installed and every
 //!   `tracing` macro collapses to one relaxed atomic load.
+//!
+//! A third half, added for post-mortems: [`flight`] — an always-on,
+//! lock-free ring of compact binary events per component, dumped on
+//! failure, panic, or `SIGUSR1` ([`signal`]) so a crash leaves
+//! evidence behind without any logging configured.
 
+pub mod flight;
 pub mod logging;
 pub mod metrics;
+pub mod signal;
 
+pub use flight::{FlightCode, FlightEventRecord, FlightRecorder};
 pub use logging::{init_logging, init_logging_with};
-pub use metrics::{Counter, Gauge, Histogram, Registry, LATENCY_US_BUCKETS};
+pub use metrics::{histogram_quantile, Counter, Gauge, Histogram, Registry, LATENCY_US_BUCKETS};

@@ -158,6 +158,14 @@ impl Histogram {
         self.sum.store(0, Ordering::Relaxed);
     }
 
+    /// Estimates the `q`-quantile (`0.0..=1.0`) of the recorded samples
+    /// by linear interpolation within the containing bucket. `None`
+    /// when the histogram is empty. See [`histogram_quantile`] for the
+    /// estimation rules.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        histogram_quantile(&self.snapshot_value(), q)
+    }
+
     /// Renders the cumulative wire form.
     pub fn snapshot_value(&self) -> MetricValue {
         let mut cum = 0u64;
@@ -176,6 +184,48 @@ impl Histogram {
             sum: self.sum.load(Ordering::Relaxed),
         }
     }
+}
+
+/// Estimates the `q`-quantile (`0.0..=1.0`) of a wire-form histogram by
+/// linear interpolation within the containing bucket, in the style of
+/// Prometheus's `histogram_quantile`:
+///
+/// * the target rank is `q × count`, found in the first bucket whose
+///   cumulative count reaches it;
+/// * the estimate interpolates linearly between the bucket's lower and
+///   upper bounds according to where the rank falls inside it;
+/// * ranks landing in the overflow bucket clamp to its lower bound —
+///   there is no upper bound to interpolate toward.
+///
+/// Returns `None` for empty histograms and non-histogram values.
+pub fn histogram_quantile(value: &MetricValue, q: f64) -> Option<f64> {
+    let MetricValue::Histogram { buckets, count, .. } = value else {
+        return None;
+    };
+    if *count == 0 || buckets.is_empty() {
+        return None;
+    }
+    let rank = (q.clamp(0.0, 1.0) * *count as f64).max(f64::MIN_POSITIVE);
+    let mut lower = 0u64;
+    let mut prev_cum = 0u64;
+    for b in buckets {
+        if (b.count as f64) >= rank {
+            if b.le == u64::MAX {
+                // Overflow bucket: clamp to its lower bound.
+                return Some(lower as f64);
+            }
+            let in_bucket = (b.count - prev_cum) as f64;
+            let frac = if in_bucket > 0.0 {
+                (rank - prev_cum as f64) / in_bucket
+            } else {
+                1.0
+            };
+            return Some(lower as f64 + (b.le - lower) as f64 * frac);
+        }
+        lower = b.le;
+        prev_cum = b.count;
+    }
+    Some(lower as f64)
 }
 
 #[derive(Clone)]
@@ -206,7 +256,9 @@ impl Metric {
 /// different kind panics — that is a programming error, not a runtime
 /// condition.
 pub struct Registry {
-    started: Instant,
+    /// Uptime epoch. Behind a mutex so [`Registry::reset_epoch`] can
+    /// restart the clock; touched only at snapshot/reset time.
+    started: Mutex<Instant>,
     metrics: Mutex<BTreeMap<String, Metric>>,
 }
 
@@ -220,9 +272,17 @@ impl Registry {
     /// An empty registry; uptime counts from now.
     pub fn new() -> Registry {
         Registry {
-            started: Instant::now(),
+            started: Mutex::new(Instant::now()),
             metrics: Mutex::new(BTreeMap::new()),
         }
+    }
+
+    /// Restarts the uptime clock. Callers that reset their counters
+    /// must also reset the epoch, or rates derived from
+    /// `snapshot().uptime_us` (counter ÷ uptime) silently mix
+    /// since-reset counts with since-construction time.
+    pub fn reset_epoch(&self) {
+        *self.started.lock().unwrap() = Instant::now();
     }
 
     /// Gets or creates a counter.
@@ -262,9 +322,10 @@ impl Registry {
         }
     }
 
-    /// Seconds-scale uptime, in microseconds, for snapshot stamping.
+    /// Microseconds since construction or the last
+    /// [`Registry::reset_epoch`], for snapshot stamping.
     pub fn uptime_us(&self) -> u64 {
-        self.started.elapsed().as_micros() as u64
+        self.started.lock().unwrap().elapsed().as_micros() as u64
     }
 
     /// Flattens every metric into the wire snapshot form, sorted by
@@ -409,5 +470,54 @@ mod tests {
         let reg = Registry::new();
         reg.counter("x");
         reg.gauge("x");
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat", &[100, 200, 400]);
+        // 10 samples uniformly in (100, 200]: the bucket holds ranks
+        // 1..=10, so p50 lands at rank 5 → 50% through the bucket.
+        for _ in 0..10 {
+            h.record(150);
+        }
+        let p50 = h.quantile(0.50).unwrap();
+        assert!((p50 - 150.0).abs() < 1e-9, "p50 = {p50}");
+        // p100 interpolates to the bucket's upper bound.
+        assert!((h.quantile(1.0).unwrap() - 200.0).abs() < 1e-9);
+        // p0 (well, rank→0+) degenerates to the bucket's lower bound.
+        assert!((h.quantile(0.0).unwrap() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_spanning_buckets_and_overflow() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat", &[100, 200]);
+        h.record(50); // le=100
+        h.record(150); // le=200
+        h.record(10_000); // overflow
+                          // rank(0.5) = 1.5 → 2nd bucket, halfway between ranks 1 and 2:
+                          // 50% through (100, 200].
+        assert!((h.quantile(0.5).unwrap() - 150.0).abs() < 1e-9);
+        // The overflow bucket clamps to its lower bound.
+        assert!((h.quantile(0.99).unwrap() - 200.0).abs() < 1e-9);
+        // Empty histograms have no quantiles.
+        assert_eq!(reg.histogram("empty", &[10]).quantile(0.5), None);
+    }
+
+    #[test]
+    fn histogram_quantile_ignores_non_histograms() {
+        assert_eq!(histogram_quantile(&MetricValue::Counter(5), 0.5), None);
+    }
+
+    #[test]
+    fn reset_epoch_restarts_the_uptime_clock() {
+        let reg = Registry::new();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let before = reg.uptime_us();
+        assert!(before >= 20_000);
+        reg.reset_epoch();
+        let after = reg.uptime_us();
+        assert!(after < before, "uptime restarted: {after} < {before}");
     }
 }

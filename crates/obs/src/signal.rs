@@ -1,0 +1,71 @@
+//! `SIGUSR1` → flight-recorder dump, without a libc crate.
+//!
+//! An operator can poke a running Calliope process with
+//! `kill -USR1 <pid>` to get every registered flight recorder dumped
+//! to stderr (and `CALLIOPE_FLIGHT_FILE`). std exposes no signal API,
+//! but it links libc on Unix, so a one-function `extern "C"` binding
+//! to `signal(2)` is all that is needed. The handler itself only sets
+//! an `AtomicBool` — the single async-signal-safe thing it can do —
+//! and a background watcher thread notices the flag and performs the
+//! actual dump (which takes locks and writes files, neither of which
+//! is legal inside a signal handler).
+//!
+//! On non-Unix targets this module compiles to a no-op.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Once;
+use std::time::Duration;
+
+/// Set by the signal handler, consumed by the watcher thread.
+static SIGUSR1_PENDING: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod sys {
+    use core::ffi::c_int;
+
+    /// `SIGUSR1` on Linux and the BSDs (x86-64 and aarch64 agree).
+    pub const SIGUSR1: c_int = if cfg!(target_os = "linux") { 10 } else { 30 };
+
+    extern "C" {
+        /// `signal(2)` from the libc std already links.
+        fn signal(signum: c_int, handler: usize) -> usize;
+    }
+
+    /// The async-signal-safe handler: set a flag, nothing else.
+    extern "C" fn on_sigusr1(_sig: c_int) {
+        super::SIGUSR1_PENDING.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        // SAFETY: `signal` is a plain libc call; the handler passed is a
+        // valid `extern "C" fn(c_int)` for the whole program's lifetime
+        // and touches only a static atomic, which is async-signal-safe.
+        unsafe {
+            signal(SIGUSR1, on_sigusr1 as *const () as usize);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    pub fn install() {}
+}
+
+/// Installs the `SIGUSR1` handler and starts the watcher thread that
+/// dumps all registered flight recorders when the signal arrives.
+/// Idempotent; called automatically by [`crate::flight::register`].
+pub fn install_sigusr1_watcher() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        sys::install();
+        std::thread::Builder::new()
+            .name("flight-sigusr1".into())
+            .spawn(|| loop {
+                std::thread::sleep(Duration::from_millis(100));
+                if SIGUSR1_PENDING.swap(false, Ordering::SeqCst) {
+                    crate::flight::dump_all("SIGUSR1");
+                }
+            })
+            .expect("spawn sigusr1 watcher");
+    });
+}

@@ -1,0 +1,95 @@
+//! Model-checking suite for the flight-recorder MPSC ring. Compiled
+//! only under `RUSTFLAGS="--cfg calliope_check"` — every atomic in the
+//! ring is a `calliope_check` shim, so these tests explore every
+//! interleaving (and weak-memory outcome) of concurrent writers and a
+//! racing reader, including writers lapping each other on one slot.
+//!
+//! Run with: `RUSTFLAGS="--cfg calliope_check" cargo test -p calliope-obs --test model_flight`
+#![cfg(calliope_check)]
+
+use calliope_check::{model, thread};
+use calliope_obs::flight::{FlightCode, FlightRecorder};
+use std::sync::Arc;
+
+/// Two concurrent writers into a roomy ring: both events land, with
+/// distinct tickets and intact payloads, whatever the interleaving.
+#[test]
+fn concurrent_writes_both_land() {
+    let report = model(|| {
+        let rec = Arc::new(FlightRecorder::new(4));
+        let r2 = rec.clone();
+        let t = thread::spawn(move || r2.record(2, FlightCode::Schedule, 20, 200));
+        rec.record(1, FlightCode::Admit, 10, 100);
+        t.join().unwrap();
+        let events = rec.snapshot();
+        assert_eq!(events.len(), 2, "an event was lost");
+        assert_ne!(events[0].ticket, events[1].ticket, "tickets must be unique");
+        for e in &events {
+            match e.trace {
+                1 => {
+                    assert_eq!(e.code, FlightCode::Admit);
+                    assert_eq!((e.arg0, e.arg1), (10, 100), "torn payload");
+                }
+                2 => {
+                    assert_eq!(e.code, FlightCode::Schedule);
+                    assert_eq!((e.arg0, e.arg1), (20, 200), "torn payload");
+                }
+                other => panic!("event from nowhere: trace {other}"),
+            }
+        }
+        assert_eq!(rec.dropped(), 0);
+    });
+    assert!(report.schedules > 1, "must explore multiple interleavings");
+}
+
+/// Two writers lapping each other on a one-slot ring: the snapshot
+/// never invents an event — it returns at most one, and any event it
+/// does return has the self-consistent payload of exactly one writer.
+/// A torn mix of the two writers' words must be discarded.
+#[test]
+fn lapped_writers_never_surface_torn_events() {
+    let report = model(|| {
+        let rec = Arc::new(FlightRecorder::new(1));
+        let r2 = rec.clone();
+        let t = thread::spawn(move || r2.record(2, FlightCode::Schedule, 2, 2));
+        rec.record(1, FlightCode::Admit, 1, 1);
+        t.join().unwrap();
+        // One of the two tickets was overwritten.
+        assert_eq!(rec.dropped(), 1);
+        let events = rec.snapshot();
+        assert!(events.len() <= 1);
+        for e in &events {
+            assert!(e.trace == 1 || e.trace == 2);
+            assert_eq!(e.arg0, e.trace, "torn payload");
+            assert_eq!(e.arg1, e.trace, "torn payload");
+            let expect = if e.trace == 1 {
+                FlightCode::Admit
+            } else {
+                FlightCode::Schedule
+            };
+            assert_eq!(e.code, expect, "payload from the wrong ticket");
+        }
+    });
+    assert!(report.schedules > 1);
+}
+
+/// A reader racing one writer: the snapshot sees either nothing or the
+/// complete event, never a partial write.
+#[test]
+fn reader_racing_a_writer_sees_all_or_nothing() {
+    let report = model(|| {
+        let rec = Arc::new(FlightRecorder::new(2));
+        let r2 = rec.clone();
+        let t = thread::spawn(move || r2.record(7, FlightCode::IoError, 70, 700));
+        let events = rec.snapshot();
+        assert!(events.len() <= 1);
+        if let Some(e) = events.first() {
+            assert_eq!(e.trace, 7);
+            assert_eq!(e.code, FlightCode::IoError);
+            assert_eq!((e.arg0, e.arg1), (70, 700), "partial write surfaced");
+        }
+        t.join().unwrap();
+        assert_eq!(rec.snapshot().len(), 1, "event visible after join");
+    });
+    assert!(report.schedules > 1);
+}

@@ -21,6 +21,7 @@ pub mod content;
 pub mod error;
 pub mod ids;
 pub mod time;
+pub mod trace;
 pub mod vcr;
 pub mod wire;
 
@@ -28,4 +29,5 @@ pub use content::{ContentEntry, ContentKind, ContentTypeSpec};
 pub use error::{Error, Result};
 pub use ids::{ClientId, ContentId, DiskId, GroupId, MsuId, PortId, SessionId, StreamId};
 pub use time::{BitRate, ByteRate, MediaTime};
+pub use trace::{SpanKind, TraceCtx};
 pub use vcr::VcrCommand;

@@ -19,6 +19,7 @@ use super::{Reader, Wire, WireError};
 use crate::content::{ContentEntry, ContentTypeSpec, ProtocolId};
 use crate::ids::{DiskId, GroupId, MsuId, SessionId, StreamId};
 use crate::time::{BitRate, ByteRate};
+use crate::trace::TraceCtx;
 use crate::vcr::VcrCommand;
 use std::net::SocketAddr;
 
@@ -244,6 +245,12 @@ pub enum ClientRequest {
         /// Restrict the report to one MSU.
         msu: Option<MsuId>,
     },
+    /// Asks for the Coordinator's merged cluster view: the per-MSU
+    /// snapshots it collected piggybacked on the heartbeat plus a
+    /// cluster-total aggregate. Unlike [`ClientRequest::Stats`] this
+    /// never blocks on an MSU round trip — it reads the Coordinator's
+    /// cache.
+    ClusterStats,
     /// Ends the session; the Coordinator deallocates the session's ports.
     Bye,
 }
@@ -324,6 +331,7 @@ impl Wire for ClientRequest {
                 buf.push(14);
                 msu.encode(buf);
             }
+            ClientRequest::ClusterStats => buf.push(15),
         }
     }
 
@@ -377,6 +385,7 @@ impl Wire for ClientRequest {
             14 => ClientRequest::Stats {
                 msu: Option::<MsuId>::decode(r)?,
             },
+            15 => ClientRequest::ClusterStats,
             tag => {
                 return Err(WireError::BadTag {
                     what: "client request",
@@ -398,6 +407,10 @@ pub struct StreamStart {
     /// The MSU serving the stream (informational; the MSU dials the
     /// client's control listener itself).
     pub msu: MsuId,
+    /// Trace context minted at admission; the same id appears in every
+    /// Coordinator and MSU log line and flight-recorder event for this
+    /// stream.
+    pub trace: TraceCtx,
 }
 
 impl Wire for StreamStart {
@@ -405,12 +418,14 @@ impl Wire for StreamStart {
         self.stream.encode(buf);
         self.port_name.encode(buf);
         self.msu.encode(buf);
+        self.trace.encode(buf);
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok(StreamStart {
             stream: StreamId::decode(r)?,
             port_name: String::decode(r)?,
             msu: MsuId::decode(r)?,
+            trace: TraceCtx::decode(r)?,
         })
     }
 }
@@ -426,6 +441,8 @@ pub struct RecordStart {
     pub msu: MsuId,
     /// UDP address on the MSU where the client must send data packets.
     pub udp_sink: SocketAddr,
+    /// Trace context minted at admission.
+    pub trace: TraceCtx,
 }
 
 impl Wire for RecordStart {
@@ -434,6 +451,7 @@ impl Wire for RecordStart {
         self.port_name.encode(buf);
         self.msu.encode(buf);
         self.udp_sink.encode(buf);
+        self.trace.encode(buf);
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok(RecordStart {
@@ -441,6 +459,7 @@ impl Wire for RecordStart {
             port_name: String::decode(r)?,
             msu: MsuId::decode(r)?,
             udp_sink: SocketAddr::decode(r)?,
+            trace: TraceCtx::decode(r)?,
         })
     }
 }
@@ -572,6 +591,16 @@ pub enum CoordReply {
         /// Coordinator and/or MSU snapshots.
         snapshots: Vec<StatsSnapshot>,
     },
+    /// Reply to [`ClientRequest::ClusterStats`]: the Coordinator's
+    /// merged cluster view, assembled from heartbeat-piggybacked MSU
+    /// snapshots.
+    ClusterStats {
+        /// Cluster-total aggregate (counters summed, histogram buckets
+        /// merged across MSUs), `source == "cluster"`.
+        cluster: StatsSnapshot,
+        /// The most recent snapshot from each live MSU.
+        msus: Vec<StatsSnapshot>,
+    },
 }
 
 impl Wire for CoordReply {
@@ -618,6 +647,11 @@ impl Wire for CoordReply {
                 buf.push(9);
                 snapshots.encode(buf);
             }
+            CoordReply::ClusterStats { cluster, msus } => {
+                buf.push(10);
+                cluster.encode(buf);
+                msus.encode(buf);
+            }
         }
     }
 
@@ -652,6 +686,10 @@ impl Wire for CoordReply {
             },
             9 => CoordReply::Stats {
                 snapshots: Vec::<StatsSnapshot>::decode(r)?,
+            },
+            10 => CoordReply::ClusterStats {
+                cluster: StatsSnapshot::decode(r)?,
+                msus: Vec::<StatsSnapshot>::decode(r)?,
             },
             tag => {
                 return Err(WireError::BadTag {
@@ -736,9 +774,18 @@ pub enum MsuToCoord {
         bytes: u64,
         /// Play/record duration in microseconds of media time.
         duration_us: u64,
+        /// The trace context the grant carried, echoed back so the
+        /// stream's end is attributable to its admission.
+        trace: TraceCtx,
     },
-    /// Reply to [`CoordToMsu::Ping`].
-    Pong,
+    /// Reply to [`CoordToMsu::Ping`]. Carries a fresh metrics snapshot
+    /// piggybacked on the heartbeat so the Coordinator's cluster view
+    /// stays current without extra round trips (`None` only from
+    /// components that cannot produce one).
+    Pong {
+        /// This MSU's live metrics at ping time.
+        snapshot: Option<StatsSnapshot>,
+    },
     /// Reply to [`CoordToMsu::DeleteFile`].
     FileDeleted {
         /// `None` on success.
@@ -783,14 +830,19 @@ impl Wire for MsuToCoord {
                 reason,
                 bytes,
                 duration_us,
+                trace,
             } => {
                 buf.push(3);
                 stream.encode(buf);
                 reason.encode(buf);
                 bytes.encode(buf);
                 duration_us.encode(buf);
+                trace.encode(buf);
             }
-            MsuToCoord::Pong => buf.push(4),
+            MsuToCoord::Pong { snapshot } => {
+                buf.push(4);
+                snapshot.encode(buf);
+            }
             MsuToCoord::FileDeleted { error } => {
                 buf.push(5);
                 error.encode(buf);
@@ -825,8 +877,11 @@ impl Wire for MsuToCoord {
                 reason: DoneReason::decode(r)?,
                 bytes: u64::decode(r)?,
                 duration_us: u64::decode(r)?,
+                trace: TraceCtx::decode(r)?,
             },
-            4 => MsuToCoord::Pong,
+            4 => MsuToCoord::Pong {
+                snapshot: Option::<StatsSnapshot>::decode(r)?,
+            },
             5 => MsuToCoord::FileDeleted {
                 error: Option::<String>::decode(r)?,
             },
@@ -883,6 +938,8 @@ pub enum CoordToMsu {
         client_ctrl: SocketAddr,
         /// Trick-play files, if an administrator attached any.
         trick: Option<TrickFiles>,
+        /// Trace context minted at admission (or continued on failover).
+        trace: TraceCtx,
     },
     /// Schedule a recording stream.
     ScheduleWrite {
@@ -907,6 +964,8 @@ pub enum CoordToMsu {
         cbr_rate: Option<BitRate>,
         /// TCP listener the MSU must dial for VCR control.
         client_ctrl: SocketAddr,
+        /// Trace context minted at admission.
+        trace: TraceCtx,
     },
     /// Cancel a stream (e.g. its group-mate failed to schedule).
     Cancel {
@@ -960,6 +1019,7 @@ impl Wire for CoordToMsu {
                 client_data,
                 client_ctrl,
                 trick,
+                trace,
             } => {
                 buf.push(1);
                 stream.encode(buf);
@@ -972,6 +1032,7 @@ impl Wire for CoordToMsu {
                 client_data.encode(buf);
                 client_ctrl.encode(buf);
                 trick.encode(buf);
+                trace.encode(buf);
             }
             CoordToMsu::ScheduleWrite {
                 stream,
@@ -984,6 +1045,7 @@ impl Wire for CoordToMsu {
                 stores_schedule,
                 cbr_rate,
                 client_ctrl,
+                trace,
             } => {
                 buf.push(2);
                 stream.encode(buf);
@@ -996,6 +1058,7 @@ impl Wire for CoordToMsu {
                 stores_schedule.encode(buf);
                 cbr_rate.encode(buf);
                 client_ctrl.encode(buf);
+                trace.encode(buf);
             }
             CoordToMsu::Cancel { stream } => {
                 buf.push(3);
@@ -1039,6 +1102,7 @@ impl Wire for CoordToMsu {
                 client_data: SocketAddr::decode(r)?,
                 client_ctrl: SocketAddr::decode(r)?,
                 trick: Option::<TrickFiles>::decode(r)?,
+                trace: TraceCtx::decode(r)?,
             },
             2 => CoordToMsu::ScheduleWrite {
                 stream: StreamId::decode(r)?,
@@ -1051,6 +1115,7 @@ impl Wire for CoordToMsu {
                 stores_schedule: bool::decode(r)?,
                 cbr_rate: Option::<BitRate>::decode(r)?,
                 client_ctrl: SocketAddr::decode(r)?,
+                trace: TraceCtx::decode(r)?,
             },
             3 => CoordToMsu::Cancel {
                 stream: StreamId::decode(r)?,
@@ -1138,6 +1203,9 @@ pub enum MsuToClient {
         group: GroupId,
         /// Member streams.
         streams: Vec<StreamId>,
+        /// Trace context of the group's first stream, so client logs
+        /// carry the same id as the Coordinator and MSU.
+        trace: TraceCtx,
     },
     /// Response to a VCR command.
     VcrAck {
@@ -1159,10 +1227,15 @@ pub enum MsuToClient {
 impl Wire for MsuToClient {
     fn encode(&self, buf: &mut Vec<u8>) {
         match self {
-            MsuToClient::GroupReady { group, streams } => {
+            MsuToClient::GroupReady {
+                group,
+                streams,
+                trace,
+            } => {
                 buf.push(0);
                 group.encode(buf);
                 streams.encode(buf);
+                trace.encode(buf);
             }
             MsuToClient::VcrAck { group, error } => {
                 buf.push(1);
@@ -1181,6 +1254,7 @@ impl Wire for MsuToClient {
             0 => MsuToClient::GroupReady {
                 group: GroupId::decode(r)?,
                 streams: Vec::<StreamId>::decode(r)?,
+                trace: TraceCtx::decode(r)?,
             },
             1 => MsuToClient::VcrAck {
                 group: GroupId::decode(r)?,
@@ -1243,6 +1317,7 @@ impl Wire for ClientToMsu {
 mod tests {
     use super::*;
     use crate::time::MediaTime;
+    use crate::trace::SpanKind;
     use proptest::prelude::*;
 
     fn round_trip<T: Wire + PartialEq + core::fmt::Debug>(v: &T) {
@@ -1252,6 +1327,10 @@ mod tests {
 
     fn sample_addr() -> SocketAddr {
         "10.1.2.3:5004".parse().unwrap()
+    }
+
+    fn sample_trace() -> TraceCtx {
+        TraceCtx::new(0xABCD_1234, SpanKind::Play)
     }
 
     #[test]
@@ -1304,6 +1383,7 @@ mod tests {
             ClientRequest::Replicate {
                 content: "popular".into(),
             },
+            ClientRequest::ClusterStats,
         ];
         for r in &reqs {
             round_trip(r);
@@ -1335,6 +1415,7 @@ mod tests {
                     stream: StreamId(9),
                     port_name: "video0".into(),
                     msu: MsuId(2),
+                    trace: sample_trace(),
                 }],
             },
             CoordReply::RecordStarted {
@@ -1344,6 +1425,7 @@ mod tests {
                     port_name: "video0".into(),
                     msu: MsuId(2),
                     udp_sink: sample_addr(),
+                    trace: TraceCtx::new(77, SpanKind::Record),
                 }],
             },
             CoordReply::Error {
@@ -1389,11 +1471,12 @@ mod tests {
                     reason: DoneReason::ClientQuit,
                     bytes: 1_000_000,
                     duration_us: 60_000_000,
+                    trace: sample_trace(),
                 },
             },
             MsuEnvelope {
                 req_id: 44,
-                body: MsuToCoord::Pong,
+                body: MsuToCoord::Pong { snapshot: None },
             },
             MsuEnvelope {
                 req_id: 15,
@@ -1435,6 +1518,7 @@ mod tests {
                         fast_forward: "movie.ff".into(),
                         fast_backward: "movie.fb".into(),
                     }),
+                    trace: sample_trace(),
                 },
             },
             CoordEnvelope {
@@ -1450,6 +1534,7 @@ mod tests {
                     stores_schedule: true,
                     cbr_rate: None,
                     client_ctrl: "10.1.2.3:6000".parse().unwrap(),
+                    trace: TraceCtx::new(78, SpanKind::Record),
                 },
             },
             CoordEnvelope {
@@ -1492,6 +1577,7 @@ mod tests {
         round_trip(&MsuToClient::GroupReady {
             group: GroupId(1),
             streams: vec![StreamId(1), StreamId(2)],
+            trace: sample_trace(),
         });
         round_trip(&MsuToClient::VcrAck {
             group: GroupId(1),
@@ -1542,6 +1628,21 @@ mod tests {
             snapshots: vec![snap.clone()],
         });
         round_trip(&CoordReply::Stats { snapshots: vec![] });
+        round_trip(&ClientRequest::ClusterStats);
+        round_trip(&CoordReply::ClusterStats {
+            cluster: StatsSnapshot {
+                source: "cluster".into(),
+                uptime_us: 42_000_000,
+                metrics: snap.metrics.clone(),
+            },
+            msus: vec![snap.clone(), snap.clone()],
+        });
+        round_trip(&MsuEnvelope {
+            req_id: 44,
+            body: MsuToCoord::Pong {
+                snapshot: Some(snap.clone()),
+            },
+        });
         round_trip(&MsuEnvelope {
             req_id: 77,
             body: MsuToCoord::Stats { snapshot: snap },

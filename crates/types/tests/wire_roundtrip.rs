@@ -5,11 +5,25 @@
 
 use calliope_types::content::{ContentKind, ContentTypeSpec, ProtocolId, TypeBody};
 use calliope_types::time::{BitRate, ByteRate, MediaTime};
+use calliope_types::trace::{SpanKind, TraceCtx};
 use calliope_types::wire::messages::*;
 use calliope_types::wire::Wire;
 use calliope_types::{DiskId, GroupId, MsuId, SessionId, StreamId, VcrCommand};
 use proptest::prelude::*;
 use std::net::SocketAddr;
+
+fn arb_trace() -> impl Strategy<Value = TraceCtx> {
+    (
+        any::<u64>(),
+        prop_oneof![
+            Just(SpanKind::None),
+            Just(SpanKind::Play),
+            Just(SpanKind::Record),
+            Just(SpanKind::Failover),
+        ],
+    )
+        .prop_map(|(id, kind)| TraceCtx { id, kind })
+}
 
 fn arb_addr() -> impl Strategy<Value = SocketAddr> {
     prop_oneof![
@@ -138,6 +152,7 @@ fn arb_client_request() -> impl Strategy<Value = ClientRequest> {
             }
         }),
         any::<String>().prop_map(|content| ClientRequest::Replicate { content }),
+        Just(ClientRequest::ClusterStats),
         Just(ClientRequest::Bye),
     ]
 }
@@ -168,24 +183,28 @@ fn arb_coord_to_msu() -> impl Strategy<Value = CoordToMsu> {
             arb_addr(),
             arb_addr(),
             proptest::option::of((any::<String>(), any::<String>())),
+            arb_trace(),
         )
-            .prop_map(|(s, g, gs, d, file, protocol, pacing, a, b, trick)| {
-                CoordToMsu::ScheduleRead {
-                    stream: StreamId(s),
-                    group: GroupId(g),
-                    group_size: gs,
-                    disk: DiskId(d),
-                    file,
-                    protocol,
-                    pacing,
-                    client_data: a,
-                    client_ctrl: b,
-                    trick: trick.map(|(ff, fb)| TrickFiles {
-                        fast_forward: ff,
-                        fast_backward: fb,
-                    }),
+            .prop_map(
+                |(s, g, gs, d, file, protocol, pacing, a, b, trick, trace)| {
+                    CoordToMsu::ScheduleRead {
+                        stream: StreamId(s),
+                        group: GroupId(g),
+                        group_size: gs,
+                        disk: DiskId(d),
+                        file,
+                        protocol,
+                        pacing,
+                        client_data: a,
+                        client_ctrl: b,
+                        trick: trick.map(|(ff, fb)| TrickFiles {
+                            fast_forward: ff,
+                            fast_backward: fb,
+                        }),
+                        trace,
+                    }
                 }
-            }),
+            ),
         any::<u64>().prop_map(|s| CoordToMsu::Cancel {
             stream: StreamId(s)
         }),
@@ -230,15 +249,23 @@ fn arb_msu_to_coord() -> impl Strategy<Value = MsuToCoord> {
             proptest::option::of(any::<String>())
         )
             .prop_map(|(udp_sink, error)| MsuToCoord::WriteScheduled { udp_sink, error }),
-        (any::<u64>(), arb_done_reason(), any::<u64>(), any::<u64>()).prop_map(
-            |(s, reason, bytes, duration_us)| MsuToCoord::StreamDone {
-                stream: StreamId(s),
-                reason,
-                bytes,
-                duration_us,
-            }
-        ),
-        Just(MsuToCoord::Pong),
+        (
+            any::<u64>(),
+            arb_done_reason(),
+            any::<u64>(),
+            any::<u64>(),
+            arb_trace()
+        )
+            .prop_map(
+                |(s, reason, bytes, duration_us, trace)| MsuToCoord::StreamDone {
+                    stream: StreamId(s),
+                    reason,
+                    bytes,
+                    duration_us,
+                    trace,
+                }
+            ),
+        Just(MsuToCoord::Pong { snapshot: None }),
         proptest::option::of(any::<String>()).prop_map(|error| MsuToCoord::FileDeleted { error }),
         proptest::option::of(any::<String>()).prop_map(|error| MsuToCoord::FileCopied { error }),
     ]
@@ -253,16 +280,20 @@ fn arb_coord_reply() -> impl Strategy<Value = CoordReply> {
         Just(CoordReply::Queued),
         (
             any::<u64>(),
-            proptest::collection::vec((any::<u64>(), any::<String>(), any::<u64>()), 0..4)
+            proptest::collection::vec(
+                (any::<u64>(), any::<String>(), any::<u64>(), arb_trace()),
+                0..4
+            )
         )
             .prop_map(|(g, streams)| CoordReply::PlayStarted {
                 group: GroupId(g),
                 streams: streams
                     .into_iter()
-                    .map(|(s, port_name, m)| StreamStart {
+                    .map(|(s, port_name, m, trace)| StreamStart {
                         stream: StreamId(s),
                         port_name,
                         msu: MsuId(m),
+                        trace,
                     })
                     .collect(),
             }),
@@ -286,7 +317,7 @@ fn heartbeat_and_io_error_round_trip() {
 
     let pong = MsuEnvelope {
         req_id: 42,
-        body: MsuToCoord::Pong,
+        body: MsuToCoord::Pong { snapshot: None },
     };
     assert_eq!(MsuEnvelope::from_bytes(&pong.to_bytes()).unwrap(), pong);
 
@@ -297,9 +328,37 @@ fn heartbeat_and_io_error_round_trip() {
             reason: DoneReason::IoError("read failed: injected fault".into()),
             bytes: 1024,
             duration_us: 5_000_000,
+            trace: TraceCtx::new(9, SpanKind::Play),
         },
     };
     assert_eq!(MsuEnvelope::from_bytes(&done.to_bytes()).unwrap(), done);
+}
+
+/// The trace context survives every message that carries it, and the
+/// failover continuation keeps the id while switching span kind.
+#[test]
+fn trace_ctx_fields_round_trip() {
+    let trace = TraceCtx::new(0x1122_3344_5566_7788, SpanKind::Play);
+    let start = StreamStart {
+        stream: StreamId(1),
+        port_name: "tv".into(),
+        msu: MsuId(2),
+        trace,
+    };
+    assert_eq!(StreamStart::from_bytes(&start.to_bytes()).unwrap(), start);
+
+    let ready = MsuToClient::GroupReady {
+        group: GroupId(3),
+        streams: vec![StreamId(1)],
+        trace: trace.into_failover(),
+    };
+    let back = MsuToClient::from_bytes(&ready.to_bytes()).unwrap();
+    assert_eq!(back, ready);
+    let MsuToClient::GroupReady { trace: got, .. } = back else {
+        unreachable!()
+    };
+    assert_eq!(got.id, trace.id, "failover keeps the trace id");
+    assert_eq!(got.kind, SpanKind::Failover);
 }
 
 proptest! {

@@ -28,10 +28,15 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 /// Files allowed to contain `unsafe` code. The checker's shims must
-/// touch raw memory to model it, and the SPSC ring's `MaybeUninit`
-/// slots are the one lock-free kernel in the data path; everything
-/// else stays safe Rust.
-const UNSAFE_ALLOWLIST: &[&str] = &["crates/check/src/", "crates/msu/src/spsc.rs"];
+/// touch raw memory to model it, the SPSC ring's `MaybeUninit`
+/// slots are the one lock-free kernel in the data path, and the
+/// flight recorder's `SIGUSR1` hook needs one libc `signal(2)` call;
+/// everything else stays safe Rust.
+const UNSAFE_ALLOWLIST: &[&str] = &[
+    "crates/check/src/",
+    "crates/msu/src/spsc.rs",
+    "crates/obs/src/signal.rs",
+];
 
 /// How many lines above an `Ordering::Relaxed` site a `// relaxed:`
 /// justification may sit (so one comment can cover a cluster).

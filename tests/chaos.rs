@@ -6,10 +6,17 @@
 
 use calliope::cluster::Cluster;
 use calliope::content;
+use calliope_obs::FlightCode;
 use calliope_storage::FaultPlan;
 use calliope_types::error::Error;
 use calliope_types::wire::messages::DoneReason;
 use std::time::{Duration, Instant};
+
+/// Scenario narration rides the `chaos` tracing target: set
+/// `RUST_LOG=chaos=info` to watch a run unfold (silent otherwise).
+macro_rules! narrate {
+    ($($arg:tt)+) => { tracing::info!(target: "chaos", $($arg)+) };
+}
 
 fn wait_for<T>(timeout: Duration, mut f: impl FnMut() -> Option<T>) -> T {
     let deadline = Instant::now() + timeout;
@@ -29,6 +36,7 @@ fn wait_for<T>(timeout: Duration, mut f: impl FnMut() -> Option<T>) -> T {
 /// sees an error.
 #[test]
 fn disk_death_fails_over_to_the_replica_disk() {
+    calliope_obs::init_logging();
     // The MSU reads ahead as fast as the disk allows (delivery, not
     // reading, is what gets paced), so a healthy disk would hand over
     // the whole clip before the kill switch lands. 300 ms per transfer
@@ -51,6 +59,9 @@ fn disk_death_fails_over_to_the_replica_disk() {
     let port = admin.open_port("tv", "mpeg1").unwrap();
     let mut play = admin.play("movie", "tv", &[&port]).unwrap();
     let stream = play.streams[0];
+    let trace = play.traces[0];
+    assert!(trace.is_traced(), "admission must mint a trace id");
+    narrate!("playing {stream} [{trace}]; waiting for first packets");
     wait_for(Duration::from_secs(10), || {
         (port.stats(stream).packets > 2).then_some(())
     });
@@ -63,13 +74,48 @@ fn disk_death_fails_over_to_the_replica_disk() {
         .iter()
         .position(|d| d.bw_used > 0)
         .expect("one disk holds the stream's bandwidth grant");
+    narrate!("killing disk {victim} under {stream}");
     cluster.fail_disk(0, victim).expect("disk is fault-armed");
 
     // The client blocks straight through the failover; playback
     // restarts from the beginning on the replica and completes.
     let reason = play.wait_end(Duration::from_secs(60)).unwrap();
+    narrate!("playback ended: {reason:?}");
     assert_eq!(reason, DoneReason::Completed);
     assert_eq!(cluster.coord.stats().failovers.get(), 1);
+
+    // The always-on flight recorder (no env vars set here) traced the
+    // whole life of the stream under one id: admission, the grant, the
+    // disk death, and the replica re-admission. The I/O error also
+    // dumped both recorders to stderr unconditionally.
+    let events = cluster.coord.flight().snapshot();
+    for code in [
+        FlightCode::Admit,
+        FlightCode::Schedule,
+        FlightCode::IoError,
+        FlightCode::Failover,
+    ] {
+        assert!(
+            events.iter().any(|e| e.code == code && e.trace == trace.id),
+            "coordinator flight recorder missing {code:?} for [{trace}]: {events:#?}"
+        );
+    }
+    let msu_events = cluster.msus[0].flight().snapshot();
+    assert!(
+        msu_events
+            .iter()
+            .filter(|e| e.code == FlightCode::Schedule && e.trace == trace.id)
+            .count()
+            >= 2,
+        "MSU must have scheduled the stream twice (original + failover) \
+         under one trace id: {msu_events:#?}"
+    );
+    assert!(
+        msu_events
+            .iter()
+            .any(|e| e.code == FlightCode::IoError && e.trace == trace.id),
+        "MSU flight recorder missing the disk failure: {msu_events:#?}"
+    );
 
     // The full clip arrived after the restart (plus whatever the first
     // attempt delivered before the disk died).
@@ -95,6 +141,7 @@ fn disk_death_fails_over_to_the_replica_disk() {
 /// grace expires — and the Coordinator releases every grant.
 #[test]
 fn disk_death_without_a_replica_is_a_clean_error() {
+    calliope_obs::init_logging();
     let cluster = Cluster::builder()
         .msus(1)
         .disks_per_msu(1)
@@ -119,9 +166,11 @@ fn disk_death_without_a_replica_is_a_clean_error() {
     wait_for(Duration::from_secs(10), || {
         (port.stats(stream).packets > 2).then_some(())
     });
+    narrate!("killing the only disk under {stream}");
     cluster.fail_disk(0, 0).expect("disk is fault-armed");
 
     let reason = play.wait_end(Duration::from_secs(30)).unwrap();
+    narrate!("playback ended: {reason:?}");
     assert!(
         matches!(reason, DoneReason::IoError(_)),
         "expected an I/O error, got {reason:?}"
@@ -148,6 +197,7 @@ fn disk_death_without_a_replica_is_a_clean_error() {
 /// and the client's session closes after the failover grace.
 #[test]
 fn msu_crash_without_a_replica_reaps_the_grants() {
+    calliope_obs::init_logging();
     let mut cluster = Cluster::builder().msus(1).build().unwrap();
     let mut client = cluster.client("alice", false).unwrap();
     content::upload_mpeg(&mut client, "doomed", 4, 13).unwrap();
@@ -159,7 +209,8 @@ fn msu_crash_without_a_replica_reaps_the_grants() {
         (port.stats(stream).packets > 2).then_some(())
     });
 
-    let _id = cluster.crash_msu(0);
+    let id = cluster.crash_msu(0);
+    narrate!("crashed {id}; expecting the session to close");
     let err = play.wait_end(Duration::from_secs(30));
     assert!(
         matches!(err, Err(Error::SessionClosed)),
@@ -170,6 +221,14 @@ fn msu_crash_without_a_replica_reaps_the_grants() {
     });
     assert_eq!(cluster.coord.stats().grants_reaped.get(), 1);
     assert_eq!(cluster.coord.active_streams(), 0, "no stranded grants");
+    // `fail_msu` dumped the flight recorder; its event names the victim.
+    let events = cluster.coord.flight().snapshot();
+    assert!(
+        events
+            .iter()
+            .any(|e| e.code == FlightCode::FailMsu && e.arg0 == id.raw()),
+        "coordinator flight recorder missing FailMsu for {id}: {events:#?}"
+    );
     cluster.shutdown();
 }
 
@@ -178,6 +237,7 @@ fn msu_crash_without_a_replica_reaps_the_grants() {
 /// Coordinator marks it down within a few intervals.
 #[test]
 fn heartbeat_reaps_a_wedged_msu() {
+    calliope_obs::init_logging();
     let cluster = Cluster::builder()
         .msus(2)
         .heartbeat(Duration::from_millis(50), 2)
@@ -185,10 +245,21 @@ fn heartbeat_reaps_a_wedged_msu() {
         .unwrap();
     assert_eq!(cluster.coord.msu_count(), 2);
 
+    narrate!("wedging MSU #1; only the heartbeat can notice");
     cluster.wedge_msu(1);
     wait_for(Duration::from_secs(10), || {
         (cluster.coord.msu_count() == 1).then_some(())
     });
     assert!(cluster.coord.stats().heartbeat_misses.get() >= 2);
+    // The misses and the eventual reap are both on the flight record.
+    let events = cluster.coord.flight().snapshot();
+    assert!(
+        events.iter().any(|e| e.code == FlightCode::HeartbeatMiss),
+        "missing HeartbeatMiss events: {events:#?}"
+    );
+    assert!(
+        events.iter().any(|e| e.code == FlightCode::FailMsu),
+        "missing the FailMsu reap: {events:#?}"
+    );
     cluster.shutdown();
 }
